@@ -1,0 +1,47 @@
+//! Ablation benches: design choices DESIGN.md calls out — LVAQ size,
+//! steering policy (the §2.1 misclassification machinery), and a
+//! plain-component microbench of the simulator's own speed.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::{MachineConfig, SteerPolicy};
+use dda_vm::Vm;
+use dda_workloads::Benchmark;
+
+fn lvaq_size(c: &mut Criterion) {
+    for size in [8usize, 64] {
+        let mut cfg = MachineConfig::n_plus_m(3, 2).with_optimizations();
+        cfg.decoupling.lvaq_size = size;
+        common::cell(c, "ablation_lvaq_size", Benchmark::Vortex, &format!("lvaq{size}"), &cfg);
+    }
+}
+
+fn steering(c: &mut Criterion) {
+    for (label, policy) in [
+        ("oracle", SteerPolicy::Oracle),
+        ("hint", SteerPolicy::Hint),
+        ("sp-base", SteerPolicy::SpBase),
+    ] {
+        let mut cfg = MachineConfig::n_plus_m(3, 2).with_optimizations();
+        cfg.decoupling.steer = policy;
+        common::cell(c, "ablation_steering", Benchmark::Perl, label, &cfg);
+    }
+}
+
+fn vm_speed(c: &mut Criterion) {
+    let program = Benchmark::Compress.program(u32::MAX / 2);
+    let mut g = c.benchmark_group("component_vm_speed");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(100_000));
+    g.bench_function("functional-100k", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(program.clone());
+            vm.run(100_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, lvaq_size, steering, vm_speed);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each bench target regenerates (a scaled-down slice of) one table or
+//! figure from the paper. Criterion measures the wall-clock cost of the
+//! simulation itself; the scientific output comes from the `experiments`
+//! binary, which runs the same code at full budgets.
+
+use criterion::Criterion;
+use dda_core::{MachineConfig, SimResult, Simulator};
+use dda_program::Program;
+use dda_workloads::Benchmark;
+
+/// Committed-instruction budget per bench iteration — small, so a full
+/// `cargo bench` stays in the minutes range.
+pub const BENCH_BUDGET: u64 = 20_000;
+
+/// Builds the program once (generation is deterministic and cheap
+/// relative to simulation, but there is no reason to repeat it).
+pub fn program_of(bench: Benchmark) -> Program {
+    bench.program(u32::MAX / 2)
+}
+
+/// Runs one configuration for [`BENCH_BUDGET`] instructions.
+pub fn simulate(program: &Program, cfg: &MachineConfig) -> SimResult {
+    Simulator::new(cfg.clone())
+        .run(program, BENCH_BUDGET)
+        .expect("benchmark program executes cleanly")
+}
+
+/// Registers one `(benchmark, config)` cell as a Criterion benchmark.
+pub fn cell(
+    c: &mut Criterion,
+    group: &str,
+    bench: Benchmark,
+    label: &str,
+    cfg: &MachineConfig,
+) {
+    let program = program_of(bench);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function(format!("{}/{label}", bench.label()), |b| {
+        b.iter(|| simulate(&program, cfg))
+    });
+    g.finish();
+}

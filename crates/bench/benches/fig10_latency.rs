@@ -1,0 +1,28 @@
+//! Figure 10 — cache hit-latency sensitivity.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::MachineConfig;
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    common::cell(c, "fig10_latency", Benchmark::M88ksim, "(4+0)2cy", &MachineConfig::n_plus_m(4, 0));
+    common::cell(
+        c,
+        "fig10_latency",
+        Benchmark::M88ksim,
+        "(4+0)3cy",
+        &MachineConfig::n_plus_m(4, 0).with_l1_hit_latency(3),
+    );
+    common::cell(
+        c,
+        "fig10_latency",
+        Benchmark::M88ksim,
+        "(2+2)opt",
+        &MachineConfig::n_plus_m(2, 2).with_optimizations(),
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

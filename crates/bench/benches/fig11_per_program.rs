@@ -1,0 +1,22 @@
+//! Figure 11 — per-program (N+M) surfaces (gcc, li, vortex, swim).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::MachineConfig;
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    for b in [Benchmark::Gcc, Benchmark::Li, Benchmark::Vortex, Benchmark::Swim] {
+        common::cell(
+            c,
+            "fig11_per_program",
+            b,
+            "(2+2)opt",
+            &MachineConfig::n_plus_m(2, 2).with_optimizations(),
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 2 — instruction mix and local-access fractions: benchmarks the
+//! functional-profiling path (VM + StreamProfiler) that produces the
+//! figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_vm::{StreamProfiler, Vm};
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_instruction_mix");
+    g.sample_size(10);
+    for b in [Benchmark::Vortex, Benchmark::Compress, Benchmark::Swim] {
+        let program = b.program(u32::MAX / 2);
+        g.bench_function(b.label(), |bencher| {
+            bencher.iter(|| {
+                let mut vm = Vm::new(program.clone());
+                let mut prof = StreamProfiler::new(&program);
+                for _ in 0..50_000 {
+                    match vm.step().unwrap() {
+                        Some(d) => prof.observe(&d),
+                        None => break,
+                    }
+                }
+                prof.into_stats().local_mem_fraction()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

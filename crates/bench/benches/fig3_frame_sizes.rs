@@ -1,0 +1,31 @@
+//! Figure 3 — dynamic frame-size distribution: benchmarks the per-call
+//! frame histogram collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_vm::{StreamProfiler, Vm};
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_frame_sizes");
+    g.sample_size(10);
+    for b in [Benchmark::Gcc, Benchmark::Li] {
+        let program = b.program(u32::MAX / 2);
+        g.bench_function(b.label(), |bencher| {
+            bencher.iter(|| {
+                let mut vm = Vm::new(program.clone());
+                let mut prof = StreamProfiler::new(&program);
+                for _ in 0..50_000 {
+                    match vm.step().unwrap() {
+                        Some(d) => prof.observe(&d),
+                        None => break,
+                    }
+                }
+                prof.into_stats().frame_words.mean()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 5 — (N+0) bandwidth requirements: benchmarks the baseline port
+//! sweep at its extremes.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::MachineConfig;
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    for n in [1u32, 2, 16] {
+        common::cell(
+            c,
+            "fig5_bandwidth",
+            Benchmark::Vortex,
+            &format!("({n}+0)"),
+            &MachineConfig::n_plus_m(n, 0),
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6 — LVC miss rate vs capacity: benchmarks the content-model
+//! replay that produces the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_mem::{CacheConfig, CacheCore};
+use dda_vm::Vm;
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_lvc_size");
+    g.sample_size(10);
+    for size in [512u32, 2048] {
+        let program = Benchmark::Gcc.program(u32::MAX / 2);
+        g.bench_function(format!("gcc/{size}B"), |bencher| {
+            bencher.iter(|| {
+                let mut vm = Vm::new(program.clone());
+                let mut cache = CacheCore::new(&CacheConfig::lvc_2k().with_size(size));
+                for _ in 0..50_000 {
+                    match vm.step().unwrap() {
+                        Some(d) => {
+                            if let Some(m) = d.mem {
+                                if m.is_local() && !cache.access(m.addr, m.is_store) {
+                                    cache.fill(m.addr, m.is_store);
+                                }
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                cache.stats().miss_rate()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 7 — (N+M) configurations without optimizations.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::MachineConfig;
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    for (n, m) in [(2u32, 0u32), (2, 1), (2, 2), (3, 2)] {
+        common::cell(
+            c,
+            "fig7_lvc_ports",
+            Benchmark::Li,
+            &format!("({n}+{m})"),
+            &MachineConfig::n_plus_m(n, m),
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

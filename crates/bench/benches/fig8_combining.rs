@@ -1,0 +1,22 @@
+//! Figure 8 — access combining under (3+1)/(3+2).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::MachineConfig;
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    for degree in [1u32, 2, 4] {
+        common::cell(
+            c,
+            "fig8_combining",
+            Benchmark::Vortex,
+            &format!("(3+1)/{degree}-way"),
+            &MachineConfig::n_plus_m(3, 1).with_combining(degree),
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

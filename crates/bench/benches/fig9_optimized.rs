@@ -1,0 +1,22 @@
+//! Figure 9 — (N+M) with fast forwarding and 2-way combining.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::MachineConfig;
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    for (n, m) in [(2u32, 1u32), (2, 2), (3, 2)] {
+        common::cell(
+            c,
+            "fig9_optimized",
+            Benchmark::Vortex,
+            &format!("({n}+{m})opt"),
+            &MachineConfig::n_plus_m(n, m).with_optimizations(),
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 3 — fast data forwarding under (3+2).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::MachineConfig;
+use dda_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    for b in [Benchmark::Vortex, Benchmark::Compress] {
+        common::cell(c, "table3_fast_forwarding", b, "(3+2)", &MachineConfig::n_plus_m(3, 2));
+        common::cell(
+            c,
+            "table3_fast_forwarding",
+            b,
+            "(3+2)+ff",
+            &MachineConfig::n_plus_m(3, 2).with_fast_forwarding(true),
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Shared machinery: budgets, profiling, parallel configuration sweeps.
+
+use std::sync::OnceLock;
+
+use dda_core::{MachineConfig, SimResult, Simulator};
+use dda_vm::{StreamProfiler, StreamStats, Vm};
+use dda_workloads::Benchmark;
+
+/// Committed-instruction budget for pipeline experiments.
+///
+/// Override with the `DDA_BUDGET` environment variable. The default keeps
+/// a full figure sweep (hundreds of runs) in the minutes range; the
+/// paper's shapes are stable well below this budget.
+pub fn pipeline_budget() -> u64 {
+    static BUDGET: OnceLock<u64> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("DDA_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(300_000)
+    })
+}
+
+/// Instruction budget for functional-profiling experiments (Figures 2, 3
+/// and 6), which run only the VM and are much cheaper per instruction.
+///
+/// Override with `DDA_PROFILE_BUDGET`.
+pub fn profile_budget() -> u64 {
+    static BUDGET: OnceLock<u64> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("DDA_PROFILE_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_000_000)
+    })
+}
+
+/// A benchmark plus its measured stream statistics.
+#[derive(Clone, Debug)]
+pub struct ProfiledWorkload {
+    /// Which benchmark.
+    pub bench: Benchmark,
+    /// Statistics over the profiled prefix of the dynamic stream.
+    pub stats: StreamStats,
+    /// Mean static frame size in words (over the generated functions).
+    pub static_frame_words: f64,
+    /// Number of static functions in the stand-in.
+    pub static_functions: usize,
+}
+
+/// Profiles `bench` for `budget` dynamic instructions.
+///
+/// # Panics
+///
+/// Panics if the generated program raises a functional-execution error —
+/// generator output is expected to be well-formed.
+pub fn profile(bench: Benchmark, budget: u64) -> ProfiledWorkload {
+    let program = bench.program(u32::MAX / 2);
+    let mut vm = Vm::new(program.clone());
+    let mut prof = StreamProfiler::new(&program);
+    for _ in 0..budget {
+        match vm.step().expect("benchmark executes cleanly") {
+            Some(d) => prof.observe(&d),
+            None => break,
+        }
+    }
+    ProfiledWorkload {
+        bench,
+        stats: prof.into_stats(),
+        static_frame_words: program.mean_static_frame_words(),
+        static_functions: program.functions().len(),
+    }
+}
+
+/// Profiles `bench` with the default profiling budget.
+pub fn workload_stats(bench: Benchmark) -> ProfiledWorkload {
+    profile(bench, profile_budget())
+}
+
+/// Runs `bench` on `cfg` for the default pipeline budget.
+pub fn run_config(bench: Benchmark, cfg: MachineConfig) -> SimResult {
+    let program = bench.program(u32::MAX / 2);
+    Simulator::new(cfg)
+        .run(&program, pipeline_budget())
+        .expect("benchmark executes cleanly")
+}
+
+/// Runs one benchmark under several configurations, in parallel threads.
+///
+/// Returns results in the same order as `cfgs`.
+pub fn run_configs_for(bench: Benchmark, cfgs: &[MachineConfig]) -> Vec<SimResult> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = cfgs
+            .iter()
+            .map(|cfg| {
+                let cfg = cfg.clone();
+                s.spawn(move || run_config(bench, cfg))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_produces_traffic() {
+        let w = profile(Benchmark::Compress, 50_000);
+        assert!(w.stats.instructions >= 50_000);
+        assert!(w.stats.loads > 0 && w.stats.stores > 0);
+        assert!(w.static_functions >= 3);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let cfgs = [MachineConfig::n_plus_m(2, 0), MachineConfig::n_plus_m(4, 0)];
+        std::env::remove_var("DDA_BUDGET");
+        let results = run_configs_for(Benchmark::Li, &cfgs);
+        let serial = run_config(Benchmark::Li, cfgs[0].clone());
+        assert_eq!(results[0], serial);
+        assert!(results[1].ipc() >= results[0].ipc() * 0.95);
+    }
+}

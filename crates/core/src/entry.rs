@@ -1,0 +1,291 @@
+//! Reorder-buffer entries and the RUU ring buffer.
+
+use dda_isa::FuClass;
+use dda_vm::DynInst;
+
+/// What a dependent is waiting for from its producer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum DepKind {
+    /// An input operand (issue cannot happen before it is ready).
+    Operand,
+    /// A store's data value (the store's address generation does not wait
+    /// for it, but commit and forwarding do).
+    StoreData,
+}
+
+/// A (consumer slot, kind) edge in the dataflow graph.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Dependent {
+    pub slot: usize,
+    pub kind: DepKind,
+}
+
+/// Memory-specific pipeline state of a load or store.
+#[derive(Clone, Debug)]
+pub(crate) struct MemState {
+    /// Steered to the LVAQ (`true`) or the LSQ (`false`).
+    pub in_lvaq: bool,
+    /// Position of this entry in its queue's lifetime order (used by the
+    /// access-combining window check).
+    pub q_seq: u64,
+    pub is_store: bool,
+    pub addr: u32,
+    pub bytes: u32,
+    /// `$sp`-relative identity used by fast data forwarding.
+    pub stack_slot: Option<(u64, i32)>,
+    /// Cycle the effective address becomes known (after AGU), plus any
+    /// misclassification recovery penalty.
+    pub addr_ready_at: Option<u64>,
+    /// For stores: the cycle the data value became ready.
+    pub data_ready_at: Option<u64>,
+    /// For loads: the cache access / forwarding has been performed.
+    pub launched: bool,
+    /// Misclassification recovery penalty to add to address availability.
+    pub penalty: u64,
+    /// Footnote-3 replication: a ghost copy of this entry also sits in the
+    /// *other* queue until the address resolves.
+    pub replicated: bool,
+}
+
+impl MemState {
+    /// Whether the address is known by `cycle`.
+    #[inline]
+    pub fn addr_known(&self, cycle: u64) -> bool {
+        self.addr_ready_at.is_some_and(|t| t <= cycle)
+    }
+
+    /// Whether the store's data is ready by `cycle`.
+    #[inline]
+    pub fn data_known(&self, cycle: u64) -> bool {
+        self.data_ready_at.is_some_and(|t| t <= cycle)
+    }
+}
+
+/// One in-flight instruction in the RUU/ROB.
+#[derive(Clone, Debug)]
+pub(crate) struct RobEntry {
+    /// Unique id distinguishing reuses of the same slot.
+    pub uid: u64,
+    /// The dynamic instruction.
+    pub d: DynInst,
+    /// Functional-unit class.
+    pub fu: FuClass,
+    /// Number of not-yet-ready input operands.
+    pub waiting: u8,
+    /// Consumers to wake when the result completes.
+    pub dependents: Vec<Dependent>,
+    /// Has been issued to a functional unit (or AGU for memory ops).
+    pub issued: bool,
+    /// Result available (loads: data arrived; ALU: FU done). Stores use
+    /// `mem` readiness instead.
+    pub completed: bool,
+    /// Memory state for loads/stores.
+    pub mem: Option<MemState>,
+}
+
+impl RobEntry {
+    /// Whether this entry is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.mem.as_ref().is_some_and(|m| m.is_store)
+    }
+
+    /// Whether this entry is a load.
+    #[allow(dead_code)] // used by tests and kept for symmetry
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        self.mem.as_ref().is_some_and(|m| !m.is_store)
+    }
+}
+
+/// The Register Update Unit's reorder buffer: a fixed-capacity ring with
+/// stable slot indices while an entry is alive.
+#[derive(Clone, Debug)]
+pub(crate) struct Rob {
+    slots: Vec<Option<RobEntry>>,
+    head: usize,
+    len: usize,
+    next_uid: u64,
+}
+
+impl Rob {
+    pub fn new(capacity: usize) -> Rob {
+        assert!(capacity > 0, "ROB capacity must be at least 1");
+        Rob { slots: (0..capacity).map(|_| None).collect(), head: 0, len: 0, next_uid: 0 }
+    }
+
+    #[allow(dead_code)] // introspection helper
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocates a fresh uid.
+    pub fn next_uid(&mut self) -> u64 {
+        let u = self.next_uid;
+        self.next_uid += 1;
+        u
+    }
+
+    /// Pushes at the tail; returns the slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full.
+    pub fn push(&mut self, entry: RobEntry) -> usize {
+        assert!(!self.is_full(), "ROB overflow");
+        let slot = (self.head + self.len) % self.slots.len();
+        debug_assert!(self.slots[slot].is_none());
+        self.slots[slot] = Some(entry);
+        self.len += 1;
+        slot
+    }
+
+    /// The oldest slot, if any.
+    #[inline]
+    pub fn head_slot(&self) -> Option<usize> {
+        (self.len > 0).then_some(self.head)
+    }
+
+    /// Removes and returns the oldest entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn pop_head(&mut self) -> RobEntry {
+        let e = self.slots[self.head].take().expect("ROB underflow");
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        e
+    }
+
+    /// Immutable access by slot (alive entries only).
+    #[inline]
+    pub fn get(&self, slot: usize) -> &RobEntry {
+        self.slots[slot].as_ref().expect("dead ROB slot")
+    }
+
+    /// Mutable access by slot (alive entries only).
+    #[inline]
+    pub fn get_mut(&mut self, slot: usize) -> &mut RobEntry {
+        self.slots[slot].as_mut().expect("dead ROB slot")
+    }
+
+    /// Whether `slot` currently holds the entry with `uid`.
+    #[inline]
+    pub fn holds(&self, slot: usize, uid: u64) -> bool {
+        self.slots[slot].as_ref().is_some_and(|e| e.uid == uid)
+    }
+
+    /// Slot indices in age order (oldest first).
+    pub fn slots_in_age_order(&self) -> impl Iterator<Item = usize> + '_ {
+        let cap = self.slots.len();
+        let head = self.head;
+        (0..self.len).map(move |i| (head + i) % cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_isa::Instr;
+
+    fn entry(uid: u64) -> RobEntry {
+        RobEntry {
+            uid,
+            d: DynInst { seq: uid, pc: 0, instr: Instr::Nop, next_pc: 1, mem: None },
+            fu: FuClass::IntAlu,
+            waiting: 0,
+            dependents: Vec::new(),
+            issued: false,
+            completed: false,
+            mem: None,
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_preserves_age_order() {
+        let mut r = Rob::new(4);
+        let s0 = r.push(entry(0));
+        let _s1 = r.push(entry(1));
+        assert_eq!(r.pop_head().uid, 0);
+        let _s2 = r.push(entry(2));
+        let _s3 = r.push(entry(3));
+        let s4 = r.push(entry(4)); // wraps into slot 0
+        assert_eq!(s4, s0);
+        assert!(r.is_full());
+        let uids: Vec<u64> = r.slots_in_age_order().map(|s| r.get(s).uid).collect();
+        assert_eq!(uids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn holds_distinguishes_reuse() {
+        let mut r = Rob::new(2);
+        let s = r.push(entry(10));
+        assert!(r.holds(s, 10));
+        r.pop_head();
+        assert!(!r.holds(s, 10));
+        let s2 = r.push(entry(11));
+        let s3 = r.push(entry(12));
+        let _ = (s2, s3);
+        assert!(!r.holds(s, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut r = Rob::new(1);
+        r.push(entry(0));
+        r.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut r = Rob::new(1);
+        r.pop_head();
+    }
+
+    #[test]
+    fn uid_allocation_is_monotone() {
+        let mut r = Rob::new(2);
+        let a = r.next_uid();
+        let b = r.next_uid();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn mem_state_readiness() {
+        let m = MemState {
+            in_lvaq: true,
+            q_seq: 0,
+            is_store: true,
+            addr: 0,
+            bytes: 4,
+            stack_slot: None,
+            addr_ready_at: Some(10),
+            data_ready_at: None,
+            launched: false,
+            penalty: 0,
+            replicated: false,
+        };
+        assert!(!m.addr_known(9));
+        assert!(m.addr_known(10));
+        assert!(!m.data_known(u64::MAX));
+    }
+}

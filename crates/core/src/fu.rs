@@ -1,0 +1,112 @@
+//! Functional-unit pools.
+
+use dda_isa::{FuClass, LatencyTable};
+
+use crate::config::FuCounts;
+
+/// The machine's functional units, grouped into four pools (integer ALU,
+/// integer MULT/DIV, FP ALU, FP MULT/DIV).
+///
+/// Each unit tracks when it can next accept an instruction; non-pipelined
+/// units (dividers) are busy for their full issue interval, pipelined
+/// units accept one instruction per cycle.
+#[derive(Clone, Debug)]
+pub struct FuPools {
+    // next_free cycle per unit, grouped per pool.
+    pools: [Vec<u64>; 4],
+    latencies: LatencyTable,
+}
+
+impl FuPools {
+    /// Creates idle pools.
+    pub fn new(counts: FuCounts, latencies: LatencyTable) -> FuPools {
+        let sizes = counts.pool_sizes();
+        FuPools {
+            pools: [
+                vec![0; sizes[0] as usize],
+                vec![0; sizes[1] as usize],
+                vec![0; sizes[2] as usize],
+                vec![0; sizes[3] as usize],
+            ],
+            latencies,
+        }
+    }
+
+    /// Tries to issue an instruction of `class` at `cycle`.
+    ///
+    /// On success returns the cycle the result becomes available and marks
+    /// one unit busy for the class's issue interval. Returns `None` when
+    /// every unit of the pool is busy.
+    pub fn try_issue(&mut self, class: FuClass, cycle: u64) -> Option<u64> {
+        let pool = &mut self.pools[FuCounts::pool_of(class)];
+        let unit = pool.iter_mut().find(|f| **f <= cycle)?;
+        *unit = cycle + self.latencies.issue_interval(class) as u64;
+        Some(cycle + self.latencies.latency(class) as u64)
+    }
+
+    /// Units of the class's pool that could accept work at `cycle`.
+    pub fn free_units(&self, class: FuClass, cycle: u64) -> usize {
+        self.pools[FuCounts::pool_of(class)].iter().filter(|f| **f <= cycle).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> FuPools {
+        FuPools::new(FuCounts::iscapaper_base(), LatencyTable::r10000())
+    }
+
+    #[test]
+    fn pipelined_alu_accepts_every_cycle() {
+        let mut p = pools();
+        for _ in 0..16 {
+            assert_eq!(p.try_issue(FuClass::IntAlu, 5), Some(6));
+        }
+        // Pool of 16 exhausted within one cycle.
+        assert_eq!(p.try_issue(FuClass::IntAlu, 5), None);
+        // Next cycle: all free again (fully pipelined).
+        assert_eq!(p.free_units(FuClass::IntAlu, 6), 16);
+    }
+
+    #[test]
+    fn divider_blocks_for_issue_interval() {
+        let mut p = pools();
+        for _ in 0..4 {
+            assert_eq!(p.try_issue(FuClass::IntDiv, 0), Some(34));
+        }
+        assert_eq!(p.try_issue(FuClass::IntDiv, 0), None);
+        // Still busy at cycle 33; free at 34.
+        assert_eq!(p.free_units(FuClass::IntDiv, 33), 0);
+        assert_eq!(p.free_units(FuClass::IntDiv, 34), 4);
+    }
+
+    #[test]
+    fn mul_and_div_share_units() {
+        let mut p = pools();
+        // Fill the 4 integer MULT/DIV units with divides.
+        for _ in 0..4 {
+            assert!(p.try_issue(FuClass::IntDiv, 0).is_some());
+        }
+        // A multiply cannot issue: same pool.
+        assert_eq!(p.try_issue(FuClass::IntMul, 0), None);
+    }
+
+    #[test]
+    fn fp_latencies() {
+        let mut p = pools();
+        assert_eq!(p.try_issue(FuClass::FpAdd, 10), Some(12));
+        assert_eq!(p.try_issue(FuClass::FpMul, 10), Some(12));
+        assert_eq!(p.try_issue(FuClass::FpDiv, 10), Some(29));
+    }
+
+    #[test]
+    fn branch_uses_int_alu_pool() {
+        let mut p = pools();
+        for _ in 0..16 {
+            assert!(p.try_issue(FuClass::IntAlu, 0).is_some());
+        }
+        assert_eq!(p.try_issue(FuClass::Branch, 0), None);
+    }
+}

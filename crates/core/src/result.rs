@@ -1,0 +1,161 @@
+//! Simulation results and statistics.
+
+use dda_mem::{DataCacheStats, L2Stats};
+use dda_stats::Histogram;
+
+/// Per-queue (LSQ or LVAQ) statistics.
+#[derive(Clone, PartialEq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QueueStats {
+    /// Loads and stores that passed through the queue.
+    pub loads: u64,
+    /// Stores that passed through the queue.
+    pub stores: u64,
+    /// Loads satisfied by in-queue store→load forwarding (1-cycle).
+    pub forwards: u64,
+    /// Loads satisfied by *fast* data forwarding (offset-matched before
+    /// address generation; LVAQ only).
+    pub fast_forwards: u64,
+    /// Cache accesses saved by access combining (each combined member
+    /// after the first saves one port use; LVAQ only).
+    pub combined: u64,
+    /// Combining transactions (groups of ≥ 2 same-line accesses).
+    pub combine_groups: u64,
+    /// Cycles a ready load waited because no cache port was free.
+    pub port_stall_cycles: u64,
+    /// Occupancy sampled once per cycle.
+    pub occupancy: Histogram,
+}
+
+impl QueueStats {
+    /// Fraction of loads satisfied by any kind of in-queue forwarding.
+    pub fn forward_fraction(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            (self.forwards + self.fast_forwards) as f64 / self.loads as f64
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimResult {
+    /// Cycles elapsed until the last committed instruction.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Whether the program ran to `Halt` (as opposed to the instruction
+    /// budget ending the run).
+    pub halted: bool,
+    /// Dispatch stalls because the ROB was full.
+    pub stall_rob_full: u64,
+    /// Dispatch stalls because the LSQ was full.
+    pub stall_lsq_full: u64,
+    /// Dispatch stalls because the LVAQ was full.
+    pub stall_lvaq_full: u64,
+    /// Memory accesses steered into the wrong queue (recovered with a
+    /// penalty).
+    pub misclassifications: u64,
+    /// LSQ statistics.
+    pub lsq: QueueStats,
+    /// LVAQ statistics (all-zero when decoupling is off).
+    pub lvaq: QueueStats,
+    /// L1 D-cache statistics.
+    pub l1: DataCacheStats,
+    /// LVC statistics (`None` when no LVC).
+    pub lvc: Option<DataCacheStats>,
+    /// L2/bus statistics.
+    pub l2: L2Stats,
+    /// Sum of load latencies (issue/forward decision to data ready), for
+    /// average-latency reporting.
+    pub load_latency_sum: u64,
+    /// Number of loads contributing to `load_latency_sum`.
+    pub load_latency_count: u64,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average load latency in cycles (0 when no loads).
+    pub fn avg_load_latency(&self) -> f64 {
+        if self.load_latency_count == 0 {
+            0.0
+        } else {
+            self.load_latency_sum as f64 / self.load_latency_count as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline (ratio of IPCs; both runs must
+    /// have committed the same instruction stream for this to be
+    /// meaningful).
+    pub fn speedup_over(&self, base: &SimResult) -> f64 {
+        if base.ipc() == 0.0 {
+            0.0
+        } else {
+            self.ipc() / base.ipc()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> SimResult {
+        SimResult {
+            cycles: 0,
+            committed: 0,
+            halted: false,
+            stall_rob_full: 0,
+            stall_lsq_full: 0,
+            stall_lvaq_full: 0,
+            misclassifications: 0,
+            lsq: QueueStats::default(),
+            lvaq: QueueStats::default(),
+            l1: DataCacheStats::default(),
+            lvc: None,
+            l2: L2Stats::default(),
+            load_latency_sum: 0,
+            load_latency_count: 0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_latency_handle_zero() {
+        let r = blank();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.avg_load_latency(), 0.0);
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let mut a = blank();
+        a.cycles = 100;
+        a.committed = 400;
+        let mut b = blank();
+        b.cycles = 100;
+        b.committed = 200;
+        assert_eq!(a.ipc(), 4.0);
+        assert_eq!(a.speedup_over(&b), 2.0);
+        assert_eq!(a.speedup_over(&blank()), 0.0);
+    }
+
+    #[test]
+    fn forward_fraction() {
+        let mut q = QueueStats::default();
+        assert_eq!(q.forward_fraction(), 0.0);
+        q.loads = 10;
+        q.forwards = 2;
+        q.fast_forwards = 3;
+        assert_eq!(q.forward_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-instruction pipeline traces.
+//!
+//! When enabled (via [`crate::Simulator::run_traced`]), the core records
+//! the cycle each instruction passed each pipeline stage, plus how its
+//! memory access was satisfied — invaluable when explaining *why* a
+//! configuration wins or loses, and the substrate for the
+//! `pipeline_viewer` example.
+
+use dda_isa::Instr;
+use std::collections::HashMap;
+
+/// How a memory access was ultimately serviced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemPath {
+    /// Not a memory instruction.
+    None,
+    /// Load serviced by the cache (hit or miss; see the latency).
+    Cache,
+    /// Load satisfied by in-queue store→load forwarding (1 cycle).
+    Forwarded,
+    /// Load satisfied by LVAQ fast data forwarding (no AGU, no port).
+    FastForwarded,
+    /// Store retired into the cache at commit.
+    StoreRetired,
+}
+
+/// The life of one instruction through the pipeline.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InstrTrace {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Fetch pc.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instr,
+    /// Cycle it entered the ROB.
+    pub dispatched_at: u64,
+    /// Cycle it issued to a functional unit (AGU for memory ops); `None`
+    /// for fast-forwarded loads, which never issue.
+    pub issued_at: Option<u64>,
+    /// Cycle the effective address became known (memory ops).
+    pub addr_ready_at: Option<u64>,
+    /// Cycle the load's data arrived / the result completed.
+    pub completed_at: Option<u64>,
+    /// Cycle it retired.
+    pub committed_at: u64,
+    /// Steered to the LVAQ (`Some(true)`), the LSQ (`Some(false)`), or
+    /// not a memory op (`None`).
+    pub in_lvaq: Option<bool>,
+    /// How the memory access was serviced.
+    pub mem_path: MemPath,
+}
+
+impl InstrTrace {
+    /// Total in-flight cycles (dispatch to commit).
+    pub fn lifetime(&self) -> u64 {
+        self.committed_at.saturating_sub(self.dispatched_at)
+    }
+
+    /// One compact timeline line, e.g.
+    /// `   12 @5      lw $t0, 8($sp) !local  D5 I6 A7 C8 R9 [LVAQ fast-fwd]`.
+    pub fn render(&self) -> String {
+        let mut s = format!("{:>6} @{:<5} {:<34}", self.seq, self.pc, self.instr.to_string());
+        s.push_str(&format!(" D{}", self.dispatched_at));
+        if let Some(i) = self.issued_at {
+            s.push_str(&format!(" I{i}"));
+        }
+        if let Some(a) = self.addr_ready_at {
+            s.push_str(&format!(" A{a}"));
+        }
+        if let Some(c) = self.completed_at {
+            s.push_str(&format!(" C{c}"));
+        }
+        s.push_str(&format!(" R{}", self.committed_at));
+        match (self.in_lvaq, self.mem_path) {
+            (Some(q), path) if path != MemPath::None => {
+                let queue = if q { "LVAQ" } else { "LSQ" };
+                let how = match path {
+                    MemPath::Cache => "cache",
+                    MemPath::Forwarded => "fwd",
+                    MemPath::FastForwarded => "fast-fwd",
+                    MemPath::StoreRetired => "store",
+                    MemPath::None => unreachable!(),
+                };
+                s.push_str(&format!(" [{queue} {how}]"));
+            }
+            _ => {}
+        }
+        s
+    }
+}
+
+/// Collects traces for the first `limit` dispatched instructions.
+#[derive(Clone, Debug)]
+pub(crate) struct Tracer {
+    limit: u64,
+    live: HashMap<u64, InstrTrace>,
+    done: Vec<InstrTrace>,
+}
+
+impl Tracer {
+    pub fn new(limit: u64) -> Tracer {
+        Tracer { limit, live: HashMap::new(), done: Vec::new() }
+    }
+
+    #[inline]
+    pub fn wants(&self, uid: u64) -> bool {
+        uid < self.limit
+    }
+
+    pub fn dispatch(&mut self, uid: u64, t: InstrTrace) {
+        if self.wants(uid) {
+            self.live.insert(uid, t);
+        }
+    }
+
+    pub fn with(&mut self, uid: u64, f: impl FnOnce(&mut InstrTrace)) {
+        if let Some(t) = self.live.get_mut(&uid) {
+            f(t);
+        }
+    }
+
+    pub fn commit(&mut self, uid: u64, cycle: u64) {
+        if let Some(mut t) = self.live.remove(&uid) {
+            t.committed_at = cycle;
+            self.done.push(t);
+        }
+    }
+
+    pub fn into_records(mut self) -> Vec<InstrTrace> {
+        self.done.sort_by_key(|t| t.seq);
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InstrTrace {
+        InstrTrace {
+            seq: 12,
+            pc: 5,
+            instr: Instr::Nop,
+            dispatched_at: 5,
+            issued_at: Some(6),
+            addr_ready_at: None,
+            completed_at: Some(7),
+            committed_at: 9,
+            in_lvaq: None,
+            mem_path: MemPath::None,
+        }
+    }
+
+    #[test]
+    fn lifetime_and_render() {
+        let t = sample();
+        assert_eq!(t.lifetime(), 4);
+        let line = t.render();
+        assert!(line.contains("D5"));
+        assert!(line.contains("I6"));
+        assert!(line.contains("C7"));
+        assert!(line.contains("R9"));
+        assert!(!line.contains('['), "non-memory ops carry no queue tag");
+    }
+
+    #[test]
+    fn render_tags_memory_paths() {
+        let mut t = sample();
+        t.in_lvaq = Some(true);
+        t.mem_path = MemPath::FastForwarded;
+        assert!(t.render().contains("[LVAQ fast-fwd]"));
+        t.in_lvaq = Some(false);
+        t.mem_path = MemPath::Cache;
+        assert!(t.render().contains("[LSQ cache]"));
+    }
+
+    #[test]
+    fn tracer_respects_limit_and_sorts() {
+        let mut tr = Tracer::new(2);
+        for uid in [1u64, 0, 5] {
+            let mut t = sample();
+            t.seq = uid;
+            tr.dispatch(uid, t);
+        }
+        tr.commit(1, 10);
+        tr.commit(0, 11);
+        tr.commit(5, 12); // beyond limit: never recorded
+        let recs = tr.into_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, 1);
+        assert_eq!(recs[0].committed_at, 11);
+    }
+}

@@ -1,0 +1,130 @@
+//! MIPS-like disassembly via [`core::fmt::Display`].
+
+use core::fmt;
+
+use crate::instr::{Instr, MemWidth, StreamHint};
+
+fn hint_suffix(h: StreamHint) -> &'static str {
+    match h {
+        StreamHint::Unknown => "",
+        StreamHint::Local => " !local",
+        StreamHint::NonLocal => " !nonlocal",
+    }
+}
+
+fn load_mnemonic(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::Byte => "lb",
+        MemWidth::Half => "lh",
+        MemWidth::Word => "lw",
+    }
+}
+
+fn store_mnemonic(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::Byte => "sb",
+        MemWidth::Half => "sh",
+        MemWidth::Word => "sw",
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Ret => f.write_str("jr    $ra"),
+            Instr::Alu { op, rd, rs, rt } => {
+                write!(f, "{:<5} {rd}, {rs}, {rt}", op.mnemonic())
+            }
+            Instr::AluImm { op, rd, rs, imm } => {
+                write!(f, "{:<5} {rd}, {rs}, {imm}", format!("{}i", op.mnemonic()))
+            }
+            Instr::LoadImm { rd, imm } => write!(f, "li    {rd}, {imm}"),
+            Instr::Fpu { op, fd, fs, ft } => {
+                if op.is_binary() {
+                    write!(f, "{:<5} {fd}, {fs}, {ft}", op.mnemonic())
+                } else {
+                    write!(f, "{:<5} {fd}, {fs}", op.mnemonic())
+                }
+            }
+            Instr::FpCmp { cond, rd, fs, ft } => {
+                write!(f, "{:<5} {rd}, {fs}, {ft}", cond.mnemonic())
+            }
+            Instr::IntToFp { fd, rs } => write!(f, "mtc1d {fd}, {rs}"),
+            Instr::FpToInt { rd, fs } => write!(f, "mfc1d {rd}, {fs}"),
+            Instr::Load { rd, base, offset, width, hint } => {
+                write!(f, "{:<5} {rd}, {offset}({base}){}", load_mnemonic(width), hint_suffix(hint))
+            }
+            Instr::Store { rs, base, offset, width, hint } => {
+                write!(f, "{:<5} {rs}, {offset}({base}){}", store_mnemonic(width), hint_suffix(hint))
+            }
+            Instr::FLoad { fd, base, offset, hint } => {
+                write!(f, "l.d   {fd}, {offset}({base}){}", hint_suffix(hint))
+            }
+            Instr::FStore { fs, base, offset, hint } => {
+                write!(f, "s.d   {fs}, {offset}({base}){}", hint_suffix(hint))
+            }
+            Instr::Branch { cond, rs, rt, target } => {
+                write!(f, "{:<5} {rs}, {rt}, {target}", cond.mnemonic())
+            }
+            Instr::Jump { target } => write!(f, "j     {target}"),
+            Instr::Call { target } => write!(f, "jal   {target}"),
+            Instr::CallReg { rs } => write!(f, "jalr  {rs}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, BranchCond, FpuOp};
+    use crate::regs::{Fpr, Gpr};
+
+    #[test]
+    fn alu_forms() {
+        let i = Instr::Alu { op: AluOp::Add, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::T2 };
+        assert_eq!(i.to_string(), "add   $t0, $t1, $t2");
+        let i = Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm: -32 };
+        assert_eq!(i.to_string(), "addi  $sp, $sp, -32");
+    }
+
+    #[test]
+    fn memory_forms_show_hints() {
+        let i = Instr::Load {
+            rd: Gpr::T0,
+            base: Gpr::SP,
+            offset: 8,
+            width: MemWidth::Word,
+            hint: StreamHint::Local,
+        };
+        assert_eq!(i.to_string(), "lw    $t0, 8($sp) !local");
+        let i = Instr::Store {
+            rs: Gpr::V0,
+            base: Gpr::GP,
+            offset: 0,
+            width: MemWidth::Byte,
+            hint: StreamHint::NonLocal,
+        };
+        assert_eq!(i.to_string(), "sb    $v0, 0($gp) !nonlocal");
+        let i = Instr::FLoad { fd: Fpr::F0, base: Gpr::T0, offset: 24, hint: StreamHint::Unknown };
+        assert_eq!(i.to_string(), "l.d   $f0, 24($t0)");
+    }
+
+    #[test]
+    fn control_forms() {
+        assert_eq!(Instr::Jump { target: 42 }.to_string(), "j     42");
+        assert_eq!(Instr::Call { target: 7 }.to_string(), "jal   7");
+        assert_eq!(Instr::Ret.to_string(), "jr    $ra");
+        let b = Instr::Branch { cond: BranchCond::Ne, rs: Gpr::T0, rt: Gpr::ZERO, target: 3 };
+        assert_eq!(b.to_string(), "bne   $t0, $zero, 3");
+    }
+
+    #[test]
+    fn fpu_forms() {
+        let b = Instr::Fpu { op: FpuOp::Mul, fd: Fpr::new(2), fs: Fpr::new(4), ft: Fpr::new(6) };
+        assert_eq!(b.to_string(), "mul.d $f2, $f4, $f6");
+        let u = Instr::Fpu { op: FpuOp::Neg, fd: Fpr::new(2), fs: Fpr::new(4), ft: Fpr::new(6) };
+        assert_eq!(u.to_string(), "neg.d $f2, $f4");
+    }
+}

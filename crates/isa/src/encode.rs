@@ -1,0 +1,419 @@
+//! Dense 64-bit binary encoding of instructions.
+//!
+//! Layout (LSB first):
+//!
+//! ```text
+//! bits  0..6   opcode tag (instruction kind)
+//! bits  6..11  sub-operation (ALU op, FPU op, branch/FP condition)
+//! bits 11..13  memory width
+//! bits 13..15  stream hint
+//! bits 15..20  register 1 (rd / fd)
+//! bits 20..25  register 2 (rs / fs / base)
+//! bits 25..30  register 3 (rt / ft)
+//! bits 32..64  32-bit immediate / offset / target
+//! ```
+//!
+//! Every instruction round-trips exactly: `Instr::decode(i.encode()) == Ok(i)`.
+
+use core::fmt;
+
+use crate::instr::{Instr, MemWidth, StreamHint};
+use crate::op::{AluOp, BranchCond, FpCond, FpuOp};
+use crate::regs::{Fpr, Gpr};
+
+/// An instruction word failed to decode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The opcode tag does not name an instruction kind.
+    BadOpcode(u8),
+    /// A field carried an out-of-range value.
+    BadField {
+        /// Which field was malformed.
+        field: &'static str,
+        /// The raw field value.
+        value: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode tag {op}"),
+            DecodeError::BadField { field, value } => {
+                write!(f, "invalid {field} field value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod tag {
+    pub const NOP: u8 = 0;
+    pub const HALT: u8 = 1;
+    pub const ALU: u8 = 2;
+    pub const ALU_IMM: u8 = 3;
+    pub const LOAD_IMM: u8 = 4;
+    pub const FPU: u8 = 5;
+    pub const FP_CMP: u8 = 6;
+    pub const INT_TO_FP: u8 = 7;
+    pub const FP_TO_INT: u8 = 8;
+    pub const LOAD: u8 = 9;
+    pub const STORE: u8 = 10;
+    pub const FLOAD: u8 = 11;
+    pub const FSTORE: u8 = 12;
+    pub const BRANCH: u8 = 13;
+    pub const JUMP: u8 = 14;
+    pub const CALL: u8 = 15;
+    pub const CALL_REG: u8 = 16;
+    pub const RET: u8 = 17;
+}
+
+#[derive(Default)]
+struct Word(u64);
+
+impl Word {
+    fn tag(mut self, t: u8) -> Word {
+        self.0 |= t as u64;
+        self
+    }
+    fn sub(mut self, s: u8) -> Word {
+        self.0 |= (s as u64 & 0x1f) << 6;
+        self
+    }
+    fn width(mut self, w: MemWidth) -> Word {
+        self.0 |= (w as u64) << 11;
+        self
+    }
+    fn hint(mut self, h: StreamHint) -> Word {
+        self.0 |= (h as u64) << 13;
+        self
+    }
+    fn r1(mut self, r: u8) -> Word {
+        self.0 |= (r as u64 & 0x1f) << 15;
+        self
+    }
+    fn r2(mut self, r: u8) -> Word {
+        self.0 |= (r as u64 & 0x1f) << 20;
+        self
+    }
+    fn r3(mut self, r: u8) -> Word {
+        self.0 |= (r as u64 & 0x1f) << 25;
+        self
+    }
+    fn imm(mut self, v: i32) -> Word {
+        self.0 |= (v as u32 as u64) << 32;
+        self
+    }
+    fn target(mut self, v: u32) -> Word {
+        self.0 |= (v as u64) << 32;
+        self
+    }
+}
+
+struct Fields {
+    tag: u8,
+    sub: u8,
+    width: u8,
+    hint: u8,
+    r1: u8,
+    r2: u8,
+    r3: u8,
+    imm: i32,
+    target: u32,
+}
+
+impl Fields {
+    fn of(w: u64) -> Fields {
+        Fields {
+            tag: (w & 0x3f) as u8,
+            sub: ((w >> 6) & 0x1f) as u8,
+            width: ((w >> 11) & 0x3) as u8,
+            hint: ((w >> 13) & 0x3) as u8,
+            r1: ((w >> 15) & 0x1f) as u8,
+            r2: ((w >> 20) & 0x1f) as u8,
+            r3: ((w >> 25) & 0x1f) as u8,
+            imm: (w >> 32) as u32 as i32,
+            target: (w >> 32) as u32,
+        }
+    }
+
+    fn gpr1(&self) -> Gpr {
+        Gpr::new(self.r1)
+    }
+    fn gpr2(&self) -> Gpr {
+        Gpr::new(self.r2)
+    }
+    fn gpr3(&self) -> Gpr {
+        Gpr::new(self.r3)
+    }
+    fn fpr1(&self) -> Fpr {
+        Fpr::new(self.r1)
+    }
+    fn fpr2(&self) -> Fpr {
+        Fpr::new(self.r2)
+    }
+    fn fpr3(&self) -> Fpr {
+        Fpr::new(self.r3)
+    }
+    fn alu_op(&self) -> Result<AluOp, DecodeError> {
+        AluOp::from_code(self.sub).ok_or(DecodeError::BadField { field: "alu-op", value: self.sub })
+    }
+    fn fpu_op(&self) -> Result<FpuOp, DecodeError> {
+        FpuOp::from_code(self.sub).ok_or(DecodeError::BadField { field: "fpu-op", value: self.sub })
+    }
+    fn branch_cond(&self) -> Result<BranchCond, DecodeError> {
+        BranchCond::from_code(self.sub)
+            .ok_or(DecodeError::BadField { field: "branch-cond", value: self.sub })
+    }
+    fn fp_cond(&self) -> Result<FpCond, DecodeError> {
+        FpCond::from_code(self.sub)
+            .ok_or(DecodeError::BadField { field: "fp-cond", value: self.sub })
+    }
+    fn mem_width(&self) -> Result<MemWidth, DecodeError> {
+        MemWidth::from_code(self.width)
+            .ok_or(DecodeError::BadField { field: "width", value: self.width })
+    }
+    fn stream_hint(&self) -> Result<StreamHint, DecodeError> {
+        StreamHint::from_code(self.hint)
+            .ok_or(DecodeError::BadField { field: "hint", value: self.hint })
+    }
+}
+
+impl Instr {
+    /// Encodes the instruction as a 64-bit word. See the module docs for
+    /// the layout. Inverse of [`Instr::decode`].
+    pub fn encode(&self) -> u64 {
+        let w = Word::default();
+        let w = match *self {
+            Instr::Nop => w.tag(tag::NOP),
+            Instr::Halt => w.tag(tag::HALT),
+            Instr::Alu { op, rd, rs, rt } => w
+                .tag(tag::ALU)
+                .sub(op as u8)
+                .r1(rd.index() as u8)
+                .r2(rs.index() as u8)
+                .r3(rt.index() as u8),
+            Instr::AluImm { op, rd, rs, imm } => w
+                .tag(tag::ALU_IMM)
+                .sub(op as u8)
+                .r1(rd.index() as u8)
+                .r2(rs.index() as u8)
+                .imm(imm),
+            Instr::LoadImm { rd, imm } => w.tag(tag::LOAD_IMM).r1(rd.index() as u8).imm(imm),
+            Instr::Fpu { op, fd, fs, ft } => w
+                .tag(tag::FPU)
+                .sub(op as u8)
+                .r1(fd.index() as u8)
+                .r2(fs.index() as u8)
+                .r3(ft.index() as u8),
+            Instr::FpCmp { cond, rd, fs, ft } => w
+                .tag(tag::FP_CMP)
+                .sub(cond as u8)
+                .r1(rd.index() as u8)
+                .r2(fs.index() as u8)
+                .r3(ft.index() as u8),
+            Instr::IntToFp { fd, rs } => {
+                w.tag(tag::INT_TO_FP).r1(fd.index() as u8).r2(rs.index() as u8)
+            }
+            Instr::FpToInt { rd, fs } => {
+                w.tag(tag::FP_TO_INT).r1(rd.index() as u8).r2(fs.index() as u8)
+            }
+            Instr::Load { rd, base, offset, width, hint } => w
+                .tag(tag::LOAD)
+                .width(width)
+                .hint(hint)
+                .r1(rd.index() as u8)
+                .r2(base.index() as u8)
+                .imm(offset),
+            Instr::Store { rs, base, offset, width, hint } => w
+                .tag(tag::STORE)
+                .width(width)
+                .hint(hint)
+                .r1(rs.index() as u8)
+                .r2(base.index() as u8)
+                .imm(offset),
+            Instr::FLoad { fd, base, offset, hint } => w
+                .tag(tag::FLOAD)
+                .hint(hint)
+                .r1(fd.index() as u8)
+                .r2(base.index() as u8)
+                .imm(offset),
+            Instr::FStore { fs, base, offset, hint } => w
+                .tag(tag::FSTORE)
+                .hint(hint)
+                .r1(fs.index() as u8)
+                .r2(base.index() as u8)
+                .imm(offset),
+            Instr::Branch { cond, rs, rt, target } => w
+                .tag(tag::BRANCH)
+                .sub(cond as u8)
+                .r2(rs.index() as u8)
+                .r3(rt.index() as u8)
+                .target(target),
+            Instr::Jump { target } => w.tag(tag::JUMP).target(target),
+            Instr::Call { target } => w.tag(tag::CALL).target(target),
+            Instr::CallReg { rs } => w.tag(tag::CALL_REG).r2(rs.index() as u8),
+            Instr::Ret => w.tag(tag::RET),
+        };
+        w.0
+    }
+
+    /// Decodes a 64-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the opcode tag is unknown or a
+    /// sub-operation / width / hint field is out of range.
+    pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+        let f = Fields::of(word);
+        Ok(match f.tag {
+            tag::NOP => Instr::Nop,
+            tag::HALT => Instr::Halt,
+            tag::ALU => {
+                Instr::Alu { op: f.alu_op()?, rd: f.gpr1(), rs: f.gpr2(), rt: f.gpr3() }
+            }
+            tag::ALU_IMM => {
+                Instr::AluImm { op: f.alu_op()?, rd: f.gpr1(), rs: f.gpr2(), imm: f.imm }
+            }
+            tag::LOAD_IMM => Instr::LoadImm { rd: f.gpr1(), imm: f.imm },
+            tag::FPU => Instr::Fpu { op: f.fpu_op()?, fd: f.fpr1(), fs: f.fpr2(), ft: f.fpr3() },
+            tag::FP_CMP => {
+                Instr::FpCmp { cond: f.fp_cond()?, rd: f.gpr1(), fs: f.fpr2(), ft: f.fpr3() }
+            }
+            tag::INT_TO_FP => Instr::IntToFp { fd: f.fpr1(), rs: f.gpr2() },
+            tag::FP_TO_INT => Instr::FpToInt { rd: f.gpr1(), fs: f.fpr2() },
+            tag::LOAD => Instr::Load {
+                rd: f.gpr1(),
+                base: f.gpr2(),
+                offset: f.imm,
+                width: f.mem_width()?,
+                hint: f.stream_hint()?,
+            },
+            tag::STORE => Instr::Store {
+                rs: f.gpr1(),
+                base: f.gpr2(),
+                offset: f.imm,
+                width: f.mem_width()?,
+                hint: f.stream_hint()?,
+            },
+            tag::FLOAD => Instr::FLoad {
+                fd: f.fpr1(),
+                base: f.gpr2(),
+                offset: f.imm,
+                hint: f.stream_hint()?,
+            },
+            tag::FSTORE => Instr::FStore {
+                fs: f.fpr1(),
+                base: f.gpr2(),
+                offset: f.imm,
+                hint: f.stream_hint()?,
+            },
+            tag::BRANCH => Instr::Branch {
+                cond: f.branch_cond()?,
+                rs: f.gpr2(),
+                rt: f.gpr3(),
+                target: f.target,
+            },
+            tag::JUMP => Instr::Jump { target: f.target },
+            tag::CALL => Instr::Call { target: f.target },
+            tag::CALL_REG => Instr::CallReg { rs: f.gpr2() },
+            tag::RET => Instr::Ret,
+            other => return Err(DecodeError::BadOpcode(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exemplars() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Ret,
+            Instr::Jump { target: 0xdead },
+            Instr::Call { target: u32::MAX },
+            Instr::CallReg { rs: Gpr::T9 },
+            Instr::LoadImm { rd: Gpr::GP, imm: i32::MIN },
+            Instr::IntToFp { fd: Fpr::new(31), rs: Gpr::A0 },
+            Instr::FpToInt { rd: Gpr::V0, fs: Fpr::new(17) },
+        ];
+        for op in AluOp::ALL {
+            v.push(Instr::Alu { op, rd: Gpr::T0, rs: Gpr::S1, rt: Gpr::A2 });
+            v.push(Instr::AluImm { op, rd: Gpr::SP, rs: Gpr::SP, imm: -64 });
+        }
+        for op in FpuOp::ALL {
+            v.push(Instr::Fpu { op, fd: Fpr::new(2), fs: Fpr::new(4), ft: Fpr::new(6) });
+        }
+        for cond in BranchCond::ALL {
+            v.push(Instr::Branch { cond, rs: Gpr::T0, rt: Gpr::ZERO, target: 12345 });
+        }
+        for cond in FpCond::ALL {
+            v.push(Instr::FpCmp { cond, rd: Gpr::T1, fs: Fpr::new(8), ft: Fpr::new(9) });
+        }
+        for hint in [StreamHint::Unknown, StreamHint::Local, StreamHint::NonLocal] {
+            for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word] {
+                v.push(Instr::Load { rd: Gpr::T3, base: Gpr::SP, offset: -8, width, hint });
+                v.push(Instr::Store { rs: Gpr::T3, base: Gpr::GP, offset: 1 << 20, width, hint });
+            }
+            v.push(Instr::FLoad { fd: Fpr::new(12), base: Gpr::FP, offset: 16, hint });
+            v.push(Instr::FStore { fs: Fpr::new(12), base: Gpr::SP, offset: -16, hint });
+        }
+        v
+    }
+
+    #[test]
+    fn every_exemplar_round_trips() {
+        for i in exemplars() {
+            let w = i.encode();
+            assert_eq!(Instr::decode(w), Ok(i), "word {w:#018x}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let ex = exemplars();
+        for (a_idx, a) in ex.iter().enumerate() {
+            for b in &ex[a_idx + 1..] {
+                if a != b {
+                    assert_ne!(a.encode(), b.encode(), "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_reported() {
+        assert_eq!(Instr::decode(63), Err(DecodeError::BadOpcode(63)));
+    }
+
+    #[test]
+    fn bad_subop_is_reported() {
+        // ALU with sub-op 31 (no such ALU op).
+        let w = (31u64 << 6) | tag::ALU as u64;
+        assert_eq!(Instr::decode(w), Err(DecodeError::BadField { field: "alu-op", value: 31 }));
+    }
+
+    #[test]
+    fn bad_width_is_reported() {
+        let w = (3u64 << 11) | tag::LOAD as u64;
+        assert_eq!(Instr::decode(w), Err(DecodeError::BadField { field: "width", value: 3 }));
+    }
+
+    #[test]
+    fn bad_hint_is_reported() {
+        let w = (3u64 << 13) | (2u64 << 11).wrapping_sub(1 << 11) | tag::FLOAD as u64;
+        assert_eq!(Instr::decode(w), Err(DecodeError::BadField { field: "hint", value: 3 }));
+    }
+
+    #[test]
+    fn decode_error_messages() {
+        assert_eq!(DecodeError::BadOpcode(9).to_string(), "unknown opcode tag 9");
+        assert_eq!(
+            DecodeError::BadField { field: "hint", value: 3 }.to_string(),
+            "invalid hint field value 3"
+        );
+    }
+}

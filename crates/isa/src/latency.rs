@@ -1,0 +1,191 @@
+//! Functional-unit classes and instruction latencies.
+//!
+//! The base machine model (paper Table 1) uses the MIPS R10000 instruction
+//! latencies; [`LatencyTable::r10000`] encodes them. Memory latencies are
+//! *not* in this table — loads and stores are timed by the cache hierarchy.
+
+use core::fmt;
+
+/// The class of functional unit an instruction executes on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
+pub enum FuClass {
+    /// Integer ALU (adds, logic, shifts, compares). R10000 latency 1.
+    IntAlu = 0,
+    /// Integer multiplier. R10000 latency 5 (integer multiply hi word: 6).
+    IntMul,
+    /// Integer divider, not pipelined. R10000 latency 34.
+    IntDiv,
+    /// FP adder (also compares and conversions). R10000 latency 2.
+    FpAdd,
+    /// FP multiplier. R10000 latency 2.
+    FpMul,
+    /// FP divider/sqrt, not pipelined. R10000 latency 19 (double).
+    FpDiv,
+    /// Memory read port (address generation + cache access).
+    MemRead,
+    /// Memory write port.
+    MemWrite,
+    /// Branch/jump resolution unit.
+    Branch,
+}
+
+impl FuClass {
+    /// All classes, in discriminant order.
+    pub const ALL: [FuClass; 9] = [
+        FuClass::IntAlu,
+        FuClass::IntMul,
+        FuClass::IntDiv,
+        FuClass::FpAdd,
+        FuClass::FpMul,
+        FuClass::FpDiv,
+        FuClass::MemRead,
+        FuClass::MemWrite,
+        FuClass::Branch,
+    ];
+
+    /// Dense index for per-class tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::IntMul => "int-mul",
+            FuClass::IntDiv => "int-div",
+            FuClass::FpAdd => "fp-add",
+            FuClass::FpMul => "fp-mul",
+            FuClass::FpDiv => "fp-div",
+            FuClass::MemRead => "mem-read",
+            FuClass::MemWrite => "mem-write",
+            FuClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Execution latency and pipelining of each functional-unit class.
+///
+/// `latency` is the number of cycles from issue to result availability;
+/// `issue_interval` is the minimum number of cycles between successive
+/// issues to the same unit (1 = fully pipelined).
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatencyTable {
+    latency: [u32; 9],
+    issue_interval: [u32; 9],
+}
+
+impl LatencyTable {
+    /// The MIPS R10000 latencies used by the paper's base machine
+    /// (Table 1: "Inst. latencies: same as those of MIPS R10000").
+    ///
+    /// Memory classes carry a nominal 1-cycle address-generation latency;
+    /// the cache model adds the access time on top.
+    pub fn r10000() -> LatencyTable {
+        let mut t = LatencyTable { latency: [1; 9], issue_interval: [1; 9] };
+        t.set(FuClass::IntAlu, 1, 1);
+        t.set(FuClass::IntMul, 5, 1);
+        t.set(FuClass::IntDiv, 34, 34);
+        t.set(FuClass::FpAdd, 2, 1);
+        t.set(FuClass::FpMul, 2, 1);
+        t.set(FuClass::FpDiv, 19, 19);
+        t.set(FuClass::MemRead, 1, 1);
+        t.set(FuClass::MemWrite, 1, 1);
+        t.set(FuClass::Branch, 1, 1);
+        t
+    }
+
+    /// A unit-latency table (every class 1 cycle, fully pipelined); useful
+    /// for isolating memory effects in tests and ablations.
+    pub fn unit() -> LatencyTable {
+        LatencyTable { latency: [1; 9], issue_interval: [1; 9] }
+    }
+
+    /// Overrides one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0` or `issue_interval == 0`.
+    pub fn set(&mut self, class: FuClass, latency: u32, issue_interval: u32) -> &mut Self {
+        assert!(latency > 0, "latency must be at least 1 cycle");
+        assert!(issue_interval > 0, "issue interval must be at least 1 cycle");
+        self.latency[class.index()] = latency;
+        self.issue_interval[class.index()] = issue_interval;
+        self
+    }
+
+    /// Cycles from issue to result availability for `class`.
+    #[inline]
+    pub fn latency(&self, class: FuClass) -> u32 {
+        self.latency[class.index()]
+    }
+
+    /// Minimum cycles between issues to one unit of `class`.
+    #[inline]
+    pub fn issue_interval(&self, class: FuClass) -> u32 {
+        self.issue_interval[class.index()]
+    }
+
+    /// Whether units of `class` are fully pipelined.
+    #[inline]
+    pub fn is_pipelined(&self, class: FuClass) -> bool {
+        self.issue_interval[class.index()] == 1
+    }
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        LatencyTable::r10000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r10000_values() {
+        let t = LatencyTable::r10000();
+        assert_eq!(t.latency(FuClass::IntAlu), 1);
+        assert_eq!(t.latency(FuClass::IntMul), 5);
+        assert_eq!(t.latency(FuClass::IntDiv), 34);
+        assert_eq!(t.latency(FuClass::FpAdd), 2);
+        assert_eq!(t.latency(FuClass::FpMul), 2);
+        assert_eq!(t.latency(FuClass::FpDiv), 19);
+        assert!(t.is_pipelined(FuClass::FpMul));
+        assert!(!t.is_pipelined(FuClass::IntDiv));
+        assert!(!t.is_pipelined(FuClass::FpDiv));
+    }
+
+    #[test]
+    fn default_is_r10000() {
+        assert_eq!(LatencyTable::default(), LatencyTable::r10000());
+    }
+
+    #[test]
+    fn set_overrides_one_class() {
+        let mut t = LatencyTable::unit();
+        t.set(FuClass::FpDiv, 12, 12);
+        assert_eq!(t.latency(FuClass::FpDiv), 12);
+        assert_eq!(t.latency(FuClass::FpMul), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be")]
+    fn zero_latency_rejected() {
+        LatencyTable::unit().set(FuClass::IntAlu, 0, 1);
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        for (i, c) in FuClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

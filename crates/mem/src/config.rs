@@ -1,0 +1,250 @@
+//! Cache and hierarchy configuration.
+
+/// Geometry and timing of one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (1 = direct-mapped).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+    /// Number of ideal ports (any combination of reads/writes per cycle).
+    pub ports: u32,
+    /// Number of MSHRs (outstanding misses); the caches are lockup-free.
+    pub mshrs: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1 D-cache: 32 KB, 2-way, 32 B lines, 2-cycle hit
+    /// (Table 1). Port count is per-experiment; default 2.
+    pub fn l1_32k() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 << 10,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 2,
+            ports: 2,
+            mshrs: 8,
+        }
+    }
+
+    /// The paper's LVC: 2 KB, direct-mapped, 32 B lines, 1-cycle hit
+    /// (§4.2.1). Port count is per-experiment; default 2.
+    pub fn lvc_2k() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 2 << 10,
+            assoc: 1,
+            line_bytes: 32,
+            hit_latency: 1,
+            ports: 2,
+            mshrs: 4,
+        }
+    }
+
+    /// Returns a copy with a different size (for the Fig. 6 sweep).
+    pub fn with_size(mut self, size_bytes: u32) -> CacheConfig {
+        self.size_bytes = size_bytes;
+        self
+    }
+
+    /// Returns a copy with a different port count (the "(N+M)" sweeps).
+    pub fn with_ports(mut self, ports: u32) -> CacheConfig {
+        self.ports = ports;
+        self
+    }
+
+    /// Returns a copy with a different hit latency (the Fig. 10 study).
+    pub fn with_hit_latency(mut self, hit_latency: u32) -> CacheConfig {
+        self.hit_latency = hit_latency;
+        self
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.assoc)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any field is zero, not a power of two where
+    /// required, or inconsistent (size not divisible into sets).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!("line size {} must be a power of two", self.line_bytes));
+        }
+        if self.assoc == 0 {
+            return Err("associativity must be at least 1".into());
+        }
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_bytes * self.assoc) {
+            return Err(format!(
+                "size {} is not divisible by line*assoc {}",
+                self.size_bytes,
+                self.line_bytes * self.assoc
+            ));
+        }
+        if !self.n_sets().is_power_of_two() {
+            return Err(format!("set count {} must be a power of two", self.n_sets()));
+        }
+        if self.hit_latency == 0 {
+            return Err("hit latency must be at least 1".into());
+        }
+        if self.ports == 0 {
+            return Err("port count must be at least 1".into());
+        }
+        if self.mshrs == 0 {
+            return Err("MSHR count must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Geometry and timing of the unified L2 plus main memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct L2Config {
+    /// Total capacity in bytes (paper: 512 KB).
+    pub size_bytes: u32,
+    /// Associativity (paper: 4-way).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// L2 access (hit) time in cycles (paper: 12).
+    pub latency: u32,
+    /// Main-memory access time in cycles (paper: 50, fully interleaved).
+    pub memory_latency: u32,
+}
+
+impl L2Config {
+    /// The paper's L2 and memory (Table 1).
+    pub fn iscapaper_base() -> L2Config {
+        L2Config {
+            size_bytes: 512 << 10,
+            assoc: 4,
+            line_bytes: 32,
+            latency: 12,
+            memory_latency: 50,
+        }
+    }
+}
+
+impl Default for L2Config {
+    fn default() -> Self {
+        L2Config::iscapaper_base()
+    }
+}
+
+/// Configuration of the whole data-memory hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HierarchyConfig {
+    /// The L1 D-cache.
+    pub l1: CacheConfig,
+    /// The local variable cache, or `None` for the baseline "(N+0)"
+    /// machine with no decoupling.
+    pub lvc: Option<CacheConfig>,
+    /// The shared L2 and memory.
+    pub l2: L2Config,
+}
+
+impl HierarchyConfig {
+    /// The paper's base memory system with a 2-port L1 and no LVC — the
+    /// "(2+0)" reference configuration.
+    pub fn iscapaper_base() -> HierarchyConfig {
+        HierarchyConfig { l1: CacheConfig::l1_32k(), lvc: None, l2: L2Config::iscapaper_base() }
+    }
+
+    /// The "(N+M)" notation of §4: an N-port L1, plus an M-port 2 KB LVC
+    /// when `m > 0`.
+    pub fn n_plus_m(n: u32, m: u32) -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig::l1_32k().with_ports(n),
+            lvc: (m > 0).then(|| CacheConfig::lvc_2k().with_ports(m)),
+            l2: L2Config::iscapaper_base(),
+        }
+    }
+
+    /// Validates both cache geometries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first invalid cache geometry, prefixed by which
+    /// cache it belongs to.
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1.validate().map_err(|e| format!("l1: {e}"))?;
+        if let Some(lvc) = &self.lvc {
+            lvc.validate().map_err(|e| format!("lvc: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::iscapaper_base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries_are_valid() {
+        assert_eq!(CacheConfig::l1_32k().validate(), Ok(()));
+        assert_eq!(CacheConfig::lvc_2k().validate(), Ok(()));
+        assert_eq!(HierarchyConfig::iscapaper_base().validate(), Ok(()));
+    }
+
+    #[test]
+    fn set_counts() {
+        assert_eq!(CacheConfig::l1_32k().n_sets(), 512); // 32K / (32*2)
+        assert_eq!(CacheConfig::lvc_2k().n_sets(), 64); // 2K / 32
+    }
+
+    #[test]
+    fn n_plus_m_constructor() {
+        let c = HierarchyConfig::n_plus_m(3, 2);
+        assert_eq!(c.l1.ports, 3);
+        assert_eq!(c.lvc.unwrap().ports, 2);
+        assert_eq!(c.lvc.unwrap().size_bytes, 2 << 10);
+        assert!(HierarchyConfig::n_plus_m(4, 0).lvc.is_none());
+    }
+
+    #[test]
+    fn invalid_geometries_rejected() {
+        let bad = CacheConfig { line_bytes: 24, ..CacheConfig::l1_32k() };
+        assert!(bad.validate().is_err());
+        let bad = CacheConfig { assoc: 0, ..CacheConfig::l1_32k() };
+        assert!(bad.validate().is_err());
+        let bad = CacheConfig { size_bytes: 1000, ..CacheConfig::l1_32k() };
+        assert!(bad.validate().is_err());
+        let bad = CacheConfig { ports: 0, ..CacheConfig::l1_32k() };
+        assert!(bad.validate().is_err());
+        let bad = CacheConfig { hit_latency: 0, ..CacheConfig::l1_32k() };
+        assert!(bad.validate().is_err());
+        let bad = CacheConfig { mshrs: 0, ..CacheConfig::l1_32k() };
+        assert!(bad.validate().is_err());
+        // 3 sets (1.5K direct-mapped 512B lines) -> not a power of two
+        let bad = CacheConfig {
+            size_bytes: 3 << 9,
+            assoc: 1,
+            line_bytes: 512,
+            ..CacheConfig::l1_32k()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn with_builders() {
+        let c = CacheConfig::lvc_2k().with_size(4 << 10).with_ports(3).with_hit_latency(2);
+        assert_eq!(c.size_bytes, 4 << 10);
+        assert_eq!(c.ports, 3);
+        assert_eq!(c.hit_latency, 2);
+    }
+}

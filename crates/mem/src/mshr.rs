@@ -1,0 +1,159 @@
+//! Miss status holding registers — the lockup-free machinery.
+
+/// One outstanding miss.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MshrEntry {
+    /// Line-aligned address being fetched.
+    pub line_addr: u32,
+    /// Cycle at which the fill completes.
+    pub complete_at: u64,
+    /// Whether any merged access was a write (the fill is marked dirty).
+    pub any_write: bool,
+}
+
+/// A small, fully-associative file of outstanding misses.
+///
+/// Makes the caches *lockup-free* (paper Table 1: "Both caches are
+/// lock-up free"): up to `capacity` misses can be outstanding; further
+/// misses to the same line merge into the existing entry, and further
+/// misses to new lines stall until a register frees up.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// Creates an empty file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u32) -> MshrFile {
+        assert!(capacity > 0, "MSHR capacity must be at least 1");
+        MshrFile { entries: Vec::with_capacity(capacity as usize), capacity: capacity as usize }
+    }
+
+    /// Removes and returns every entry whose fill has completed by `now`.
+    pub fn take_completed(&mut self, now: u64) -> Vec<MshrEntry> {
+        let mut done = Vec::new();
+        self.entries.retain(|e| {
+            if e.complete_at <= now {
+                done.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+
+    /// The outstanding entry for `line_addr`, if any.
+    pub fn lookup(&self, line_addr: u32) -> Option<MshrEntry> {
+        self.entries.iter().find(|e| e.line_addr == line_addr).copied()
+    }
+
+    /// Merges a new access into the outstanding miss for `line_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no outstanding miss for that line.
+    pub fn merge(&mut self, line_addr: u32, is_write: bool) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line_addr == line_addr)
+            .expect("merge requires an outstanding miss");
+        e.any_write |= is_write;
+    }
+
+    /// Whether a new miss can be allocated right now.
+    pub fn has_free_slot(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// The earliest cycle (≥ `now`) at which a slot is (or will be) free.
+    pub fn earliest_free(&self, now: u64) -> u64 {
+        if self.has_free_slot() {
+            now
+        } else {
+            self.entries.iter().map(|e| e.complete_at).min().expect("file is full").max(now)
+        }
+    }
+
+    /// Allocates a new outstanding miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full or the line already has an entry.
+    pub fn allocate(&mut self, line_addr: u32, complete_at: u64, is_write: bool) {
+        assert!(self.has_free_slot(), "MSHR file is full");
+        assert!(self.lookup(line_addr).is_none(), "duplicate MSHR for line {line_addr:#x}");
+        self.entries.push(MshrEntry { line_addr, complete_at, any_write: is_write });
+    }
+
+    /// Number of outstanding misses.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lookup_complete() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x100, 50, false);
+        assert_eq!(m.lookup(0x100).unwrap().complete_at, 50);
+        assert!(m.lookup(0x200).is_none());
+        assert!(m.take_completed(49).is_empty());
+        let done = m.take_completed(50);
+        assert_eq!(done.len(), 1);
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn merge_sets_write_flag() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x100, 50, false);
+        m.merge(0x100, true);
+        assert!(m.lookup(0x100).unwrap().any_write);
+    }
+
+    #[test]
+    fn earliest_free_when_full() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x100, 50, false);
+        m.allocate(0x200, 30, false);
+        assert!(!m.has_free_slot());
+        assert_eq!(m.earliest_free(10), 30);
+        assert_eq!(m.earliest_free(40), 40);
+        m.take_completed(30);
+        assert!(m.has_free_slot());
+        assert_eq!(m.earliest_free(10), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn allocate_when_full_panics() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x100, 50, false);
+        m.allocate(0x200, 50, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_line_panics() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x100, 50, false);
+        m.allocate(0x100, 60, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

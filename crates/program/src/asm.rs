@@ -1,0 +1,621 @@
+//! A text assembler for the DDA instruction set.
+//!
+//! The accepted syntax is the simulator's own disassembly (see
+//! [`dda_isa::Instr`]'s `Display` impl) extended with symbolic labels:
+//!
+//! ```text
+//! main:                       # unindented `name:` opens a function
+//!     li    $t0, 5
+//!     jal   double            # call targets are function names
+//!     halt
+//!
+//! double: frame 16            # optional static frame declaration
+//!     addi  $sp, $sp, -16
+//!     sw    $t0, 0($sp) !local
+//!     lw    $t1, 0($sp) !local
+//! .done:                      # `.name:` binds a local label
+//!     add   $v0, $t1, $t1
+//!     addi  $sp, $sp, 16
+//!     jr    $ra
+//! ```
+//!
+//! * branch/jump targets may be `.labels`, function names, or absolute
+//!   numeric pcs (the disassembler's output);
+//! * `!local` / `!nonlocal` suffixes set the [`StreamHint`];
+//! * `#` and `;` start comments.
+//!
+//! ```
+//! use dda_program::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(r"
+//! main:
+//!     li    $t0, 21
+//!     add   $v0, $t0, $t0
+//!     halt
+//! ")?;
+//! assert_eq!(program.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use core::fmt;
+use std::collections::HashMap;
+
+use dda_isa::{AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, StreamHint};
+
+use crate::builder::{BuildError, FunctionBuilder, Label, ProgramBuilder};
+use crate::program::Program;
+
+/// An assembly-syntax error, with the 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<BuildError> for AsmError {
+    fn from(e: BuildError) -> AsmError {
+        AsmError { line: 0, message: e.to_string() }
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+fn parse_gpr(line: usize, tok: &str) -> Result<Gpr, AsmError> {
+    let name = tok.strip_prefix('$').unwrap_or(tok);
+    if let Some(n) = name.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) {
+        if n < 32 {
+            return Ok(Gpr::new(n));
+        }
+    }
+    Gpr::all()
+        .find(|g| g.name() == name)
+        .ok_or_else(|| AsmError { line, message: format!("unknown register `{tok}`") })
+}
+
+fn parse_fpr(line: usize, tok: &str) -> Result<Fpr, AsmError> {
+    let name = tok.strip_prefix('$').unwrap_or(tok);
+    name.strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .map(Fpr::new)
+        .ok_or_else(|| AsmError { line, message: format!("unknown FP register `{tok}`") })
+}
+
+fn parse_imm(line: usize, tok: &str) -> Result<i32, AsmError> {
+    let t = tok.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).map(|v| v as i32)
+    } else if let Some(hex) = t.strip_prefix("-0x") {
+        u32::from_str_radix(hex, 16).map(|v| -(v as i32))
+    } else {
+        t.parse::<i32>()
+    };
+    parsed.map_err(|_| AsmError { line, message: format!("bad immediate `{tok}`") })
+}
+
+/// `off($base)` → (offset, base).
+fn parse_mem_operand(line: usize, tok: &str) -> Result<(i32, Gpr), AsmError> {
+    let open = tok.find('(');
+    let close = tok.ends_with(')');
+    match (open, close) {
+        (Some(i), true) => {
+            let off = if tok[..i].trim().is_empty() { 0 } else { parse_imm(line, &tok[..i])? };
+            let base = parse_gpr(line, tok[i + 1..tok.len() - 1].trim())?;
+            Ok((off, base))
+        }
+        _ => err(line, format!("expected `offset($base)`, got `{tok}`")),
+    }
+}
+
+/// A control-flow target: absolute pc, or a symbol resolved later.
+enum Target {
+    Abs(u32),
+    Symbol(String),
+}
+
+fn parse_target(tok: &str) -> Target {
+    match tok.parse::<u32>() {
+        Ok(pc) => Target::Abs(pc),
+        Err(_) => Target::Symbol(tok.to_string()),
+    }
+}
+
+fn alu_op(mnemonic: &str) -> Option<(AluOp, bool)> {
+    let (base, imm) = match mnemonic.strip_suffix('i') {
+        // `sltui` ends in i twice; check the exact immediate forms first.
+        Some(b) if !matches!(mnemonic, "li") => (b, true),
+        _ => (mnemonic, false),
+    };
+    AluOp::ALL.iter().find(|op| op.mnemonic() == base).map(|&op| (op, imm))
+}
+
+fn fpu_op(mnemonic: &str) -> Option<FpuOp> {
+    FpuOp::ALL.iter().find(|op| op.mnemonic() == mnemonic).copied()
+}
+
+fn branch_cond(mnemonic: &str) -> Option<BranchCond> {
+    BranchCond::ALL.iter().find(|c| c.mnemonic() == mnemonic).copied()
+}
+
+fn fp_cond(mnemonic: &str) -> Option<FpCond> {
+    FpCond::ALL.iter().find(|c| c.mnemonic() == mnemonic).copied()
+}
+
+/// One parsed statement.
+enum Stmt {
+    /// A plain instruction.
+    Plain(Instr),
+    /// A branch/jump whose target needs symbol resolution.
+    ControlTo {
+        /// Instruction with a placeholder target.
+        instr: Instr,
+        target: Target,
+    },
+    /// A call whose callee needs symbol resolution.
+    CallTo(Target),
+}
+
+/// Splits `lw $t0, 8($sp) !local` into (mnemonic, operands, hint).
+fn split_line(line_no: usize, text: &str) -> Result<(String, Vec<String>, StreamHint), AsmError> {
+    let mut hint = StreamHint::Unknown;
+    let mut body = text;
+    if let Some(i) = text.find('!') {
+        hint = match text[i..].trim() {
+            "!local" => StreamHint::Local,
+            "!nonlocal" => StreamHint::NonLocal,
+            other => return err(line_no, format!("unknown annotation `{other}`")),
+        };
+        body = &text[..i];
+    }
+    let mut parts = body.trim().splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("").to_string();
+    let operands: Vec<String> = parts
+        .next()
+        .map(|rest| rest.split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or_default();
+    Ok((mnemonic, operands, hint))
+}
+
+fn expect_operands(
+    line: usize,
+    mnemonic: &str,
+    ops: &[String],
+    n: usize,
+) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        err(line, format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()))
+    }
+}
+
+fn parse_statement(line: usize, text: &str) -> Result<Stmt, AsmError> {
+    let (mnemonic, ops, hint) = split_line(line, text)?;
+    let m = mnemonic.as_str();
+
+    // Zero-operand and special forms first.
+    match m {
+        "nop" => return Ok(Stmt::Plain(Instr::Nop)),
+        "halt" => return Ok(Stmt::Plain(Instr::Halt)),
+        "jr" => {
+            expect_operands(line, m, &ops, 1)?;
+            if parse_gpr(line, &ops[0])? == Gpr::RA {
+                return Ok(Stmt::Plain(Instr::Ret));
+            }
+            return err(line, "only `jr $ra` is supported (use jalr for indirect calls)");
+        }
+        "jalr" => {
+            expect_operands(line, m, &ops, 1)?;
+            return Ok(Stmt::Plain(Instr::CallReg { rs: parse_gpr(line, &ops[0])? }));
+        }
+        "j" => {
+            expect_operands(line, m, &ops, 1)?;
+            return Ok(Stmt::ControlTo {
+                instr: Instr::Jump { target: u32::MAX },
+                target: parse_target(&ops[0]),
+            });
+        }
+        "jal" => {
+            expect_operands(line, m, &ops, 1)?;
+            return match parse_target(&ops[0]) {
+                Target::Abs(pc) => Ok(Stmt::Plain(Instr::Call { target: pc })),
+                sym => Ok(Stmt::CallTo(sym)),
+            };
+        }
+        "li" => {
+            expect_operands(line, m, &ops, 2)?;
+            return Ok(Stmt::Plain(Instr::LoadImm {
+                rd: parse_gpr(line, &ops[0])?,
+                imm: parse_imm(line, &ops[1])?,
+            }));
+        }
+        "mtc1d" => {
+            expect_operands(line, m, &ops, 2)?;
+            return Ok(Stmt::Plain(Instr::IntToFp {
+                fd: parse_fpr(line, &ops[0])?,
+                rs: parse_gpr(line, &ops[1])?,
+            }));
+        }
+        "mfc1d" => {
+            expect_operands(line, m, &ops, 2)?;
+            return Ok(Stmt::Plain(Instr::FpToInt {
+                rd: parse_gpr(line, &ops[0])?,
+                fs: parse_fpr(line, &ops[1])?,
+            }));
+        }
+        _ => {}
+    }
+
+    // Loads and stores.
+    let width = |m: &str| match m {
+        "lb" | "sb" => Some(MemWidth::Byte),
+        "lh" | "sh" => Some(MemWidth::Half),
+        "lw" | "sw" => Some(MemWidth::Word),
+        _ => None,
+    };
+    if let Some(w) = width(m) {
+        expect_operands(line, m, &ops, 2)?;
+        let (offset, base) = parse_mem_operand(line, &ops[1])?;
+        let reg = parse_gpr(line, &ops[0])?;
+        return Ok(Stmt::Plain(if m.starts_with('l') {
+            Instr::Load { rd: reg, base, offset, width: w, hint }
+        } else {
+            Instr::Store { rs: reg, base, offset, width: w, hint }
+        }));
+    }
+    if m == "l.d" || m == "s.d" {
+        expect_operands(line, m, &ops, 2)?;
+        let (offset, base) = parse_mem_operand(line, &ops[1])?;
+        let reg = parse_fpr(line, &ops[0])?;
+        return Ok(Stmt::Plain(if m == "l.d" {
+            Instr::FLoad { fd: reg, base, offset, hint }
+        } else {
+            Instr::FStore { fs: reg, base, offset, hint }
+        }));
+    }
+
+    // Branches.
+    if let Some(cond) = branch_cond(m) {
+        expect_operands(line, m, &ops, 3)?;
+        return Ok(Stmt::ControlTo {
+            instr: Instr::Branch {
+                cond,
+                rs: parse_gpr(line, &ops[0])?,
+                rt: parse_gpr(line, &ops[1])?,
+                target: u32::MAX,
+            },
+            target: parse_target(&ops[2]),
+        });
+    }
+
+    // FP compares and arithmetic.
+    if let Some(cond) = fp_cond(m) {
+        expect_operands(line, m, &ops, 3)?;
+        return Ok(Stmt::Plain(Instr::FpCmp {
+            cond,
+            rd: parse_gpr(line, &ops[0])?,
+            fs: parse_fpr(line, &ops[1])?,
+            ft: parse_fpr(line, &ops[2])?,
+        }));
+    }
+    if let Some(op) = fpu_op(m) {
+        let n = if op.is_binary() { 3 } else { 2 };
+        expect_operands(line, m, &ops, n)?;
+        let fd = parse_fpr(line, &ops[0])?;
+        let fs = parse_fpr(line, &ops[1])?;
+        let ft = if op.is_binary() { parse_fpr(line, &ops[2])? } else { fs };
+        return Ok(Stmt::Plain(Instr::Fpu { op, fd, fs, ft }));
+    }
+
+    // Integer ALU, register and immediate forms.
+    if let Some((op, imm_form)) = alu_op(m) {
+        expect_operands(line, m, &ops, 3)?;
+        let rd = parse_gpr(line, &ops[0])?;
+        let rs = parse_gpr(line, &ops[1])?;
+        return Ok(Stmt::Plain(if imm_form {
+            Instr::AluImm { op, rd, rs, imm: parse_imm(line, &ops[2])? }
+        } else {
+            Instr::Alu { op, rd, rs, rt: parse_gpr(line, &ops[2])? }
+        }));
+    }
+
+    err(line, format!("unknown mnemonic `{m}`"))
+}
+
+/// Assembles a complete program from text; see the accepted syntax in
+/// the example below and in the crate-level documentation.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the offending line for syntax
+/// problems, or a linker message (line 0) for unresolved symbols and
+/// other [`BuildError`]s.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    struct PendingFn {
+        builder: FunctionBuilder,
+        labels: HashMap<String, Label>,
+    }
+
+    let mut funcs: Vec<PendingFn> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let text = raw.split(['#', ';']).next().unwrap_or("").trim_end();
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+
+        // Local label (`.name:`), at any indentation.
+        if let Some(label_name) = trimmed.strip_prefix('.').and_then(|t| t.strip_suffix(':')) {
+            let Some(f) = funcs.last_mut() else {
+                return err(line_no, "label before any function header (`name:`)");
+            };
+            let label = *f
+                .labels
+                .entry(format!(".{label_name}"))
+                .or_insert_with(|| f.builder.new_label());
+            f.builder.bind(label);
+            continue;
+        }
+
+        // Function header: unindented `name:` (optionally `frame N`).
+        if !raw.starts_with(char::is_whitespace) && trimmed.contains(':') && !trimmed.starts_with('.') {
+            let (name, rest) = trimmed.split_once(':').expect("contains ':'");
+            let name = name.trim();
+            if name.is_empty() {
+                return err(line_no, "function names must be non-empty");
+            }
+            let rest = rest.trim();
+            let frame = if let Some(n) = rest.strip_prefix("frame") {
+                parse_imm(line_no, n.trim())? as u32
+            } else if rest.is_empty() {
+                0
+            } else {
+                return err(line_no, format!("unexpected text after function header: `{rest}`"));
+            };
+            funcs.push(PendingFn {
+                builder: FunctionBuilder::with_frame(name, frame),
+                labels: HashMap::new(),
+            });
+            continue;
+        }
+
+        let Some(f) = funcs.last_mut() else {
+            return err(line_no, "instruction before any function header (`name:`)");
+        };
+
+        match parse_statement(line_no, trimmed)? {
+            Stmt::Plain(i) => {
+                f.builder.push(i);
+            }
+            Stmt::CallTo(Target::Abs(pc)) => {
+                f.builder.push(Instr::Call { target: pc });
+            }
+            Stmt::CallTo(Target::Symbol(sym)) => {
+                f.builder.call(sym);
+            }
+            Stmt::ControlTo { instr, target } => match target {
+                Target::Abs(pc) => {
+                    let fixed = match instr {
+                        Instr::Jump { .. } => Instr::Jump { target: pc },
+                        Instr::Branch { cond, rs, rt, .. } => {
+                            Instr::Branch { cond, rs, rt, target: pc }
+                        }
+                        other => other,
+                    };
+                    f.builder.push(fixed);
+                }
+                Target::Symbol(sym) => {
+                    if !sym.starts_with('.') {
+                        return err(
+                            line_no,
+                            format!("branch target `{sym}` must be a local `.label`"),
+                        );
+                    }
+                    // Branches to labels go through the builder so they
+                    // resolve at link time.
+                    let label =
+                        *f.labels.entry(sym).or_insert_with(|| f.builder.new_label());
+                    match instr {
+                        Instr::Jump { .. } => {
+                            f.builder.jump(label);
+                        }
+                        Instr::Branch { cond, rs, rt, .. } => {
+                            f.builder.branch(cond, rs, rt, label);
+                        }
+                        other => unreachable!("non-control fixup {other:?}"),
+                    }
+                }
+            },
+        }
+    }
+
+    if funcs.is_empty() {
+        return err(0, "no functions in source");
+    }
+    let mut b = ProgramBuilder::new();
+    for f in funcs {
+        b.add_function(f.builder);
+    }
+    b.build().map_err(AsmError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_the_module_example() {
+        let p = assemble(
+            r"
+main:
+    li    $t0, 5
+    jal   double
+    halt
+
+double: frame 16
+    addi  $sp, $sp, -16
+    sw    $t0, 0($sp) !local
+    lw    $t1, 0($sp) !local
+.done:
+    add   $v0, $t1, $t1
+    addi  $sp, $sp, 16
+    jr    $ra
+",
+        )
+        .unwrap();
+        assert_eq!(p.functions().len(), 2);
+        assert_eq!(p.functions()[1].frame_bytes, 16);
+        assert_eq!(p.fetch(1), Instr::Call { target: 3 });
+        assert!(matches!(p.fetch(4), Instr::Store { hint: StreamHint::Local, .. }));
+        assert_eq!(p.fetch(8), Instr::Ret);
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let p = assemble(
+            r"
+main:
+    li    $t0, 3
+.loop:
+    addi  $t0, $t0, -1
+    bne   $t0, $zero, .loop
+    j     .end
+    nop
+.end:
+    halt
+",
+        )
+        .unwrap();
+        assert_eq!(p.fetch(2), Instr::Branch {
+            cond: BranchCond::Ne,
+            rs: Gpr::T0,
+            rt: Gpr::ZERO,
+            target: 1,
+        });
+        assert_eq!(p.fetch(3), Instr::Jump { target: 5 });
+    }
+
+    #[test]
+    fn numeric_targets_accepted() {
+        let p = assemble("main:\n    j 0\n").unwrap();
+        assert_eq!(p.fetch(0), Instr::Jump { target: 0 });
+    }
+
+    #[test]
+    fn disassembly_of_every_instruction_reparses() {
+        use dda_isa::{AluOp, FpuOp};
+        let mut exemplars: Vec<Instr> = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Ret,
+            Instr::Jump { target: 7 },
+            Instr::Call { target: 3 },
+            Instr::CallReg { rs: Gpr::T9 },
+            Instr::LoadImm { rd: Gpr::GP, imm: -42 },
+            Instr::IntToFp { fd: Fpr::new(3), rs: Gpr::A0 },
+            Instr::FpToInt { rd: Gpr::V0, fs: Fpr::new(17) },
+        ];
+        for op in AluOp::ALL {
+            exemplars.push(Instr::Alu { op, rd: Gpr::T0, rs: Gpr::S1, rt: Gpr::A2 });
+            exemplars.push(Instr::AluImm { op, rd: Gpr::SP, rs: Gpr::SP, imm: -64 });
+        }
+        for op in FpuOp::ALL {
+            exemplars.push(Instr::Fpu { op, fd: Fpr::new(2), fs: Fpr::new(4), ft: Fpr::new(6) });
+        }
+        for cond in BranchCond::ALL {
+            exemplars.push(Instr::Branch { cond, rs: Gpr::T0, rt: Gpr::ZERO, target: 1 });
+        }
+        for cond in FpCond::ALL {
+            exemplars.push(Instr::FpCmp { cond, rd: Gpr::T1, fs: Fpr::new(8), ft: Fpr::new(9) });
+        }
+        for hint in [StreamHint::Unknown, StreamHint::Local, StreamHint::NonLocal] {
+            exemplars.push(Instr::Load {
+                rd: Gpr::T3,
+                base: Gpr::SP,
+                offset: -8,
+                width: MemWidth::Word,
+                hint,
+            });
+            exemplars.push(Instr::Store {
+                rs: Gpr::T3,
+                base: Gpr::GP,
+                offset: 4,
+                width: MemWidth::Byte,
+                hint,
+            });
+            exemplars.push(Instr::FLoad { fd: Fpr::new(12), base: Gpr::FP, offset: 16, hint });
+            exemplars.push(Instr::FStore { fs: Fpr::new(12), base: Gpr::SP, offset: -16, hint });
+        }
+        for i in exemplars {
+            // The unary FPU Display omits ft; normalise the expectation.
+            let expected = match i {
+                Instr::Fpu { op, fd, fs, .. } if !op.is_binary() => {
+                    Instr::Fpu { op, fd, fs, ft: fs }
+                }
+                other => other,
+            };
+            let src = format!("main:\n    {i}\n");
+            let p = assemble(&src).unwrap_or_else(|e| panic!("`{i}` failed: {e}"));
+            assert_eq!(p.fetch(0), expected, "round trip of `{i}`");
+        }
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble("main:\n    add $r8, $r9, $r10\n").unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Instr::Alu { op: AluOp::Add, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::T2 }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("main:\n    frobnicate $t0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = assemble("main:\n    lw $t0, 8\n").unwrap_err();
+        assert!(e.message.contains("offset($base)"));
+
+        let e = assemble("    add $t0, $t1, $t2\n").unwrap_err();
+        assert!(e.message.contains("before any function"));
+
+        let e = assemble("main:\n    beq $t0, $t1, nowhere\n").unwrap_err();
+        assert!(e.message.contains("local `.label`"));
+
+        let e = assemble("main:\n    jal ghost\nmain2:\n    halt\n").unwrap_err();
+        assert!(e.message.contains("undefined function"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "# header comment\nmain:  # trailing\n\n    nop ; also a comment\n    halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn jr_non_ra_rejected() {
+        let e = assemble("main:\n    jr $t0\n").unwrap_err();
+        assert!(e.message.contains("jr $ra"));
+    }
+}

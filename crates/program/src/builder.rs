@@ -1,0 +1,567 @@
+//! Assembling programs: function-local labels, symbolic calls, linking.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use dda_isa::{AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, StreamHint};
+
+use crate::layout::MemoryLayout;
+use crate::program::{FunctionInfo, Program};
+
+/// A function-local branch target handed out by
+/// [`FunctionBuilder::new_label`] and later bound with
+/// [`FunctionBuilder::bind`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(u32);
+
+/// An error detected while assembling or linking a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// Two functions share a name.
+    DuplicateFunction(String),
+    /// A call referenced a function that was never added.
+    UndefinedFunction {
+        /// The calling function.
+        caller: String,
+        /// The missing callee.
+        callee: String,
+    },
+    /// A label was used in a branch/jump but never bound.
+    UnboundLabel {
+        /// The function containing the unbound label.
+        function: String,
+    },
+    /// A label was bound twice.
+    LabelBoundTwice {
+        /// The function containing the label.
+        function: String,
+    },
+    /// The program has no functions.
+    Empty,
+    /// The requested entry function does not exist.
+    MissingEntry(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateFunction(n) => write!(f, "duplicate function `{n}`"),
+            BuildError::UndefinedFunction { caller, callee } => {
+                write!(f, "function `{caller}` calls undefined function `{callee}`")
+            }
+            BuildError::UnboundLabel { function } => {
+                write!(f, "function `{function}` has an unbound label")
+            }
+            BuildError::LabelBoundTwice { function } => {
+                write!(f, "function `{function}` binds a label twice")
+            }
+            BuildError::Empty => write!(f, "program has no functions"),
+            BuildError::MissingEntry(n) => write!(f, "entry function `{n}` not found"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds the body of one function, with local labels and symbolic calls.
+///
+/// All emitter methods append exactly one instruction and return the
+/// builder for chaining-free sequential use. Control-flow targets inside
+/// the function use [`Label`]s; calls name their callee and are resolved at
+/// link time by [`ProgramBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    frame_bytes: u32,
+    instrs: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    // (instruction index, label) pairs whose branch/jump target is the label.
+    label_fixups: Vec<(usize, Label)>,
+    // (instruction index, callee name) pairs for direct calls.
+    call_fixups: Vec<(usize, String)>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with a zero-byte frame.
+    pub fn new(name: impl Into<String>) -> FunctionBuilder {
+        FunctionBuilder::with_frame(name, 0)
+    }
+
+    /// Starts a function declaring a static frame of `frame_bytes` bytes.
+    ///
+    /// The frame size is metadata (it feeds the static frame statistics of
+    /// the paper's §2.2.1); the builder does not emit the `$sp` adjustment
+    /// itself — prologue/epilogue code is the caller's responsibility, as
+    /// it is for a real compiler.
+    pub fn with_frame(name: impl Into<String>, frame_bytes: u32) -> FunctionBuilder {
+        FunctionBuilder {
+            name: name.into(),
+            frame_bytes,
+            instrs: Vec::new(),
+            labels: Vec::new(),
+            label_fixups: Vec::new(),
+            call_fixups: Vec::new(),
+        }
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Declared static frame size in bytes.
+    pub fn frame_bytes(&self) -> u32 {
+        self.frame_bytes
+    }
+
+    /// Appends an arbitrary instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// `rd = op(rs, rt)`.
+    pub fn alu(&mut self, op: AluOp, rd: Gpr, rs: Gpr, rt: Gpr) -> &mut Self {
+        self.push(Instr::Alu { op, rd, rs, rt })
+    }
+
+    /// `rd = op(rs, imm)`.
+    pub fn alui(&mut self, op: AluOp, rd: Gpr, rs: Gpr, imm: i32) -> &mut Self {
+        self.push(Instr::AluImm { op, rd, rs, imm })
+    }
+
+    /// `rd = rs + imm` — the ubiquitous `addi`.
+    pub fn addi(&mut self, rd: Gpr, rs: Gpr, imm: i32) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs, imm)
+    }
+
+    /// `rd = imm`.
+    pub fn load_imm(&mut self, rd: Gpr, imm: i32) -> &mut Self {
+        self.push(Instr::LoadImm { rd, imm })
+    }
+
+    /// `rd = rs` (encoded as `or rd, rs, $zero`).
+    pub fn mov(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs, Gpr::ZERO)
+    }
+
+    /// `fd = op(fs, ft)`.
+    pub fn fpu(&mut self, op: FpuOp, fd: Fpr, fs: Fpr, ft: Fpr) -> &mut Self {
+        self.push(Instr::Fpu { op, fd, fs, ft })
+    }
+
+    /// `rd = cond(fs, ft) as i32`.
+    pub fn fp_cmp(&mut self, cond: FpCond, rd: Gpr, fs: Fpr, ft: Fpr) -> &mut Self {
+        self.push(Instr::FpCmp { cond, rd, fs, ft })
+    }
+
+    /// `fd = rs as f64`.
+    pub fn int_to_fp(&mut self, fd: Fpr, rs: Gpr) -> &mut Self {
+        self.push(Instr::IntToFp { fd, rs })
+    }
+
+    /// `rd = fs as i32`.
+    pub fn fp_to_int(&mut self, rd: Gpr, fs: Fpr) -> &mut Self {
+        self.push(Instr::FpToInt { rd, fs })
+    }
+
+    /// Integer load with an explicit stream hint.
+    pub fn load(
+        &mut self,
+        rd: Gpr,
+        base: Gpr,
+        offset: i32,
+        width: MemWidth,
+        hint: StreamHint,
+    ) -> &mut Self {
+        self.push(Instr::Load { rd, base, offset, width, hint })
+    }
+
+    /// Integer store with an explicit stream hint.
+    pub fn store(
+        &mut self,
+        rs: Gpr,
+        base: Gpr,
+        offset: i32,
+        width: MemWidth,
+        hint: StreamHint,
+    ) -> &mut Self {
+        self.push(Instr::Store { rs, base, offset, width, hint })
+    }
+
+    /// Word load from the stack frame, hinted local.
+    pub fn load_local(&mut self, rd: Gpr, offset: i32) -> &mut Self {
+        self.load(rd, Gpr::SP, offset, MemWidth::Word, StreamHint::Local)
+    }
+
+    /// Word store to the stack frame, hinted local.
+    pub fn store_local(&mut self, rs: Gpr, offset: i32) -> &mut Self {
+        self.store(rs, Gpr::SP, offset, MemWidth::Word, StreamHint::Local)
+    }
+
+    /// FP (8-byte) load with an explicit stream hint.
+    pub fn fload(&mut self, fd: Fpr, base: Gpr, offset: i32, hint: StreamHint) -> &mut Self {
+        self.push(Instr::FLoad { fd, base, offset, hint })
+    }
+
+    /// FP (8-byte) store with an explicit stream hint.
+    pub fn fstore(&mut self, fs: Fpr, base: Gpr, offset: i32, hint: StreamHint) -> &mut Self {
+        self.push(Instr::FStore { fs, base, offset, hint })
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.labels.len() as u32);
+        self.labels.push(None);
+        l
+    }
+
+    /// Binds `label` to the next instruction to be emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` was created by a different builder (index out of
+    /// range). Binding the same label twice is reported by
+    /// [`ProgramBuilder::build`] as [`BuildError::LabelBoundTwice`].
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0 as usize];
+        if slot.is_some() {
+            // Mark the double bind with a sentinel; surfaced at build time.
+            *slot = Some(u32::MAX);
+        } else {
+            *slot = Some(self.instrs.len() as u32);
+        }
+        self
+    }
+
+    /// Conditional branch to a local label.
+    pub fn branch(&mut self, cond: BranchCond, rs: Gpr, rt: Gpr, label: Label) -> &mut Self {
+        self.label_fixups.push((self.instrs.len(), label));
+        self.push(Instr::Branch { cond, rs, rt, target: u32::MAX })
+    }
+
+    /// Branch if `rs != 0` (compared against `$zero`).
+    pub fn bnez(&mut self, rs: Gpr, label: Label) -> &mut Self {
+        self.branch(BranchCond::Ne, rs, Gpr::ZERO, label)
+    }
+
+    /// Branch if `rs == 0`.
+    pub fn beqz(&mut self, rs: Gpr, label: Label) -> &mut Self {
+        self.branch(BranchCond::Eq, rs, Gpr::ZERO, label)
+    }
+
+    /// Unconditional jump to a local label.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.label_fixups.push((self.instrs.len(), label));
+        self.push(Instr::Jump { target: u32::MAX })
+    }
+
+    /// Direct call to a named function (resolved at link time).
+    pub fn call(&mut self, callee: impl Into<String>) -> &mut Self {
+        self.call_fixups.push((self.instrs.len(), callee.into()));
+        self.push(Instr::Call { target: u32::MAX })
+    }
+
+    /// Indirect call through `rs`.
+    pub fn call_reg(&mut self, rs: Gpr) -> &mut Self {
+        self.push(Instr::CallReg { rs })
+    }
+
+    /// Return to `$ra`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Instr::Ret)
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+}
+
+/// Links [`FunctionBuilder`]s into a [`Program`].
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<FunctionBuilder>,
+    layout: Option<MemoryLayout>,
+    entry: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with the [`MemoryLayout::standard`] layout.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Overrides the data-memory layout.
+    pub fn layout(&mut self, layout: MemoryLayout) -> &mut Self {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Selects the entry function by name (default: `main` if present,
+    /// otherwise the first function added).
+    pub fn entry(&mut self, name: impl Into<String>) -> &mut Self {
+        self.entry = Some(name.into());
+        self
+    }
+
+    /// Adds a finished function. Functions are laid out in insertion order.
+    pub fn add_function(&mut self, f: FunctionBuilder) -> &mut Self {
+        self.functions.push(f);
+        self
+    }
+
+    /// Links all functions into a program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for duplicate function names, calls to
+    /// undefined functions, unbound or doubly bound labels, an empty
+    /// program, or a missing entry function.
+    pub fn build(&self) -> Result<Program, BuildError> {
+        if self.functions.is_empty() {
+            return Err(BuildError::Empty);
+        }
+
+        // Assign bases and build the symbol table.
+        let mut symbols = BTreeMap::new();
+        let mut base = 0u32;
+        let mut infos = Vec::with_capacity(self.functions.len());
+        for f in &self.functions {
+            if symbols.insert(f.name.clone(), base).is_some() {
+                return Err(BuildError::DuplicateFunction(f.name.clone()));
+            }
+            let end = base + f.instrs.len() as u32;
+            infos.push(FunctionInfo {
+                name: f.name.clone(),
+                start: base,
+                end,
+                frame_bytes: f.frame_bytes,
+            });
+            base = end;
+        }
+
+        // Emit and fix up.
+        let mut instrs = Vec::with_capacity(base as usize);
+        for (f, info) in self.functions.iter().zip(&infos) {
+            let func_base = info.start;
+            let mut body: Vec<Instr> = f.instrs.clone();
+            for &(idx, label) in &f.label_fixups {
+                let off = f.labels[label.0 as usize]
+                    .ok_or_else(|| BuildError::UnboundLabel { function: f.name.clone() })?;
+                if off == u32::MAX {
+                    return Err(BuildError::LabelBoundTwice { function: f.name.clone() });
+                }
+                let target = func_base + off;
+                match &mut body[idx] {
+                    Instr::Branch { target: t, .. } | Instr::Jump { target: t } => *t = target,
+                    other => unreachable!("label fixup on non-branch {other:?}"),
+                }
+            }
+            // Detect double binds even if the label is never referenced.
+            if f.labels.contains(&Some(u32::MAX)) {
+                return Err(BuildError::LabelBoundTwice { function: f.name.clone() });
+            }
+            for (idx, callee) in &f.call_fixups {
+                let target = *symbols.get(callee).ok_or_else(|| BuildError::UndefinedFunction {
+                    caller: f.name.clone(),
+                    callee: callee.clone(),
+                })?;
+                match &mut body[*idx] {
+                    Instr::Call { target: t } => *t = target,
+                    other => unreachable!("call fixup on non-call {other:?}"),
+                }
+            }
+            instrs.extend(body);
+        }
+
+        // Resolve the entry point.
+        let entry = match &self.entry {
+            Some(name) => {
+                *symbols.get(name).ok_or_else(|| BuildError::MissingEntry(name.clone()))?
+            }
+            None => symbols.get("main").copied().unwrap_or(infos[0].start),
+        };
+
+        Ok(Program {
+            instrs,
+            entry,
+            layout: self.layout.unwrap_or_default(),
+            functions: infos,
+            symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_within_function() {
+        let mut f = FunctionBuilder::new("loop");
+        let top = f.new_label();
+        let done = f.new_label();
+        f.load_imm(Gpr::T0, 3);
+        f.bind(top);
+        f.beqz(Gpr::T0, done);
+        f.addi(Gpr::T0, Gpr::T0, -1);
+        f.jump(top);
+        f.bind(done);
+        f.halt();
+        let mut b = ProgramBuilder::new();
+        b.add_function(f);
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(1), Instr::Branch {
+            cond: BranchCond::Eq,
+            rs: Gpr::T0,
+            rt: Gpr::ZERO,
+            target: 4,
+        });
+        assert_eq!(p.fetch(3), Instr::Jump { target: 1 });
+    }
+
+    #[test]
+    fn calls_resolve_across_functions() {
+        let mut main = FunctionBuilder::new("main");
+        main.call("callee");
+        main.halt();
+        let mut callee = FunctionBuilder::new("callee");
+        callee.ret();
+        let mut b = ProgramBuilder::new();
+        b.add_function(main);
+        b.add_function(callee);
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0), Instr::Call { target: 2 });
+    }
+
+    #[test]
+    fn second_function_labels_offset_by_base() {
+        let mut first = FunctionBuilder::new("first");
+        first.halt();
+        let mut second = FunctionBuilder::new("second");
+        let l = second.new_label();
+        second.nop();
+        second.bind(l);
+        second.jump(l);
+        let mut b = ProgramBuilder::new();
+        b.add_function(first);
+        b.add_function(second);
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(2), Instr::Jump { target: 2 });
+    }
+
+    #[test]
+    fn undefined_call_is_an_error() {
+        let mut main = FunctionBuilder::new("main");
+        main.call("ghost");
+        let mut b = ProgramBuilder::new();
+        b.add_function(main);
+        assert_eq!(
+            b.build(),
+            Err(BuildError::UndefinedFunction { caller: "main".into(), callee: "ghost".into() })
+        );
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut f = FunctionBuilder::new("main");
+        let l = f.new_label();
+        f.jump(l);
+        let mut b = ProgramBuilder::new();
+        b.add_function(f);
+        assert_eq!(b.build(), Err(BuildError::UnboundLabel { function: "main".into() }));
+    }
+
+    #[test]
+    fn double_bind_is_an_error() {
+        let mut f = FunctionBuilder::new("main");
+        let l = f.new_label();
+        f.bind(l);
+        f.nop();
+        f.bind(l);
+        let mut b = ProgramBuilder::new();
+        b.add_function(f);
+        assert_eq!(b.build(), Err(BuildError::LabelBoundTwice { function: "main".into() }));
+    }
+
+    #[test]
+    fn duplicate_function_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.add_function(FunctionBuilder::new("f"));
+        b.add_function(FunctionBuilder::new("f"));
+        assert_eq!(b.build(), Err(BuildError::DuplicateFunction("f".into())));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(ProgramBuilder::new().build(), Err(BuildError::Empty));
+    }
+
+    #[test]
+    fn entry_defaults_to_main_then_first() {
+        let mut b = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("start_here");
+        f.halt();
+        b.add_function(f);
+        assert_eq!(b.build().unwrap().entry(), 0);
+
+        let mut b = ProgramBuilder::new();
+        let mut pre = FunctionBuilder::new("pre");
+        pre.ret();
+        let mut main = FunctionBuilder::new("main");
+        main.halt();
+        b.add_function(pre);
+        b.add_function(main);
+        assert_eq!(b.build().unwrap().entry(), 1);
+    }
+
+    #[test]
+    fn explicit_entry_is_honoured_and_validated() {
+        let mut b = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("f");
+        f.halt();
+        b.add_function(f);
+        b.entry("f");
+        assert_eq!(b.build().unwrap().entry(), 0);
+        b.entry("nope");
+        assert_eq!(b.build(), Err(BuildError::MissingEntry("nope".into())));
+    }
+
+    #[test]
+    fn convenience_emitters_encode_expected_instructions() {
+        let mut f = FunctionBuilder::new("f");
+        f.mov(Gpr::T0, Gpr::T1);
+        f.store_local(Gpr::T0, 8);
+        f.load_local(Gpr::T2, 8);
+        assert_eq!(f.len(), 3);
+        assert_eq!(
+            f.instrs[0],
+            Instr::Alu { op: AluOp::Or, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::ZERO }
+        );
+        assert!(matches!(f.instrs[1], Instr::Store { hint: StreamHint::Local, .. }));
+        assert!(matches!(f.instrs[2], Instr::Load { hint: StreamHint::Local, .. }));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = BuildError::UndefinedFunction { caller: "a".into(), callee: "b".into() };
+        assert_eq!(e.to_string(), "function `a` calls undefined function `b`");
+        assert_eq!(BuildError::Empty.to_string(), "program has no functions");
+    }
+}

@@ -1,0 +1,245 @@
+//! The data-memory layout of a program.
+
+use core::fmt;
+
+/// The region of the data address space an address falls into.
+///
+/// The region is the ground truth for local/non-local classification: an
+/// access is a *local variable access* in the paper's sense exactly when
+/// its address lies in [`MemRegion::Stack`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemRegion {
+    /// Statically allocated (global/static) data, indexed off `$gp`.
+    Global,
+    /// Dynamically allocated (heap) data.
+    Heap,
+    /// The run-time stack: local variables, spill slots, saved registers,
+    /// outgoing arguments.
+    Stack,
+    /// Outside every mapped region.
+    Unmapped,
+}
+
+impl fmt::Display for MemRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemRegion::Global => "global",
+            MemRegion::Heap => "heap",
+            MemRegion::Stack => "stack",
+            MemRegion::Unmapped => "unmapped",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Placement and size of the global, heap and stack regions.
+///
+/// The stack grows *down* from `stack_base`; the lowest legal stack byte is
+/// `stack_base - stack_size`. Regions never overlap — [`MemoryLayout::new`]
+/// validates this — which is what makes the LSQ/LVAQ partition of the
+/// data-decoupled architecture alias-free (paper §2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemoryLayout {
+    global_base: u32,
+    global_size: u32,
+    heap_base: u32,
+    heap_size: u32,
+    stack_base: u32,
+    stack_size: u32,
+}
+
+impl MemoryLayout {
+    /// The default layout: 16 MB of globals at `0x1000_0000`, 64 MB of heap
+    /// at `0x2000_0000`, and a 4 MB stack topping out at `0x7fff_fff0`.
+    pub fn standard() -> MemoryLayout {
+        MemoryLayout::new(0x1000_0000, 16 << 20, 0x2000_0000, 64 << 20, 0x7fff_fff0, 4 << 20)
+            .expect("standard layout is valid")
+    }
+
+    /// Creates a layout after validating region alignment and disjointness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint if any base is not
+    /// 16-byte aligned, any size is zero, or the regions overlap.
+    pub fn new(
+        global_base: u32,
+        global_size: u32,
+        heap_base: u32,
+        heap_size: u32,
+        stack_base: u32,
+        stack_size: u32,
+    ) -> Result<MemoryLayout, String> {
+        for (name, base) in
+            [("global", global_base), ("heap", heap_base), ("stack", stack_base)]
+        {
+            if base % 16 != 0 {
+                return Err(format!("{name} base {base:#x} is not 16-byte aligned"));
+            }
+        }
+        for (name, size) in
+            [("global", global_size), ("heap", heap_size), ("stack", stack_size)]
+        {
+            if size == 0 {
+                return Err(format!("{name} region has zero size"));
+            }
+        }
+        if stack_base < stack_size {
+            return Err("stack would extend below address zero".to_string());
+        }
+        let l = MemoryLayout { global_base, global_size, heap_base, heap_size, stack_base, stack_size };
+        let mut spans = [
+            l.global_span(),
+            l.heap_span(),
+            l.stack_span(),
+        ];
+        spans.sort_by_key(|s| s.0);
+        for w in spans.windows(2) {
+            if w[0].1 > w[1].0 {
+                return Err(format!(
+                    "regions overlap: [{:#x},{:#x}) and [{:#x},{:#x})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+        Ok(l)
+    }
+
+    fn global_span(&self) -> (u64, u64) {
+        (self.global_base as u64, self.global_base as u64 + self.global_size as u64)
+    }
+
+    fn heap_span(&self) -> (u64, u64) {
+        (self.heap_base as u64, self.heap_base as u64 + self.heap_size as u64)
+    }
+
+    fn stack_span(&self) -> (u64, u64) {
+        (self.stack_base as u64 - self.stack_size as u64, self.stack_base as u64)
+    }
+
+    /// Base address of the global region (the initial `$gp`).
+    #[inline]
+    pub fn global_base(&self) -> u32 {
+        self.global_base
+    }
+
+    /// Size of the global region in bytes.
+    #[inline]
+    pub fn global_size(&self) -> u32 {
+        self.global_size
+    }
+
+    /// Base address of the heap region.
+    #[inline]
+    pub fn heap_base(&self) -> u32 {
+        self.heap_base
+    }
+
+    /// Size of the heap region in bytes.
+    #[inline]
+    pub fn heap_size(&self) -> u32 {
+        self.heap_size
+    }
+
+    /// Top of the stack (the initial `$sp`); the stack grows down from here.
+    #[inline]
+    pub fn stack_base(&self) -> u32 {
+        self.stack_base
+    }
+
+    /// Maximum stack depth in bytes.
+    #[inline]
+    pub fn stack_size(&self) -> u32 {
+        self.stack_size
+    }
+
+    /// Lowest legal stack address.
+    #[inline]
+    pub fn stack_limit(&self) -> u32 {
+        self.stack_base - self.stack_size
+    }
+
+    /// Classifies a byte address into its region.
+    ///
+    /// An access whose address lands in [`MemRegion::Stack`] is, by
+    /// definition, a local-variable access.
+    #[inline]
+    pub fn region_of(&self, addr: u32) -> MemRegion {
+        let a = addr as u64;
+        let (gs, ge) = self.global_span();
+        if a >= gs && a < ge {
+            return MemRegion::Global;
+        }
+        let (hs, he) = self.heap_span();
+        if a >= hs && a < he {
+            return MemRegion::Heap;
+        }
+        let (ss, se) = self.stack_span();
+        if a >= ss && a < se {
+            return MemRegion::Stack;
+        }
+        MemRegion::Unmapped
+    }
+
+    /// Whether `addr` is a stack (local-variable) address.
+    #[inline]
+    pub fn is_stack(&self, addr: u32) -> bool {
+        self.region_of(addr) == MemRegion::Stack
+    }
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        MemoryLayout::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_layout_classification() {
+        let l = MemoryLayout::standard();
+        assert_eq!(l.region_of(l.global_base()), MemRegion::Global);
+        assert_eq!(l.region_of(l.heap_base() + 100), MemRegion::Heap);
+        assert_eq!(l.region_of(l.stack_base() - 4), MemRegion::Stack);
+        assert_eq!(l.region_of(l.stack_base()), MemRegion::Unmapped);
+        assert_eq!(l.region_of(0), MemRegion::Unmapped);
+        assert_eq!(l.region_of(l.stack_limit()), MemRegion::Stack);
+        assert_eq!(l.region_of(l.stack_limit() - 1), MemRegion::Unmapped);
+    }
+
+    #[test]
+    fn stack_boundaries() {
+        let l = MemoryLayout::standard();
+        assert_eq!(l.stack_limit(), l.stack_base() - l.stack_size());
+        assert!(l.is_stack(l.stack_base() - 1));
+        assert!(!l.is_stack(l.heap_base()));
+    }
+
+    #[test]
+    fn overlapping_regions_rejected() {
+        let err = MemoryLayout::new(0x1000, 0x1000, 0x1800, 0x1000, 0x8000, 0x100);
+        assert!(err.is_err());
+        assert!(err.unwrap_err().contains("overlap"));
+    }
+
+    #[test]
+    fn misaligned_base_rejected() {
+        let err = MemoryLayout::new(0x1004, 0x100, 0x2000, 0x100, 0x8000, 0x100);
+        assert!(err.unwrap_err().contains("aligned"));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let err = MemoryLayout::new(0x1000, 0, 0x2000, 0x100, 0x8000, 0x100);
+        assert!(err.unwrap_err().contains("zero size"));
+    }
+
+    #[test]
+    fn stack_below_zero_rejected() {
+        let err = MemoryLayout::new(0x1000, 0x10, 0x2000, 0x10, 0x100, 0x200);
+        assert!(err.unwrap_err().contains("below address zero"));
+    }
+}

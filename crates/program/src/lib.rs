@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # dda-program — program representation and assembly
+//!
+//! A [`Program`] is a flat instruction image plus a [`MemoryLayout`]
+//! describing where the global, heap and stack regions live in the 32-bit
+//! address space, and per-function metadata ([`FunctionInfo`]) used by the
+//! workload-characterisation experiments (the paper's Figures 2 and 3).
+//!
+//! Programs are assembled with [`ProgramBuilder`] / [`FunctionBuilder`]:
+//! functions are built independently with local labels and symbolic calls,
+//! then linked into one image with all control-flow targets resolved.
+//!
+//! ```
+//! use dda_program::{ProgramBuilder, FunctionBuilder};
+//! use dda_isa::{Gpr, AluOp};
+//!
+//! # fn main() -> Result<(), dda_program::BuildError> {
+//! let mut main = FunctionBuilder::new("main");
+//! main.load_imm(Gpr::T0, 5);
+//! main.call("double");
+//! main.halt();
+//!
+//! let mut double = FunctionBuilder::new("double");
+//! double.alu(AluOp::Add, Gpr::V0, Gpr::T0, Gpr::T0);
+//! double.ret();
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.add_function(main);
+//! b.add_function(double);
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod builder;
+mod layout;
+mod program;
+
+pub use asm::{assemble, AsmError};
+pub use builder::{BuildError, FunctionBuilder, Label, ProgramBuilder};
+pub use layout::{MemRegion, MemoryLayout};
+pub use program::{FunctionInfo, Program};

@@ -1,0 +1,231 @@
+//! The linked program image.
+
+use std::collections::BTreeMap;
+
+use dda_isa::Instr;
+
+use crate::layout::MemoryLayout;
+
+/// Metadata about one function in a linked [`Program`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionInfo {
+    /// The function's symbolic name.
+    pub name: String,
+    /// First instruction (the entry point).
+    pub start: u32,
+    /// One past the last instruction.
+    pub end: u32,
+    /// Static frame size in bytes, as declared by the builder. This is the
+    /// quantity averaged in the paper's §2.2.1 ("the average frame size of
+    /// 4746 functions ... was only 7 words").
+    pub frame_bytes: u32,
+}
+
+impl FunctionInfo {
+    /// Static frame size in 4-byte words (rounded up).
+    pub fn frame_words(&self) -> u32 {
+        self.frame_bytes.div_ceil(4)
+    }
+}
+
+/// A fully linked program: a flat instruction image, the entry pc, the data
+/// [`MemoryLayout`], and per-function metadata.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) entry: u32,
+    pub(crate) layout: MemoryLayout,
+    pub(crate) functions: Vec<FunctionInfo>,
+    pub(crate) symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the image (the functional simulator treats
+    /// running off the image as a program bug).
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Instr {
+        self.instrs[pc as usize]
+    }
+
+    /// The instruction at `pc`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, pc: u32) -> Option<Instr> {
+        self.instrs.get(pc as usize).copied()
+    }
+
+    /// Number of (static) instructions in the image.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the image contains no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The entry pc (start of `main`, or of the first function).
+    #[inline]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The data-memory layout.
+    #[inline]
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// All instructions, in pc order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Per-function metadata, in layout order.
+    pub fn functions(&self) -> &[FunctionInfo] {
+        &self.functions
+    }
+
+    /// Looks up the entry pc of a function by name.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The function containing `pc`, if any.
+    pub fn function_at(&self, pc: u32) -> Option<&FunctionInfo> {
+        // Functions are laid out contiguously in `start` order.
+        let idx = self.functions.partition_point(|f| f.end <= pc);
+        self.functions.get(idx).filter(|f| f.start <= pc && pc < f.end)
+    }
+
+    /// Average static frame size in words across all functions — the
+    /// paper's §2.2.1 static statistic.
+    pub fn mean_static_frame_words(&self) -> f64 {
+        if self.functions.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.functions.iter().map(|f| f.frame_words() as u64).sum();
+        total as f64 / self.functions.len() as f64
+    }
+
+    /// A textual listing of the whole image (disassembly with function
+    /// headers), mainly for debugging and documentation examples.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.functions {
+            let _ = writeln!(out, "{}:  # frame {} bytes", f.name, f.frame_bytes);
+            for pc in f.start..f.end {
+                let _ = writeln!(out, "  {pc:6}: {}", self.instrs[pc as usize]);
+            }
+        }
+        out
+    }
+
+    /// Counts of static loads and stores, split by stream hint — used to
+    /// sanity-check generated workloads.
+    pub fn static_mem_mix(&self) -> StaticMemMix {
+        let mut mix = StaticMemMix::default();
+        for i in &self.instrs {
+            use dda_isa::StreamHint;
+            if let Some((_, _, _, hint)) = i.mem_operand() {
+                let (total, local) = if i.is_load() {
+                    (&mut mix.loads, &mut mix.local_loads)
+                } else {
+                    (&mut mix.stores, &mut mix.local_stores)
+                };
+                *total += 1;
+                if hint == StreamHint::Local {
+                    *local += 1;
+                }
+            }
+        }
+        mix
+    }
+}
+
+/// Static instruction-mix summary (see [`Program::static_mem_mix`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StaticMemMix {
+    /// Static load instructions.
+    pub loads: usize,
+    /// Static loads hinted local.
+    pub local_loads: usize,
+    /// Static store instructions.
+    pub stores: usize,
+    /// Static stores hinted local.
+    pub local_stores: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use dda_isa::{Gpr, MemWidth, StreamHint};
+
+    fn two_function_program() -> Program {
+        let mut main = FunctionBuilder::new("main");
+        main.load_imm(Gpr::T0, 1);
+        main.call("f");
+        main.halt();
+        let mut f = FunctionBuilder::with_frame("f", 16);
+        f.store(Gpr::T0, Gpr::SP, 0, MemWidth::Word, StreamHint::Local);
+        f.ret();
+        let mut b = ProgramBuilder::new();
+        b.add_function(main);
+        b.add_function(f);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn function_lookup_by_pc() {
+        let p = two_function_program();
+        assert_eq!(p.function_at(0).unwrap().name, "main");
+        assert_eq!(p.function_at(2).unwrap().name, "main");
+        assert_eq!(p.function_at(3).unwrap().name, "f");
+        assert_eq!(p.function_at(4).unwrap().name, "f");
+        assert!(p.function_at(99).is_none());
+    }
+
+    #[test]
+    fn symbols_and_entry() {
+        let p = two_function_program();
+        assert_eq!(p.symbol("main"), Some(0));
+        assert_eq!(p.symbol("f"), Some(3));
+        assert_eq!(p.symbol("missing"), None);
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn static_frame_statistics() {
+        let p = two_function_program();
+        // main has frame 0, f has frame 16 bytes = 4 words.
+        assert_eq!(p.functions()[1].frame_words(), 4);
+        assert!((p.mean_static_frame_words() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_mem_mix_counts_hints() {
+        let p = two_function_program();
+        let mix = p.static_mem_mix();
+        assert_eq!(mix.stores, 1);
+        assert_eq!(mix.local_stores, 1);
+        assert_eq!(mix.loads, 0);
+    }
+
+    #[test]
+    fn listing_contains_function_names() {
+        let p = two_function_program();
+        let l = p.listing();
+        assert!(l.contains("main:"));
+        assert!(l.contains("f:"));
+        assert!(l.contains("jal"));
+    }
+}

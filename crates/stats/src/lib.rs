@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # dda-stats — counters, histograms and report tables
+//!
+//! Small, dependency-free statistics utilities shared by the simulator and
+//! the experiment harness: a sparse integer [`Histogram`] (used for the
+//! paper's frame-size and queue-occupancy distributions) and a plain-text
+//! [`Table`] renderer (used to print every reproduced table and figure).
+
+mod histogram;
+mod table;
+
+pub use histogram::Histogram;
+pub use table::{Align, Table};
+
+/// Formats a fraction as a percentage with one decimal, `"—"` when the
+/// denominator is zero.
+///
+/// ```
+/// assert_eq!(dda_stats::pct(1, 8), "12.5%");
+/// assert_eq!(dda_stats::pct(3, 0), "—");
+/// ```
+pub fn pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        "—".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// Relative speedup of `new` over `base` as a signed percentage string.
+///
+/// ```
+/// assert_eq!(dda_stats::speedup_pct(1.1, 1.0), "+10.0%");
+/// assert_eq!(dda_stats::speedup_pct(0.95, 1.0), "-5.0%");
+/// ```
+pub fn speedup_pct(new: f64, base: f64) -> String {
+    if base == 0.0 {
+        return "—".to_string();
+    }
+    let s = 100.0 * (new / base - 1.0);
+    format!("{s:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pct_handles_zero_denominator() {
+        assert_eq!(super::pct(5, 0), "—");
+        assert_eq!(super::pct(0, 10), "0.0%");
+        assert_eq!(super::pct(10, 10), "100.0%");
+    }
+
+    #[test]
+    fn speedup_signs() {
+        assert_eq!(super::speedup_pct(2.0, 1.0), "+100.0%");
+        assert_eq!(super::speedup_pct(1.0, 2.0), "-50.0%");
+        assert_eq!(super::speedup_pct(1.0, 0.0), "—");
+    }
+}

@@ -1,0 +1,176 @@
+//! Plain-text table rendering for experiment reports.
+
+use core::fmt;
+
+/// Column alignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Align {
+    /// Left-aligned (default; good for labels).
+    #[default]
+    Left,
+    /// Right-aligned (good for numbers).
+    Right,
+}
+
+/// A simple text table: a header row, data rows, per-column alignment.
+///
+/// Renders via [`core::fmt::Display`] as an aligned, pipe-separated table
+/// that reads well both on a terminal and as Markdown.
+///
+/// ```
+/// use dda_stats::{Table, Align};
+///
+/// let mut t = Table::new(["program", "IPC"]);
+/// t.align(1, Align::Right);
+/// t.row(["099.go", "5.41"]);
+/// t.row(["130.li", "4.02"]);
+/// let text = t.to_string();
+/// assert!(text.contains("| 099.go  | 5.41 |"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let n = headers.len();
+        Table { headers, rows: Vec::new(), aligns: vec![Align::Left; n], title: None }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn title(&mut self, t: impl Into<String>) -> &mut Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, a: Align) -> &mut Self {
+        self.aligns[col] = a;
+        self
+    }
+
+    /// Right-aligns every column except the first.
+    pub fn numeric(&mut self) -> &mut Self {
+        for c in 1..self.aligns.len() {
+            self.aligns[c] = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        if let Some(t) = &self.title {
+            writeln!(f, "{t}")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for ((cell, &w), a) in cells.iter().zip(&widths).zip(&self.aligns) {
+                match a {
+                    Align::Left => write!(f, " {cell:<w$} |")?,
+                    Align::Right => write!(f, " {cell:>w$} |")?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for (&w, a) in widths.iter().zip(&self.aligns) {
+            match a {
+                Align::Left => write!(f, "{:-<1$}|", "", w + 2)?,
+                Align::Right => write!(f, "{:-<1$}:|", "", w + 1)?,
+            }
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["name", "value"]);
+        t.align(1, Align::Right);
+        t.row(["alpha", "1"]);
+        t.row(["b", "12345"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "| name  | value |");
+        assert_eq!(lines[1], "|-------|------:|");
+        assert_eq!(lines[2], "| alpha |     1 |");
+        assert_eq!(lines[3], "| b     | 12345 |");
+    }
+
+    #[test]
+    fn title_is_printed_first() {
+        let mut t = Table::new(["x"]);
+        t.title("Figure 5");
+        t.row(["1"]);
+        assert!(t.to_string().starts_with("Figure 5\n"));
+    }
+
+    #[test]
+    fn numeric_right_aligns_all_but_first() {
+        let mut t = Table::new(["k", "a", "b"]);
+        t.numeric();
+        assert_eq!(t.aligns, vec![Align::Left, Align::Right, Align::Right]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn row_count() {
+        let mut t = Table::new(["a"]);
+        assert_eq!(t.n_rows(), 0);
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.n_rows(), 2);
+    }
+}

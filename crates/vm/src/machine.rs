@@ -1,0 +1,744 @@
+//! The architectural machine: registers, memory, sequential execution.
+
+use core::fmt;
+
+use dda_isa::{Fpr, Gpr, Instr, MemWidth, StreamHint};
+use dda_program::{MemRegion, Program};
+
+use crate::memory::SparseMemory;
+
+/// An error raised during functional execution.
+///
+/// Any of these indicates a malformed program (a generator or hand-written
+/// assembly bug), not a simulated micro-architectural event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// The pc left the program image.
+    PcOutOfRange {
+        /// The faulting pc.
+        pc: u32,
+    },
+    /// A load or store address was not aligned to the access size.
+    Misaligned {
+        /// The pc of the access.
+        pc: u32,
+        /// The effective address.
+        addr: u32,
+        /// The access size in bytes.
+        bytes: u32,
+    },
+    /// A load or store touched an address outside every mapped region
+    /// (including stack overflow past the stack limit).
+    OutOfRegion {
+        /// The pc of the access.
+        pc: u32,
+        /// The effective address.
+        addr: u32,
+    },
+    /// `Ret` executed with no outstanding call.
+    ReturnWithoutCall {
+        /// The pc of the return.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VmError::PcOutOfRange { pc } => write!(f, "pc {pc} left the program image"),
+            VmError::Misaligned { pc, addr, bytes } => {
+                write!(f, "misaligned {bytes}-byte access to {addr:#x} at pc {pc}")
+            }
+            VmError::OutOfRegion { pc, addr } => {
+                write!(f, "access to unmapped address {addr:#x} at pc {pc}")
+            }
+            VmError::ReturnWithoutCall { pc } => {
+                write!(f, "return without a matching call at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Memory-access metadata attached to a dynamic load or store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemInfo {
+    /// Effective byte address.
+    pub addr: u32,
+    /// Access size in bytes (1, 2, 4 or 8).
+    pub bytes: u32,
+    /// Whether the access writes memory.
+    pub is_store: bool,
+    /// Ground-truth region of the address.
+    pub region: MemRegion,
+    /// The compiler's stream hint carried by the instruction.
+    pub hint: StreamHint,
+    /// `Some((sp_version, offset))` when the access is `$sp`-based: the
+    /// version of `$sp` at execution and the instruction's static offset.
+    /// The LVAQ's fast data forwarding (paper §2.2.2) matches store→load
+    /// pairs on exactly this pair, before effective addresses exist.
+    pub stack_slot: Option<(u64, i32)>,
+}
+
+impl MemInfo {
+    /// Whether the ground-truth region makes this a local-variable access.
+    #[inline]
+    pub fn is_local(&self) -> bool {
+        self.region == MemRegion::Stack
+    }
+}
+
+/// One executed (dynamic) instruction.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DynInst {
+    /// Dynamic sequence number (0-based).
+    pub seq: u64,
+    /// The pc the instruction was fetched from.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// The pc of the next instruction in the architectural order.
+    pub next_pc: u32,
+    /// Memory-access metadata for loads/stores.
+    pub mem: Option<MemInfo>,
+}
+
+/// Summary of a [`Vm::run`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunSummary {
+    /// Instructions executed by this call.
+    pub executed: u64,
+    /// Whether the machine reached `Halt`.
+    pub halted: bool,
+}
+
+/// The functional simulator.
+///
+/// Executes the program in architectural order; [`Vm::step`] returns one
+/// [`DynInst`] at a time, which is exactly the stream a perfect front-end
+/// (paper Table 1) would feed the pipeline.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    program: Program,
+    pc: u32,
+    gpr: [i32; 32],
+    fpr: [f64; 32],
+    mem: SparseMemory,
+    sp_version: u64,
+    seq: u64,
+    call_depth: u32,
+    max_call_depth: u32,
+    halted: bool,
+}
+
+impl Vm {
+    /// Creates a machine at the program entry with `$sp` at the stack base
+    /// and `$gp` at the global base.
+    pub fn new(program: Program) -> Vm {
+        let mut gpr = [0i32; 32];
+        gpr[Gpr::SP.index()] = program.layout().stack_base() as i32;
+        gpr[Gpr::GP.index()] = program.layout().global_base() as i32;
+        Vm {
+            pc: program.entry(),
+            program,
+            gpr,
+            fpr: [0.0; 32],
+            mem: SparseMemory::new(),
+            sp_version: 0,
+            seq: 0,
+            call_depth: 0,
+            max_call_depth: 0,
+            halted: false,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Current pc.
+    #[inline]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether `Halt` has been executed.
+    #[inline]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed so far.
+    #[inline]
+    pub fn instructions_executed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Current call depth (0 in the entry function).
+    #[inline]
+    pub fn call_depth(&self) -> u32 {
+        self.call_depth
+    }
+
+    /// Deepest call depth reached so far.
+    #[inline]
+    pub fn max_call_depth(&self) -> u32 {
+        self.max_call_depth
+    }
+
+    /// Monotone counter bumped on every architectural write to `$sp`.
+    #[inline]
+    pub fn sp_version(&self) -> u64 {
+        self.sp_version
+    }
+
+    /// Reads a general-purpose register (`$zero` reads 0).
+    #[inline]
+    pub fn gpr(&self, r: Gpr) -> i32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.gpr[r.index()]
+        }
+    }
+
+    /// Writes a general-purpose register (writes to `$zero` are ignored).
+    #[inline]
+    pub fn set_gpr(&mut self, r: Gpr, v: i32) {
+        if !r.is_zero() {
+            if r == Gpr::SP {
+                self.sp_version += 1;
+            }
+            self.gpr[r.index()] = v;
+        }
+    }
+
+    /// Reads a floating-point register.
+    #[inline]
+    pub fn fpr(&self, r: Fpr) -> f64 {
+        self.fpr[r.index()]
+    }
+
+    /// Writes a floating-point register.
+    #[inline]
+    pub fn set_fpr(&mut self, r: Fpr, v: f64) {
+        self.fpr[r.index()] = v;
+    }
+
+    /// Direct access to data memory (for test setup and inspection).
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Mutable access to data memory (for test setup).
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    fn check_access(&self, pc: u32, addr: u32, bytes: u32) -> Result<MemRegion, VmError> {
+        if !addr.is_multiple_of(bytes) {
+            return Err(VmError::Misaligned { pc, addr, bytes });
+        }
+        let region = self.program.layout().region_of(addr);
+        if region == MemRegion::Unmapped {
+            return Err(VmError::OutOfRegion { pc, addr });
+        }
+        Ok(region)
+    }
+
+    fn mem_info(
+        &self,
+        pc: u32,
+        base: Gpr,
+        offset: i32,
+        bytes: u32,
+        is_store: bool,
+        hint: StreamHint,
+    ) -> Result<(u32, MemInfo), VmError> {
+        let addr = (self.gpr(base) as u32).wrapping_add(offset as u32);
+        let region = self.check_access(pc, addr, bytes)?;
+        let stack_slot = (base == Gpr::SP).then_some((self.sp_version, offset));
+        Ok((addr, MemInfo { addr, bytes, is_store, region, hint, stack_slot }))
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(None)` when the machine has already halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] for malformed programs (pc escape, misaligned
+    /// or unmapped access, unmatched return). After an error the machine
+    /// state is unchanged except that it is marked halted.
+    pub fn step(&mut self) -> Result<Option<DynInst>, VmError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let instr = match self.program.get(pc) {
+            Some(i) => i,
+            None => {
+                self.halted = true;
+                return Err(VmError::PcOutOfRange { pc });
+            }
+        };
+
+        let mut next_pc = pc + 1;
+        let mut mem: Option<MemInfo> = None;
+
+        macro_rules! fail {
+            ($e:expr) => {{
+                self.halted = true;
+                return Err($e);
+            }};
+        }
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => self.halted = true,
+            Instr::Alu { op, rd, rs, rt } => {
+                let v = op.eval(self.gpr(rs), self.gpr(rt));
+                self.set_gpr(rd, v);
+            }
+            Instr::AluImm { op, rd, rs, imm } => {
+                let v = op.eval(self.gpr(rs), imm);
+                self.set_gpr(rd, v);
+            }
+            Instr::LoadImm { rd, imm } => self.set_gpr(rd, imm),
+            Instr::Fpu { op, fd, fs, ft } => {
+                let v = op.eval(self.fpr(fs), self.fpr(ft));
+                self.set_fpr(fd, v);
+            }
+            Instr::FpCmp { cond, rd, fs, ft } => {
+                let v = cond.eval(self.fpr(fs), self.fpr(ft)) as i32;
+                self.set_gpr(rd, v);
+            }
+            Instr::IntToFp { fd, rs } => {
+                let v = self.gpr(rs) as f64;
+                self.set_fpr(fd, v);
+            }
+            Instr::FpToInt { rd, fs } => {
+                let v = self.fpr(fs) as i32; // saturating in Rust
+                self.set_gpr(rd, v);
+            }
+            Instr::Load { rd, base, offset, width, hint } => {
+                match self.mem_info(pc, base, offset, width.bytes(), false, hint) {
+                    Ok((addr, info)) => {
+                        let v = match width {
+                            MemWidth::Byte => self.mem.read_u8(addr) as i8 as i32,
+                            MemWidth::Half => self.mem.read_u16(addr) as i16 as i32,
+                            MemWidth::Word => self.mem.read_u32(addr) as i32,
+                        };
+                        self.set_gpr(rd, v);
+                        mem = Some(info);
+                    }
+                    Err(e) => fail!(e),
+                }
+            }
+            Instr::Store { rs, base, offset, width, hint } => {
+                match self.mem_info(pc, base, offset, width.bytes(), true, hint) {
+                    Ok((addr, info)) => {
+                        let v = self.gpr(rs);
+                        match width {
+                            MemWidth::Byte => self.mem.write_u8(addr, v as u8),
+                            MemWidth::Half => self.mem.write_u16(addr, v as u16),
+                            MemWidth::Word => self.mem.write_u32(addr, v as u32),
+                        }
+                        mem = Some(info);
+                    }
+                    Err(e) => fail!(e),
+                }
+            }
+            Instr::FLoad { fd, base, offset, hint } => {
+                match self.mem_info(pc, base, offset, 8, false, hint) {
+                    Ok((addr, info)) => {
+                        let v = self.mem.read_f64(addr);
+                        self.set_fpr(fd, v);
+                        mem = Some(info);
+                    }
+                    Err(e) => fail!(e),
+                }
+            }
+            Instr::FStore { fs, base, offset, hint } => {
+                match self.mem_info(pc, base, offset, 8, true, hint) {
+                    Ok((addr, info)) => {
+                        let v = self.fpr(fs);
+                        self.mem.write_f64(addr, v);
+                        mem = Some(info);
+                    }
+                    Err(e) => fail!(e),
+                }
+            }
+            Instr::Branch { cond, rs, rt, target } => {
+                if cond.eval(self.gpr(rs), self.gpr(rt)) {
+                    next_pc = target;
+                }
+            }
+            Instr::Jump { target } => next_pc = target,
+            Instr::Call { target } => {
+                self.set_gpr(Gpr::RA, (pc + 1) as i32);
+                next_pc = target;
+                self.call_depth += 1;
+                self.max_call_depth = self.max_call_depth.max(self.call_depth);
+            }
+            Instr::CallReg { rs } => {
+                let target = self.gpr(rs) as u32;
+                self.set_gpr(Gpr::RA, (pc + 1) as i32);
+                next_pc = target;
+                self.call_depth += 1;
+                self.max_call_depth = self.max_call_depth.max(self.call_depth);
+            }
+            Instr::Ret => {
+                if self.call_depth == 0 {
+                    fail!(VmError::ReturnWithoutCall { pc });
+                }
+                next_pc = self.gpr(Gpr::RA) as u32;
+                self.call_depth -= 1;
+            }
+        }
+
+        if !self.halted || matches!(instr, Instr::Halt) {
+            self.pc = next_pc;
+        }
+        let d = DynInst { seq: self.seq, pc, instr, next_pc, mem };
+        self.seq += 1;
+        Ok(Some(d))
+    }
+
+    /// Runs until `Halt` or until `max_instructions` have executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`VmError`] encountered.
+    pub fn run(&mut self, max_instructions: u64) -> Result<RunSummary, VmError> {
+        let mut executed = 0;
+        while executed < max_instructions {
+            match self.step()? {
+                Some(_) => executed += 1,
+                None => break,
+            }
+        }
+        Ok(RunSummary { executed, halted: self.halted })
+    }
+}
+
+/// An iterator over the remaining dynamic instruction stream of a [`Vm`].
+///
+/// Panics on [`VmError`] — by the time a stream is consumed by the timing
+/// model the program is expected to be well-formed (generator-produced
+/// programs are validated by their tests).
+#[derive(Debug)]
+pub struct Stream<'a> {
+    vm: &'a mut Vm,
+}
+
+impl Iterator for Stream<'_> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        self.vm.step().expect("functional execution error in dynamic stream")
+    }
+}
+
+impl Vm {
+    /// Iterate the remaining dynamic stream.
+    ///
+    /// # Panics
+    ///
+    /// The iterator panics if execution raises a [`VmError`].
+    pub fn stream(&mut self) -> Stream<'_> {
+        Stream { vm: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_isa::{AluOp, BranchCond};
+    use dda_program::{FunctionBuilder, ProgramBuilder};
+
+    fn build(funcs: Vec<FunctionBuilder>) -> Program {
+        let mut b = ProgramBuilder::new();
+        for f in funcs {
+            b.add_function(f);
+        }
+        b.build().unwrap()
+    }
+
+    fn run_to_halt(p: Program) -> Vm {
+        let mut vm = Vm::new(p);
+        let s = vm.run(1_000_000).unwrap();
+        assert!(s.halted, "program did not halt");
+        vm
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut f = FunctionBuilder::new("main");
+        f.load_imm(Gpr::T0, 6);
+        f.load_imm(Gpr::T1, 7);
+        f.alu(AluOp::Mul, Gpr::V0, Gpr::T0, Gpr::T1);
+        f.halt();
+        let vm = run_to_halt(build(vec![f]));
+        assert_eq!(vm.gpr(Gpr::V0), 42);
+        assert_eq!(vm.instructions_executed(), 4);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // sum = 0; for i in 1..=10 { sum += i }
+        let mut f = FunctionBuilder::new("main");
+        f.load_imm(Gpr::T0, 10); // i
+        f.load_imm(Gpr::T1, 0); // sum
+        let top = f.new_label();
+        f.bind(top);
+        f.alu(AluOp::Add, Gpr::T1, Gpr::T1, Gpr::T0);
+        f.addi(Gpr::T0, Gpr::T0, -1);
+        f.branch(BranchCond::Gt, Gpr::T0, Gpr::ZERO, top);
+        f.halt();
+        let vm = run_to_halt(build(vec![f]));
+        assert_eq!(vm.gpr(Gpr::T1), 55);
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        // fact(n): if n <= 1 return 1 else return n * fact(n-1)
+        // a0 = n, result in v0; saves ra and a0 on the stack.
+        let mut main = FunctionBuilder::new("main");
+        main.load_imm(Gpr::A0, 6);
+        main.call("fact");
+        main.halt();
+
+        let mut fact = FunctionBuilder::with_frame("fact", 8);
+        let recurse = fact.new_label();
+        fact.load_imm(Gpr::T0, 1);
+        fact.branch(BranchCond::Gt, Gpr::A0, Gpr::T0, recurse);
+        fact.load_imm(Gpr::V0, 1);
+        fact.ret();
+        fact.bind(recurse);
+        fact.addi(Gpr::SP, Gpr::SP, -8);
+        fact.store_local(Gpr::RA, 0);
+        fact.store_local(Gpr::A0, 4);
+        fact.addi(Gpr::A0, Gpr::A0, -1);
+        fact.call("fact");
+        fact.load_local(Gpr::RA, 0);
+        fact.load_local(Gpr::A0, 4);
+        fact.alu(AluOp::Mul, Gpr::V0, Gpr::V0, Gpr::A0);
+        fact.addi(Gpr::SP, Gpr::SP, 8);
+        fact.ret();
+
+        let vm = run_to_halt(build(vec![main, fact]));
+        assert_eq!(vm.gpr(Gpr::V0), 720);
+        assert_eq!(vm.call_depth(), 0);
+        assert_eq!(vm.max_call_depth(), 6);
+        // $sp fully restored.
+        assert_eq!(vm.gpr(Gpr::SP) as u32, vm.program().layout().stack_base());
+    }
+
+    #[test]
+    fn sp_version_increments_on_sp_writes() {
+        let mut f = FunctionBuilder::new("main");
+        f.addi(Gpr::SP, Gpr::SP, -16);
+        f.addi(Gpr::T0, Gpr::T0, 1); // unrelated
+        f.addi(Gpr::SP, Gpr::SP, 16);
+        f.halt();
+        let vm = run_to_halt(build(vec![f]));
+        assert_eq!(vm.sp_version(), 2);
+    }
+
+    #[test]
+    fn mem_info_classifies_regions_and_slots() {
+        let mut f = FunctionBuilder::new("main");
+        f.addi(Gpr::SP, Gpr::SP, -16);
+        f.store_local(Gpr::T0, 4);
+        f.load(Gpr::T1, Gpr::GP, 8, MemWidth::Word, StreamHint::NonLocal);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        let recs: Vec<DynInst> = vm.stream().collect();
+        let st = recs[1].mem.unwrap();
+        assert!(st.is_store && st.is_local());
+        assert_eq!(st.region, MemRegion::Stack);
+        assert_eq!(st.stack_slot, Some((1, 4)));
+        let ld = recs[2].mem.unwrap();
+        assert!(!ld.is_store && !ld.is_local());
+        assert_eq!(ld.region, MemRegion::Global);
+        assert_eq!(ld.stack_slot, None);
+    }
+
+    #[test]
+    fn store_load_round_trip_through_memory() {
+        let mut f = FunctionBuilder::new("main");
+        f.addi(Gpr::SP, Gpr::SP, -32);
+        f.load_imm(Gpr::T0, -123456);
+        f.store_local(Gpr::T0, 12);
+        f.load_local(Gpr::V0, 12);
+        f.halt();
+        let vm = run_to_halt(build(vec![f]));
+        assert_eq!(vm.gpr(Gpr::V0), -123456);
+    }
+
+    #[test]
+    fn byte_and_half_sign_extension() {
+        let mut f = FunctionBuilder::new("main");
+        f.addi(Gpr::SP, Gpr::SP, -16);
+        f.load_imm(Gpr::T0, 0x1ff);
+        f.store(Gpr::T0, Gpr::SP, 0, MemWidth::Byte, StreamHint::Local);
+        f.load(Gpr::V0, Gpr::SP, 0, MemWidth::Byte, StreamHint::Local);
+        f.load_imm(Gpr::T1, -2);
+        f.store(Gpr::T1, Gpr::SP, 4, MemWidth::Half, StreamHint::Local);
+        f.load(Gpr::V1, Gpr::SP, 4, MemWidth::Half, StreamHint::Local);
+        f.halt();
+        let vm = run_to_halt(build(vec![f]));
+        assert_eq!(vm.gpr(Gpr::V0), -1); // 0xff sign-extends
+        assert_eq!(vm.gpr(Gpr::V1), -2);
+    }
+
+    #[test]
+    fn fp_ops_and_memory() {
+        let mut f = FunctionBuilder::new("main");
+        f.load_imm(Gpr::T0, 3);
+        f.int_to_fp(Fpr::F0, Gpr::T0);
+        f.fpu(dda_isa::FpuOp::Mul, Fpr::new(1), Fpr::F0, Fpr::F0);
+        f.addi(Gpr::SP, Gpr::SP, -16);
+        f.fstore(Fpr::new(1), Gpr::SP, 0, StreamHint::Local);
+        f.fload(Fpr::new(2), Gpr::SP, 0, StreamHint::Local);
+        f.fp_to_int(Gpr::V0, Fpr::new(2));
+        f.halt();
+        let vm = run_to_halt(build(vec![f]));
+        assert_eq!(vm.gpr(Gpr::V0), 9);
+        assert_eq!(vm.fpr(Fpr::new(2)), 9.0);
+    }
+
+    #[test]
+    fn misaligned_access_is_an_error() {
+        let mut f = FunctionBuilder::new("main");
+        f.load(Gpr::T0, Gpr::GP, 2, MemWidth::Word, StreamHint::NonLocal);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        let err = vm.run(10).unwrap_err();
+        assert!(matches!(err, VmError::Misaligned { bytes: 4, .. }));
+        assert!(vm.is_halted());
+    }
+
+    #[test]
+    fn unmapped_access_is_an_error() {
+        let mut f = FunctionBuilder::new("main");
+        f.load_imm(Gpr::T0, 0x40);
+        f.load(Gpr::T1, Gpr::T0, 0, MemWidth::Word, StreamHint::Unknown);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        assert!(matches!(vm.run(10), Err(VmError::OutOfRegion { addr: 0x40, .. })));
+    }
+
+    #[test]
+    fn return_without_call_is_an_error() {
+        let mut f = FunctionBuilder::new("main");
+        f.ret();
+        let mut vm = Vm::new(build(vec![f]));
+        assert!(matches!(vm.run(10), Err(VmError::ReturnWithoutCall { pc: 0 })));
+    }
+
+    #[test]
+    fn pc_escape_is_an_error() {
+        let mut f = FunctionBuilder::new("main");
+        f.nop(); // falls off the end
+        let mut vm = Vm::new(build(vec![f]));
+        assert!(matches!(vm.run(10), Err(VmError::PcOutOfRange { pc: 1 })));
+    }
+
+    #[test]
+    fn halted_machine_steps_to_none() {
+        let mut f = FunctionBuilder::new("main");
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        assert!(vm.step().unwrap().is_some());
+        assert!(vm.step().unwrap().is_none());
+        assert!(vm.is_halted());
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let mut f = FunctionBuilder::new("main");
+        let top = f.new_label();
+        f.bind(top);
+        f.jump(top);
+        let mut vm = Vm::new(build(vec![f]));
+        let s = vm.run(1000).unwrap();
+        assert_eq!(s.executed, 1000);
+        assert!(!s.halted);
+    }
+
+    #[test]
+    fn indirect_call_via_register() {
+        let mut main = FunctionBuilder::new("main");
+        main.load_imm(Gpr::T0, 3); // pc of "target" resolved below
+        main.call_reg(Gpr::T0);
+        main.halt();
+        let mut target = FunctionBuilder::new("target");
+        target.load_imm(Gpr::V0, 99);
+        target.ret();
+        let p = build(vec![main, target]);
+        assert_eq!(p.symbol("target"), Some(3));
+        let vm = run_to_halt(p);
+        assert_eq!(vm.gpr(Gpr::V0), 99);
+    }
+
+    #[test]
+    fn cloned_vm_is_a_checkpoint() {
+        // Clone mid-run, then both copies must produce identical streams.
+        let mut f = FunctionBuilder::new("main");
+        f.addi(Gpr::SP, Gpr::SP, -32);
+        for i in 0..50 {
+            f.load_imm(Gpr::T0, i);
+            f.store_local(Gpr::T0, (i % 8) * 4);
+            f.load_local(Gpr::T1, (i % 8) * 4);
+        }
+        f.addi(Gpr::SP, Gpr::SP, 32);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        vm.run(40).unwrap();
+        let mut checkpoint = vm.clone();
+        let rest_a: Vec<DynInst> = vm.stream().collect();
+        let rest_b: Vec<DynInst> = checkpoint.stream().collect();
+        assert!(!rest_a.is_empty());
+        assert_eq!(rest_a, rest_b);
+    }
+
+    #[test]
+    fn stream_iterator_ends_at_halt() {
+        let mut f = FunctionBuilder::new("main");
+        f.load_imm(Gpr::T0, 1);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        assert_eq!(vm.stream().count(), 2);
+        assert_eq!(vm.stream().count(), 0, "exhausted stream stays empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "functional execution error")]
+    fn stream_iterator_panics_on_malformed_program() {
+        let mut f = FunctionBuilder::new("main");
+        f.ret(); // return without call
+        let mut vm = Vm::new(build(vec![f]));
+        let _ = vm.stream().count();
+    }
+
+    #[test]
+    fn dyn_inst_sequence_and_next_pc() {
+        let mut f = FunctionBuilder::new("main");
+        let skip = f.new_label();
+        f.load_imm(Gpr::T0, 1);
+        f.bnez(Gpr::T0, skip); // taken
+        f.nop(); // skipped
+        f.bind(skip);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        let recs: Vec<DynInst> = vm.stream().collect();
+        assert_eq!(recs.len(), 3); // li, branch, halt — nop never executes
+        assert_eq!(recs.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(recs[1].next_pc, 3); // branch taken over the nop
+        assert_eq!(recs[2].pc, 3);
+    }
+}

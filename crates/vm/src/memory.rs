@@ -1,0 +1,183 @@
+//! Sparse, page-granular data memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse 32-bit byte-addressable memory.
+///
+/// Pages (4 KB) are allocated on first write; reads of untouched memory
+/// return zero, matching the zero-initialised `.bss`/stack semantics the
+/// synthetic workloads rely on. All multi-byte accesses are little-endian.
+/// Alignment is *not* checked here — the [`crate::Vm`] enforces it so that
+/// misalignment errors carry the faulting pc.
+#[derive(Clone, Debug, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    /// Number of 4 KB pages currently materialised.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr` (which may cross a
+    /// page boundary; the address space wraps modulo 2³²).
+    pub fn read_bytes<const N: usize>(&self, addr: u32) -> [u8; N] {
+        let mut out = [0u8; N];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u32));
+        }
+        out
+    }
+
+    /// Writes `N` little-endian bytes starting at `addr`.
+    pub fn write_bytes<const N: usize>(&mut self, addr: u32, bytes: [u8; N]) {
+        for (i, b) in bytes.into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads a 16-bit little-endian value.
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a 16-bit little-endian value.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, v: u16) {
+        self.write_bytes(addr, v.to_le_bytes());
+    }
+
+    /// Reads a 32-bit little-endian value.
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a 32-bit little-endian value.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        self.write_bytes(addr, v.to_le_bytes());
+    }
+
+    /// Reads a 64-bit little-endian value.
+    #[inline]
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a 64-bit little-endian value.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u32, v: u64) {
+        self.write_bytes(addr, v.to_le_bytes());
+    }
+
+    /// Reads an `f64` stored with [`SparseMemory::write_f64`].
+    #[inline]
+    pub fn read_f64(&self, addr: u32) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    #[inline]
+    pub fn write_f64(&mut self, addr: u32, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xdead_beec), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut m = SparseMemory::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xbeef);
+        m.write_u32(30, 0xdead_beef);
+        m.write_u64(40, 0x0123_4567_89ab_cdef);
+        m.write_f64(48, -1.25);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xbeef);
+        assert_eq!(m.read_u32(30), 0xdead_beef);
+        assert_eq!(m.read_u64(40), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_f64(48), -1.25);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMemory::new();
+        m.write_u32(100, 0x0403_0201);
+        assert_eq!(m.read_u8(100), 1);
+        assert_eq!(m.read_u8(101), 2);
+        assert_eq!(m.read_u8(102), 3);
+        assert_eq!(m.read_u8(103), 4);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMemory::new();
+        let boundary = PAGE_SIZE as u32 - 2;
+        m.write_u32(boundary, 0x1122_3344);
+        assert_eq!(m.read_u32(boundary), 0x1122_3344);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn writes_are_isolated_per_address() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0, 0xffff_ffff);
+        m.write_u8(1, 0);
+        assert_eq!(m.read_u32(0), 0xffff_00ff);
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let mut m = SparseMemory::new();
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        m.write_f64(8, weird);
+        assert_eq!(m.read_f64(8).to_bits(), weird.to_bits());
+    }
+}

@@ -1,0 +1,245 @@
+//! Workload characterisation over a dynamic instruction stream.
+//!
+//! Reproduces the measurements of the paper's Figures 2 and 3: the
+//! frequency of loads and stores, the fraction that are local-variable
+//! accesses, and the dynamic frame-size distribution.
+
+use dda_isa::{Instr, StreamHint};
+use dda_program::Program;
+use dda_stats::Histogram;
+
+use crate::machine::DynInst;
+
+/// Aggregated statistics of a dynamic instruction stream.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct StreamStats {
+    /// Total dynamic instructions observed.
+    pub instructions: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Dynamic loads whose address is in the stack region.
+    pub local_loads: u64,
+    /// Dynamic stores whose address is in the stack region.
+    pub local_stores: u64,
+    /// Accesses whose [`StreamHint`] disagreed with the ground-truth
+    /// region (should be zero for compiler-exact classification).
+    pub hint_mismatches: u64,
+    /// Dynamic calls observed.
+    pub calls: u64,
+    /// Distribution of the callee's frame size in words, one sample per
+    /// dynamic call (the paper's Figure 3).
+    pub frame_words: Histogram,
+    /// Distribution of call depth, one sample per dynamic call.
+    pub call_depth: Histogram,
+}
+
+impl StreamStats {
+    /// Fraction of all instructions that are loads.
+    pub fn load_fraction(&self) -> f64 {
+        ratio(self.loads, self.instructions)
+    }
+
+    /// Fraction of all instructions that are stores.
+    pub fn store_fraction(&self) -> f64 {
+        ratio(self.stores, self.instructions)
+    }
+
+    /// Fraction of loads that are local-variable accesses (paper Fig. 2:
+    /// 30% on average, over 60% in 147.vortex).
+    pub fn local_load_fraction(&self) -> f64 {
+        ratio(self.local_loads, self.loads)
+    }
+
+    /// Fraction of stores that are local-variable accesses (paper Fig. 2:
+    /// 48% on average, over 80% in 147.vortex).
+    pub fn local_store_fraction(&self) -> f64 {
+        ratio(self.local_stores, self.stores)
+    }
+
+    /// Fraction of all memory references that are local (paper: 10%–71%,
+    /// average 36%).
+    pub fn local_mem_fraction(&self) -> f64 {
+        ratio(self.local_loads + self.local_stores, self.loads + self.stores)
+    }
+
+    /// Fraction of all instructions that access memory.
+    pub fn mem_fraction(&self) -> f64 {
+        ratio(self.loads + self.stores, self.instructions)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Consumes [`DynInst`] records and accumulates [`StreamStats`].
+///
+/// The profiler needs the [`Program`] to look up the callee's static frame
+/// size on each dynamic call.
+#[derive(Clone, Debug)]
+pub struct StreamProfiler<'p> {
+    program: &'p Program,
+    stats: StreamStats,
+    depth: u32,
+}
+
+impl<'p> StreamProfiler<'p> {
+    /// Creates a profiler for streams produced from `program`.
+    pub fn new(program: &'p Program) -> StreamProfiler<'p> {
+        StreamProfiler { program, stats: StreamStats::default(), depth: 0 }
+    }
+
+    /// Folds one dynamic instruction into the statistics.
+    pub fn observe(&mut self, d: &DynInst) {
+        self.stats.instructions += 1;
+        if let Some(m) = d.mem {
+            let local = m.is_local();
+            if m.is_store {
+                self.stats.stores += 1;
+                if local {
+                    self.stats.local_stores += 1;
+                }
+            } else {
+                self.stats.loads += 1;
+                if local {
+                    self.stats.local_loads += 1;
+                }
+            }
+            let mismatch = match m.hint {
+                StreamHint::Local => !local,
+                StreamHint::NonLocal => local,
+                StreamHint::Unknown => false,
+            };
+            if mismatch {
+                self.stats.hint_mismatches += 1;
+            }
+        }
+        if d.instr.is_call() {
+            self.stats.calls += 1;
+            self.depth += 1;
+            self.stats.call_depth.record(self.depth as u64);
+            if let Some(f) = self.program.function_at(d.next_pc) {
+                self.stats.frame_words.record(f.frame_words() as u64);
+            }
+        } else if matches!(d.instr, Instr::Ret) {
+            self.depth = self.depth.saturating_sub(1);
+        }
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Consumes the profiler, returning the statistics.
+    pub fn into_stats(self) -> StreamStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Vm;
+    use dda_isa::{Gpr, MemWidth};
+    use dda_program::{FunctionBuilder, ProgramBuilder};
+
+    fn profiled(funcs: Vec<FunctionBuilder>) -> StreamStats {
+        let mut b = ProgramBuilder::new();
+        for f in funcs {
+            b.add_function(f);
+        }
+        let p = b.build().unwrap();
+        let mut vm = Vm::new(p.clone());
+        let mut prof = StreamProfiler::new(&p);
+        while let Some(d) = vm.step().unwrap() {
+            prof.observe(&d);
+        }
+        assert!(vm.is_halted());
+        prof.into_stats()
+    }
+
+    #[test]
+    fn counts_loads_stores_and_locality() {
+        let mut f = FunctionBuilder::new("main");
+        f.addi(Gpr::SP, Gpr::SP, -16);
+        f.store_local(Gpr::T0, 0); // local store
+        f.load_local(Gpr::T1, 0); // local load
+        f.load(Gpr::T2, Gpr::GP, 0, MemWidth::Word, StreamHint::NonLocal); // global load
+        f.halt();
+        let s = profiled(vec![f]);
+        assert_eq!(s.instructions, 5);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.local_loads, 1);
+        assert_eq!(s.local_stores, 1);
+        assert_eq!(s.hint_mismatches, 0);
+        assert!((s.local_mem_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mem_fraction() - 3.0 / 5.0).abs() < 1e-12);
+        assert!((s.local_load_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.local_store_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_hint_mismatches() {
+        let mut f = FunctionBuilder::new("main");
+        // A load from the global region wrongly hinted local.
+        f.load(Gpr::T0, Gpr::GP, 0, MemWidth::Word, StreamHint::Local);
+        // A stack store wrongly hinted non-local.
+        f.addi(Gpr::SP, Gpr::SP, -8);
+        f.store(Gpr::T0, Gpr::SP, 0, MemWidth::Word, StreamHint::NonLocal);
+        // Unknown is never a mismatch.
+        f.load(Gpr::T1, Gpr::SP, 0, MemWidth::Word, StreamHint::Unknown);
+        f.halt();
+        let s = profiled(vec![f]);
+        assert_eq!(s.hint_mismatches, 2);
+    }
+
+    #[test]
+    fn frame_histogram_samples_per_dynamic_call() {
+        let mut main = FunctionBuilder::new("main");
+        main.call("leaf");
+        main.call("leaf");
+        main.halt();
+        let mut leaf = FunctionBuilder::with_frame("leaf", 12); // 3 words
+        leaf.ret();
+        let s = profiled(vec![main, leaf]);
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.frame_words.samples(), 2);
+        assert_eq!(s.frame_words.count(3), 2);
+        assert_eq!(s.call_depth.count(1), 2);
+    }
+
+    #[test]
+    fn call_depth_tracks_nesting() {
+        let mut main = FunctionBuilder::new("main");
+        main.call("mid");
+        main.halt();
+        let mut mid = FunctionBuilder::with_frame("mid", 8);
+        mid.addi(Gpr::SP, Gpr::SP, -8);
+        mid.store_local(Gpr::RA, 0);
+        mid.call("leaf");
+        mid.load_local(Gpr::RA, 0);
+        mid.addi(Gpr::SP, Gpr::SP, 8);
+        mid.ret();
+        let mut leaf = FunctionBuilder::new("leaf");
+        leaf.ret();
+        let s = profiled(vec![main, mid, leaf]);
+        assert_eq!(s.call_depth.count(1), 1);
+        assert_eq!(s.call_depth.count(2), 1);
+        assert_eq!(s.call_depth.max(), Some(2));
+    }
+
+    #[test]
+    fn empty_stats_ratios_are_zero() {
+        let s = StreamStats::default();
+        assert_eq!(s.load_fraction(), 0.0);
+        assert_eq!(s.local_mem_fraction(), 0.0);
+    }
+}

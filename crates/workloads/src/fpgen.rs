@@ -1,0 +1,250 @@
+//! Generator for the floating-point (SPECfp95-like) benchmark stand-ins.
+//!
+//! FP programs are loop nests sweeping large `f64` arrays with pointer
+//! bumps and FP arithmetic chains — exactly the §4.3 shape in which local
+//! and non-local accesses are *not* well interleaved: local traffic
+//! appears only in short bursts around kernel calls (prologue/epilogue
+//! saves and occasional register spills), so "the performance of the (2+2)
+//! configuration is close to that of the (2+0) configuration".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dda_isa::{AluOp, FpuOp, Fpr, Gpr, StreamHint};
+use dda_program::{FunctionBuilder, MemoryLayout, Program, ProgramBuilder};
+
+/// Parameters of one floating-point benchmark stand-in.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FpParams {
+    /// Benchmark name (diagnostics only).
+    pub name: &'static str,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of distinct compute kernels.
+    pub n_kernels: u32,
+    /// Number of `f64` arrays each kernel reads/writes.
+    pub arrays: u32,
+    /// Elements swept per kernel invocation.
+    pub elems_per_call: u32,
+    /// Array loads per element.
+    pub loads_per_elem: u32,
+    /// Array stores per element.
+    pub stores_per_elem: u32,
+    /// FP operations chained per element.
+    pub fp_ops_per_elem: u32,
+    /// Integer index/bookkeeping operations per element.
+    pub int_ops_per_elem: u32,
+    /// Strips per kernel call; each strip boundary spills/reloads FP
+    /// temporaries to the frame (103.su2cor-style local traffic).
+    pub strips: u32,
+    /// FP spill pairs per strip boundary.
+    pub spills_per_strip: u32,
+    /// Callee-saved integer registers saved by each kernel.
+    pub saves: u32,
+    /// `main`-loop iterations at `scale = 1`.
+    pub base_iters: u32,
+}
+
+/// Generates the full program for one FP benchmark.
+pub(crate) fn generate(p: &FpParams, scale: u32) -> Program {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let layout = MemoryLayout::standard();
+    let heap = layout.heap_base();
+
+    let arrays = p.arrays.max(1);
+    let elems = p.elems_per_call.max(8);
+    let array_bytes = elems * 8;
+    let kernel_names: Vec<String> = (0..p.n_kernels.max(1)).map(|i| format!("kernel{i}")).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.layout(layout);
+
+    // main.
+    let mut main = FunctionBuilder::with_frame("main", 16);
+    main.addi(Gpr::SP, Gpr::SP, -16);
+    main.store_local(Gpr::RA, 0);
+    let iters = (p.base_iters.max(1) as i64 * scale as i64).min(i32::MAX as i64) as i32;
+    main.load_imm(Gpr::S7, iters);
+    let top = main.new_label();
+    main.bind(top);
+    for k in &kernel_names {
+        main.call(k.clone());
+    }
+    main.addi(Gpr::S7, Gpr::S7, -1);
+    main.bnez(Gpr::S7, top);
+    main.load_local(Gpr::RA, 0);
+    main.addi(Gpr::SP, Gpr::SP, 16);
+    main.halt();
+    b.add_function(main);
+
+    // Kernels.
+    for (ki, name) in kernel_names.iter().enumerate() {
+        b.add_function(emit_kernel(name.clone(), ki as u32, p, arrays, elems, array_bytes, heap, &mut rng));
+    }
+
+    b.build().unwrap_or_else(|e| panic!("{}: generator produced invalid program: {e}", p.name))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_kernel(
+    name: String,
+    index: u32,
+    p: &FpParams,
+    arrays: u32,
+    elems: u32,
+    array_bytes: u32,
+    heap: u32,
+    rng: &mut StdRng,
+) -> FunctionBuilder {
+    let saves: Vec<Gpr> = (0..p.saves.min(6)).map(|i| Gpr::new(16 + i as u8)).collect();
+    // Frame: saves + spill slots (8 bytes each) + padding.
+    let spill_slots = (p.spills_per_strip.max(1) * 2) as i32;
+    let frame_bytes = ((saves.len() as i32 + 1) * 4 + spill_slots * 8 + 8 + 7) & !7;
+    let mut f = FunctionBuilder::with_frame(name, frame_bytes as u32);
+
+    f.addi(Gpr::SP, Gpr::SP, -frame_bytes);
+    let mut slot = 0i32;
+    for &s in &saves {
+        f.store_local(s, slot);
+        slot += 4;
+    }
+    // 8-align the FP spill area.
+    let spill_base = (slot + 7) & !7;
+
+    // Each kernel works on its own array set, laid out back to back.
+    let base = heap + index * arrays * array_bytes;
+    f.load_imm(Gpr::K0, base as i32);
+
+    let strips = p.strips.max(1);
+    let per_strip = (elems / strips).max(1);
+
+    // Strip loop in $t9 (kernels are leaves: no calls clobber it).
+    f.load_imm(Gpr::T9, strips as i32);
+    let strip_top = f.new_label();
+    f.bind(strip_top);
+
+    // Strip boundary: spill/reload FP temporaries — the bursty local
+    // traffic FP codes exhibit.
+    for sidx in 0..p.spills_per_strip {
+        let off = spill_base + (sidx as i32 % spill_slots) * 8;
+        let fr = Fpr::new((8 + sidx % 8) as u8);
+        f.fstore(fr, Gpr::SP, off, StreamHint::Local);
+        f.fload(fr, Gpr::SP, off, StreamHint::Local);
+    }
+
+    // Element loop in $t8.
+    f.load_imm(Gpr::T8, per_strip as i32);
+    let elem_top = f.new_label();
+    f.bind(elem_top);
+    let mut freg = 0u8;
+    let next_f = |n: &mut u8| {
+        let r = Fpr::new(*n % 30);
+        *n += 1;
+        r
+    };
+    let mut loaded: Vec<Fpr> = Vec::new();
+    for l in 0..p.loads_per_elem {
+        let arr = l % arrays;
+        let fd = next_f(&mut freg);
+        f.fload(fd, Gpr::K0, (arr * array_bytes) as i32, StreamHint::NonLocal);
+        loaded.push(fd);
+    }
+    let ops = [FpuOp::Add, FpuOp::Mul, FpuOp::Sub];
+    let mut acc = loaded.first().copied().unwrap_or(Fpr::F0);
+    for o in 0..p.fp_ops_per_elem {
+        let op = ops[rng.gen_range(0..ops.len())];
+        let other = loaded.get((o as usize + 1) % loaded.len().max(1)).copied().unwrap_or(acc);
+        let fd = next_f(&mut freg);
+        f.fpu(op, fd, acc, other);
+        acc = fd;
+    }
+    for s in 0..p.stores_per_elem {
+        let arr = (p.loads_per_elem + s) % arrays;
+        f.fstore(acc, Gpr::K0, (arr * array_bytes) as i32, StreamHint::NonLocal);
+    }
+    for _ in 0..p.int_ops_per_elem {
+        let d = Gpr::new((8 + rng.gen_range(0..6)) as u8); // t0..t5
+        f.alui(AluOp::Add, d, d, 1);
+    }
+    // Advance the element pointer and close the loops.
+    f.addi(Gpr::K0, Gpr::K0, 8);
+    f.addi(Gpr::T8, Gpr::T8, -1);
+    f.bnez(Gpr::T8, elem_top);
+
+    f.addi(Gpr::T9, Gpr::T9, -1);
+    f.bnez(Gpr::T9, strip_top);
+
+    // Epilogue.
+    let mut slot = 0i32;
+    for &s in &saves {
+        f.load_local(s, slot);
+        slot += 4;
+    }
+    f.addi(Gpr::SP, Gpr::SP, frame_bytes);
+    f.ret();
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_isa::Gpr;
+    use dda_vm::{StreamProfiler, Vm};
+
+    fn tiny() -> FpParams {
+        FpParams {
+            name: "tinyfp",
+            seed: 11,
+            n_kernels: 2,
+            arrays: 3,
+            elems_per_call: 64,
+            loads_per_elem: 3,
+            stores_per_elem: 1,
+            fp_ops_per_elem: 3,
+            int_ops_per_elem: 1,
+            strips: 4,
+            spills_per_strip: 2,
+            saves: 2,
+            base_iters: 3,
+        }
+    }
+
+    #[test]
+    fn fp_program_halts_and_balances_stack() {
+        let p = generate(&tiny(), 1);
+        let mut vm = Vm::new(p.clone());
+        let s = vm.run(10_000_000).unwrap();
+        assert!(s.halted);
+        assert_eq!(vm.gpr(Gpr::SP) as u32, p.layout().stack_base());
+    }
+
+    #[test]
+    fn fp_traffic_is_mostly_non_local() {
+        let p = generate(&tiny(), 1);
+        let mut vm = Vm::new(p.clone());
+        let mut prof = StreamProfiler::new(&p);
+        while let Some(d) = vm.step().unwrap() {
+            prof.observe(&d);
+        }
+        let s = prof.stats();
+        assert!(s.loads > 0 && s.stores > 0);
+        assert!(
+            s.local_mem_fraction() < 0.35,
+            "local fraction {}",
+            s.local_mem_fraction()
+        );
+        assert_eq!(s.hint_mismatches, 0);
+    }
+
+    #[test]
+    fn element_pointer_stays_in_bounds() {
+        // The VM errors on out-of-region accesses, so a clean run is the
+        // bound check.
+        let mut params = tiny();
+        params.elems_per_call = 1024;
+        params.strips = 1;
+        let p = generate(&params, 1);
+        let mut vm = Vm::new(p);
+        assert!(vm.run(50_000_000).unwrap().halted);
+    }
+}

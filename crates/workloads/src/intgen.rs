@@ -1,0 +1,804 @@
+//! Generator for the integer (SPECint95-like) benchmark stand-ins.
+//!
+//! Emitted programs follow real compiler conventions: functions allocate a
+//! frame by dropping `$sp`, save the callee-saved registers and `$ra` they
+//! use (local stores), run loop bodies mixing ALU work, spill/reload pairs,
+//! heap and global traffic and calls, then restore and return. All local
+//! accesses are `$sp`-based and hinted [`StreamHint::Local`]; heap/global
+//! accesses are hinted `NonLocal` — the compiler-exact classification the
+//! paper assumes (§2.2.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dda_isa::{AluOp, Gpr, MemWidth, StreamHint};
+use dda_program::{FunctionBuilder, MemoryLayout, Program, ProgramBuilder};
+
+/// Instruction mix of one generated basic block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockMix {
+    /// Plain ALU operations.
+    pub alu: u32,
+    /// Spill/reload pairs: a local store immediately reloaded (short reuse
+    /// distance — the fast-forwarding targets).
+    pub local_pairs: u32,
+    /// Local loads of frame slots (parameter/variable reads).
+    pub local_loads: u32,
+    /// Local stores to frame slots.
+    pub local_stores: u32,
+    /// Heap loads through a region pointer.
+    pub heap_loads: u32,
+    /// Heap stores through a region pointer.
+    pub heap_stores: u32,
+    /// Loads of `$gp`-based global scalars.
+    pub global_loads: u32,
+    /// Stores to `$gp`-based global scalars.
+    pub global_stores: u32,
+}
+
+/// A `ctak`-style recursive component.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecursionSpec {
+    /// Recursion depth per activation from `main`.
+    pub depth: u32,
+    /// Frame size of the recursive function, in words.
+    pub frame_words: u32,
+    /// Tree recursion (two self-calls per level) instead of linear.
+    pub binary: bool,
+    /// Out of every 8 `main`-loop iterations, how many call the recursive
+    /// function instead of a top-level function.
+    pub weight_of_8: u32,
+    /// Extra frame slots written per activation beyond `$ra`/`$a0`.
+    pub touched_slots: u32,
+    /// ALU operations per activation.
+    pub alu: u32,
+    /// Heap loads per activation.
+    pub heap_loads: u32,
+    /// Heap stores per activation.
+    pub heap_stores: u32,
+    /// Pointer-chase loads per activation (130.li's `ctak` walks cons
+    /// cells); requires the benchmark to have a linked ring.
+    pub chase: u32,
+}
+
+/// Parameters of one integer benchmark stand-in.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct IntParams {
+    /// Benchmark name (used for diagnostics only).
+    pub name: &'static str,
+    /// RNG seed — generation is fully deterministic.
+    pub seed: u64,
+    /// Static function counts at the three call-tree levels.
+    pub n_top: usize,
+    /// Mid-level functions (called by top functions).
+    pub n_mid: usize,
+    /// Leaf functions (called by mid functions).
+    pub n_leaf: usize,
+    /// Frame-size range (words) per level, inclusive.
+    pub top_frame_words: (u32, u32),
+    /// Frame-size range of mid functions.
+    pub mid_frame_words: (u32, u32),
+    /// Frame-size range of leaf functions.
+    pub leaf_frame_words: (u32, u32),
+    /// Callee-saved registers saved by each level (prologue stores +
+    /// epilogue loads).
+    pub top_saves: u32,
+    /// Saves in mid functions.
+    pub mid_saves: u32,
+    /// Saves in leaf functions.
+    pub leaf_saves: u32,
+    /// Loop iterations inside each function body.
+    pub body_loops: u32,
+    /// Blocks per loop iteration.
+    pub blocks_per_loop: u32,
+    /// The per-block instruction mix.
+    pub mix: BlockMix,
+    /// Calls to mid functions per top-function loop iteration.
+    pub calls_per_loop_top: u32,
+    /// Calls to leaf functions per mid-function loop iteration.
+    pub calls_per_loop_mid: u32,
+    /// Optional recursive component (130.li's `ctak`, 126.gcc's deep
+    /// passes).
+    pub recursion: Option<RecursionSpec>,
+    /// Heap working set in bytes, split into per-function regions.
+    pub heap_bytes: u32,
+    /// Global (static) data span in bytes.
+    pub global_bytes: u32,
+    /// Stride between successive heap accesses of one function.
+    pub heap_stride: u32,
+    /// Use byte-width heap accesses (129.compress is byte-oriented).
+    pub byte_heap: bool,
+    /// Emit one *ambiguous* local access per mid-level function (the
+    /// paper's Figure 4: a frame slot reached through a pointer rather
+    /// than `$sp`). These carry `StreamHint::Unknown`, so classification
+    /// falls to the hardware's 1-bit region predictor (§2.2.3).
+    pub ambiguous_mids: bool,
+    /// Pointer-chase loads per block: each loads the next link of a
+    /// heap-resident linked ring into the chase register, so the loaded
+    /// value is the next load's *address* — the latency-critical pattern
+    /// of linked-structure code (130.li's cons cells, 147.vortex's object
+    /// graph). Zero for array-style programs.
+    pub chase: u32,
+    /// Footprint of the linked ring in bytes (one link per 32 B line);
+    /// rings larger than the L1 make the chase miss, creating the
+    /// stack/data L1 conflicts behind the paper's §4.2.1 L2-traffic
+    /// observation. Ignored when `chase == 0`.
+    pub ring_bytes: u32,
+    /// Number of parallel dependence chains in generated code — the ILP
+    /// ceiling of the workload. Real SPECint code sustains a handful of
+    /// independent chains; without this cap a synthetic program is pure
+    /// bandwidth-limited and the Fig. 5 port sweep loses its shape.
+    pub ilp: u32,
+    /// `main`-loop iterations at `scale = 1`.
+    pub base_iters: u32,
+}
+
+const TEMPS: [Gpr; 12] = [
+    Gpr::T0,
+    Gpr::T1,
+    Gpr::T2,
+    Gpr::T3,
+    Gpr::T4,
+    Gpr::T5,
+    Gpr::T6,
+    Gpr::T7,
+    Gpr::V0,
+    Gpr::V1,
+    Gpr::A1,
+    Gpr::A2,
+];
+
+const ALU_OPS: [AluOp; 6] =
+    [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Slt];
+
+/// State threaded through the emission of one function body.
+///
+/// Generated code is organised as `ilp` parallel dependence *chains*
+/// carried in the first `ilp` temp registers; loads feed values into the
+/// remaining temps and the ALU work folds them into the chains, so the
+/// workload's instruction-level parallelism is bounded the way real code's
+/// is.
+struct Emitter<'a> {
+    rng: &'a mut StdRng,
+    /// Pointer-chase loads per block (0 = none).
+    chase: u32,
+    /// Number of parallel dependence chains.
+    ilp: usize,
+    /// Chain count for the current block (`ilp` or `ilp + 1`).
+    block_ilp: usize,
+    /// Round-robin cursor over the chain registers.
+    chain_cursor: usize,
+    /// Round-robin cursor over the feed (load-destination) registers.
+    feed_cursor: usize,
+    /// Recently loaded feed registers awaiting consumption by chain ALU
+    /// ops.
+    pending_feeds: std::collections::VecDeque<Gpr>,
+    /// Heap region assigned to this function.
+    heap_base: u32,
+    heap_len: u32,
+    heap_cursor: u32,
+    heap_stride: u32,
+    /// Local-slot byte range within the frame, 4-aligned.
+    local_lo: u32,
+    local_hi: u32,
+    global_bytes: u32,
+    byte_heap: bool,
+}
+
+impl Emitter<'_> {
+    /// The next chain register (dependence-carrying).
+    fn chain(&mut self) -> Gpr {
+        let r = TEMPS[self.chain_cursor % self.block_ilp.max(1)];
+        self.chain_cursor += 1;
+        r
+    }
+
+    /// The next feed register (load destination).
+    fn feed(&mut self) -> Gpr {
+        let n = TEMPS.len() - self.ilp;
+        let r = TEMPS[self.ilp + self.feed_cursor % n];
+        self.feed_cursor += 1;
+        if self.pending_feeds.len() >= n {
+            self.pending_feeds.pop_front();
+        }
+        self.pending_feeds.push_back(r);
+        r
+    }
+
+    fn local_off(&mut self) -> i32 {
+        if self.local_hi <= self.local_lo {
+            return self.local_lo as i32;
+        }
+        let slots = (self.local_hi - self.local_lo) / 4;
+        (self.local_lo + self.rng.gen_range(0..slots) * 4) as i32
+    }
+
+    fn heap_off(&mut self) -> i32 {
+        let off = self.heap_cursor;
+        self.heap_cursor += self.heap_stride;
+        if self.heap_cursor + 8 > self.heap_len {
+            self.heap_cursor = 0;
+        }
+        off as i32
+    }
+
+    fn global_off(&mut self) -> i32 {
+        (self.rng.gen_range(0..self.global_bytes / 4) * 4) as i32
+    }
+
+    /// One chain ALU op: folds a pending loaded value (or an immediate)
+    /// into the next dependence chain.
+    fn chain_alu(&mut self, f: &mut FunctionBuilder) {
+        let op = ALU_OPS[self.rng.gen_range(0..ALU_OPS.len())];
+        let c = self.chain();
+        match self.pending_feeds.pop_front() {
+            Some(feed) => {
+                f.alu(op, c, c, feed);
+            }
+            None => {
+                f.alui(op, c, c, self.rng.gen_range(-64..64));
+            }
+        }
+    }
+
+    fn emit_block(&mut self, f: &mut FunctionBuilder, mix: &BlockMix) {
+        // Vary the chain count block to block so the ILP ceiling is not a
+        // hard step function.
+        self.block_ilp = (self.ilp + self.rng.gen_range(0..2)).min(TEMPS.len() - 4);
+        // Spill/reload pairs: the dependence chain passes *through* a
+        // stack slot, as real register-pressure spills do. The spill is
+        // emitted at the top of the block and the reload at the bottom
+        // (registers are reused in between), which is the short-reuse
+        // pattern the LVAQ's fast data forwarding attacks.
+        let mut reloads: Vec<(Gpr, i32)> = Vec::new();
+        for _ in 0..mix.local_pairs {
+            let off = self.local_off();
+            let c = self.chain();
+            f.store_local(c, off);
+            reloads.push((c, off));
+        }
+        for _ in 0..mix.local_stores {
+            let off = self.local_off();
+            let src = self.chain();
+            f.store_local(src, off);
+        }
+        for _ in 0..mix.local_loads {
+            let off = self.local_off();
+            let dst = self.feed();
+            f.load_local(dst, off);
+        }
+        for _ in 0..mix.heap_loads {
+            let off = self.heap_off();
+            let dst = self.feed();
+            if self.byte_heap {
+                f.load(dst, Gpr::K0, off, MemWidth::Byte, StreamHint::NonLocal);
+            } else {
+                f.load(dst, Gpr::K0, off & !3, MemWidth::Word, StreamHint::NonLocal);
+            }
+        }
+        for _ in 0..mix.heap_stores {
+            let off = self.heap_off();
+            let src = self.chain();
+            if self.byte_heap {
+                f.store(src, Gpr::K0, off, MemWidth::Byte, StreamHint::NonLocal);
+            } else {
+                f.store(src, Gpr::K0, off & !3, MemWidth::Word, StreamHint::NonLocal);
+            }
+        }
+        for _ in 0..mix.global_loads {
+            let off = self.global_off();
+            let dst = self.feed();
+            f.load(dst, Gpr::GP, off, MemWidth::Word, StreamHint::NonLocal);
+        }
+        for _ in 0..self.chase {
+            // The chase register is both base and destination: a serial
+            // load→address chain.
+            f.load(Gpr::A3, Gpr::A3, 0, MemWidth::Word, StreamHint::NonLocal);
+        }
+        for _ in 0..mix.global_stores {
+            let off = self.global_off();
+            let src = self.chain();
+            f.store(src, Gpr::GP, off, MemWidth::Word, StreamHint::NonLocal);
+        }
+        for _ in 0..mix.alu {
+            self.chain_alu(f);
+        }
+        for (c, off) in reloads {
+            f.load_local(c, off);
+        }
+    }
+}
+
+/// Per-level shape of a generated function.
+struct Shape {
+    frame_words: u32,
+    saves: u32,
+    makes_calls: bool,
+    loops: u32,
+    blocks: u32,
+    calls_per_loop: u32,
+    /// Emit the Figure-4 ambiguous frame access at function entry.
+    ambiguous: bool,
+}
+
+fn saved_regs(saves: u32) -> Vec<Gpr> {
+    (0..saves.min(6)).map(|i| Gpr::new(16 + i as u8)).collect() // s0..s5
+}
+
+/// Emits a complete function; callees must already be named.
+#[allow(clippy::too_many_arguments)]
+fn emit_function(
+    name: String,
+    shape: &Shape,
+    mix: &BlockMix,
+    callees: &[String],
+    rng: &mut StdRng,
+    heap_region: (u32, u32),
+    cursor_slot: Option<i32>,
+    params: &IntParams,
+) -> FunctionBuilder {
+    // The frame must hold the saved registers, $ra, the loop counter
+    // ($s6) and at least one local slot.
+    let saves = saved_regs(shape.saves);
+    let uses_loop = shape.loops > 0;
+    let mut reserved = saves.len() as u32;
+    if shape.makes_calls {
+        reserved += 1; // $ra
+    }
+    if uses_loop {
+        reserved += 1; // $s6
+    }
+    let frame_words = shape.frame_words.max(reserved + 2);
+    let frame_bytes = frame_words * 4;
+    let mut f = FunctionBuilder::with_frame(name, frame_bytes);
+
+    // Prologue.
+    f.addi(Gpr::SP, Gpr::SP, -(frame_bytes as i32));
+    let mut slot = 0i32;
+    for &s in &saves {
+        f.store_local(s, slot);
+        slot += 4;
+    }
+    let ra_slot = slot;
+    if shape.makes_calls {
+        f.store_local(Gpr::RA, ra_slot);
+        slot += 4;
+    }
+    let s6_slot = slot;
+    if uses_loop {
+        f.store_local(Gpr::S6, s6_slot);
+        slot += 4;
+    }
+
+    let mut em = Emitter {
+        rng,
+        chase: if cursor_slot.is_some() { params.chase } else { 0 },
+        ilp: (params.ilp.max(1) as usize).min(TEMPS.len() - 4),
+        block_ilp: (params.ilp.max(1) as usize).min(TEMPS.len() - 4),
+        chain_cursor: 0,
+        feed_cursor: 0,
+        pending_feeds: std::collections::VecDeque::new(),
+        heap_base: heap_region.0,
+        heap_len: heap_region.1.max(64),
+        heap_cursor: 0,
+        heap_stride: params.heap_stride.max(1),
+        local_lo: slot as u32,
+        local_hi: frame_bytes,
+        global_bytes: params.global_bytes.max(64),
+        byte_heap: params.byte_heap,
+    };
+
+    // The paper's Figure 4 pattern: pass the address of a frame slot
+    // through a register and access it without the compiler being able
+    // to prove the region — hint Unknown, resolved by the predictor.
+    if shape.ambiguous && em.local_lo < em.local_hi {
+        let off = em.local_lo as i32;
+        f.addi(Gpr::AT, Gpr::SP, off);
+        f.store(Gpr::T0, Gpr::AT, 0, MemWidth::Word, StreamHint::Unknown);
+        f.load(Gpr::T1, Gpr::AT, 0, MemWidth::Word, StreamHint::Unknown);
+    }
+
+    // Region pointer, and the persistent ring cursor for pointer chasing
+    // (each invocation continues the walk where the last one stopped).
+    f.load_imm(Gpr::K0, em.heap_base as i32);
+    if let Some(g) = cursor_slot {
+        f.load(Gpr::A3, Gpr::GP, g, MemWidth::Word, StreamHint::NonLocal);
+    }
+
+    if uses_loop {
+        f.load_imm(Gpr::S6, shape.loops as i32);
+        let top = f.new_label();
+        f.bind(top);
+        for b in 0..shape.blocks {
+            em.emit_block(&mut f, mix);
+            // Distribute calls across the blocks of one iteration.
+            if !callees.is_empty() && b < shape.calls_per_loop {
+                let callee = &callees[em.rng.gen_range(0..callees.len())];
+                f.call(callee.clone());
+                // Caller-saved pointer is re-derived after the call.
+                f.load_imm(Gpr::K0, em.heap_base as i32);
+            }
+        }
+        f.addi(Gpr::S6, Gpr::S6, -1);
+        f.bnez(Gpr::S6, top);
+    } else {
+        for _ in 0..shape.blocks {
+            em.emit_block(&mut f, mix);
+        }
+    }
+
+    // Epilogue.
+    if let Some(g) = cursor_slot {
+        f.store(Gpr::A3, Gpr::GP, g, MemWidth::Word, StreamHint::NonLocal);
+    }
+    if uses_loop {
+        f.load_local(Gpr::S6, s6_slot);
+    }
+    if shape.makes_calls {
+        f.load_local(Gpr::RA, ra_slot);
+    }
+    let mut slot = 0i32;
+    for &s in &saves {
+        f.load_local(s, slot);
+        slot += 4;
+    }
+    f.addi(Gpr::SP, Gpr::SP, frame_bytes as i32);
+    f.ret();
+    f
+}
+
+fn emit_recursive(
+    spec: &RecursionSpec,
+    heap_region: (u32, u32),
+    stride: u32,
+    rng: &mut StdRng,
+) -> FunctionBuilder {
+    let frame_words = spec.frame_words.max(4 + spec.touched_slots);
+    let frame_bytes = frame_words * 4;
+    let mut f = FunctionBuilder::with_frame("rec", frame_bytes);
+    let work = f.new_label();
+    f.bnez(Gpr::A0, work);
+    f.load_imm(Gpr::V0, 1);
+    f.ret();
+    f.bind(work);
+    f.addi(Gpr::SP, Gpr::SP, -(frame_bytes as i32));
+    f.store_local(Gpr::RA, 0);
+    f.store_local(Gpr::A0, 4);
+    // Touch further frame slots like a real activation would, spread
+    // across the whole frame so a fat frame has a fat cache footprint.
+    for i in 0..spec.touched_slots {
+        let off = 8 + (frame_bytes - 12) * (i + 1) / (spec.touched_slots + 1);
+        f.store_local(Gpr::T0, (off & !3) as i32);
+    }
+    // Per-activation work: ALU plus heap traffic so the recursive
+    // component has the benchmark's non-local side too.
+    f.load_imm(Gpr::K0, heap_region.0 as i32);
+    let mut cursor = 0u32;
+    let heap_off = |c: &mut u32| {
+        let off = *c;
+        *c = (*c + stride.max(8)) % heap_region.1.max(64).saturating_sub(8).max(1);
+        (off & !3) as i32
+    };
+    for _ in 0..spec.heap_loads {
+        let off = heap_off(&mut cursor);
+        f.load(Gpr::T2, Gpr::K0, off, MemWidth::Word, StreamHint::NonLocal);
+    }
+    for _ in 0..spec.heap_stores {
+        let off = heap_off(&mut cursor);
+        f.store(Gpr::T2, Gpr::K0, off, MemWidth::Word, StreamHint::NonLocal);
+    }
+    // Two dependence chains only: recursive interpreter-style code has
+    // little ILP per activation.
+    for i in 0..spec.alu {
+        let op = ALU_OPS[rng.gen_range(0..ALU_OPS.len())];
+        let d = TEMPS[(i as usize) % 2];
+        f.alui(op, d, d, 3);
+    }
+    for _ in 0..spec.chase {
+        f.load(Gpr::A3, Gpr::A3, 0, MemWidth::Word, StreamHint::NonLocal);
+    }
+    f.addi(Gpr::A0, Gpr::A0, -1);
+    f.call("rec");
+    if spec.binary {
+        f.load_local(Gpr::A0, 4);
+        f.addi(Gpr::A0, Gpr::A0, -1);
+        f.call("rec");
+    }
+    f.load_local(Gpr::RA, 0);
+    f.load_local(Gpr::A0, 4);
+    f.addi(Gpr::SP, Gpr::SP, frame_bytes as i32);
+    f.ret();
+    f
+}
+
+/// Generates the full program for one integer benchmark.
+pub(crate) fn generate(p: &IntParams, scale: u32) -> Program {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let layout = MemoryLayout::standard();
+    let heap_base = layout.heap_base();
+
+    // Partition the heap working set into per-function regions.
+    let total_funcs = (p.n_top + p.n_mid + p.n_leaf).max(1) as u32;
+    let region_len = (p.heap_bytes / total_funcs).max(256) & !7;
+
+    let top_names: Vec<String> = (0..p.n_top).map(|i| format!("top{i}")).collect();
+    let mid_names: Vec<String> = (0..p.n_mid).map(|i| format!("mid{i}")).collect();
+    let leaf_names: Vec<String> = (0..p.n_leaf).map(|i| format!("leaf{i}")).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.layout(layout);
+
+    // The linked ring lives just past the block regions; one link per
+    // 32-byte line.
+    let ring_links = if p.chase > 0 { (p.ring_bytes / 32).max(8) } else { 0 };
+    let ring_base = heap_base + ((total_funcs + 1) * region_len).next_multiple_of(32);
+    // Per-function ring cursors live above the random-global span.
+    let cursor_base = (p.global_bytes.max(64) as i32 + 63) & !63;
+
+    // main: the outer driver loop.
+    let mut main = FunctionBuilder::with_frame("main", 16);
+    main.addi(Gpr::SP, Gpr::SP, -16);
+    main.store_local(Gpr::RA, 0);
+    if ring_links > 0 {
+        // Build the ring: mem[link i] = link i+1, last wraps to the base.
+        main.load_imm(Gpr::T0, ring_links as i32 - 1);
+        main.load_imm(Gpr::K0, ring_base as i32);
+        let init_top = main.new_label();
+        main.bind(init_top);
+        main.addi(Gpr::T1, Gpr::K0, 32);
+        main.store(Gpr::T1, Gpr::K0, 0, MemWidth::Word, StreamHint::NonLocal);
+        main.mov(Gpr::K0, Gpr::T1);
+        main.addi(Gpr::T0, Gpr::T0, -1);
+        main.bnez(Gpr::T0, init_top);
+        main.load_imm(Gpr::T1, ring_base as i32);
+        main.store(Gpr::T1, Gpr::K0, 0, MemWidth::Word, StreamHint::NonLocal);
+        // Scatter the per-function cursors around the ring.
+        for i in 0..total_funcs {
+            let start = ring_base + (ring_links / (total_funcs + 1)) * 32 * i;
+            main.load_imm(Gpr::T1, start as i32);
+            main.store(Gpr::T1, Gpr::GP, cursor_base + (i as i32) * 4, MemWidth::Word, StreamHint::NonLocal);
+        }
+    }
+    let iters = (p.base_iters.max(1) as i64 * scale as i64).min(i32::MAX as i64) as i32;
+    main.load_imm(Gpr::S7, iters);
+    let top_lbl = main.new_label();
+    main.bind(top_lbl);
+    let rec_weight = p.recursion.map(|r| r.weight_of_8.min(8)).unwrap_or(0);
+    // Emit an 8-way unrolled dispatch: `rec_weight` of 8 slots call the
+    // recursive component, the rest call round-robin top functions.
+    let rec_cursor = cursor_base + total_funcs as i32 * 4;
+    let rec_chases = p.recursion.map(|r| r.chase).unwrap_or(0) > 0 && ring_links > 0;
+    if rec_chases {
+        // Give the recursive component its own ring cursor.
+        main.load_imm(Gpr::T1, ring_base as i32);
+        main.store(Gpr::T1, Gpr::GP, rec_cursor, MemWidth::Word, StreamHint::NonLocal);
+    }
+    for slot8 in 0..8u32 {
+        if slot8 < rec_weight {
+            let depth = p.recursion.expect("weight implies recursion").depth;
+            main.load_imm(Gpr::A0, depth as i32);
+            if rec_chases {
+                main.load(Gpr::A3, Gpr::GP, rec_cursor, MemWidth::Word, StreamHint::NonLocal);
+            }
+            main.call("rec");
+            if rec_chases {
+                main.store(Gpr::A3, Gpr::GP, rec_cursor, MemWidth::Word, StreamHint::NonLocal);
+            }
+        } else if !top_names.is_empty() {
+            let t = &top_names[rng.gen_range(0..top_names.len())];
+            main.call(t.clone());
+        }
+    }
+    main.addi(Gpr::S7, Gpr::S7, -1);
+    main.bnez(Gpr::S7, top_lbl);
+    main.load_local(Gpr::RA, 0);
+    main.addi(Gpr::SP, Gpr::SP, 16);
+    main.halt();
+    b.add_function(main);
+
+    // Function bodies.
+    let mut region = 0u32;
+    let mut next_region = || {
+        let r = heap_base + (region * region_len) % p.heap_bytes.max(region_len);
+        region += 1;
+        (r, region_len)
+    };
+
+    let mut func_idx = 0u32;
+    let next_cursor = |idx: &mut u32| -> Option<i32> {
+        if ring_links == 0 {
+            return None;
+        }
+        let g = cursor_base + (*idx as i32) * 4;
+        *idx += 1;
+        Some(g)
+    };
+    for name in &top_names {
+        let frame = rng.gen_range(p.top_frame_words.0..=p.top_frame_words.1);
+        let shape = Shape {
+            frame_words: frame,
+            saves: p.top_saves,
+            makes_calls: !mid_names.is_empty(),
+            loops: p.body_loops,
+            blocks: p.blocks_per_loop,
+            calls_per_loop: p.calls_per_loop_top,
+            ambiguous: false,
+        };
+        let cursor = next_cursor(&mut func_idx);
+        let f = emit_function(
+            name.clone(),
+            &shape,
+            &p.mix,
+            &mid_names,
+            &mut rng,
+            next_region(),
+            cursor,
+            p,
+        );
+        b.add_function(f);
+    }
+    for name in &mid_names {
+        let frame = rng.gen_range(p.mid_frame_words.0..=p.mid_frame_words.1);
+        let shape = Shape {
+            frame_words: frame,
+            saves: p.mid_saves,
+            makes_calls: !leaf_names.is_empty(),
+            loops: 1,
+            blocks: p.blocks_per_loop,
+            calls_per_loop: p.calls_per_loop_mid,
+            ambiguous: p.ambiguous_mids && rng.gen_bool(0.5),
+        };
+        let cursor = next_cursor(&mut func_idx);
+        let f = emit_function(
+            name.clone(),
+            &shape,
+            &p.mix,
+            &leaf_names,
+            &mut rng,
+            next_region(),
+            cursor,
+            p,
+        );
+        b.add_function(f);
+    }
+    for name in &leaf_names {
+        let frame = rng.gen_range(p.leaf_frame_words.0..=p.leaf_frame_words.1);
+        let shape = Shape {
+            frame_words: frame,
+            saves: p.leaf_saves,
+            makes_calls: false,
+            loops: 0,
+            blocks: p.blocks_per_loop,
+            calls_per_loop: 0,
+            ambiguous: false,
+        };
+        let cursor = next_cursor(&mut func_idx);
+        let f = emit_function(
+            name.clone(),
+            &shape,
+            &p.mix,
+            &[],
+            &mut rng,
+            next_region(),
+            cursor,
+            p,
+        );
+        b.add_function(f);
+    }
+    if let Some(rec) = &p.recursion {
+        b.add_function(emit_recursive(rec, next_region(), p.heap_stride, &mut rng));
+    }
+
+    b.build().unwrap_or_else(|e| panic!("{}: generator produced invalid program: {e}", p.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use dda_vm::Vm;
+
+    fn tiny_params() -> IntParams {
+        IntParams {
+            name: "tiny",
+            seed: 7,
+            n_top: 2,
+            n_mid: 2,
+            n_leaf: 2,
+            top_frame_words: (8, 12),
+            mid_frame_words: (4, 8),
+            leaf_frame_words: (2, 4),
+            top_saves: 3,
+            mid_saves: 2,
+            leaf_saves: 0,
+            body_loops: 2,
+            blocks_per_loop: 1,
+            mix: BlockMix {
+                alu: 4,
+                local_pairs: 1,
+                local_loads: 1,
+                local_stores: 1,
+                heap_loads: 1,
+                heap_stores: 1,
+                global_loads: 1,
+                global_stores: 0,
+            },
+            calls_per_loop_top: 1,
+            calls_per_loop_mid: 1,
+            recursion: Some(RecursionSpec {
+                depth: 3,
+                frame_words: 4,
+                binary: false,
+                weight_of_8: 2,
+                touched_slots: 1,
+                alu: 4,
+                heap_loads: 1,
+                heap_stores: 0,
+                chase: 1,
+            }),
+            heap_bytes: 1 << 14,
+            global_bytes: 1 << 12,
+            heap_stride: 16,
+            byte_heap: false,
+            ambiguous_mids: true,
+            chase: 1,
+            ring_bytes: 4 << 10,
+            ilp: 4,
+            base_iters: 5,
+        }
+    }
+
+    #[test]
+    fn tiny_program_halts_and_balances_the_stack() {
+        let p = generate(&tiny_params(), 1);
+        let mut vm = Vm::new(p.clone());
+        let s = vm.run(10_000_000).unwrap();
+        assert!(s.halted, "did not halt");
+        assert_eq!(vm.gpr(Gpr::SP) as u32, p.layout().stack_base(), "unbalanced stack");
+        assert_eq!(vm.call_depth(), 0);
+    }
+
+    #[test]
+    fn scale_multiplies_work() {
+        let p1 = generate(&tiny_params(), 1);
+        let p3 = generate(&tiny_params(), 3);
+        let mut v1 = Vm::new(p1);
+        let mut v3 = Vm::new(p3);
+        let s1 = v1.run(100_000_000).unwrap();
+        let s3 = v3.run(100_000_000).unwrap();
+        assert!(s1.halted && s3.halted);
+        let ratio = s3.executed as f64 / s1.executed as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn recursion_reaches_declared_depth() {
+        let mut params = tiny_params();
+        params.recursion = Some(RecursionSpec {
+            depth: 6,
+            frame_words: 4,
+            binary: false,
+            weight_of_8: 8,
+            touched_slots: 0,
+            alu: 2,
+            heap_loads: 0,
+            heap_stores: 0,
+            chase: 0,
+        });
+        let p = generate(&params, 1);
+        let mut vm = Vm::new(p);
+        vm.run(10_000_000).unwrap();
+        // main(+1) -> rec chain of 6.
+        assert!(vm.max_call_depth() >= 7, "max depth {}", vm.max_call_depth());
+    }
+
+    #[test]
+    fn presets_have_distinct_seeds() {
+        use crate::Benchmark;
+        let mut seeds: Vec<u64> =
+            Benchmark::INTEGER.iter().map(|b| presets::int_params(*b).seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), Benchmark::INTEGER.len());
+    }
+}

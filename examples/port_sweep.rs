@@ -1,0 +1,60 @@
+//! Port sweep: reproduce the paper's Figure 5 question — "how much data
+//! cache bandwidth does each program need?" — for one benchmark, and show
+//! where an LVC changes the answer.
+//!
+//! ```sh
+//! cargo run --release --example port_sweep [benchmark] [instructions]
+//! ```
+//!
+//! `benchmark` is a SPEC95 name or suffix (default `147.vortex`).
+
+use dda::core::{MachineConfig, Simulator};
+use dda::workloads::Benchmark;
+use dda_stats::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = match args.first() {
+        Some(name) => Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().contains(name.as_str()))
+            .ok_or_else(|| format!("unknown benchmark `{name}`"))?,
+        None => Benchmark::Vortex,
+    };
+    let budget: u64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(300_000);
+
+    let program = bench.program(u32::MAX / 2);
+    println!(
+        "{bench}: {} static instructions across {} functions\n",
+        program.len(),
+        program.functions().len()
+    );
+
+    let mut table = Table::new(["config", "cycles", "IPC", "vs (1+0)", "LVC miss"]);
+    table.title(format!("Port sweep, first {budget} instructions"));
+    table.numeric();
+
+    let mut base_ipc = None;
+    for (n, m) in [(1, 0), (2, 0), (3, 0), (4, 0), (2, 2), (3, 2), (3, 3)] {
+        let cfg = if m > 0 {
+            MachineConfig::n_plus_m(n, m).with_optimizations()
+        } else {
+            MachineConfig::n_plus_m(n, m)
+        };
+        let r = Simulator::new(cfg).run(&program, budget)?;
+        let ipc = r.ipc();
+        let base = *base_ipc.get_or_insert(ipc);
+        table.row([
+            format!("({n}+{m})"),
+            r.cycles.to_string(),
+            format!("{ipc:.2}"),
+            format!("{:.2}x", ipc / base),
+            r.lvc
+                .map(|c| format!("{:.2}%", 100.0 * c.miss_rate()))
+                .unwrap_or_else(|| "—".into()),
+        ]);
+    }
+    println!("{table}");
+    println!("(N+M) = N-port L1 data cache + M-port 2 KB local variable cache.");
+    Ok(())
+}

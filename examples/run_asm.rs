@@ -1,0 +1,56 @@
+//! Run an assembly file on the simulator.
+//!
+//! ```sh
+//! cargo run --release --example run_asm -- path/to/program.s [N] [M]
+//! ```
+//!
+//! Assembles the file (see `dda::program::assemble` for the syntax), runs
+//! it functionally, then on the "(N+M)" machine (default (2+2) with the
+//! paper's optimizations), and reports both.
+
+use dda::core::{MachineConfig, Simulator};
+use dda::program::assemble;
+use dda::vm::Vm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: run_asm <file.s> [N] [M]");
+        std::process::exit(2);
+    };
+    let n: u32 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(2);
+    let m: u32 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2);
+
+    let source = std::fs::read_to_string(path)?;
+    let program = assemble(&source)?;
+    println!(
+        "{path}: {} instructions, {} functions",
+        program.len(),
+        program.functions().len()
+    );
+
+    let mut vm = Vm::new(program.clone());
+    let summary = vm.run(100_000_000)?;
+    println!(
+        "functional: {} instructions, {} ($v0 = {})",
+        summary.executed,
+        if summary.halted { "halted" } else { "budget exhausted" },
+        vm.gpr(dda::isa::Gpr::V0)
+    );
+
+    let cfg = if m > 0 {
+        MachineConfig::n_plus_m(n, m).with_optimizations()
+    } else {
+        MachineConfig::n_plus_m(n, m)
+    };
+    let r = Simulator::new(cfg).run(&program, summary.executed.max(1))?;
+    println!(
+        "({n}+{m}): {} cycles, IPC {:.2}; LVAQ {} loads / {} stores, {} fast fwds",
+        r.cycles,
+        r.ipc(),
+        r.lvaq.loads,
+        r.lvaq.stores,
+        r.lvaq.fast_forwards
+    );
+    Ok(())
+}

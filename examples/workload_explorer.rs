@@ -1,0 +1,64 @@
+//! Workload explorer: profile a benchmark's dynamic stream — the paper's
+//! Figure 2/3 measurements for a single program — and print a frame-size
+//! histogram.
+//!
+//! ```sh
+//! cargo run --release --example workload_explorer [benchmark] [instructions]
+//! ```
+
+use dda::vm::{StreamProfiler, Vm};
+use dda::workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = match args.first() {
+        Some(name) => Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().contains(name.as_str()))
+            .ok_or_else(|| format!("unknown benchmark `{name}`"))?,
+        None => Benchmark::Li,
+    };
+    let budget: u64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(1_000_000);
+
+    let program = bench.program(u32::MAX / 2);
+    let mut vm = Vm::new(program.clone());
+    let mut prof = StreamProfiler::new(&program);
+    for _ in 0..budget {
+        match vm.step()? {
+            Some(d) => prof.observe(&d),
+            None => break,
+        }
+    }
+    let s = prof.stats();
+
+    println!("{bench} — paper input: {}", bench.paper_input());
+    println!("dynamic instructions : {}", s.instructions);
+    println!(
+        "loads                : {} ({:.1}% of instructions, {:.1}% local)",
+        s.loads,
+        100.0 * s.load_fraction(),
+        100.0 * s.local_load_fraction()
+    );
+    println!(
+        "stores               : {} ({:.1}% of instructions, {:.1}% local)",
+        s.stores,
+        100.0 * s.store_fraction(),
+        100.0 * s.local_store_fraction()
+    );
+    println!("local share of refs  : {:.1}%", 100.0 * s.local_mem_fraction());
+    println!("dynamic calls        : {} (max depth {})", s.calls, vm.max_call_depth());
+    println!(
+        "mean frame           : {:.1} words dynamic / {:.1} words static",
+        s.frame_words.mean().unwrap_or(0.0),
+        program.mean_static_frame_words()
+    );
+
+    println!("\nDynamic frame-size distribution (words):");
+    let total = s.frame_words.samples().max(1);
+    for (words, count) in s.frame_words.bucketed(4) {
+        let pct = 100.0 * count as f64 / total as f64;
+        let bar = "#".repeat((pct / 2.0).ceil() as usize);
+        println!("  {:>4}-{:<4} {:>6.1}% {bar}", words, words + 3, pct);
+    }
+    Ok(())
+}

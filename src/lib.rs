@@ -1,0 +1,26 @@
+//! # dda — Data-Decoupled Architecture simulator
+//!
+//! Umbrella crate re-exporting the full simulator stack. See the README for a
+//! tour and `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use dda::prelude::*;
+//! # fn main() {}
+//! ```
+
+pub use dda_core as core;
+pub use dda_isa as isa;
+pub use dda_mem as mem;
+pub use dda_program as program;
+pub use dda_stats as stats;
+pub use dda_vm as vm;
+pub use dda_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use dda_core::*;
+    pub use dda_isa::*;
+    pub use dda_program::*;
+    pub use dda_vm::*;
+    pub use dda_workloads::*;
+}

@@ -1,0 +1,129 @@
+//! Calibration regression tests: loose bounds on the workload statistics
+//! the whole reproduction depends on (see EXPERIMENTS.md for the exact
+//! paper targets). If a generator or preset change pushes a benchmark out
+//! of these envelopes, the paper's figures stop reproducing — fail fast
+//! here rather than in a 30-minute sweep.
+
+use dda::vm::{StreamProfiler, Vm};
+use dda::workloads::Benchmark;
+
+const BUDGET: u64 = 300_000;
+
+fn stats(b: Benchmark) -> dda::vm::StreamStats {
+    let program = b.program(u32::MAX / 2);
+    let mut vm = Vm::new(program.clone());
+    let mut prof = StreamProfiler::new(&program);
+    for _ in 0..BUDGET {
+        match vm.step().unwrap() {
+            Some(d) => prof.observe(&d),
+            None => break,
+        }
+    }
+    prof.into_stats()
+}
+
+#[test]
+fn integer_average_local_fractions_track_the_paper() {
+    // Paper Fig. 2: ~30 % of loads and ~48 % of stores are local on
+    // average over SPECint.
+    let mut ll = 0.0;
+    let mut ls = 0.0;
+    for b in Benchmark::INTEGER {
+        let s = stats(b);
+        ll += s.local_load_fraction();
+        ls += s.local_store_fraction();
+    }
+    ll /= Benchmark::INTEGER.len() as f64;
+    ls /= Benchmark::INTEGER.len() as f64;
+    assert!((0.22..=0.42).contains(&ll), "avg local-load fraction {ll:.3}");
+    assert!((0.38..=0.60).contains(&ls), "avg local-store fraction {ls:.3}");
+}
+
+#[test]
+fn vortex_is_the_most_local_heavy_integer_program() {
+    let vortex = stats(Benchmark::Vortex).local_mem_fraction();
+    for b in Benchmark::INTEGER {
+        if b != Benchmark::Vortex {
+            assert!(
+                stats(b).local_mem_fraction() <= vortex + 1e-9,
+                "{b} out-localled vortex ({vortex:.3})"
+            );
+        }
+    }
+    assert!(vortex > 0.5, "vortex local share {vortex:.3}");
+}
+
+#[test]
+fn compress_is_the_least_local_integer_program() {
+    let compress = stats(Benchmark::Compress).local_mem_fraction();
+    assert!(compress < 0.25, "compress local share {compress:.3}");
+    for b in Benchmark::INTEGER {
+        if b != Benchmark::Compress {
+            assert!(
+                stats(b).local_mem_fraction() >= compress - 1e-9,
+                "{b} under-localled compress ({compress:.3})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fp_programs_have_little_local_traffic() {
+    for b in Benchmark::FLOAT {
+        let f = stats(b).local_mem_fraction();
+        assert!(f < 0.25, "{b}: local share {f:.3}");
+    }
+}
+
+#[test]
+fn memory_instruction_frequency_is_spec_like() {
+    // Paper: ~40 % of instructions are memory references, program
+    // dependent (Fig. 2 shows roughly 25–50 %).
+    for b in Benchmark::ALL {
+        let s = stats(b);
+        let mem = s.mem_fraction();
+        assert!((0.2..=0.55).contains(&mem), "{b}: memory fraction {mem:.3}");
+        assert!(s.load_fraction() > s.store_fraction(), "{b}: stores outnumber loads");
+    }
+}
+
+#[test]
+fn frames_are_small_and_calls_are_shallow_mostly() {
+    // Paper Fig. 3 / §2.2.1: typical frames of a few words, typical call
+    // depth 4–5 (deep recursive excursions excepted).
+    for b in Benchmark::INTEGER {
+        let s = stats(b);
+        let p50 = s.frame_words.quantile(0.5).unwrap_or(0);
+        assert!((1..=24).contains(&p50), "{b}: median frame {p50} words");
+        assert!(s.calls > 100, "{b}: only {} calls", s.calls);
+    }
+}
+
+#[test]
+fn gcc_is_the_lvc_exception() {
+    // Paper Fig. 6: a 2 KB LVC exceeds 99 % hit rate for everything
+    // except 126.gcc.
+    use dda::mem::{CacheConfig, CacheCore};
+    let miss_rate = |b: Benchmark| {
+        let program = b.program(u32::MAX / 2);
+        let mut vm = Vm::new(program);
+        let mut cache = CacheCore::new(&CacheConfig::lvc_2k());
+        for _ in 0..1_000_000 {
+            match vm.step().unwrap() {
+                Some(d) => {
+                    if let Some(m) = d.mem {
+                        if m.is_local() && !cache.access(m.addr, m.is_store) {
+                            cache.fill(m.addr, m.is_store);
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        cache.stats().miss_rate()
+    };
+    assert!(miss_rate(Benchmark::Gcc) > 0.01, "gcc must miss in a 2 KB LVC");
+    for b in [Benchmark::Vortex, Benchmark::Li, Benchmark::Compress, Benchmark::Go] {
+        assert!(miss_rate(b) < 0.01, "{b} must exceed 99 % hit in a 2 KB LVC");
+    }
+}

@@ -1,0 +1,44 @@
+//! Round-trip tests of the optional `serde` feature: machine
+//! configurations and simulation results serialize to JSON and come back
+//! identical, so experiment configs/results can be stored and diffed.
+
+#![cfg(feature = "serde")]
+
+use dda::core::{MachineConfig, Simulator, SteerPolicy};
+use dda::workloads::Benchmark;
+
+#[test]
+fn machine_config_round_trips_through_json() {
+    let mut cfg = MachineConfig::n_plus_m(3, 2).with_optimizations();
+    cfg.decoupling.steer = SteerPolicy::SpBase;
+    cfg.rob_size = 96;
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    assert!(json.contains("\"rob_size\": 96"));
+    let back: MachineConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn sim_result_round_trips_through_json() {
+    let program = Benchmark::Compress.program(u32::MAX / 2);
+    let result = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations())
+        .run(&program, 20_000)
+        .unwrap();
+    let json = serde_json::to_string(&result).unwrap();
+    let back: dda::core::SimResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(result, back);
+    assert_eq!(result.ipc(), back.ipc());
+}
+
+#[test]
+fn edited_config_json_is_usable() {
+    // The practical workflow: dump a config, tweak a field, feed it back.
+    let cfg = MachineConfig::n_plus_m(2, 2);
+    let mut v: serde_json::Value = serde_json::to_value(&cfg).unwrap();
+    v["issue_width"] = 8.into();
+    v["decoupling"]["combining_degree"] = 4.into();
+    let back: MachineConfig = serde_json::from_value(v).unwrap();
+    assert_eq!(back.issue_width, 8);
+    assert_eq!(back.decoupling.combining_degree, 4);
+    assert_eq!(back.validate(), Ok(()));
+}
