@@ -4,7 +4,7 @@
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, Criterion};
 use dda_core::{MachineConfig, SteerPolicy};
 use dda_vm::Vm;
 use dda_workloads::Benchmark;

@@ -5,7 +5,7 @@
 //! simulation itself; the scientific output comes from the `experiments`
 //! binary, which runs the same code at full budgets.
 
-use criterion::Criterion;
+use dda_bench::Criterion;
 use dda_core::{MachineConfig, SimResult, Simulator};
 use dda_program::Program;
 use dda_workloads::Benchmark;

@@ -2,7 +2,7 @@
 //! functional-profiling path (VM + StreamProfiler) that produces the
 //! figure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, Criterion};
 use dda_vm::{StreamProfiler, Vm};
 use dda_workloads::Benchmark;
 

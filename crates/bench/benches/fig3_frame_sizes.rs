@@ -1,7 +1,7 @@
 //! Figure 3 — dynamic frame-size distribution: benchmarks the per-call
 //! frame histogram collection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, Criterion};
 use dda_vm::{StreamProfiler, Vm};
 use dda_workloads::Benchmark;
 

@@ -1,7 +1,7 @@
 //! Figure 6 — LVC miss rate vs capacity: benchmarks the content-model
 //! replay that produces the figure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, Criterion};
 use dda_mem::{CacheConfig, CacheCore};
 use dda_vm::Vm;
 use dda_workloads::Benchmark;

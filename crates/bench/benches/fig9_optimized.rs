@@ -2,7 +2,7 @@
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, Criterion};
 use dda_core::MachineConfig;
 use dda_workloads::Benchmark;
 

@@ -1,0 +1,196 @@
+//! Host-throughput benchmark for the simulation kernel.
+//!
+//! Runs every preset workload under the paper's base (2+0) machine and
+//! the optimized decoupled (4+2) machine, once with the incremental
+//! scheduler kernel and once with the straightforward rescan-per-cycle
+//! reference kernel (`MachineConfig::reference_kernel`), and reports host
+//! MIPS (millions of committed instructions per wall-clock second) and
+//! simulated cycles per second for each. The two kernels must produce
+//! bit-identical [`SimResult`]s — the run aborts if they diverge.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dda-bench --bin throughput [-- --quick]
+//!     [--budget N] [--out PATH]
+//! ```
+//!
+//! `--quick` restricts the sweep to three representative workloads with a
+//! reduced budget (the CI smoke mode); `--budget` overrides the committed
+//! instruction budget per run; `--reps` sets the repetitions per timing
+//! (best-of-N, default 3, to damp scheduler noise); `--out` changes the
+//! JSON report path (default `BENCH_throughput.json`).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dda_bench::pipeline_budget;
+use dda_core::{MachineConfig, SimResult, Simulator};
+use dda_workloads::Benchmark;
+
+/// One timed simulation.
+struct Timed {
+    res: SimResult,
+    secs: f64,
+}
+
+impl Timed {
+    fn mips(&self) -> f64 {
+        self.res.committed as f64 / 1e6 / self.secs
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.res.cycles as f64 / self.secs
+    }
+}
+
+fn run_timed(
+    cfg: &MachineConfig,
+    program: &Arc<dda_program::Program>,
+    budget: u64,
+    reps: u32,
+) -> Timed {
+    let mut best: Option<Timed> = None;
+    for _ in 0..reps.max(1) {
+        let sim = Simulator::new(cfg.clone());
+        let start = Instant::now();
+        let res = sim.run_shared(Arc::clone(program), budget).expect("workload executes cleanly");
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        match &mut best {
+            None => best = Some(Timed { res, secs }),
+            Some(b) => {
+                assert_eq!(b.res, res, "nondeterministic result across repetitions");
+                b.secs = b.secs.min(secs);
+            }
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+fn json_pair(out: &mut String, label: &str, t: &Timed) {
+    let _ = write!(
+        out,
+        "\"{label}\": {{\"mips\": {:.3}, \"cycles_per_sec\": {:.0}, \
+         \"host_secs\": {:.4}, \"cycles\": {}, \"committed\": {}, \"ipc\": {:.4}}}",
+        t.mips(),
+        t.cycles_per_sec(),
+        t.secs,
+        t.res.cycles,
+        t.res.committed,
+        t.res.ipc(),
+    );
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: throughput [--quick] [--reps N] [--budget N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut budget: Option<u64> = None;
+    let mut reps: u32 = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs an integer"))
+            }
+            "--budget" => {
+                budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--budget needs an integer")),
+                )
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let budget = budget.unwrap_or_else(|| {
+        if quick {
+            50_000
+        } else {
+            pipeline_budget()
+        }
+    });
+    let workloads: &[Benchmark] = if quick {
+        &[Benchmark::Compress, Benchmark::Li, Benchmark::Vortex]
+    } else {
+        &Benchmark::ALL
+    };
+
+    // Fail on an unwritable report path now, not after minutes of timing.
+    if let Err(e) = std::fs::write(&out_path, "") {
+        usage(&format!("cannot write {out_path}: {e}"));
+    }
+
+    // The two machines: the paper's (2+0) base and the recommended (4+2)
+    // decoupled design point with both §2.2.2 optimizations.
+    let base = MachineConfig::iscapaper_base();
+    let dec = MachineConfig::n_plus_m(4, 2).with_optimizations();
+    let mut base_ref = base.clone();
+    base_ref.reference_kernel = true;
+    let mut dec_ref = dec.clone();
+    dec_ref.reference_kernel = true;
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"budget\": {budget},\n  \"quick\": {quick},\n  \"reps\": {reps},\n  \"workloads\": [\n"
+    );
+
+    let mut speedups: Vec<f64> = Vec::new();
+    for (wi, &bench) in workloads.iter().enumerate() {
+        let program = Arc::new(bench.program(u32::MAX / 2));
+        eprintln!("[throughput] {} (budget {budget})", bench.name());
+
+        let mut row = format!("    {{\"name\": \"{}\", ", bench.name());
+        for (key, cfg, cfg_ref) in
+            [("base_2p0", &base, &base_ref), ("decoupled_4p2", &dec, &dec_ref)]
+        {
+            let fast = run_timed(cfg, &program, budget, reps);
+            let refr = run_timed(cfg_ref, &program, budget, reps);
+            assert_eq!(
+                fast.res, refr.res,
+                "{} {key}: incremental kernel diverged from the reference kernel",
+                bench.name()
+            );
+            let speedup = fast.mips() / refr.mips();
+            speedups.push(speedup);
+            eprintln!(
+                "[throughput]   {key}: {:.2} MIPS fast vs {:.2} MIPS reference ({speedup:.2}x)",
+                fast.mips(),
+                refr.mips()
+            );
+            let _ = write!(row, "\"{key}\": {{");
+            json_pair(&mut row, "fast", &fast);
+            row.push_str(", ");
+            json_pair(&mut row, "reference", &refr);
+            let _ = write!(row, ", \"kernel_speedup\": {speedup:.3}}}, ");
+        }
+        row.truncate(row.len() - 2);
+        row.push('}');
+        if wi + 1 < workloads.len() {
+            row.push(',');
+        }
+        json.push_str(&row);
+        json.push('\n');
+    }
+
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let _ = write!(json, "  ],\n  \"geomean_kernel_speedup\": {geomean:.3}\n}}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        print!("{json}");
+        std::process::exit(1);
+    }
+    eprintln!("[throughput] geomean kernel speedup {geomean:.2}x -> {out_path}");
+}

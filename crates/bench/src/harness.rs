@@ -1,6 +1,6 @@
 //! Shared machinery: budgets, profiling, parallel configuration sweeps.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use dda_core::{MachineConfig, SimResult, Simulator};
 use dda_vm::{StreamProfiler, StreamStats, Vm};
@@ -76,22 +76,31 @@ pub fn workload_stats(bench: Benchmark) -> ProfiledWorkload {
 
 /// Runs `bench` on `cfg` for the default pipeline budget.
 pub fn run_config(bench: Benchmark, cfg: MachineConfig) -> SimResult {
-    let program = bench.program(u32::MAX / 2);
+    let program = Arc::new(bench.program(u32::MAX / 2));
     Simulator::new(cfg)
-        .run(&program, pipeline_budget())
+        .run_shared(program, pipeline_budget())
         .expect("benchmark executes cleanly")
 }
 
 /// Runs one benchmark under several configurations, in parallel threads.
 ///
+/// The program is generated once and shared (`Arc`) across the sweep
+/// rather than regenerated or cloned per configuration.
+///
 /// Returns results in the same order as `cfgs`.
 pub fn run_configs_for(bench: Benchmark, cfgs: &[MachineConfig]) -> Vec<SimResult> {
+    let program = Arc::new(bench.program(u32::MAX / 2));
     std::thread::scope(|s| {
         let handles: Vec<_> = cfgs
             .iter()
             .map(|cfg| {
                 let cfg = cfg.clone();
-                s.spawn(move || run_config(bench, cfg))
+                let program = Arc::clone(&program);
+                s.spawn(move || {
+                    Simulator::new(cfg)
+                        .run_shared(program, pipeline_budget())
+                        .expect("benchmark executes cleanly")
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
@@ -118,5 +127,17 @@ mod tests {
         let serial = run_config(Benchmark::Li, cfgs[0].clone());
         assert_eq!(results[0], serial);
         assert!(results[1].ipc() >= results[0].ipc() * 0.95);
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        // Two full parallel sweeps must agree bit for bit: thread
+        // scheduling may reorder the runs but never their results.
+        let cfgs =
+            [MachineConfig::n_plus_m(2, 2), MachineConfig::n_plus_m(4, 2).with_optimizations()];
+        std::env::remove_var("DDA_BUDGET");
+        let first = run_configs_for(Benchmark::Compress, &cfgs);
+        let second = run_configs_for(Benchmark::Compress, &cfgs);
+        assert_eq!(first, second);
     }
 }

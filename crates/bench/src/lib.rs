@@ -2,8 +2,10 @@
 //!
 //! One function per table/figure of the paper's evaluation (§4), each
 //! returning the printable [`dda_stats::Table`]s that regenerate it, plus the
-//! `experiments` binary that runs them from the command line and the
-//! Criterion benches under `benches/`.
+//! `experiments` binary that runs them from the command line, the
+//! `throughput` binary that records simulator MIPS, and the figure
+//! benches under `benches/` (running on the in-tree [`microbench`]
+//! harness so `cargo bench` needs no network access).
 //!
 //! The harness runs every benchmark for a fixed instruction budget
 //! (configurable via `DDA_BUDGET`, default 300 000 committed instructions
@@ -12,6 +14,9 @@
 
 mod experiments;
 mod harness;
+pub mod microbench;
+
+pub use microbench::{Bencher, BenchmarkGroup, Criterion};
 
 pub use experiments::{
     ablation_issue_width, ablation_lvaq_size, ablation_mshrs, ablation_steering,

@@ -1,0 +1,169 @@
+//! Minimal in-tree replacement for the Criterion micro-benchmark harness.
+//!
+//! The `benches/` targets originally ran on Criterion; that crate (and its
+//! dependency tree) cannot be fetched in the offline build environment, so
+//! this module provides the small API surface those benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. `cargo bench` therefore
+//! still runs every figure bench with no network access.
+//!
+//! Measurement model: each `bench_function` closure is warmed up once,
+//! then timed over `sample_size` samples (one iteration batch per sample);
+//! the report prints the median, minimum and maximum per-iteration time.
+//! This is deliberately simpler than Criterion — no outlier analysis, no
+//! saved baselines — but it is dependency-free and good enough to spot
+//! order-of-magnitude regressions in the simulation kernel.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each bench function (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _c: self, sample_size: 10 }
+    }
+}
+
+/// A named group of measurements (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b); // warm-up (also catches panics before timing)
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        if samples.is_empty() {
+            println!("  {:40} no iterations", id.as_ref());
+        } else {
+            let median = samples[samples.len() / 2];
+            println!(
+                "  {:40} median {:>12} (min {}, max {})",
+                id.as_ref(),
+                fmt_time(median),
+                fmt_time(samples[0]),
+                fmt_time(samples[samples.len() - 1]),
+            );
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to the benchmark closure (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`, keeping its result alive so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a bench group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness = false bench targets with
+            // `--test`; a full measurement pass there would be wasted
+            // time, so only smoke-run the wiring.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 samples, one iteration each.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

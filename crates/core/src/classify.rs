@@ -1,14 +1,12 @@
 //! Memory-stream classification: steering accesses to the LSQ or LVAQ.
 
-use std::collections::HashMap;
-
 use dda_isa::{Gpr, StreamHint};
+use dda_stats::FastMap;
 use dda_vm::DynInst;
 
 /// How the dispatch stage decides which memory access queue an instruction
 /// is steered to (paper §2.1/§2.2.3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SteerPolicy {
     /// Use the compiler's per-instruction [`StreamHint`]; ambiguous
     /// (`Unknown`) references fall back to the 1-bit hardware predictor —
@@ -39,7 +37,7 @@ pub enum SteerPolicy {
 #[derive(Clone, Debug, Default)]
 pub struct RegionPredictor {
     // true = predict local. Unknown pcs predict non-local.
-    last_region: HashMap<u32, bool>,
+    last_region: FastMap<u32, bool>,
     predictions: u64,
     mispredictions: u64,
 }

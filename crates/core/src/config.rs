@@ -7,7 +7,6 @@ use crate::classify::SteerPolicy;
 
 /// Configuration of the data-decoupling machinery.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DecouplingConfig {
     /// LVAQ capacity (the paper uses 64 entries, §4.2).
     pub lvaq_size: usize,
@@ -42,7 +41,6 @@ impl Default for DecouplingConfig {
 /// [`MachineConfig::iscapaper_base`] reproduces the paper's Table 1; the
 /// `with_*` builders derive the per-experiment variants.
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Instructions dispatched (renamed) per cycle. The paper sets decode
     /// and commit width equal to the 16-wide issue width.
@@ -69,12 +67,19 @@ pub struct MachineConfig {
     /// Abort if this many cycles elapse with no commit (a simulator-bug
     /// backstop, not a micro-architectural feature).
     pub deadlock_cycles: u64,
+    /// Run the memory schedulers with the straightforward rescan-per-cycle
+    /// implementation instead of the incrementally cached one. The two are
+    /// architecturally identical — debug builds cross-check every decision
+    /// and a regression test compares full [`crate::SimResult`]s — so this
+    /// exists as the oracle for that comparison and as the baseline the
+    /// throughput benchmark measures kernel speedup against. Simulation
+    /// *results* never depend on this flag, only wall-clock time.
+    pub reference_kernel: bool,
 }
 
 /// Functional-unit pool sizes. Multiply and divide of the same register
 /// file share units (MULT/DIV units, as in the paper's Table 1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FuCounts {
     /// Integer ALUs (also execute branches and address generation).
     pub int_alu: u32,
@@ -123,6 +128,7 @@ impl MachineConfig {
             hierarchy: HierarchyConfig::iscapaper_base(),
             decoupling: DecouplingConfig::default(),
             deadlock_cycles: 200_000,
+            reference_kernel: false,
         }
     }
 

@@ -45,6 +45,21 @@ pub(crate) struct MemState {
     /// Footnote-3 replication: a ghost copy of this entry also sits in the
     /// *other* queue until the address resolves.
     pub replicated: bool,
+    /// Push ordinal in this entry's own queue (see
+    /// [`crate::queue::MemQueue`]); unlike `q_seq` it counts ghost pushes,
+    /// so it totally orders the residents of one queue.
+    pub ord: u64,
+    /// Push ordinal of the ghost copy in the *other* queue (only
+    /// meaningful while `replicated`).
+    pub ghost_ord: u64,
+    /// Disambiguation scan cursor (loads): every store in this queue with
+    /// ordinal in `[scan_ord, ord)` has been proven address-known and
+    /// disjoint from this load — permanent facts, so the scan never
+    /// revisits them.
+    pub scan_ord: u64,
+    /// Fast-forwarding scan cursor (LVAQ loads): stores in `[ff_ord, ord)`
+    /// are proven same-`$sp`-version and slot-disjoint.
+    pub ff_ord: u64,
 }
 
 impl MemState {
@@ -283,6 +298,10 @@ mod tests {
             launched: false,
             penalty: 0,
             replicated: false,
+            ord: 0,
+            ghost_ord: 0,
+            scan_ord: 0,
+            ff_ord: 0,
         };
         assert!(!m.addr_known(9));
         assert!(m.addr_known(10));

@@ -52,6 +52,7 @@ mod config;
 mod entry;
 mod fu;
 mod pipeline;
+mod queue;
 mod result;
 mod trace;
 

@@ -20,7 +20,8 @@
 //! architectural stream directly from the functional simulator.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use dda_isa::{FuClass, Instr};
 use dda_mem::{Hierarchy, PortMeter};
@@ -31,6 +32,7 @@ use crate::classify::Classifier;
 use crate::config::MachineConfig;
 use crate::entry::{DepKind, Dependent, MemState, Rob, RobEntry};
 use crate::fu::FuPools;
+use crate::queue::MemQueue;
 use crate::result::{QueueStats, SimResult};
 use crate::trace::{InstrTrace, MemPath, Tracer};
 
@@ -41,6 +43,61 @@ enum EvKind {
 }
 
 type Ev = (u64, u64, usize, EvKind); // (cycle, uid, slot, kind)
+
+/// Calendar wheel of pending writeback events.
+///
+/// Event horizons are short (functional-unit and cache latencies), so a
+/// power-of-two ring of per-cycle buckets replaces a binary heap: O(1)
+/// insertion, and each cycle drains exactly one bucket. The drained batch
+/// is sorted into the heap's `(cycle, uid, slot, kind)` pop order, which
+/// the writeback loop relies on. The ring doubles on the rare event
+/// scheduled beyond the current horizon.
+struct EventWheel {
+    buckets: Vec<Vec<Ev>>,
+    pending: usize,
+}
+
+impl EventWheel {
+    fn new() -> EventWheel {
+        EventWheel { buckets: (0..64).map(|_| Vec::new()).collect(), pending: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, now: u64, ev: Ev) {
+        // Strictly-future times keep bucket indices unambiguous: every
+        // resident of a bucket is due within one full ring revolution.
+        debug_assert!(ev.0 > now, "event scheduled in the past");
+        while ev.0 - now >= self.buckets.len() as u64 {
+            self.grow();
+        }
+        let idx = (ev.0 as usize) & (self.buckets.len() - 1);
+        self.buckets[idx].push(ev);
+        self.pending += 1;
+    }
+
+    /// Doubles the horizon, redistributing buffered events.
+    #[cold]
+    fn grow(&mut self) {
+        let cap = self.buckets.len() * 2;
+        let mut next: Vec<Vec<Ev>> = (0..cap).map(|_| Vec::new()).collect();
+        for b in &mut self.buckets {
+            for ev in b.drain(..) {
+                next[(ev.0 as usize) & (cap - 1)].push(ev);
+            }
+        }
+        self.buckets = next;
+    }
+
+    /// Appends the events due exactly at `now` to `out` (bucket order,
+    /// i.e. unsorted).
+    #[inline]
+    fn drain_due(&mut self, now: u64, out: &mut Vec<Ev>) {
+        let idx = (now as usize) & (self.buckets.len() - 1);
+        let b = &mut self.buckets[idx];
+        self.pending -= b.len();
+        out.append(b);
+    }
+}
 
 /// The access-combining seed of the current cycle: (cycle, in_lvaq,
 /// is_store, line key = ($sp version, offset / line size), queue sequence
@@ -85,7 +142,23 @@ impl Simulator {
     /// Panics if no instruction commits for `deadlock_cycles` cycles
     /// (a simulator bug backstop).
     pub fn run(&self, program: &Program, max_instructions: u64) -> Result<SimResult, VmError> {
-        let mut core = Core::new(&self.cfg, Vm::new(program.clone()), None);
+        self.run_shared(Arc::new(program.clone()), max_instructions)
+    }
+
+    /// Like [`Simulator::run`] but borrowing an already-shared program
+    /// image: the `Arc` is handed to the functional simulator as-is, so a
+    /// configuration sweep (or repeated runs of one workload) never clones
+    /// the program.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run`].
+    pub fn run_shared(
+        &self,
+        program: Arc<Program>,
+        max_instructions: u64,
+    ) -> Result<SimResult, VmError> {
+        let mut core = Core::new(&self.cfg, Vm::new(program), None);
         core.run(max_instructions)
     }
 
@@ -128,19 +201,50 @@ struct Core<'c> {
     vm: Vm,
     rob: Rob,
     rename: Vec<Option<(usize, u64)>>,
-    lsq: VecDeque<usize>,
-    lvaq: VecDeque<usize>,
+    lsq: MemQueue,
+    lvaq: MemQueue,
     fus: FuPools,
     hier: Hierarchy,
     l1_ports: PortMeter,
     lvc_ports: Option<PortMeter>,
     classifier: Classifier,
-    events: BinaryHeap<Reverse<Ev>>,
+    events: EventWheel,
+    /// The seed implementation's event queue, used (exclusively) by the
+    /// reference kernel so its per-cycle costs stay faithful to the
+    /// pre-optimization baseline.
+    events_heap: BinaryHeap<Reverse<Ev>>,
+    /// Scratch buffer for the current cycle's event batch (capacity kept
+    /// across cycles).
+    wb_batch: Vec<Ev>,
+    /// Flat per-occupancy-value counters, flushed into the result
+    /// histograms once at the end of the run (a map insert per cycle is
+    /// measurable at simulation rates).
+    occ_lsq: Vec<u64>,
+    occ_lvaq: Vec<u64>,
     pending: Option<DynInst>,
     dispatched: u64,
     issue_combine: Option<CombineSeed>,
     lsq_seq: u64,
     lvaq_seq: u64,
+    /// Issue candidates — entries whose operands have all resolved but
+    /// which have not issued — as `(uid, slot)` sorted by uid. Dispatch
+    /// order makes uid monotone with age, so walking this list oldest
+    /// first selects exactly like the full ROB walk. Unused (left empty)
+    /// under the reference kernel.
+    ready: Vec<(u64, usize)>,
+    /// Entries that became ready since the last issue pass (woken at
+    /// writeback or dispatched with no pending producers); merged into
+    /// `ready` by uid at the start of issue().
+    newly_ready: Vec<(u64, usize)>,
+    /// Not-yet-launched primary loads of each queue in age order — the
+    /// candidates of the memory-scheduling passes. Same lazy-compaction
+    /// scheme as `ready`.
+    lsq_waiting: Vec<(usize, u64)>,
+    lvaq_waiting: Vec<(usize, u64)>,
+    /// Recycled `dependents` vectors (fast kernel): dispatch draws from
+    /// here and retire/writeback return emptied vectors, so steady-state
+    /// execution performs no per-instruction heap traffic.
+    dep_pool: Vec<Vec<Dependent>>,
     tracer: Option<Tracer>,
     cycle: u64,
     halted: bool,
@@ -157,18 +261,27 @@ impl<'c> Core<'c> {
             vm,
             rob: Rob::new(cfg.rob_size),
             rename: vec![None; dda_isa::Reg::UNIFIED_COUNT],
-            lsq: VecDeque::with_capacity(cfg.lsq_size),
-            lvaq: VecDeque::with_capacity(cfg.decoupling.lvaq_size),
+            lsq: MemQueue::with_capacity(cfg.lsq_size),
+            lvaq: MemQueue::with_capacity(cfg.decoupling.lvaq_size),
             fus: FuPools::new(cfg.fu_counts, cfg.latencies.clone()),
             l1_ports: PortMeter::new(cfg.hierarchy.l1.ports),
             lvc_ports: cfg.hierarchy.lvc.map(|c| PortMeter::new(c.ports)),
             classifier: Classifier::new(cfg.decoupling.steer),
-            events: BinaryHeap::new(),
+            events: EventWheel::new(),
+            events_heap: BinaryHeap::new(),
+            wb_batch: Vec::new(),
+            occ_lsq: vec![0; cfg.lsq_size + 1],
+            occ_lvaq: vec![0; cfg.decoupling.lvaq_size + 1],
             pending: None,
             dispatched: 0,
             issue_combine: None,
             lsq_seq: 0,
             lvaq_seq: 0,
+            ready: Vec::with_capacity(cfg.rob_size),
+            newly_ready: Vec::with_capacity(cfg.rob_size),
+            lsq_waiting: Vec::with_capacity(cfg.lsq_size),
+            lvaq_waiting: Vec::with_capacity(cfg.decoupling.lvaq_size),
+            dep_pool: Vec::with_capacity(cfg.rob_size),
             tracer,
             cycle: 0,
             halted: false,
@@ -212,7 +325,11 @@ impl<'c> Core<'c> {
 
     fn schedule(&mut self, cycle: u64, slot: usize, kind: EvKind) {
         let uid = self.rob.get(slot).uid;
-        self.events.push(Reverse((cycle, uid, slot, kind)));
+        if self.cfg.reference_kernel {
+            self.events_heap.push(Reverse((cycle, uid, slot, kind)));
+        } else {
+            self.events.push(self.cycle, (cycle, uid, slot, kind));
+        }
     }
 
     fn run(&mut self, max_instructions: u64) -> Result<SimResult, VmError> {
@@ -230,7 +347,7 @@ impl<'c> Core<'c> {
                 let head = self.rob.head_slot().map(|s| self.rob.get(s));
                 panic!(
                     "no commit for {} cycles at cycle {} (rob {} entries, head {:?}, \
-                     issued {:?}, completed {:?}, mem {:?}, next event {:?})",
+                     issued {:?}, completed {:?}, mem {:?}, pending events {})",
                     self.cfg.deadlock_cycles,
                     self.cycle,
                     self.rob.len(),
@@ -244,11 +361,12 @@ impl<'c> Core<'c> {
                         m.data_ready_at,
                         m.replicated,
                     )),
-                    self.events.peek(),
+                    self.events.pending + self.events_heap.len(),
                 );
             }
             self.cycle += 1;
         }
+        self.flush_occupancy();
         let mut res = self.res.clone();
         res.cycles = self.cycle.max(1);
         res.halted = self.halted;
@@ -273,19 +391,22 @@ impl<'c> Core<'c> {
         while budget > 0 {
             let Some(head) = self.rob.head_slot() else { break };
             let e = self.rob.get(head);
-            if let Some(m) = e.mem.clone() {
-                if m.is_store {
+            let mem = e.mem.as_ref().map(|m| {
+                (m.is_store, m.in_lvaq, m.addr, m.addr_known(self.cycle) && m.data_known(self.cycle))
+            });
+            if let Some((is_store, in_lvaq, addr, store_ready)) = mem {
+                if is_store {
                     // The store's port was paid at address generation
                     // (sim-outorder issues stores through the memory
                     // ports); commit just retires the value into the
                     // cache.
-                    if !(m.addr_known(self.cycle) && m.data_known(self.cycle)) {
+                    if !store_ready {
                         break;
                     }
-                    let accepted = if m.in_lvaq {
-                        self.hier.lvc_try_access(self.cycle, m.addr, true)
+                    let accepted = if in_lvaq {
+                        self.hier.lvc_try_access(self.cycle, addr, true)
                     } else {
-                        self.hier.l1_try_access(self.cycle, m.addr, true)
+                        self.hier.l1_try_access(self.cycle, addr, true)
                     };
                     if accepted.is_none() {
                         // The cache cannot accept the store's miss (MSHRs
@@ -293,12 +414,12 @@ impl<'c> Core<'c> {
                         break;
                     }
                     self.trace(head, |tr| tr.mem_path = MemPath::StoreRetired);
-                    self.pop_mem_head(head, m.in_lvaq);
+                    self.pop_mem_head(head, in_lvaq, true);
                 } else {
                     if !e.completed {
                         break;
                     }
-                    self.pop_mem_head(head, m.in_lvaq);
+                    self.pop_mem_head(head, in_lvaq, false);
                 }
             } else {
                 if !e.completed {
@@ -309,6 +430,7 @@ impl<'c> Core<'c> {
                 if let Some(tr) = &mut self.tracer {
                     tr.commit(e.uid, self.cycle);
                 }
+                self.recycle_deps(e.dependents);
                 self.res.committed += 1;
                 self.last_commit_cycle = self.cycle;
                 if is_halt {
@@ -324,25 +446,64 @@ impl<'c> Core<'c> {
         }
     }
 
-    fn pop_mem_head(&mut self, head: usize, in_lvaq: bool) {
+    fn pop_mem_head(&mut self, head: usize, in_lvaq: bool, is_store: bool) {
         let q = if in_lvaq { &mut self.lvaq } else { &mut self.lsq };
-        let front = q.pop_front();
+        let front = q.pop_front(is_store);
         debug_assert_eq!(front, Some(head), "memory queue out of sync with ROB");
         let e = self.rob.pop_head();
         if let Some(tr) = &mut self.tracer {
             tr.commit(e.uid, self.cycle);
+        }
+        self.recycle_deps(e.dependents);
+    }
+
+    /// Returns a retired entry's `dependents` vector to the pool.
+    ///
+    /// Only capacity-carrying vectors are kept: a vector drained at
+    /// writeback leaves a fresh zero-capacity `Vec` behind, so each
+    /// allocation re-enters the pool exactly once (at writeback or at
+    /// retire, never both).
+    #[inline]
+    fn recycle_deps(&mut self, mut deps: Vec<Dependent>) {
+        if !self.cfg.reference_kernel && deps.capacity() > 0 {
+            deps.clear();
+            self.dep_pool.push(deps);
         }
     }
 
     // ----- writeback ------------------------------------------------------
 
     fn writeback(&mut self) {
-        while let Some(Reverse((t, _, _, _))) = self.events.peek() {
-            if *t > self.cycle {
-                break;
+        if self.cfg.reference_kernel {
+            // Seed implementation: pop the binary heap while due.
+            while let Some(Reverse((t, _, _, _))) = self.events_heap.peek() {
+                if *t > self.cycle {
+                    break;
+                }
+                let Reverse((t, uid, slot, kind)) = self.events_heap.pop().expect("peeked");
+                self.writeback_event(t, uid, slot, kind);
             }
-            let Reverse((t, uid, slot, kind)) = self.events.pop().expect("peeked");
-            debug_assert!(self.rob.holds(slot, uid), "event for a dead entry");
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.wb_batch);
+        self.events.drain_due(self.cycle, &mut batch);
+        // Restore the heap's pop order: within one cycle, ascending
+        // (uid, slot, kind). Nothing in the event handler schedules new
+        // same-cycle events, so one batch is the whole cycle.
+        batch.sort_unstable();
+        for &(t, uid, slot, kind) in &batch {
+            debug_assert_eq!(t, self.cycle, "event missed its cycle");
+            self.writeback_event(t, uid, slot, kind);
+        }
+        batch.clear();
+        self.wb_batch = batch;
+    }
+
+    /// Applies one due event: address availability or result completion
+    /// (with dependent wakeup).
+    fn writeback_event(&mut self, t: u64, uid: u64, slot: usize, kind: EvKind) {
+        debug_assert!(self.rob.holds(slot, uid), "event for a dead entry");
+        {
             match kind {
                 EvKind::AddrReady => {
                     let penalty = {
@@ -350,36 +511,45 @@ impl<'c> Core<'c> {
                         let m = e.mem.as_mut().expect("AddrReady on non-memory entry");
                         m.penalty
                     };
-                    let (replicated, in_lvaq) = {
+                    let (replicated, in_lvaq, is_store, ghost_ord) = {
                         let e = self.rob.get_mut(slot);
                         let m = e.mem.as_mut().expect("AddrReady on non-memory entry");
                         m.addr_ready_at = Some(t + penalty);
-                        (m.replicated, m.in_lvaq)
+                        (m.replicated, m.in_lvaq, m.is_store, m.ghost_ord)
                     };
                     if replicated {
                         // Region resolved: kill the wrongly inserted copy
                         // (paper §2.1, footnote 3).
                         let other = if in_lvaq { &mut self.lsq } else { &mut self.lvaq };
-                        if let Some(pos) = other.iter().position(|&s| s == slot) {
-                            other.remove(pos);
-                        }
+                        other.remove_ghost(slot, is_store, ghost_ord);
                         self.rob.get_mut(slot).mem.as_mut().expect("mem").replicated = false;
                     }
                     self.trace(slot, |tr| tr.addr_ready_at = Some(t + penalty));
                 }
                 EvKind::Complete => {
                     self.trace(slot, |tr| tr.completed_at = Some(t));
-                    let deps = {
+                    let mut deps = {
                         let e = self.rob.get_mut(slot);
                         e.completed = true;
                         std::mem::take(&mut e.dependents)
                     };
-                    for Dependent { slot: ds, kind } in deps {
+                    let track_ready = !self.cfg.reference_kernel;
+                    for Dependent { slot: ds, kind } in deps.drain(..) {
                         let de = self.rob.get_mut(ds);
                         match kind {
                             DepKind::Operand => {
                                 debug_assert!(de.waiting > 0);
                                 de.waiting -= 1;
+                                // Wakeup: the last operand arriving makes
+                                // the consumer an issue candidate. Loads
+                                // already satisfied by fast forwarding
+                                // (`issued` set without operands) never
+                                // re-enter.
+                                let woke = de.waiting == 0 && !de.issued;
+                                let duid = de.uid;
+                                if track_ready && woke {
+                                    self.newly_ready.push((duid, ds));
+                                }
                             }
                             DepKind::StoreData => {
                                 let m = de.mem.as_mut().expect("store-data wake on non-mem");
@@ -387,6 +557,7 @@ impl<'c> Core<'c> {
                             }
                         }
                     }
+                    self.recycle_deps(deps);
                 }
             }
         }
@@ -409,63 +580,84 @@ impl<'c> Core<'c> {
     /// effective addresses are computed — and bypass the value in one
     /// cycle, using neither the AGU result nor an LVC port.
     fn fast_forward_pass(&mut self) {
-        let cycle = self.cycle;
-        let q: Vec<usize> = self.lvaq.iter().copied().collect();
-        for (pos, &slot) in q.iter().enumerate() {
-            let e = self.rob.get(slot);
-            let Some(m) = &e.mem else { continue };
-            if !m.in_lvaq || m.is_store || m.launched || e.completed {
-                continue;
+        if self.cfg.reference_kernel {
+            // The reference kernel replays the original implementation
+            // verbatim: snapshot the queue, then rescan every older entry
+            // for every candidate load, every cycle.
+            let snapshot: Vec<usize> =
+                (0..self.lvaq.len()).map(|j| self.lvaq.slot_at(j)).collect();
+            for (i, &slot) in snapshot.iter().enumerate() {
+                let Some((lver, loff, lbytes)) = self.ff_candidate(slot) else { continue };
+                let outcome = ff_scan_full(&self.rob, &snapshot[..i], lver, loff, lbytes);
+                self.apply_fast_forward(slot, outcome);
             }
-            let Some((lver, loff)) = m.stack_slot else { continue };
-            let lbytes = m.bytes;
-            // Scan older LVAQ stores youngest-first.
-            let mut matched: Option<usize> = None;
-            let mut blocked = false;
-            for &older in q[..pos].iter().rev() {
-                let s = self.rob.get(older);
-                let Some(sm) = &s.mem else { continue };
-                if !sm.is_store {
-                    continue;
-                }
-                match sm.stack_slot {
-                    None => {
-                        blocked = true; // cannot prove independence
-                    }
-                    Some((sver, soff)) => {
-                        if sver != lver {
-                            blocked = true; // incomparable across $sp change
-                        } else if soff == loff && sm.bytes == lbytes {
-                            matched = Some(older);
-                        } else if ranges_overlap(soff, sm.bytes, loff, lbytes) {
-                            blocked = true; // partial overlap
-                        } else {
-                            continue; // provably disjoint: keep scanning
-                        }
-                    }
-                }
-                break;
+            return;
+        }
+        // Fast kernel: only not-yet-launched LVAQ loads are candidates,
+        // so walk exactly those (compacting the list as entries leave).
+        let mut list = std::mem::take(&mut self.lvaq_waiting);
+        let mut w = 0;
+        for r in 0..list.len() {
+            let (slot, uid) = list[r];
+            if !self.rob.holds(slot, uid) {
+                continue; // committed: drop
             }
-            if blocked {
-                continue;
-            }
-            if let Some(store_slot) = matched {
-                let data_ready = {
-                    let s = self.rob.get(store_slot);
-                    s.mem.as_ref().expect("matched store").data_known(cycle)
+            if let Some((lver, loff, lbytes)) = self.ff_candidate(slot) {
+                let (ord, ff_ord) = {
+                    let m = self.rob.get(slot).mem.as_ref().expect("queued load");
+                    (m.ord, m.ff_ord)
                 };
-                if data_ready {
-                    let e = self.rob.get_mut(slot);
-                    e.issued = true; // skip AGU if not yet issued
-                    e.mem.as_mut().expect("load").launched = true;
-                    self.trace(slot, |tr| tr.mem_path = MemPath::FastForwarded);
-                    self.res.lvaq.fast_forwards += 1;
-                    self.res.load_latency_sum += 1;
-                    self.res.load_latency_count += 1;
-                    self.schedule(cycle + 1, slot, EvKind::Complete);
-                }
-                // If the data is not ready yet, retry next cycle.
+                let (out, cursor) = ff_scan(&self.rob, &self.lvaq, ff_ord, lver, loff, lbytes);
+                debug_assert_eq!(
+                    out,
+                    ff_scan(&self.rob, &self.lvaq, ord, lver, loff, lbytes).0,
+                    "incremental fast-forward scan diverged from the full rescan"
+                );
+                self.rob.get_mut(slot).mem.as_mut().expect("load").ff_ord = cursor;
+                self.apply_fast_forward(slot, out);
             }
+            let e = self.rob.get(slot);
+            if !e.mem.as_ref().expect("queued load").launched && !e.completed {
+                list[w] = (slot, uid);
+                w += 1;
+            }
+        }
+        list.truncate(w);
+        self.lvaq_waiting = list;
+    }
+
+    /// The per-load eligibility filter of the fast-forwarding pass;
+    /// returns the load's `($sp` version, offset, bytes)` identity.
+    fn ff_candidate(&self, slot: usize) -> Option<(u64, i32, u32)> {
+        let e = self.rob.get(slot);
+        let m = e.mem.as_ref()?;
+        if !m.in_lvaq || m.is_store || m.launched || e.completed {
+            return None;
+        }
+        let (lver, loff) = m.stack_slot?;
+        Some((lver, loff, m.bytes))
+    }
+
+    /// Applies a fast-forwarding scan outcome: on an exact match with the
+    /// store data ready, bypass in one cycle (no AGU, no LVC port).
+    fn apply_fast_forward(&mut self, slot: usize, outcome: FfScan) {
+        let cycle = self.cycle;
+        if let FfScan::Match(store_slot) = outcome {
+            let data_ready = {
+                let s = self.rob.get(store_slot);
+                s.mem.as_ref().expect("matched store").data_known(cycle)
+            };
+            if data_ready {
+                let e = self.rob.get_mut(slot);
+                e.issued = true; // skip AGU if not yet issued
+                e.mem.as_mut().expect("load").launched = true;
+                self.trace(slot, |tr| tr.mem_path = MemPath::FastForwarded);
+                self.res.lvaq.fast_forwards += 1;
+                self.res.load_latency_sum += 1;
+                self.res.load_latency_count += 1;
+                self.schedule(cycle + 1, slot, EvKind::Complete);
+            }
+            // If the data is not ready yet, retry next cycle.
         }
     }
 
@@ -475,90 +667,116 @@ impl<'c> Core<'c> {
     /// here.
     fn launch_queue(&mut self, in_lvaq: bool) {
         let cycle = self.cycle;
-        let q: Vec<usize> = if in_lvaq {
-            self.lvaq.iter().copied().collect()
-        } else {
-            self.lsq.iter().copied().collect()
-        };
-        for (pos, &slot) in q.iter().enumerate() {
-            let _ = pos;
-            let (addr, bytes) = {
-                let e = self.rob.get(slot);
-                let Some(m) = &e.mem else { continue };
-                // A ghost copy (replication, footnote 3) never launches
-                // from the wrong queue.
-                if m.in_lvaq != in_lvaq {
+        if self.cfg.reference_kernel {
+            // Reference kernel: the original snapshot-and-rescan
+            // implementation.
+            let qlen = if in_lvaq { self.lvaq.len() } else { self.lsq.len() };
+            let snapshot: Vec<usize> = (0..qlen)
+                .map(|j| if in_lvaq { self.lvaq.slot_at(j) } else { self.lsq.slot_at(j) })
+                .collect();
+            for (i, &slot) in snapshot.iter().enumerate() {
+                let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) else {
                     continue;
-                }
-                if m.is_store || m.launched || e.completed || !m.addr_known(cycle) {
-                    continue;
-                }
-                (m.addr, m.bytes)
-            };
-
-            // Conservative disambiguation against older stores in *this*
-            // queue only — the decoupling benefit.
-            let mut blocked = false;
-            let mut forward_from: Option<usize> = None;
-            let mut wait_cache_after_store = false;
-            for &older in q[..pos].iter().rev() {
-                let s = self.rob.get(older);
-                let Some(sm) = &s.mem else { continue };
-                if !sm.is_store {
-                    continue;
-                }
-                if !sm.addr_known(cycle) {
-                    blocked = true;
-                    break;
-                }
-                if ranges_overlap_u32(sm.addr, sm.bytes, addr, bytes) {
-                    if contains(sm.addr, sm.bytes, addr, bytes) {
-                        if sm.data_known(cycle) {
-                            forward_from = Some(older);
-                        } else {
-                            blocked = true;
-                        }
-                    } else if sm.data_known(cycle) {
-                        wait_cache_after_store = true; // partial: go to cache
-                    } else {
-                        blocked = true;
-                    }
-                    break;
-                }
+                };
+                let outcome = disamb_scan_full(&self.rob, &snapshot[..i], cycle, addr, bytes);
+                self.apply_launch(in_lvaq, slot, addr, outcome);
             }
-            if blocked {
-                continue;
+            return;
+        }
+        // Fast kernel: walk only this queue's not-yet-launched primary
+        // loads, resuming each disambiguation scan from its cursor.
+        let mut list =
+            std::mem::take(if in_lvaq { &mut self.lvaq_waiting } else { &mut self.lsq_waiting });
+        let mut w = 0;
+        for r in 0..list.len() {
+            let (slot, uid) = list[r];
+            if !self.rob.holds(slot, uid) {
+                continue; // committed: drop
             }
-            let _ = wait_cache_after_store;
+            if let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) {
+                let (ord, scan_ord) = {
+                    let m = self.rob.get(slot).mem.as_ref().expect("queued load");
+                    (m.ord, m.scan_ord)
+                };
+                // Conservative disambiguation against older stores in
+                // *this* queue only — the decoupling benefit.
+                let (outcome, cursor) = {
+                    let q = if in_lvaq { &self.lvaq } else { &self.lsq };
+                    let (out, cursor) = disamb_scan(&self.rob, q, scan_ord, cycle, addr, bytes);
+                    debug_assert_eq!(
+                        out,
+                        disamb_scan(&self.rob, q, ord, cycle, addr, bytes).0,
+                        "incremental disambiguation scan diverged from the full rescan"
+                    );
+                    (out, cursor)
+                };
+                self.rob.get_mut(slot).mem.as_mut().expect("load").scan_ord = cursor;
+                self.apply_launch(in_lvaq, slot, addr, outcome);
+            }
+            let e = self.rob.get(slot);
+            if !e.mem.as_ref().expect("queued load").launched && !e.completed {
+                list[w] = (slot, uid);
+                w += 1;
+            }
+        }
+        list.truncate(w);
+        *(if in_lvaq { &mut self.lvaq_waiting } else { &mut self.lsq_waiting }) = list;
+    }
 
-            let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
-            if forward_from.is_some() {
+    /// The per-load eligibility filter of the launch pass: a primary
+    /// (non-ghost) load of this queue, not yet launched, whose effective
+    /// address is known. A ghost copy (replication, footnote 3) never
+    /// launches from the wrong queue.
+    fn launch_candidate(&self, slot: usize, in_lvaq: bool) -> Option<(u32, u32)> {
+        let e = self.rob.get(slot);
+        let m = e.mem.as_ref()?;
+        if m.in_lvaq != in_lvaq
+            || m.is_store
+            || m.launched
+            || e.completed
+            || !m.addr_known(self.cycle)
+        {
+            return None;
+        }
+        Some((m.addr, m.bytes))
+    }
+
+    /// Applies a disambiguation outcome: forward from the covering store,
+    /// or access the cache (which may refuse when every MSHR is busy — a
+    /// structural hazard retried next cycle). `Blocked` loads just wait.
+    fn apply_launch(&mut self, in_lvaq: bool, slot: usize, addr: u32, outcome: DisambScan) {
+        let cycle = self.cycle;
+        match outcome {
+            DisambScan::Blocked => {}
+            DisambScan::Forward(_) => {
                 // In-queue store→load forwarding: 1 cycle (the port was
                 // already paid at address generation).
+                let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
                 qstats.forwards += 1;
                 self.res.load_latency_sum += 1;
                 self.res.load_latency_count += 1;
                 self.rob.get_mut(slot).mem.as_mut().expect("load").launched = true;
                 self.trace(slot, |tr| tr.mem_path = MemPath::Forwarded);
                 self.schedule(cycle + 1, slot, EvKind::Complete);
-                continue;
             }
-
-            let completion = if in_lvaq {
-                self.hier.lvc_try_access(cycle, addr, false)
-            } else {
-                self.hier.l1_try_access(cycle, addr, false)
-            };
-            let Some(c) = completion else {
-                // Structural hazard: every MSHR busy — retry next cycle.
-                continue;
-            };
-            let complete_at = c.complete_at;
-            self.res.load_latency_sum += complete_at - cycle;
-            self.res.load_latency_count += 1;
-            self.rob.get_mut(slot).mem.as_mut().expect("load").launched = true;
-            self.trace(slot, |tr| tr.mem_path = MemPath::Cache);
-            self.schedule(complete_at, slot, EvKind::Complete);
+            DisambScan::Cache => {
+                let completion = if in_lvaq {
+                    self.hier.lvc_try_access(cycle, addr, false)
+                } else {
+                    self.hier.l1_try_access(cycle, addr, false)
+                };
+                let Some(c) = completion else {
+                    // Structural hazard: every MSHR busy — retry next
+                    // cycle.
+                    return;
+                };
+                let complete_at = c.complete_at;
+                self.res.load_latency_sum += complete_at - cycle;
+                self.res.load_latency_count += 1;
+                self.rob.get_mut(slot).mem.as_mut().expect("load").launched = true;
+                self.trace(slot, |tr| tr.mem_path = MemPath::Cache);
+                self.schedule(complete_at, slot, EvKind::Complete);
+            }
         }
     }
 
@@ -566,80 +784,134 @@ impl<'c> Core<'c> {
 
     fn issue(&mut self) {
         let mut budget = self.cfg.issue_width;
-        let slots: Vec<usize> = self.rob.slots_in_age_order().collect();
-        for slot in slots {
+        if self.cfg.reference_kernel {
+            // Reference kernel: the original walk over a per-cycle
+            // materialization of every live ROB slot.
+            let slots: Vec<usize> = self.rob.slots_in_age_order().collect();
+            for slot in slots {
+                if budget == 0 {
+                    break;
+                }
+                self.try_issue_slot(slot, &mut budget);
+            }
+            return;
+        }
+        // Fast kernel: walk only the ready entries (all operands
+        // resolved, not yet issued). uid is monotone with dispatch
+        // order, so keeping the list uid-sorted and compacting stably
+        // preserves age order — selection is identical to the full ROB
+        // walk, since entries still waiting on operands cannot issue
+        // (and charge nothing) there either.
+        if !self.newly_ready.is_empty() {
+            self.newly_ready.sort_unstable();
+            if self
+                .ready
+                .last()
+                .is_none_or(|&(last, _)| last < self.newly_ready[0].0)
+            {
+                // Common case: every newcomer is younger than the tail.
+                self.ready.append(&mut self.newly_ready);
+            } else {
+                let old = std::mem::take(&mut self.ready);
+                let new = std::mem::take(&mut self.newly_ready);
+                self.ready = merge_by_uid(old, new);
+            }
+        }
+        let mut list = std::mem::take(&mut self.ready);
+        let mut w = 0;
+        let mut r = 0;
+        while r < list.len() {
             if budget == 0 {
+                // The reference walk breaks here; keep the unexamined
+                // tail untouched.
+                list.copy_within(r.., w);
+                w += list.len() - r;
                 break;
             }
-            let (mem, fu) = {
-                let e = self.rob.get(slot);
-                if e.issued || e.completed || e.waiting > 0 {
-                    continue;
+            let (uid, slot) = list[r];
+            r += 1;
+            if !self.rob.holds(slot, uid) {
+                continue; // committed: drop
+            }
+            self.try_issue_slot(slot, &mut budget);
+            let e = self.rob.get(slot);
+            if !e.issued && !e.completed {
+                list[w] = (uid, slot);
+                w += 1;
+            }
+        }
+        list.truncate(w);
+        self.ready = list;
+    }
+
+    /// Tries to issue the entry in `slot` onto a functional unit (memory
+    /// instructions: the AGU plus their cache-port slot), decrementing
+    /// `budget` on success. Not-ready entries return without charge.
+    fn try_issue_slot(&mut self, slot: usize, budget: &mut u32) {
+        let (mem, fu) = {
+            let e = self.rob.get(slot);
+            if e.issued || e.completed || e.waiting > 0 {
+                return;
+            }
+            (
+                e.mem.as_ref().map(|m| (m.in_lvaq, m.is_store, m.stack_slot, m.q_seq)),
+                e.fu,
+            )
+        };
+        if let Some((in_lvaq, is_store, stack_slot, q_seq)) = mem {
+            // A memory instruction enters the memory pipeline here:
+            // address generation plus the cache-port slot it will use
+            // (as in sim-outorder, where loads and stores issue
+            // through the memory ports). Access combining merges
+            // consecutive same-line, same-kind LVAQ entries into one
+            // port slot — line identity is established *before*
+            // addresses exist via the ($sp version, offset) pair, the
+            // same CAM the fast-forwarding hardware uses.
+            let degree = if in_lvaq { self.cfg.decoupling.combining_degree } else { 1 };
+            let line_key =
+                stack_slot.map(|(v, off)| (v, off.div_euclid(self.line_bytes(in_lvaq) as i32)));
+            let combinable = degree > 1
+                && line_key.is_some()
+                && matches!(self.issue_combine,
+                    Some((c, lv, st, lk, sq)) if c == self.cycle
+                        && lv == in_lvaq
+                        && st == is_store
+                        && Some(lk) == line_key
+                        && q_seq.saturating_sub(sq) < degree as u64);
+            if !combinable {
+                let meter = if in_lvaq {
+                    self.lvc_ports.as_mut().expect("LVAQ without LVC")
+                } else {
+                    &mut self.l1_ports
+                };
+                if !meter.try_claim(self.cycle) {
+                    let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                    qstats.port_stall_cycles += 1;
+                    return;
                 }
-                (
-                    e.mem.as_ref().map(|m| (m.in_lvaq, m.is_store, m.stack_slot, m.q_seq)),
-                    e.fu,
-                )
-            };
-            if let Some((in_lvaq, is_store, stack_slot, q_seq)) = mem {
-                // A memory instruction enters the memory pipeline here:
-                // address generation plus the cache-port slot it will use
-                // (as in sim-outorder, where loads and stores issue
-                // through the memory ports). Access combining merges
-                // consecutive same-line, same-kind LVAQ entries into one
-                // port slot — line identity is established *before*
-                // addresses exist via the ($sp version, offset) pair, the
-                // same CAM the fast-forwarding hardware uses.
-                let degree =
-                    if in_lvaq { self.cfg.decoupling.combining_degree } else { 1 };
-                let line_key = stack_slot.map(|(v, off)| {
-                    (v, off.div_euclid(self.line_bytes(in_lvaq) as i32))
-                });
-                let combinable = degree > 1
-                    && line_key.is_some()
-                    && matches!(self.issue_combine,
-                        Some((c, lv, st, lk, sq)) if c == self.cycle
-                            && lv == in_lvaq
-                            && st == is_store
-                            && Some(lk) == line_key
-                            && q_seq.saturating_sub(sq) < degree as u64);
-                if !combinable {
-                    let meter = if in_lvaq {
-                        self.lvc_ports.as_mut().expect("LVAQ without LVC")
-                    } else {
-                        &mut self.l1_ports
-                    };
-                    if !meter.try_claim(self.cycle) {
-                        let qstats =
-                            if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
-                        qstats.port_stall_cycles += 1;
-                        continue;
-                    }
-                }
-                if self.fus.try_issue(FuClass::IntAlu, self.cycle).is_some() {
-                    self.rob.get_mut(slot).issued = true;
-                    let now = self.cycle;
-                    self.trace(slot, |tr| tr.issued_at = Some(now));
-                    self.schedule(self.cycle + 1, slot, EvKind::AddrReady);
-                    budget -= 1;
-                    if combinable {
-                        self.res.lvaq.combined += 1;
-                    } else if degree > 1 {
-                        if let Some(lk) = line_key {
-                            self.issue_combine =
-                                Some((self.cycle, in_lvaq, is_store, lk, q_seq));
-                        } else {
-                            self.issue_combine = None;
-                        }
-                    }
-                }
-            } else if let Some(done) = self.fus.try_issue(fu, self.cycle) {
+            }
+            if self.fus.try_issue(FuClass::IntAlu, self.cycle).is_some() {
                 self.rob.get_mut(slot).issued = true;
                 let now = self.cycle;
                 self.trace(slot, |tr| tr.issued_at = Some(now));
-                self.schedule(done, slot, EvKind::Complete);
-                budget -= 1;
+                self.schedule(self.cycle + 1, slot, EvKind::AddrReady);
+                *budget -= 1;
+                if combinable {
+                    self.res.lvaq.combined += 1;
+                } else if degree > 1 {
+                    if let Some(lk) = line_key {
+                        self.issue_combine = Some((self.cycle, in_lvaq, is_store, lk, q_seq));
+                    } else {
+                        self.issue_combine = None;
+                    }
+                }
             }
+        } else if let Some(done) = self.fus.try_issue(fu, self.cycle) {
+            self.rob.get_mut(slot).issued = true;
+            let now = self.cycle;
+            self.trace(slot, |tr| tr.issued_at = Some(now));
+            self.schedule(done, slot, EvKind::Complete);
+            *budget -= 1;
         }
     }
 
@@ -694,7 +966,11 @@ impl<'c> Core<'c> {
                 uid,
                 fu: d.instr.fu_class(),
                 waiting: 0,
-                dependents: Vec::new(),
+                dependents: if self.cfg.reference_kernel {
+                    Vec::new()
+                } else {
+                    self.dep_pool.pop().unwrap_or_default()
+                },
                 issued: false,
                 completed: false,
                 mem: d.mem.map(|m| MemState {
@@ -713,37 +989,33 @@ impl<'c> Core<'c> {
                         0
                     },
                     replicated,
+                    // Queue ordinals and scan cursors are assigned at the
+                    // queue push below.
+                    ord: 0,
+                    ghost_ord: 0,
+                    scan_ord: 0,
+                    ff_ord: 0,
                 }),
                 d,
             };
 
-            // Rename: wire source operands to in-flight producers.
+            // Rename: wire source operands to in-flight producers. The
+            // slot index is needed before registering dependents, so push
+            // a skeleton first (`uses()` is a small by-value array).
             let uses = entry.d.instr.uses();
             let is_store = entry.is_store();
-            let slot_hint = self.rob.len(); // not the slot; computed below
-            let _ = slot_hint;
-            // We need the slot index before registering dependents, so
-            // push a skeleton first.
             let store_data_src = if is_store { uses[0] } else { None };
-            let operand_srcs: Vec<dda_isa::Reg> = uses
-                .iter()
-                .enumerate()
-                .filter_map(|(i, r)| {
-                    let r = (*r)?;
-                    if is_store && i == 0 {
-                        None // the data operand is tracked separately
-                    } else {
-                        Some(r)
-                    }
-                })
-                .collect();
             let def = entry.d.instr.def();
             if is_store {
                 entry.mem.as_mut().expect("store").data_ready_at = Some(self.cycle);
             }
             let slot = self.rob.push(entry);
 
-            for r in operand_srcs {
+            for (i, r) in uses.into_iter().enumerate() {
+                let Some(r) = r else { continue };
+                if is_store && i == 0 {
+                    continue; // the data operand is tracked separately
+                }
                 if let Some((pslot, puid)) = self.rename[r.unified_index()] {
                     if self.rob.holds(pslot, puid) && !self.rob.get(pslot).completed {
                         self.rob
@@ -768,6 +1040,10 @@ impl<'c> Core<'c> {
             if let Some(dst) = def {
                 self.rename[dst.unified_index()] = Some((slot, uid));
             }
+            if !self.cfg.reference_kernel && self.rob.get(slot).waiting == 0 {
+                // No pending producers: an issue candidate immediately.
+                self.newly_ready.push((uid, slot));
+            }
 
             // Enqueue in the memory queue and count stream statistics.
             if let Some(tr) = &mut self.tracer {
@@ -790,23 +1066,36 @@ impl<'c> Core<'c> {
                     );
                 }
             }
-            if let Some(m) = &self.rob.get(slot).mem {
-                let is_store = m.is_store;
-                let replicated = m.replicated;
-                if m.in_lvaq {
+            let mem_kind = self.rob.get(slot).mem.as_ref().map(|m| {
+                (m.in_lvaq, m.is_store, m.replicated)
+            });
+            if let Some((in_lvaq, is_store, replicated)) = mem_kind {
+                if in_lvaq {
                     self.lvaq_seq += 1;
                 } else {
                     self.lsq_seq += 1;
                 }
-                let q = if m.in_lvaq { &mut self.lvaq } else { &mut self.lsq };
-                q.push_back(slot);
-                if replicated {
+                let q = if in_lvaq { &mut self.lvaq } else { &mut self.lsq };
+                let ord = q.push_back(slot, is_store);
+                let ghost_ord = if replicated {
                     // Footnote 3: the ghost copy occupies the other queue
                     // until the address resolves.
-                    let other = if m.in_lvaq { &mut self.lsq } else { &mut self.lvaq };
-                    other.push_back(slot);
+                    let other = if in_lvaq { &mut self.lsq } else { &mut self.lvaq };
+                    other.push_back(slot, is_store)
+                } else {
+                    0
+                };
+                let m = self.rob.get_mut(slot).mem.as_mut().expect("mem entry");
+                m.ord = ord;
+                m.ghost_ord = ghost_ord;
+                // Empty cleared segment: the scans start just below `ord`.
+                m.scan_ord = ord;
+                m.ff_ord = ord;
+                if !is_store && !self.cfg.reference_kernel {
+                    let wl = if in_lvaq { &mut self.lvaq_waiting } else { &mut self.lsq_waiting };
+                    wl.push((slot, uid));
                 }
-                let qs = if m.in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                let qs = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
                 if is_store {
                     qs.stores += 1;
                 } else {
@@ -819,11 +1108,202 @@ impl<'c> Core<'c> {
     }
 
     fn sample_occupancy(&mut self) {
-        self.res.lsq.occupancy.record(self.lsq.len() as u64);
+        if self.cfg.reference_kernel {
+            // Seed implementation: a histogram map insert per cycle.
+            self.res.lsq.occupancy.record(self.lsq.len() as u64);
+            if self.hier.has_lvc() {
+                self.res.lvaq.occupancy.record(self.lvaq.len() as u64);
+            }
+            return;
+        }
+        self.occ_lsq[self.lsq.len()] += 1;
         if self.hier.has_lvc() {
-            self.res.lvaq.occupancy.record(self.lvaq.len() as u64);
+            self.occ_lvaq[self.lvaq.len()] += 1;
         }
     }
+
+    /// Moves the flat occupancy counters into the result histograms.
+    fn flush_occupancy(&mut self) {
+        for (v, &n) in self.occ_lsq.iter().enumerate() {
+            self.res.lsq.occupancy.record_n(v as u64, n);
+        }
+        for (v, &n) in self.occ_lvaq.iter().enumerate() {
+            self.res.lvaq.occupancy.record_n(v as u64, n);
+        }
+    }
+}
+
+/// Outcome of the fast-forwarding CAM scan for one LVAQ load.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FfScan {
+    /// An older store prevents a match (unknown `$sp` identity, a frame
+    /// change, or a partial overlap).
+    Blocked,
+    /// Exact-slot match: forward from this store's ROB slot.
+    Match(usize),
+    /// No older store is a candidate; the load proceeds on the normal
+    /// address path.
+    NoMatch,
+}
+
+/// Outcome of the in-queue disambiguation scan for one load.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DisambScan {
+    /// An older store is unresolved or overlapping without forwardable
+    /// data: the load cannot launch this cycle.
+    Blocked,
+    /// A fully-containing older store with its data ready: forward from
+    /// this ROB slot.
+    Forward(usize),
+    /// No conflict — access the cache.
+    Cache,
+}
+
+/// The reference-kernel fast-forwarding scan: walks a queue snapshot's
+/// older entries youngest-first, skipping non-stores — the original
+/// rescan-per-cycle implementation, kept as the oracle and throughput
+/// baseline. Must decide exactly like [`ff_scan`].
+fn ff_scan_full(rob: &Rob, older: &[usize], lver: u64, loff: i32, lbytes: u32) -> FfScan {
+    for &sslot in older.iter().rev() {
+        let Some(sm) = &rob.get(sslot).mem else { continue };
+        if !sm.is_store {
+            continue;
+        }
+        match sm.stack_slot {
+            None => return FfScan::Blocked,
+            Some((sver, soff)) => {
+                if sver != lver {
+                    return FfScan::Blocked;
+                } else if soff == loff && sm.bytes == lbytes {
+                    return FfScan::Match(sslot);
+                } else if ranges_overlap(soff, sm.bytes, loff, lbytes) {
+                    return FfScan::Blocked;
+                }
+            }
+        }
+    }
+    FfScan::NoMatch
+}
+
+/// The reference-kernel disambiguation scan, mirroring [`disamb_scan`]
+/// the way [`ff_scan_full`] mirrors [`ff_scan`].
+fn disamb_scan_full(rob: &Rob, older: &[usize], cycle: u64, addr: u32, bytes: u32) -> DisambScan {
+    for &sslot in older.iter().rev() {
+        let Some(sm) = &rob.get(sslot).mem else { continue };
+        if !sm.is_store {
+            continue;
+        }
+        if !sm.addr_known(cycle) {
+            return DisambScan::Blocked;
+        }
+        if ranges_overlap_u32(sm.addr, sm.bytes, addr, bytes) {
+            return if contains(sm.addr, sm.bytes, addr, bytes) {
+                if sm.data_known(cycle) {
+                    DisambScan::Forward(sslot)
+                } else {
+                    DisambScan::Blocked
+                }
+            } else if sm.data_known(cycle) {
+                DisambScan::Cache
+            } else {
+                DisambScan::Blocked
+            };
+        }
+    }
+    DisambScan::Cache
+}
+
+/// Scans the stores of `q` older than ordinal `start`, youngest first, for
+/// a fast-forwarding candidate matching the load's `($sp` version,
+/// offset, bytes)`. Returns the outcome plus the new scan cursor: every
+/// store with an ordinal at or above the cursor (and below the load's own
+/// ordinal) is proven same-version and slot-disjoint — permanent facts,
+/// since `stack_slot` identities are static — so later scans resume from
+/// the cursor. A terminal store leaves the cursor just above itself and is
+/// re-examined (in O(1)) until it resolves or leaves the queue.
+fn ff_scan(
+    rob: &Rob,
+    q: &MemQueue,
+    start: u64,
+    lver: u64,
+    loff: i32,
+    lbytes: u32,
+) -> (FfScan, u64) {
+    for (so, sslot) in q.stores_older_than(start) {
+        let sm = rob.get(sslot).mem.as_ref().expect("queued store has mem state");
+        match sm.stack_slot {
+            None => return (FfScan::Blocked, so + 1), // cannot prove independence
+            Some((sver, soff)) => {
+                if sver != lver {
+                    return (FfScan::Blocked, so + 1); // incomparable across $sp change
+                } else if soff == loff && sm.bytes == lbytes {
+                    return (FfScan::Match(sslot), so + 1);
+                } else if ranges_overlap(soff, sm.bytes, loff, lbytes) {
+                    return (FfScan::Blocked, so + 1); // partial overlap
+                }
+                // Provably disjoint in the same frame version: skip, and
+                // never rescan.
+            }
+        }
+    }
+    (FfScan::NoMatch, 0)
+}
+
+/// Scans the stores of `q` older than ordinal `start`, youngest first, for
+/// an address conflict with a load at `addr`/`bytes`. Same cursor contract
+/// as [`ff_scan`]: skipped stores were address-known and disjoint, which
+/// stays true (addresses are static, readiness is monotone), so the
+/// returned cursor is where the next cycle's scan resumes.
+fn disamb_scan(
+    rob: &Rob,
+    q: &MemQueue,
+    start: u64,
+    cycle: u64,
+    addr: u32,
+    bytes: u32,
+) -> (DisambScan, u64) {
+    for (so, sslot) in q.stores_older_than(start) {
+        let sm = rob.get(sslot).mem.as_ref().expect("queued store has mem state");
+        if !sm.addr_known(cycle) {
+            return (DisambScan::Blocked, so + 1);
+        }
+        if ranges_overlap_u32(sm.addr, sm.bytes, addr, bytes) {
+            let out = if contains(sm.addr, sm.bytes, addr, bytes) {
+                if sm.data_known(cycle) {
+                    DisambScan::Forward(sslot)
+                } else {
+                    DisambScan::Blocked
+                }
+            } else if sm.data_known(cycle) {
+                // Partial overlap with the data available: conservatively
+                // go to the cache (after the store drains).
+                DisambScan::Cache
+            } else {
+                DisambScan::Blocked
+            };
+            return (out, so + 1);
+        }
+        // Address known and disjoint: permanently skippable.
+    }
+    (DisambScan::Cache, 0)
+}
+
+/// Merges two uid-sorted issue-candidate lists, preserving order.
+fn merge_by_uid(a: Vec<(u64, usize)>, b: Vec<(u64, usize)>) -> Vec<(u64, usize)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].0 <= b[j].0 {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 fn ranges_overlap(a_off: i32, a_bytes: u32, b_off: i32, b_bytes: u32) -> bool {

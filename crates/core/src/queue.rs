@@ -1,0 +1,147 @@
+//! The memory queues (LSQ and LVAQ).
+//!
+//! A queue holds the ROB slots of its in-flight memory instructions in age
+//! order. Alongside the entry list it maintains an age-ordered index of
+//! just the *stores*, because the schedulers only ever scan older stores:
+//! disambiguation and fast forwarding walk "every store older than this
+//! load, youngest first", and the index turns that walk from O(queue) over
+//! all entries into O(older stores), addressable by binary search.
+//!
+//! Every push is numbered with a queue-lifetime ordinal (`ord`). Unlike
+//! `MemState::q_seq` — which numbers only primary entries, per queue, for
+//! the access-combining window — the ordinal counts ghost copies too
+//! (footnote-3 replication), so it totally orders all simultaneous
+//! residents of one queue and is what the incremental scan cursors in
+//! [`crate::pipeline`] are measured in.
+
+use std::collections::VecDeque;
+
+/// One memory queue: age-ordered entries plus a store index.
+#[derive(Clone, Debug)]
+pub(crate) struct MemQueue {
+    /// ROB slots of all resident entries, oldest first.
+    q: VecDeque<usize>,
+    /// `(ord, slot)` of resident stores, oldest first; `ord` is strictly
+    /// increasing, so the deque is binary-searchable by ordinal.
+    stores: VecDeque<(u64, usize)>,
+    next_ord: u64,
+}
+
+impl MemQueue {
+    pub fn with_capacity(capacity: usize) -> MemQueue {
+        MemQueue {
+            q: VecDeque::with_capacity(capacity),
+            stores: VecDeque::with_capacity(capacity),
+            next_ord: 0,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// The resident entry at age position `i` (0 = oldest).
+    #[inline]
+    pub fn slot_at(&self, i: usize) -> usize {
+        self.q[i]
+    }
+
+    /// Appends an entry at the tail; returns its queue ordinal.
+    pub fn push_back(&mut self, slot: usize, is_store: bool) -> u64 {
+        let ord = self.next_ord;
+        self.next_ord += 1;
+        self.q.push_back(slot);
+        if is_store {
+            self.stores.push_back((ord, slot));
+        }
+        ord
+    }
+
+    /// Removes and returns the oldest entry (commit). The caller says
+    /// whether it is a store so the store index stays in sync.
+    pub fn pop_front(&mut self, is_store: bool) -> Option<usize> {
+        let slot = self.q.pop_front()?;
+        if is_store {
+            let front = self.stores.pop_front();
+            debug_assert_eq!(front.map(|(_, s)| s), Some(slot), "store index out of sync");
+        }
+        slot.into()
+    }
+
+    /// Removes a ghost copy (footnote-3 replication) wherever it sits.
+    pub fn remove_ghost(&mut self, slot: usize, is_store: bool, ord: u64) {
+        if let Some(pos) = self.q.iter().position(|&s| s == slot) {
+            self.q.remove(pos);
+            if is_store {
+                let i = self.stores.partition_point(|&(o, _)| o < ord);
+                debug_assert_eq!(self.stores.get(i), Some(&(ord, slot)), "ghost store missing");
+                if self.stores.get(i) == Some(&(ord, slot)) {
+                    self.stores.remove(i);
+                }
+            }
+        }
+    }
+
+    /// The resident stores with ordinal below `ord` (i.e. pushed before the
+    /// entry holding `ord`), youngest first — the disambiguation and
+    /// fast-forwarding scan order.
+    pub fn stores_older_than(&self, ord: u64) -> impl Iterator<Item = (u64, usize)> + '_ {
+        let end = self.stores.partition_point(|&(o, _)| o < ord);
+        self.stores.range(..end).rev().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinals_are_unique_and_increasing() {
+        let mut q = MemQueue::with_capacity(4);
+        let a = q.push_back(10, false);
+        let b = q.push_back(11, true);
+        let c = q.push_back(12, true);
+        assert!(a < b && b < c);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.slot_at(0), 10);
+    }
+
+    #[test]
+    fn stores_older_than_walks_youngest_first() {
+        let mut q = MemQueue::with_capacity(8);
+        q.push_back(1, true);
+        q.push_back(2, false);
+        q.push_back(3, true);
+        let load_ord = q.push_back(4, false);
+        q.push_back(5, true); // younger than the load: excluded
+        let seen: Vec<usize> = q.stores_older_than(load_ord).map(|(_, s)| s).collect();
+        assert_eq!(seen, vec![3, 1]);
+    }
+
+    #[test]
+    fn pop_front_keeps_store_index_in_sync() {
+        let mut q = MemQueue::with_capacity(4);
+        q.push_back(7, true);
+        let load_ord = q.push_back(8, false);
+        assert_eq!(q.pop_front(true), Some(7));
+        assert_eq!(q.stores_older_than(load_ord).count(), 0);
+        assert_eq!(q.pop_front(false), Some(8));
+        assert_eq!(q.pop_front(false), None);
+    }
+
+    #[test]
+    fn ghost_removal_deletes_exactly_one_copy() {
+        let mut q = MemQueue::with_capacity(4);
+        q.push_back(1, true);
+        let ghost_ord = q.push_back(2, true); // ghost store
+        let probe = q.push_back(3, false);
+        q.remove_ghost(2, true, ghost_ord);
+        assert_eq!(q.len(), 2);
+        let seen: Vec<usize> = q.stores_older_than(probe).map(|(_, s)| s).collect();
+        assert_eq!(seen, vec![1]);
+        // Removing an already-gone ghost is a no-op.
+        q.remove_ghost(2, true, ghost_ord);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -5,7 +5,6 @@ use dda_stats::Histogram;
 
 /// Per-queue (LSQ or LVAQ) statistics.
 #[derive(Clone, PartialEq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QueueStats {
     /// Loads and stores that passed through the queue.
     pub loads: u64,
@@ -40,7 +39,6 @@ impl QueueStats {
 
 /// The outcome of one simulation run.
 #[derive(Clone, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimResult {
     /// Cycles elapsed until the last committed instruction.
     pub cycles: u64,

@@ -6,7 +6,6 @@ use crate::regs::{Fpr, Gpr, Reg};
 
 /// Width of a memory access.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum MemWidth {
     /// One byte (sign-extended on load).
@@ -46,7 +45,6 @@ impl MemWidth {
 /// static memory instructions in the paper's measurements) that are left to
 /// run-time prediction.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum StreamHint {
     /// The compiler could not prove the access region; the hardware
@@ -76,7 +74,6 @@ impl StreamHint {
 /// The textual form (via [`core::fmt::Display`]) is MIPS-like; loads and
 /// stores append `!local` / `!nonlocal` when the [`StreamHint`] is known.
 #[derive(Clone, Copy, PartialEq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(missing_docs)] // operand fields are named by MIPS convention (rd/rs/rt/fd/fs/ft)
 pub enum Instr {
     /// Integer register–register ALU operation: `rd = op(rs, rt)`.

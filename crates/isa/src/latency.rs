@@ -8,7 +8,6 @@ use core::fmt;
 
 /// The class of functional unit an instruction executes on.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum FuClass {
     /// Integer ALU (adds, logic, shifts, compares). R10000 latency 1.
@@ -75,7 +74,6 @@ impl fmt::Display for FuClass {
 /// `issue_interval` is the minimum number of cycles between successive
 /// issues to the same unit (1 = fully pipelined).
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyTable {
     latency: [u32; 9],
     issue_interval: [u32; 9],

@@ -4,7 +4,6 @@ use core::fmt;
 
 /// Integer ALU operations (register–register or register–immediate forms).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum AluOp {
     /// Two's-complement addition (wrapping).
@@ -127,7 +126,6 @@ impl fmt::Display for AluOp {
 
 /// Floating-point operations on `f64` register values.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum FpuOp {
     /// `fd = fs + ft`.
@@ -208,7 +206,6 @@ impl fmt::Display for FpuOp {
 
 /// Conditions for integer conditional branches (`rs` compared to `rt`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum BranchCond {
     /// Branch if equal.
@@ -287,7 +284,6 @@ impl fmt::Display for BranchCond {
 /// Conditions for floating-point compares ([`crate::Instr::FpCmp`]), whose
 /// boolean result is written to a GPR.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum FpCond {
     /// True if operands compare equal.

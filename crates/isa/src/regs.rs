@@ -14,7 +14,6 @@ pub const NUM_FPRS: usize = 32;
 /// gives special meaning to [`Gpr::ZERO`], [`Gpr::SP`], [`Gpr::FP`] and
 /// [`Gpr::RA`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gpr(u8);
 
 impl Gpr {
@@ -147,7 +146,6 @@ impl fmt::Debug for Gpr {
 
 /// A floating-point register, `$f0`–`$f31`, holding an `f64`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fpr(u8);
 
 impl Fpr {
@@ -201,7 +199,6 @@ impl fmt::Debug for Fpr {
 /// namespace; `Reg` gives each architectural register a stable dense index
 /// via [`Reg::unified_index`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Reg {
     /// An integer register.
     Gpr(Gpr),

@@ -2,7 +2,6 @@
 
 /// Geometry and timing of one cache level.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u32,
@@ -106,7 +105,6 @@ impl CacheConfig {
 
 /// Geometry and timing of the unified L2 plus main memory.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct L2Config {
     /// Total capacity in bytes (paper: 512 KB).
     pub size_bytes: u32,
@@ -141,7 +139,6 @@ impl Default for L2Config {
 
 /// Configuration of the whole data-memory hierarchy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HierarchyConfig {
     /// The L1 D-cache.
     pub l1: CacheConfig,

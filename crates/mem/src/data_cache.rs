@@ -18,7 +18,6 @@ pub struct Completion {
 
 /// Access statistics of a [`DataCache`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataCacheStats {
     /// Load accesses.
     pub reads: u64,

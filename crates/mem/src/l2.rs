@@ -16,7 +16,6 @@ pub enum L2Source {
 
 /// Traffic and hit statistics of the L2 and its bus.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct L2Stats {
     /// Line-fill requests from the L1.
     pub requests_from_l1: u64,

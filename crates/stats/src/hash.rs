@@ -1,0 +1,73 @@
+//! A minimal multiply-shift hasher for small integer keys.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Fibonacci multiplicative hasher for low-entropy integer keys (page
+/// numbers, program counters).
+///
+/// SipHash — the `HashMap` default — costs more than the lookup it
+/// guards on simulator hot paths, and HashDoS resistance is irrelevant
+/// for keys the simulator generates itself. Multiplying by the golden
+/// ratio constant spreads dense key ranges across the table.
+#[derive(Default)]
+pub struct FibHasher(u64);
+
+impl Hasher for FibHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(PHI);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (v as u64).wrapping_mul(PHI);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(PHI);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A `HashMap` keyed by small integers, using [`FibHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FibHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FastMap<u32, u64> = FastMap::default();
+        for k in 0..1000u32 {
+            m.insert(k, k as u64 * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u32 {
+            assert_eq!(m.get(&k), Some(&(k as u64 * 3)));
+        }
+    }
+
+    #[test]
+    fn dense_keys_spread() {
+        // Consecutive keys must not collapse onto a few hash values.
+        let hashes: std::collections::HashSet<u64> = (0..256u32)
+            .map(|k| {
+                let mut h = FibHasher::default();
+                h.write_u32(k);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 256);
+    }
+}

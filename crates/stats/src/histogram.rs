@@ -17,7 +17,6 @@ use std::collections::BTreeMap;
 /// assert_eq!(frames.max(), Some(7));
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     counts: BTreeMap<u64, u64>,
     total: u64,

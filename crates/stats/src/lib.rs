@@ -4,13 +4,20 @@
 //!
 //! Small, dependency-free statistics utilities shared by the simulator and
 //! the experiment harness: a sparse integer [`Histogram`] (used for the
-//! paper's frame-size and queue-occupancy distributions) and a plain-text
-//! [`Table`] renderer (used to print every reproduced table and figure).
+//! paper's frame-size and queue-occupancy distributions), a plain-text
+//! [`Table`] renderer (used to print every reproduced table and figure),
+//! a seeded [`Rng`] (used by the workload generators so the workspace
+//! builds with no external crates), and a cheap [`FibHasher`] for the
+//! simulator's integer-keyed hot-path maps.
 
+mod hash;
 mod histogram;
+mod rng;
 mod table;
 
+pub use hash::{FastMap, FibHasher};
 pub use histogram::Histogram;
+pub use rng::{Rng, SampleRange};
 pub use table::{Align, Table};
 
 /// Formats a fraction as a percentage with one decimal, `"—"` when the

@@ -1,6 +1,7 @@
 //! The architectural machine: registers, memory, sequential execution.
 
 use core::fmt;
+use std::sync::Arc;
 
 use dda_isa::{Fpr, Gpr, Instr, MemWidth, StreamHint};
 use dda_program::{MemRegion, Program};
@@ -120,7 +121,7 @@ pub struct RunSummary {
 /// (paper Table 1) would feed the pipeline.
 #[derive(Clone, Debug)]
 pub struct Vm {
-    program: Program,
+    program: Arc<Program>,
     pc: u32,
     gpr: [i32; 32],
     fpr: [f64; 32],
@@ -135,7 +136,12 @@ pub struct Vm {
 impl Vm {
     /// Creates a machine at the program entry with `$sp` at the stack base
     /// and `$gp` at the global base.
-    pub fn new(program: Program) -> Vm {
+    ///
+    /// Accepts an owned [`Program`] or an `Arc<Program>`; passing the
+    /// `Arc` lets many machines (e.g. a configuration sweep) share one
+    /// program image instead of cloning it per run.
+    pub fn new(program: impl Into<Arc<Program>>) -> Vm {
+        let program = program.into();
         let mut gpr = [0i32; 32];
         gpr[Gpr::SP.index()] = program.layout().stack_base() as i32;
         gpr[Gpr::GP.index()] = program.layout().global_base() as i32;

@@ -1,9 +1,13 @@
 //! Sparse, page-granular data memory.
 
-use std::collections::HashMap;
+use dda_stats::FastMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+// Page-table lookups sit on the hot path of every simulated memory
+// access, so the map avoids SipHash.
+type PageMap = FastMap<u32, Box<[u8; PAGE_SIZE]>>;
 
 /// A sparse 32-bit byte-addressable memory.
 ///
@@ -14,7 +18,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// misalignment errors carry the faulting pc.
 #[derive(Clone, Debug, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl SparseMemory {
@@ -55,18 +59,33 @@ impl SparseMemory {
 
     /// Reads `N` little-endian bytes starting at `addr` (which may cross a
     /// page boundary; the address space wraps modulo 2³²).
+    ///
+    /// The common within-page case resolves the page once; only accesses
+    /// straddling a 4 KB boundary fall back to byte-at-a-time.
     pub fn read_bytes<const N: usize>(&self, addr: u32) -> [u8; N] {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
         let mut out = [0u8; N];
-        for (i, b) in out.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32));
+        if off + N <= PAGE_SIZE {
+            if let Some(p) = self.page(addr) {
+                out.copy_from_slice(&p[off..off + N]);
+            }
+        } else {
+            for (i, b) in out.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
+            }
         }
         out
     }
 
     /// Writes `N` little-endian bytes starting at `addr`.
     pub fn write_bytes<const N: usize>(&mut self, addr: u32, bytes: [u8; N]) {
-        for (i, b) in bytes.into_iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + N <= PAGE_SIZE {
+            self.page_mut(addr)[off..off + N].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.into_iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), b);
+            }
         }
     }
 

@@ -7,10 +7,8 @@
 //! saves and occasional register spills), so "the performance of the (2+2)
 //! configuration is close to that of the (2+0) configuration".
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dda_isa::{AluOp, FpuOp, Fpr, Gpr, StreamHint};
+use dda_stats::Rng;
 use dda_program::{FunctionBuilder, MemoryLayout, Program, ProgramBuilder};
 
 /// Parameters of one floating-point benchmark stand-in.
@@ -47,7 +45,7 @@ pub struct FpParams {
 
 /// Generates the full program for one FP benchmark.
 pub(crate) fn generate(p: &FpParams, scale: u32) -> Program {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let layout = MemoryLayout::standard();
     let heap = layout.heap_base();
 
@@ -94,7 +92,7 @@ fn emit_kernel(
     elems: u32,
     array_bytes: u32,
     heap: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> FunctionBuilder {
     let saves: Vec<Gpr> = (0..p.saves.min(6)).map(|i| Gpr::new(16 + i as u8)).collect();
     // Frame: saves + spill slots (8 bytes each) + padding.

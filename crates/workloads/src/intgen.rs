@@ -8,8 +8,7 @@
 //! accesses are hinted `NonLocal` — the compiler-exact classification the
 //! paper assumes (§2.2.3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dda_stats::Rng;
 
 use dda_isa::{AluOp, Gpr, MemWidth, StreamHint};
 use dda_program::{FunctionBuilder, MemoryLayout, Program, ProgramBuilder};
@@ -159,7 +158,7 @@ const ALU_OPS: [AluOp; 6] =
 /// workload's instruction-level parallelism is bounded the way real code's
 /// is.
 struct Emitter<'a> {
-    rng: &'a mut StdRng,
+    rng: &'a mut Rng,
     /// Pointer-chase loads per block (0 = none).
     chase: u32,
     /// Number of parallel dependence chains.
@@ -244,7 +243,7 @@ impl Emitter<'_> {
     fn emit_block(&mut self, f: &mut FunctionBuilder, mix: &BlockMix) {
         // Vary the chain count block to block so the ILP ceiling is not a
         // hard step function.
-        self.block_ilp = (self.ilp + self.rng.gen_range(0..2)).min(TEMPS.len() - 4);
+        self.block_ilp = (self.ilp + self.rng.gen_range(0..2usize)).min(TEMPS.len() - 4);
         // Spill/reload pairs: the dependence chain passes *through* a
         // stack slot, as real register-pressure spills do. The spill is
         // emitted at the top of the block and the reload at the bottom
@@ -332,7 +331,7 @@ fn emit_function(
     shape: &Shape,
     mix: &BlockMix,
     callees: &[String],
-    rng: &mut StdRng,
+    rng: &mut Rng,
     heap_region: (u32, u32),
     cursor_slot: Option<i32>,
     params: &IntParams,
@@ -451,7 +450,7 @@ fn emit_recursive(
     spec: &RecursionSpec,
     heap_region: (u32, u32),
     stride: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> FunctionBuilder {
     let frame_words = spec.frame_words.max(4 + spec.touched_slots);
     let frame_bytes = frame_words * 4;
@@ -513,7 +512,7 @@ fn emit_recursive(
 
 /// Generates the full program for one integer benchmark.
 pub(crate) fn generate(p: &IntParams, scale: u32) -> Program {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let layout = MemoryLayout::standard();
     let heap_base = layout.heap_base();
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Standard pre-PR check: tier-1 verification plus a throughput smoke run.
+#
+#   scripts/verify.sh
+#
+# Tier-1 (from ROADMAP.md) is `cargo build --release && cargo test -q`.
+# The throughput smoke run exercises the benchmark binary in `--quick`
+# mode, which also cross-checks the incremental scheduler kernel against
+# the rescan-per-cycle reference kernel on three workloads (the run
+# aborts if any counter diverges). It writes its report to a throwaway
+# path so the committed BENCH_throughput.json (full budget, all twelve
+# workloads) is not clobbered by smoke numbers.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== throughput smoke (--quick)"
+cargo run --release -q -p dda-bench --bin throughput -- \
+    --quick --out target/BENCH_throughput_smoke.json
+
+echo "== verify OK"

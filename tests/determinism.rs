@@ -1,0 +1,68 @@
+//! Determinism regression tests.
+//!
+//! The incremental scheduler kernel (worklists, scan cursors, the event
+//! wheel) must be a pure wall-clock optimization: repeated runs and the
+//! rescan-per-cycle reference kernel must all produce the *full*
+//! [`SimResult`] bit for bit — every counter, histogram and cache
+//! statistic, not just IPC.
+
+use std::sync::Arc;
+
+use dda::core::{MachineConfig, SimResult, Simulator};
+use dda::workloads::Benchmark;
+
+const BUDGET: u64 = 40_000;
+
+fn run(bench: Benchmark, cfg: &MachineConfig) -> SimResult {
+    let program = bench.program(u32::MAX / 2);
+    Simulator::new(cfg.clone()).run(&program, BUDGET).expect("benchmark executes cleanly")
+}
+
+/// The machine configurations the paper's figures sweep most often.
+fn configs() -> Vec<MachineConfig> {
+    vec![
+        MachineConfig::iscapaper_base(),
+        MachineConfig::n_plus_m(2, 2),
+        MachineConfig::n_plus_m(4, 2).with_optimizations(),
+    ]
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for bench in [Benchmark::Compress, Benchmark::Li, Benchmark::Swim] {
+        for cfg in configs() {
+            let a = run(bench, &cfg);
+            let b = run(bench, &cfg);
+            assert_eq!(a, b, "{bench}: two identical runs diverged");
+        }
+    }
+}
+
+#[test]
+fn shared_program_runs_match_owned_program_runs() {
+    let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
+    for bench in [Benchmark::Compress, Benchmark::Vortex] {
+        let program = bench.program(u32::MAX / 2);
+        let owned = Simulator::new(cfg.clone()).run(&program, BUDGET).expect("runs");
+        let shared = Simulator::new(cfg.clone())
+            .run_shared(Arc::new(program), BUDGET)
+            .expect("runs");
+        assert_eq!(owned, shared, "{bench}: Arc-shared program changed the result");
+    }
+}
+
+#[test]
+fn incremental_kernel_matches_reference_kernel() {
+    for bench in [Benchmark::Compress, Benchmark::Li, Benchmark::Vortex, Benchmark::Tomcatv] {
+        for mut cfg in configs() {
+            cfg.reference_kernel = false;
+            let fast = run(bench, &cfg);
+            cfg.reference_kernel = true;
+            let reference = run(bench, &cfg);
+            assert_eq!(
+                fast, reference,
+                "{bench}: incremental kernel diverged from the reference kernel"
+            );
+        }
+    }
+}

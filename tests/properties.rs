@@ -1,157 +1,208 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! Originally written with `proptest`; rewritten as plain `#[test]`
+//! functions over the in-tree [`dda_stats::Rng`] so the workspace builds
+//! with no external crates (offline). Each property draws a few hundred
+//! random cases from a fixed seed — deterministic, so failures reproduce.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use dda::isa::{
     AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, Reg, StreamHint,
 };
-use dda::mem::{CacheConfig, CacheCore, L2Config, L2Source, PortMeter, DataCache, L2};
+use dda::mem::{CacheConfig, CacheCore, DataCache, L2Config, L2Source, PortMeter, L2};
 use dda::program::MemoryLayout;
 use dda::vm::SparseMemory;
-use dda_stats::Histogram;
+use dda_stats::{Histogram, Rng};
 
 // ---------------------------------------------------------------- ISA --
 
-fn arb_gpr() -> impl Strategy<Value = Gpr> {
-    (0u8..32).prop_map(Gpr::new)
+fn arb_gpr(rng: &mut Rng) -> Gpr {
+    Gpr::new(rng.gen_range(0u8..32))
 }
 
-fn arb_fpr() -> impl Strategy<Value = Fpr> {
-    (0u8..32).prop_map(Fpr::new)
+fn arb_fpr(rng: &mut Rng) -> Fpr {
+    Fpr::new(rng.gen_range(0u8..32))
 }
 
-fn arb_hint() -> impl Strategy<Value = StreamHint> {
-    prop_oneof![
-        Just(StreamHint::Unknown),
-        Just(StreamHint::Local),
-        Just(StreamHint::NonLocal)
-    ]
+fn arb_hint(rng: &mut Rng) -> StreamHint {
+    [StreamHint::Unknown, StreamHint::Local, StreamHint::NonLocal][rng.gen_range(0..3usize)]
 }
 
-fn arb_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)]
+fn arb_width(rng: &mut Rng) -> MemWidth {
+    [MemWidth::Byte, MemWidth::Half, MemWidth::Word][rng.gen_range(0..3usize)]
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        Just(Instr::Ret),
-        (proptest::sample::select(&AluOp::ALL[..]), arb_gpr(), arb_gpr(), arb_gpr())
-            .prop_map(|(op, rd, rs, rt)| Instr::Alu { op, rd, rs, rt }),
-        (proptest::sample::select(&AluOp::ALL[..]), arb_gpr(), arb_gpr(), any::<i32>())
-            .prop_map(|(op, rd, rs, imm)| Instr::AluImm { op, rd, rs, imm }),
-        (arb_gpr(), any::<i32>()).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
-        (proptest::sample::select(&FpuOp::ALL[..]), arb_fpr(), arb_fpr(), arb_fpr())
-            .prop_map(|(op, fd, fs, ft)| Instr::Fpu { op, fd, fs, ft }),
-        (proptest::sample::select(&FpCond::ALL[..]), arb_gpr(), arb_fpr(), arb_fpr())
-            .prop_map(|(cond, rd, fs, ft)| Instr::FpCmp { cond, rd, fs, ft }),
-        (arb_fpr(), arb_gpr()).prop_map(|(fd, rs)| Instr::IntToFp { fd, rs }),
-        (arb_gpr(), arb_fpr()).prop_map(|(rd, fs)| Instr::FpToInt { rd, fs }),
-        (arb_gpr(), arb_gpr(), any::<i32>(), arb_width(), arb_hint())
-            .prop_map(|(rd, base, offset, width, hint)| Instr::Load {
-                rd, base, offset, width, hint
-            }),
-        (arb_gpr(), arb_gpr(), any::<i32>(), arb_width(), arb_hint())
-            .prop_map(|(rs, base, offset, width, hint)| Instr::Store {
-                rs, base, offset, width, hint
-            }),
-        (arb_fpr(), arb_gpr(), any::<i32>(), arb_hint())
-            .prop_map(|(fd, base, offset, hint)| Instr::FLoad { fd, base, offset, hint }),
-        (arb_fpr(), arb_gpr(), any::<i32>(), arb_hint())
-            .prop_map(|(fs, base, offset, hint)| Instr::FStore { fs, base, offset, hint }),
-        (proptest::sample::select(&BranchCond::ALL[..]), arb_gpr(), arb_gpr(), any::<u32>())
-            .prop_map(|(cond, rs, rt, target)| Instr::Branch { cond, rs, rt, target }),
-        any::<u32>().prop_map(|target| Instr::Jump { target }),
-        any::<u32>().prop_map(|target| Instr::Call { target }),
-        arb_gpr().prop_map(|rs| Instr::CallReg { rs }),
-    ]
+fn arb_i32(rng: &mut Rng) -> i32 {
+    rng.next_u32() as i32
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trips(instr in arb_instr()) {
-        prop_assert_eq!(Instr::decode(instr.encode()), Ok(instr));
+fn arb_instr(rng: &mut Rng) -> Instr {
+    match rng.gen_range(0..18usize) {
+        0 => Instr::Nop,
+        1 => Instr::Halt,
+        2 => Instr::Ret,
+        3 => Instr::Alu {
+            op: AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())],
+            rd: arb_gpr(rng),
+            rs: arb_gpr(rng),
+            rt: arb_gpr(rng),
+        },
+        4 => Instr::AluImm {
+            op: AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())],
+            rd: arb_gpr(rng),
+            rs: arb_gpr(rng),
+            imm: arb_i32(rng),
+        },
+        5 => Instr::LoadImm { rd: arb_gpr(rng), imm: arb_i32(rng) },
+        6 => Instr::Fpu {
+            op: FpuOp::ALL[rng.gen_range(0..FpuOp::ALL.len())],
+            fd: arb_fpr(rng),
+            fs: arb_fpr(rng),
+            ft: arb_fpr(rng),
+        },
+        7 => Instr::FpCmp {
+            cond: FpCond::ALL[rng.gen_range(0..FpCond::ALL.len())],
+            rd: arb_gpr(rng),
+            fs: arb_fpr(rng),
+            ft: arb_fpr(rng),
+        },
+        8 => Instr::IntToFp { fd: arb_fpr(rng), rs: arb_gpr(rng) },
+        9 => Instr::FpToInt { rd: arb_gpr(rng), fs: arb_fpr(rng) },
+        10 => Instr::Load {
+            rd: arb_gpr(rng),
+            base: arb_gpr(rng),
+            offset: arb_i32(rng),
+            width: arb_width(rng),
+            hint: arb_hint(rng),
+        },
+        11 => Instr::Store {
+            rs: arb_gpr(rng),
+            base: arb_gpr(rng),
+            offset: arb_i32(rng),
+            width: arb_width(rng),
+            hint: arb_hint(rng),
+        },
+        12 => Instr::FLoad {
+            fd: arb_fpr(rng),
+            base: arb_gpr(rng),
+            offset: arb_i32(rng),
+            hint: arb_hint(rng),
+        },
+        13 => Instr::FStore {
+            fs: arb_fpr(rng),
+            base: arb_gpr(rng),
+            offset: arb_i32(rng),
+            hint: arb_hint(rng),
+        },
+        14 => Instr::Branch {
+            cond: BranchCond::ALL[rng.gen_range(0..BranchCond::ALL.len())],
+            rs: arb_gpr(rng),
+            rt: arb_gpr(rng),
+            target: rng.next_u32(),
+        },
+        15 => Instr::Jump { target: rng.next_u32() },
+        16 => Instr::Call { target: rng.next_u32() },
+        _ => Instr::CallReg { rs: arb_gpr(rng) },
     }
+}
 
-    #[test]
-    fn defs_and_uses_are_well_formed(instr in arb_instr()) {
+#[test]
+fn encode_decode_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x1541);
+    for _ in 0..2_000 {
+        let instr = arb_instr(&mut rng);
+        assert_eq!(Instr::decode(instr.encode()), Ok(instr));
+    }
+}
+
+#[test]
+fn defs_and_uses_are_well_formed() {
+    let mut rng = Rng::seed_from_u64(0x1542);
+    for _ in 0..2_000 {
+        let instr = arb_instr(&mut rng);
         // A def is always writable; $zero never appears as a destination.
         if let Some(d) = instr.def() {
-            prop_assert!(d.is_writable());
+            assert!(d.is_writable());
         }
         // Unified indices of uses are in range.
         for u in instr.uses().into_iter().flatten() {
-            prop_assert!(u.unified_index() < Reg::UNIFIED_COUNT);
+            assert!(u.unified_index() < Reg::UNIFIED_COUNT);
         }
         // Memory classification is consistent.
-        prop_assert_eq!(instr.is_mem(), instr.mem_operand().is_some());
-        prop_assert!(!(instr.is_load() && instr.is_store()));
+        assert_eq!(instr.is_mem(), instr.mem_operand().is_some());
+        assert!(!(instr.is_load() && instr.is_store()));
     }
+}
 
-    #[test]
-    fn branch_negation_is_involutive(
-        cond in proptest::sample::select(&BranchCond::ALL[..]),
-        a in any::<i32>(),
-        b in any::<i32>(),
-    ) {
-        prop_assert_eq!(cond.negate().negate(), cond);
-        prop_assert_eq!(cond.eval(a, b), !cond.negate().eval(a, b));
+#[test]
+fn branch_negation_is_involutive() {
+    let mut rng = Rng::seed_from_u64(0x1543);
+    for cond in BranchCond::ALL {
+        assert_eq!(cond.negate().negate(), cond);
+        for _ in 0..200 {
+            let (a, b) = (arb_i32(&mut rng), arb_i32(&mut rng));
+            assert_eq!(cond.eval(a, b), !cond.negate().eval(a, b));
+        }
     }
 }
 
 // ------------------------------------------------------------- memory --
 
-proptest! {
-    #[test]
-    fn sparse_memory_matches_reference(
-        ops in proptest::collection::vec(
-            (any::<u32>(), any::<u8>(), any::<bool>()), 1..200)
-    ) {
+#[test]
+fn sparse_memory_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x1544);
+    for _ in 0..50 {
         let mut mem = SparseMemory::new();
         let mut reference: HashMap<u32, u8> = HashMap::new();
-        for (addr, value, is_write) in ops {
-            if is_write {
+        for _ in 0..rng.gen_range(1..200usize) {
+            let addr = rng.next_u32();
+            let value = rng.gen_range(0u8..=255);
+            if rng.gen_bool(0.5) {
                 mem.write_u8(addr, value);
                 reference.insert(addr, value);
             } else {
                 let expect = reference.get(&addr).copied().unwrap_or(0);
-                prop_assert_eq!(mem.read_u8(addr), expect);
+                assert_eq!(mem.read_u8(addr), expect);
             }
         }
         for (addr, value) in reference {
-            prop_assert_eq!(mem.read_u8(addr), value);
+            assert_eq!(mem.read_u8(addr), value);
         }
     }
+}
 
-    #[test]
-    fn sparse_memory_wide_accesses_are_byte_composable(
-        addr in any::<u32>(),
-        value in any::<u64>(),
-    ) {
+#[test]
+fn sparse_memory_wide_accesses_are_byte_composable() {
+    let mut rng = Rng::seed_from_u64(0x1545);
+    for _ in 0..500 {
+        let addr = rng.next_u32();
+        let value = rng.next_u64();
         let mut mem = SparseMemory::new();
         mem.write_u64(addr, value);
         let mut rebuilt = 0u64;
         for i in 0..8 {
             rebuilt |= (mem.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
         }
-        prop_assert_eq!(rebuilt, value);
+        assert_eq!(rebuilt, value);
     }
+}
 
-    #[test]
-    fn memory_layout_regions_partition_addresses(addr in any::<u32>()) {
-        use dda::program::MemRegion;
-        let l = MemoryLayout::standard();
+#[test]
+fn memory_layout_regions_partition_addresses() {
+    use dda::program::MemRegion;
+    let mut rng = Rng::seed_from_u64(0x1546);
+    let l = MemoryLayout::standard();
+    for _ in 0..2_000 {
+        let addr = rng.next_u32();
         let region = l.region_of(addr);
         // is_stack agrees with region_of.
-        prop_assert_eq!(l.is_stack(addr), region == MemRegion::Stack);
-        // Region base addresses classify into their own regions.
-        prop_assert_eq!(l.region_of(l.global_base()), MemRegion::Global);
-        prop_assert_eq!(l.region_of(l.heap_base()), MemRegion::Heap);
-        prop_assert_eq!(l.region_of(l.stack_base() - 4), MemRegion::Stack);
+        assert_eq!(l.is_stack(addr), region == MemRegion::Stack);
     }
+    // Region base addresses classify into their own regions.
+    assert_eq!(l.region_of(l.global_base()), MemRegion::Global);
+    assert_eq!(l.region_of(l.heap_base()), MemRegion::Heap);
+    assert_eq!(l.region_of(l.stack_base() - 4), MemRegion::Stack);
 }
 
 // -------------------------------------------------------------- cache --
@@ -178,11 +229,10 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #[test]
-    fn fully_associative_cache_core_matches_reference_lru(
-        addrs in proptest::collection::vec(0u32..4096, 1..300)
-    ) {
+#[test]
+fn fully_associative_cache_core_matches_reference_lru() {
+    let mut rng = Rng::seed_from_u64(0x1547);
+    for _ in 0..30 {
         // 8 lines of 32 bytes, fully associative.
         let cfg = CacheConfig {
             size_bytes: 256,
@@ -194,118 +244,126 @@ proptest! {
         };
         let mut cache = CacheCore::new(&cfg);
         let mut reference = RefLru { capacity: 8, lines: Vec::new() };
-        for addr in addrs {
+        for _ in 0..rng.gen_range(1..300usize) {
+            let addr = rng.gen_range(0u32..4096);
             let hit = cache.access(addr, false);
             if !hit {
                 cache.fill(addr, false);
             }
             let ref_hit = reference.access(addr >> 5);
-            prop_assert_eq!(hit, ref_hit, "address {:#x}", addr);
+            assert_eq!(hit, ref_hit, "address {addr:#x}");
         }
     }
+}
 
-    #[test]
-    fn cache_stats_are_consistent(
-        addrs in proptest::collection::vec(0u32..65536, 1..300),
-        writes in proptest::collection::vec(any::<bool>(), 300),
-    ) {
+#[test]
+fn cache_stats_are_consistent() {
+    let mut rng = Rng::seed_from_u64(0x1548);
+    for _ in 0..30 {
         let mut cache = CacheCore::new(&CacheConfig::lvc_2k());
-        for (addr, w) in addrs.iter().zip(&writes) {
-            if !cache.access(*addr, *w) {
-                cache.fill(*addr, *w);
+        let n = rng.gen_range(1..300usize);
+        for _ in 0..n {
+            let addr = rng.gen_range(0u32..65536);
+            let w = rng.gen_bool(0.5);
+            if !cache.access(addr, w) {
+                cache.fill(addr, w);
             }
         }
         let s = cache.stats();
-        prop_assert_eq!(s.accesses(), addrs.len() as u64);
-        prop_assert_eq!(s.misses, s.fills);
-        prop_assert!(s.writebacks <= s.fills);
-        prop_assert!(s.miss_rate() >= 0.0 && s.miss_rate() <= 1.0);
+        assert_eq!(s.accesses(), n as u64);
+        assert_eq!(s.misses, s.fills);
+        assert!(s.writebacks <= s.fills);
+        assert!(s.miss_rate() >= 0.0 && s.miss_rate() <= 1.0);
     }
+}
 
-    #[test]
-    fn lockup_free_cache_timing_is_sane(
-        addrs in proptest::collection::vec(0u32..(1 << 20), 1..100)
-    ) {
+#[test]
+fn lockup_free_cache_timing_is_sane() {
+    let mut rng = Rng::seed_from_u64(0x1549);
+    for _ in 0..20 {
         let mut l2 = L2::new(L2Config::iscapaper_base());
         let mut cache = DataCache::new(CacheConfig::l1_32k(), L2Source::L1);
-        for (now, addr) in (0u64..).zip(addrs) {
+        for now in 0u64..rng.gen_range(1..100u64) {
+            let addr = rng.gen_range(0u32..(1 << 20));
             let c = cache.access(now, 0x2000_0000 + addr, false, &mut l2);
             // Completion is causal and bounded below by the hit latency.
-            prop_assert!(c.complete_at >= now + 2);
+            assert!(c.complete_at >= now + 2);
         }
     }
+}
 
-    #[test]
-    fn port_meter_never_exceeds_budget(
-        ports in 1u32..6,
-        claims in proptest::collection::vec(0u64..50, 1..200),
-    ) {
-        let mut sorted = claims.clone();
-        sorted.sort_unstable();
+#[test]
+fn port_meter_never_exceeds_budget() {
+    let mut rng = Rng::seed_from_u64(0x154A);
+    for _ in 0..50 {
+        let ports = rng.gen_range(1u32..6);
+        let mut claims: Vec<u64> =
+            (0..rng.gen_range(1..200usize)).map(|_| rng.gen_range(0u64..50)).collect();
+        claims.sort_unstable();
         let mut meter = PortMeter::new(ports);
         let mut per_cycle: HashMap<u64, u32> = HashMap::new();
-        for cycle in sorted {
+        for cycle in claims {
             if meter.try_claim(cycle) {
                 *per_cycle.entry(cycle).or_insert(0) += 1;
             }
         }
         for (_, granted) in per_cycle {
-            prop_assert!(granted <= ports);
+            assert!(granted <= ports);
         }
     }
 }
 
 // -------------------------------------------------------------- stats --
 
-proptest! {
-    #[test]
-    fn histogram_quantiles_are_monotone(
-        values in proptest::collection::vec(0u64..1000, 1..200)
-    ) {
+#[test]
+fn histogram_quantiles_are_monotone() {
+    let mut rng = Rng::seed_from_u64(0x154B);
+    for _ in 0..50 {
+        let values: Vec<u64> =
+            (0..rng.gen_range(1..200usize)).map(|_| rng.gen_range(0u64..1000)).collect();
         let h: Histogram = values.iter().copied().collect();
         let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
         let mut last = 0;
         for q in qs {
             let v = h.quantile(q).unwrap();
-            prop_assert!(v >= last);
+            assert!(v >= last);
             last = v;
         }
-        prop_assert_eq!(h.quantile(1.0), h.max());
-        prop_assert_eq!(h.samples(), values.len() as u64);
+        assert_eq!(h.quantile(1.0), h.max());
+        assert_eq!(h.samples(), values.len() as u64);
         // The mean lies within [min, max].
         let mean = h.mean().unwrap();
-        prop_assert!(mean >= h.min().unwrap() as f64);
-        prop_assert!(mean <= h.max().unwrap() as f64);
+        assert!(mean >= h.min().unwrap() as f64);
+        assert!(mean <= h.max().unwrap() as f64);
     }
+}
 
-    #[test]
-    fn histogram_cdf_is_monotone_and_normalised(
-        values in proptest::collection::vec(0u64..100, 1..100)
-    ) {
+#[test]
+fn histogram_cdf_is_monotone_and_normalised() {
+    let mut rng = Rng::seed_from_u64(0x154C);
+    for _ in 0..50 {
+        let values: Vec<u64> =
+            (0..rng.gen_range(1..100usize)).map(|_| rng.gen_range(0u64..100)).collect();
         let h: Histogram = values.iter().copied().collect();
         let mut last = 0.0f64;
         for v in 0..100 {
             let c = h.cdf(v);
-            prop_assert!(c >= last - 1e-12);
+            assert!(c >= last - 1e-12);
             last = c;
         }
-        prop_assert!((h.cdf(u64::MAX) - 1.0).abs() < 1e-12);
+        assert!((h.cdf(u64::MAX) - 1.0).abs() < 1e-12);
     }
 }
 
 // ----------------------------------------------------- whole programs --
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    #[test]
-    fn random_programs_run_identically_on_vm_and_pipeline(
-        seed in any::<u64>(),
-        n_funcs in 1usize..4,
-        body in 2u32..12,
-    ) {
-        use dda::program::{FunctionBuilder, ProgramBuilder};
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+#[test]
+fn random_programs_run_identically_on_vm_and_pipeline() {
+    use dda::program::{FunctionBuilder, ProgramBuilder};
+    for seed in 0u64..16 {
+        let mut rng = Rng::seed_from_u64(0x9_0000 + seed);
+        let n_funcs = rng.gen_range(1usize..4);
+        let body = rng.gen_range(2u32..12);
 
         // Build a random but well-formed program: straight-line bodies of
         // ALU and stack/global memory operations plus calls down a chain.
@@ -325,7 +383,7 @@ proptest! {
             f.addi(Gpr::SP, Gpr::SP, -32);
             f.store_local(Gpr::RA, 0);
             for _ in 0..body {
-                match rng.gen_range(0..4) {
+                match rng.gen_range(0..4usize) {
                     0 => {
                         let op = AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())];
                         f.alui(op, Gpr::T0, Gpr::T1, rng.gen_range(-8..8));
@@ -359,7 +417,7 @@ proptest! {
 
         let mut vm = dda::vm::Vm::new(program.clone());
         let summary = vm.run(100_000).unwrap();
-        prop_assert!(summary.halted);
+        assert!(summary.halted);
 
         use dda::core::{MachineConfig, Simulator};
         for cfg in [
@@ -367,83 +425,77 @@ proptest! {
             MachineConfig::n_plus_m(2, 2).with_optimizations(),
         ] {
             let r = Simulator::new(cfg).run(&program, 100_000).unwrap();
-            prop_assert!(r.halted);
-            prop_assert_eq!(r.committed, summary.executed);
+            assert!(r.halted);
+            assert_eq!(r.committed, summary.executed);
         }
     }
 }
 
-
 // --------------------------------------------- timing vs architecture --
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-    /// The golden rule of a timing simulator: no machine configuration —
-    /// widths, queue sizes, ports, latencies, optimizations, steering —
-    /// may ever change *what* commits, only *when*.
-    #[test]
-    fn timing_configuration_never_changes_architecture(
-        dispatch in 1u32..17,
-        rob in 8usize..129,
-        lsq in 4usize..65,
-        n_ports in 1u32..5,
-        m_ports in 0u32..4,
-        l1_lat in 1u32..4,
-        ff in any::<bool>(),
-        combine in 1u32..5,
-        steer_pick in 0u8..4,
-    ) {
-        use dda::core::{MachineConfig, Simulator, SteerPolicy};
-        use dda::workloads::Benchmark;
+/// The golden rule of a timing simulator: no machine configuration —
+/// widths, queue sizes, ports, latencies, optimizations, steering —
+/// may ever change *what* commits, only *when*.
+#[test]
+fn timing_configuration_never_changes_architecture() {
+    use dda::core::{MachineConfig, Simulator, SteerPolicy};
+    use dda::workloads::Benchmark;
 
-        let mut cfg = MachineConfig::n_plus_m(n_ports, m_ports);
+    let program = Benchmark::Perl.program(u32::MAX / 2);
+    let budget = 5_000u64;
+    let mut vm = dda::vm::Vm::new(program.clone());
+    let mut executed = 0;
+    for _ in 0..budget {
+        match vm.step().unwrap() {
+            Some(_) => executed += 1,
+            None => break,
+        }
+    }
+    let oracle = Simulator::new(MachineConfig::iscapaper_base())
+        .run(&program, budget)
+        .unwrap();
+
+    let mut rng = Rng::seed_from_u64(0x154D);
+    for _ in 0..12 {
+        let mut cfg =
+            MachineConfig::n_plus_m(rng.gen_range(1u32..5), rng.gen_range(0u32..4));
+        let dispatch = rng.gen_range(1u32..17);
         cfg.dispatch_width = dispatch;
         cfg.issue_width = dispatch;
         cfg.commit_width = dispatch;
-        cfg.rob_size = rob;
+        cfg.rob_size = rng.gen_range(8usize..129);
+        let lsq = rng.gen_range(4usize..65);
         cfg.lsq_size = lsq;
         cfg.decoupling.lvaq_size = lsq;
-        cfg.hierarchy.l1.hit_latency = l1_lat;
-        cfg.decoupling.fast_forwarding = ff;
-        cfg.decoupling.combining_degree = combine;
-        cfg.decoupling.steer = match steer_pick {
+        cfg.hierarchy.l1.hit_latency = rng.gen_range(1u32..4);
+        cfg.decoupling.fast_forwarding = rng.gen_bool(0.5);
+        cfg.decoupling.combining_degree = rng.gen_range(1u32..5);
+        cfg.decoupling.steer = match rng.gen_range(0u8..4) {
             0 => SteerPolicy::Oracle,
             1 => SteerPolicy::Hint,
             2 => SteerPolicy::SpBase,
             _ => SteerPolicy::Replicate,
         };
 
-        let program = Benchmark::Perl.program(u32::MAX / 2);
-        let budget = 5_000u64;
-        let mut vm = dda::vm::Vm::new(program.clone());
-        let mut executed = 0;
-        for _ in 0..budget {
-            match vm.step().unwrap() {
-                Some(_) => executed += 1,
-                None => break,
-            }
-        }
         let r = Simulator::new(cfg).run(&program, budget).unwrap();
-        prop_assert_eq!(r.committed, executed);
+        assert_eq!(r.committed, executed);
         // Memory-traffic bookkeeping is conserved across any split.
         let mem_total = r.lsq.loads + r.lsq.stores + r.lvaq.loads + r.lvaq.stores;
-        let oracle = Simulator::new(dda::core::MachineConfig::iscapaper_base())
-            .run(&program, budget)
-            .unwrap();
-        prop_assert_eq!(mem_total, oracle.lsq.loads + oracle.lsq.stores);
+        assert_eq!(mem_total, oracle.lsq.loads + oracle.lsq.stores);
     }
 }
 
-
 // ---------------------------------------------------------- assembler --
 
-proptest! {
-    /// Every instruction's disassembly re-parses to the same instruction
-    /// (modulo the unary-FPU normalisation: `neg.d $f1, $f2` carries no
-    /// second source, so `ft` reads back equal to `fs`).
-    #[test]
-    fn disassembly_reassembles(instr in arb_instr()) {
-        use dda::program::assemble;
+/// Every instruction's disassembly re-parses to the same instruction
+/// (modulo the unary-FPU normalisation: `neg.d $f1, $f2` carries no
+/// second source, so `ft` reads back equal to `fs`).
+#[test]
+fn disassembly_reassembles() {
+    use dda::program::assemble;
+    let mut rng = Rng::seed_from_u64(0x154E);
+    for _ in 0..500 {
+        let instr = arb_instr(&mut rng);
         let expected = match instr {
             Instr::Fpu { op, fd, fs, .. } if !op.is_binary() => {
                 Instr::Fpu { op, fd, fs, ft: fs }
@@ -453,6 +505,6 @@ proptest! {
         let source = format!("main:\n    {instr}\n");
         let program = assemble(&source)
             .unwrap_or_else(|e| panic!("`{instr}` failed to assemble: {e}"));
-        prop_assert_eq!(program.fetch(0), expected);
+        assert_eq!(program.fetch(0), expected);
     }
 }
