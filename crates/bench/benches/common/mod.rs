@@ -23,6 +23,7 @@ pub fn program_of(bench: Benchmark) -> Program {
 /// Runs one configuration for [`BENCH_BUDGET`] instructions.
 pub fn simulate(program: &Program, cfg: &MachineConfig) -> SimResult {
     Simulator::new(cfg.clone())
+        .expect("valid machine configuration")
         .run(program, BENCH_BUDGET)
         .expect("benchmark program executes cleanly")
 }

@@ -53,7 +53,7 @@ fn run_timed(
 ) -> Timed {
     let mut best: Option<Timed> = None;
     for _ in 0..reps.max(1) {
-        let sim = Simulator::new(cfg.clone());
+        let sim = Simulator::new(cfg.clone()).expect("valid machine configuration");
         let start = Instant::now();
         let res = sim.run_shared(Arc::clone(program), budget).expect("workload executes cleanly");
         let secs = start.elapsed().as_secs_f64().max(1e-9);

@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use dda_core::{MachineConfig, SimResult, Simulator};
+use dda_core::{MachineConfig, SimError, SimResult, Simulator};
 use dda_vm::{StreamProfiler, StreamStats, Vm};
 use dda_workloads::Benchmark;
 
@@ -75,11 +75,23 @@ pub fn workload_stats(bench: Benchmark) -> ProfiledWorkload {
 }
 
 /// Runs `bench` on `cfg` for the default pipeline budget.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the run fails — generated
+/// benchmarks are expected to execute cleanly. Use
+/// [`run_config_checked`] to get the [`SimError`] instead.
 pub fn run_config(bench: Benchmark, cfg: MachineConfig) -> SimResult {
+    run_config_checked(bench, cfg).expect("benchmark executes cleanly")
+}
+
+/// Like [`run_config`] but surfacing failures as values: an invalid
+/// configuration, a guest trap, a watchdog deadlock, or an invariant
+/// violation all come back as a structured [`SimError`] instead of a
+/// panic — the form fault campaigns and robustness sweeps consume.
+pub fn run_config_checked(bench: Benchmark, cfg: MachineConfig) -> Result<SimResult, SimError> {
     let program = Arc::new(bench.program(u32::MAX / 2));
-    Simulator::new(cfg)
-        .run_shared(program, pipeline_budget())
-        .expect("benchmark executes cleanly")
+    Simulator::new(cfg)?.run_shared(program, pipeline_budget())
 }
 
 /// Runs one benchmark under several configurations, in parallel threads.
@@ -89,6 +101,19 @@ pub fn run_config(bench: Benchmark, cfg: MachineConfig) -> SimResult {
 ///
 /// Returns results in the same order as `cfgs`.
 pub fn run_configs_for(bench: Benchmark, cfgs: &[MachineConfig]) -> Vec<SimResult> {
+    run_configs_checked(bench, cfgs)
+        .into_iter()
+        .map(|r| r.expect("benchmark executes cleanly"))
+        .collect()
+}
+
+/// Like [`run_configs_for`] but each run's failure stays its own
+/// [`SimError`]: one wedged or faulting configuration degrades to one
+/// structured per-run failure without tearing down the rest of the sweep.
+pub fn run_configs_checked(
+    bench: Benchmark,
+    cfgs: &[MachineConfig],
+) -> Vec<Result<SimResult, SimError>> {
     let program = Arc::new(bench.program(u32::MAX / 2));
     std::thread::scope(|s| {
         let handles: Vec<_> = cfgs
@@ -96,11 +121,7 @@ pub fn run_configs_for(bench: Benchmark, cfgs: &[MachineConfig]) -> Vec<SimResul
             .map(|cfg| {
                 let cfg = cfg.clone();
                 let program = Arc::clone(&program);
-                s.spawn(move || {
-                    Simulator::new(cfg)
-                        .run_shared(program, pipeline_budget())
-                        .expect("benchmark executes cleanly")
-                })
+                s.spawn(move || Simulator::new(cfg)?.run_shared(program, pipeline_budget()))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()

@@ -26,6 +26,6 @@ pub use experiments::{
     table1_machine_model, table2_benchmarks, table3_fast_forwarding,
 };
 pub use harness::{
-    pipeline_budget, profile, profile_budget, run_config, run_configs_for, workload_stats,
-    ProfiledWorkload,
+    pipeline_budget, profile, profile_budget, run_config, run_config_checked,
+    run_configs_checked, run_configs_for, workload_stats, ProfiledWorkload,
 };

@@ -115,7 +115,10 @@ impl Classifier {
     ///
     /// Panics if `d` is not a memory instruction.
     pub fn steer(&mut self, d: &DynInst) -> Steer {
-        let mem = d.mem.expect("steer requires a memory instruction");
+        let mem = match d.mem {
+            Some(m) => m,
+            None => unreachable!("steer requires a memory instruction"),
+        };
         let actual_local = mem.is_local();
         let (predicted_local, replicated) = match self.policy {
             SteerPolicy::Oracle => (actual_local, false),

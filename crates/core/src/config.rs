@@ -4,6 +4,8 @@ use dda_isa::{FuClass, LatencyTable};
 use dda_mem::HierarchyConfig;
 
 use crate::classify::SteerPolicy;
+use crate::error::ConfigError;
+use crate::fault::FaultPlan;
 
 /// Configuration of the data-decoupling machinery.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,6 +77,14 @@ pub struct MachineConfig {
     /// throughput benchmark measures kernel speedup against. Simulation
     /// *results* never depend on this flag, only wall-clock time.
     pub reference_kernel: bool,
+    /// Fault-injection plan; [`FaultPlan::none`] (the default) injects
+    /// nothing and leaves results bit-identical to an unfaulted run.
+    pub fault_plan: FaultPlan,
+    /// Run the cycle-by-cycle invariant auditor (queue/age-order/
+    /// forwarding cross-checks; a broken invariant becomes a structured
+    /// [`crate::SimError::InvariantViolation`] instead of silent
+    /// corruption). Defaults to on in debug builds, off in release.
+    pub audit: bool,
 }
 
 /// Functional-unit pool sizes. Multiply and divide of the same register
@@ -129,6 +139,8 @@ impl MachineConfig {
             decoupling: DecouplingConfig::default(),
             deadlock_cycles: 200_000,
             reference_kernel: false,
+            fault_plan: FaultPlan::none(),
+            audit: cfg!(debug_assertions),
         }
     }
 
@@ -171,7 +183,10 @@ impl MachineConfig {
     ///
     /// Panics if the machine has no LVC.
     pub fn with_lvc_hit_latency(mut self, cycles: u32) -> MachineConfig {
-        self.hierarchy.lvc.as_mut().expect("machine has no LVC").hit_latency = cycles;
+        match self.hierarchy.lvc.as_mut() {
+            Some(lvc) => lvc.hit_latency = cycles,
+            None => panic!("machine has no LVC"),
+        }
         self
     }
 
@@ -182,7 +197,22 @@ impl MachineConfig {
     ///
     /// Panics if the machine has no LVC.
     pub fn with_lvc_size(mut self, bytes: u32) -> MachineConfig {
-        self.hierarchy.lvc.as_mut().expect("machine has no LVC").size_bytes = bytes;
+        match self.hierarchy.lvc.as_mut() {
+            Some(lvc) => lvc.size_bytes = bytes,
+            None => panic!("machine has no LVC"),
+        }
+        self
+    }
+
+    /// Returns a copy with the given fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> MachineConfig {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Returns a copy with the invariant auditor forced on or off.
+    pub fn with_audit(mut self, on: bool) -> MachineConfig {
+        self.audit = on;
         self
     }
 
@@ -191,31 +221,33 @@ impl MachineConfig {
         self.hierarchy.lvc.is_some()
     }
 
-    /// Validates widths, capacities and the hierarchy.
+    /// Validates widths, capacities, the hierarchy and the fault plan.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.dispatch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
-            return Err("pipeline widths must be at least 1".into());
+            return Err(ConfigError::ZeroPipelineWidth);
         }
         if self.rob_size == 0 {
-            return Err("ROB must have at least one entry".into());
+            return Err(ConfigError::ZeroRobSize);
         }
         if self.lsq_size == 0 {
-            return Err("LSQ must have at least one entry".into());
+            return Err(ConfigError::ZeroLsqSize);
         }
         if self.decoupled() && self.decoupling.lvaq_size == 0 {
-            return Err("LVAQ must have at least one entry".into());
+            return Err(ConfigError::ZeroLvaqSize);
         }
         if self.fu_counts.pool_sizes().contains(&0) {
-            return Err("every functional-unit pool needs at least one unit".into());
+            return Err(ConfigError::EmptyFuPool);
         }
         if self.deadlock_cycles == 0 {
-            return Err("deadlock watchdog must be positive".into());
+            return Err(ConfigError::ZeroDeadlockWindow);
         }
-        self.hierarchy.validate()
+        self.fault_plan.validate()?;
+        self.hierarchy.validate()?;
+        Ok(())
     }
 }
 
@@ -292,6 +324,13 @@ mod tests {
         let mut c = MachineConfig::iscapaper_base();
         c.fu_counts.int_alu = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_validated_with_the_machine() {
+        let mut c = MachineConfig::iscapaper_base();
+        c.fault_plan.drop_port_grant = 2.0;
+        assert!(matches!(c.validate(), Err(ConfigError::FaultRateOutOfRange { .. })));
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Diagnostic state captured when a run fails: the watchdog and the
+//! invariant auditor both snapshot the pipeline into a
+//! [`DiagnosticDump`] so a wedged or corrupted run explains itself
+//! instead of aborting the process.
+
+use core::fmt;
+
+use dda_isa::Instr;
+
+/// How many recently retired pcs the dump carries.
+pub const RETIRED_PC_WINDOW: usize = 16;
+
+/// Memory-pipeline state of the ROB head entry, if it is a load/store.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HeadMemSnapshot {
+    /// Steered to the LVAQ (vs the LSQ).
+    pub in_lvaq: bool,
+    /// Store (vs load).
+    pub is_store: bool,
+    /// Effective address.
+    pub addr: u32,
+    /// Cycle the address generation completed, if it has.
+    pub addr_ready_at: Option<u64>,
+    /// Cycle the data became available, if it has.
+    pub data_ready_at: Option<u64>,
+    /// Whether the cache access was launched.
+    pub launched: bool,
+    /// Whether the entry was replicated into both queues (footnote 3).
+    pub replicated: bool,
+}
+
+/// Snapshot of the oldest in-flight instruction (the ROB head) — the one
+/// whose failure to retire wedges everything behind it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HeadSnapshot {
+    /// Unique instruction id.
+    pub uid: u64,
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Fetch pc.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Whether it has issued to a functional unit.
+    pub issued: bool,
+    /// Whether it has completed execution.
+    pub completed: bool,
+    /// Outstanding operand dependencies.
+    pub waiting: u8,
+    /// Memory-pipeline state for loads/stores.
+    pub mem: Option<HeadMemSnapshot>,
+}
+
+/// The pipeline state captured when the watchdog fires or the auditor
+/// trips: everything needed to see *why* nothing retired.
+///
+/// Dumps are plain data with structural equality, so determinism tests
+/// can assert that two identical runs wedge identically.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DiagnosticDump {
+    /// Cycle at capture.
+    pub cycle: u64,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Instructions dispatched so far.
+    pub dispatched: u64,
+    /// The watchdog window that expired (0 when captured by the auditor).
+    pub watchdog_window: u64,
+    /// ROB occupancy.
+    pub rob_len: usize,
+    /// ROB capacity.
+    pub rob_cap: usize,
+    /// LSQ occupancy.
+    pub lsq_len: usize,
+    /// LSQ capacity.
+    pub lsq_cap: usize,
+    /// LVAQ occupancy.
+    pub lvaq_len: usize,
+    /// LVAQ capacity.
+    pub lvaq_cap: usize,
+    /// Events still queued in the scheduler (wheel + overflow heap).
+    pub pending_events: usize,
+    /// Cycles the LSQ stream stalled for an L1 port so far.
+    pub l1_port_stalls: u64,
+    /// Cycles the LVAQ stream stalled for an LVC port so far.
+    pub lvc_port_stalls: u64,
+    /// The ROB head entry, if the ROB is non-empty.
+    pub head: Option<HeadSnapshot>,
+    /// The last [`RETIRED_PC_WINDOW`] retired pcs, oldest first.
+    pub recent_pcs: Vec<u32>,
+}
+
+impl fmt::Display for DiagnosticDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline state at cycle {} ({} committed, {} dispatched):",
+            self.cycle, self.committed, self.dispatched
+        )?;
+        writeln!(
+            f,
+            "  rob {}/{}, lsq {}/{}, lvaq {}/{}, {} pending events",
+            self.rob_len,
+            self.rob_cap,
+            self.lsq_len,
+            self.lsq_cap,
+            self.lvaq_len,
+            self.lvaq_cap,
+            self.pending_events
+        )?;
+        writeln!(
+            f,
+            "  port stalls: l1 {}, lvc {}",
+            self.l1_port_stalls, self.lvc_port_stalls
+        )?;
+        match &self.head {
+            Some(h) => {
+                writeln!(
+                    f,
+                    "  head: uid {} seq {} pc {} {:?} issued={} completed={} waiting={}",
+                    h.uid, h.seq, h.pc, h.instr, h.issued, h.completed, h.waiting
+                )?;
+                if let Some(m) = &h.mem {
+                    writeln!(
+                        f,
+                        "  head mem: {} {} addr {:#x} addr_ready_at={:?} \
+                         data_ready_at={:?} launched={} replicated={}",
+                        if m.in_lvaq { "lvaq" } else { "lsq" },
+                        if m.is_store { "store" } else { "load" },
+                        m.addr,
+                        m.addr_ready_at,
+                        m.data_ready_at,
+                        m.launched,
+                        m.replicated
+                    )?;
+                }
+            }
+            None => writeln!(f, "  head: rob empty")?,
+        }
+        write!(f, "  recent retired pcs: {:?}", self.recent_pcs)
+    }
+}
+
+/// Fixed-size ring of the most recently retired pcs, maintained by the
+/// commit stage for diagnostics.
+#[derive(Clone, Debug)]
+pub(crate) struct RetiredPcRing {
+    buf: [u32; RETIRED_PC_WINDOW],
+    len: usize,
+    next: usize,
+}
+
+impl RetiredPcRing {
+    pub(crate) fn new() -> RetiredPcRing {
+        RetiredPcRing { buf: [0; RETIRED_PC_WINDOW], len: 0, next: 0 }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, pc: u32) {
+        self.buf[self.next] = pc;
+        self.next = (self.next + 1) % RETIRED_PC_WINDOW;
+        self.len = (self.len + 1).min(RETIRED_PC_WINDOW);
+    }
+
+    /// The retained pcs, oldest first.
+    pub(crate) fn snapshot(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        let start = if self.len < RETIRED_PC_WINDOW { 0 } else { self.next };
+        for i in 0..self.len {
+            out.push(self.buf[(start + i) % RETIRED_PC_WINDOW]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_window_oldest_first() {
+        let mut r = RetiredPcRing::new();
+        assert!(r.snapshot().is_empty());
+        for pc in 0..5u32 {
+            r.push(pc);
+        }
+        assert_eq!(r.snapshot(), vec![0, 1, 2, 3, 4]);
+        for pc in 5..40u32 {
+            r.push(pc);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), RETIRED_PC_WINDOW);
+        assert_eq!(snap[0], 40 - RETIRED_PC_WINDOW as u32);
+        assert_eq!(*snap.last().unwrap(), 39);
+    }
+}

@@ -60,6 +60,10 @@ pub(crate) struct MemState {
     /// Fast-forwarding scan cursor (LVAQ loads): stores in `[ff_ord, ord)`
     /// are proven same-`$sp`-version and slot-disjoint.
     pub ff_ord: u64,
+    /// Fault injection corrupted the value this load received from a
+    /// forwarded store; the commit-time auditor detects (and scrubs) it.
+    /// Always `false` outside fault campaigns.
+    pub poisoned: bool,
 }
 
 impl MemState {
@@ -99,6 +103,33 @@ pub(crate) struct RobEntry {
 }
 
 impl RobEntry {
+    /// The memory state of a load/store entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not a memory instruction — queue residency
+    /// guarantees the state exists, so a miss here is a scheduler bug.
+    #[inline]
+    pub fn mem(&self) -> &MemState {
+        match self.mem.as_ref() {
+            Some(m) => m,
+            None => unreachable!("queue resident without memory state"),
+        }
+    }
+
+    /// Mutable access to the memory state of a load/store entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not a memory instruction.
+    #[inline]
+    pub fn mem_mut(&mut self) -> &mut MemState {
+        match self.mem.as_mut() {
+            Some(m) => m,
+            None => unreachable!("queue resident without memory state"),
+        }
+    }
+
     /// Whether this entry is a store.
     #[inline]
     pub fn is_store(&self) -> bool {
@@ -183,7 +214,10 @@ impl Rob {
     ///
     /// Panics if empty.
     pub fn pop_head(&mut self) -> RobEntry {
-        let e = self.slots[self.head].take().expect("ROB underflow");
+        let e = match self.slots[self.head].take() {
+            Some(e) => e,
+            None => panic!("ROB underflow"),
+        };
         self.head = (self.head + 1) % self.slots.len();
         self.len -= 1;
         e
@@ -192,13 +226,25 @@ impl Rob {
     /// Immutable access by slot (alive entries only).
     #[inline]
     pub fn get(&self, slot: usize) -> &RobEntry {
-        self.slots[slot].as_ref().expect("dead ROB slot")
+        match self.slots[slot].as_ref() {
+            Some(e) => e,
+            None => panic!("dead ROB slot"),
+        }
     }
 
     /// Mutable access by slot (alive entries only).
     #[inline]
     pub fn get_mut(&mut self, slot: usize) -> &mut RobEntry {
-        self.slots[slot].as_mut().expect("dead ROB slot")
+        match self.slots[slot].as_mut() {
+            Some(e) => e,
+            None => panic!("dead ROB slot"),
+        }
+    }
+
+    /// Whether `slot` holds an alive entry (auditor introspection).
+    #[inline]
+    pub fn is_alive(&self, slot: usize) -> bool {
+        self.slots[slot].is_some()
     }
 
     /// Whether `slot` currently holds the entry with `uid`.
@@ -302,6 +348,7 @@ mod tests {
             ghost_ord: 0,
             scan_ord: 0,
             ff_ord: 0,
+            poisoned: false,
         };
         assert!(!m.addr_known(9));
         assert!(m.addr_known(10));

@@ -41,15 +41,23 @@
 //! let program = b.build()?;
 //!
 //! let cfg = MachineConfig::iscapaper_base(); // the "(2+0)" machine
-//! let result = Simulator::new(cfg).run(&program, 1_000_000)?;
+//! let result = Simulator::new(cfg)?.run(&program, 1_000_000)?;
 //! assert!(result.ipc() > 1.0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Every failure mode is a value: [`Simulator::new`] rejects invalid
+//! configurations with a [`ConfigError`], and a run returns a
+//! [`SimError`] — a guest [`Trap`], a watchdog [`DiagnosticDump`], or an
+//! auditor-caught invariant violation — instead of panicking.
 
 mod classify;
 mod config;
+mod diag;
 mod entry;
+mod error;
+mod fault;
 mod fu;
 mod pipeline;
 mod queue;
@@ -58,6 +66,9 @@ mod trace;
 
 pub use classify::{is_sp_based, Classifier, RegionPredictor, Steer, SteerPolicy};
 pub use config::{DecouplingConfig, MachineConfig};
+pub use diag::{DiagnosticDump, HeadMemSnapshot, HeadSnapshot, RETIRED_PC_WINDOW};
+pub use error::{ConfigError, InvariantViolation, SimError, Trap, TrapKind};
+pub use fault::{FaultPlan, FaultStats};
 pub use fu::FuPools;
 pub use pipeline::Simulator;
 pub use result::{QueueStats, SimResult};

@@ -30,7 +30,10 @@ use dda_vm::{DynInst, Vm, VmError};
 
 use crate::classify::Classifier;
 use crate::config::MachineConfig;
+use crate::diag::{DiagnosticDump, HeadMemSnapshot, HeadSnapshot, RetiredPcRing};
 use crate::entry::{DepKind, Dependent, MemState, Rob, RobEntry};
+use crate::error::{InvariantViolation, SimError, Trap, TrapKind};
+use crate::fault::FaultState;
 use crate::fu::FuPools;
 use crate::queue::MemQueue;
 use crate::result::{QueueStats, SimResult};
@@ -114,14 +117,14 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a simulator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`MachineConfig::validate`].
-    pub fn new(cfg: MachineConfig) -> Simulator {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid machine configuration: {e}");
-        }
-        Simulator { cfg }
+    /// Returns [`SimError::Config`] when the configuration fails
+    /// [`MachineConfig::validate`] — a structurally invalid machine is
+    /// rejected here, before any run starts.
+    pub fn new(cfg: MachineConfig) -> Result<Simulator, SimError> {
+        cfg.validate().map_err(SimError::Config)?;
+        Ok(Simulator { cfg })
     }
 
     /// The configuration.
@@ -134,14 +137,19 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Propagates functional-execution errors ([`VmError`]) from the
-    /// architectural simulator — these indicate a malformed program.
+    /// A malformed workload degrades to a structured per-run failure:
     ///
-    /// # Panics
-    ///
-    /// Panics if no instruction commits for `deadlock_cycles` cycles
-    /// (a simulator bug backstop).
-    pub fn run(&self, program: &Program, max_instructions: u64) -> Result<SimResult, VmError> {
+    /// * [`SimError::Trap`] — the program raised an architectural fault
+    ///   (misaligned or unmapped access, stack overflow, illegal control
+    ///   transfer, pc escape), wrapped with the cycle and commit count at
+    ///   which the front-end saw it;
+    /// * [`SimError::Deadlock`] — no instruction committed for
+    ///   `deadlock_cycles` cycles; the error carries a full
+    ///   [`DiagnosticDump`] of the wedged pipeline;
+    /// * [`SimError::InvariantViolation`] — the cycle-by-cycle auditor
+    ///   (enabled by [`MachineConfig::with_audit`], on by default in
+    ///   debug builds) caught a broken scheduler invariant.
+    pub fn run(&self, program: &Program, max_instructions: u64) -> Result<SimResult, SimError> {
         self.run_shared(Arc::new(program.clone()), max_instructions)
     }
 
@@ -157,7 +165,7 @@ impl Simulator {
         &self,
         program: Arc<Program>,
         max_instructions: u64,
-    ) -> Result<SimResult, VmError> {
+    ) -> Result<SimResult, SimError> {
         let mut core = Core::new(&self.cfg, Vm::new(program), None);
         core.run(max_instructions)
     }
@@ -171,7 +179,7 @@ impl Simulator {
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let program = assemble("main:\n    li $t0, 1\n    halt\n")?;
-    /// let sim = Simulator::new(MachineConfig::iscapaper_base());
+    /// let sim = Simulator::new(MachineConfig::iscapaper_base())?;
     /// let (result, traces) = sim.run_traced(&program, 100, 100)?;
     /// assert_eq!(traces.len(), result.committed as usize);
     /// println!("{}", traces[0].render());
@@ -187,11 +195,14 @@ impl Simulator {
         program: &Program,
         max_instructions: u64,
         trace_limit: u64,
-    ) -> Result<(SimResult, Vec<InstrTrace>), VmError> {
+    ) -> Result<(SimResult, Vec<InstrTrace>), SimError> {
         let mut core =
             Core::new(&self.cfg, Vm::new(program.clone()), Some(Tracer::new(trace_limit)));
         let res = core.run(max_instructions)?;
-        let records = core.tracer.take().expect("tracer installed above").into_records();
+        let records = match core.tracer.take() {
+            Some(tr) => tr.into_records(),
+            None => unreachable!("tracer installed above"),
+        };
         Ok((res, records))
     }
 }
@@ -246,6 +257,11 @@ struct Core<'c> {
     /// execution performs no per-instruction heap traffic.
     dep_pool: Vec<Vec<Dependent>>,
     tracer: Option<Tracer>,
+    /// The fault injector; `None` under [`crate::FaultPlan::none`], so the
+    /// fault-free path costs one branch per hook.
+    faults: Option<FaultState>,
+    /// The last few retired pcs, kept for the diagnostic dump.
+    retired_pcs: RetiredPcRing,
     cycle: u64,
     halted: bool,
     last_commit_cycle: u64,
@@ -283,6 +299,8 @@ impl<'c> Core<'c> {
             lvaq_waiting: Vec::with_capacity(cfg.decoupling.lvaq_size),
             dep_pool: Vec::with_capacity(cfg.rob_size),
             tracer,
+            faults: FaultState::from_plan(cfg.fault_plan),
+            retired_pcs: RetiredPcRing::new(),
             cycle: 0,
             halted: false,
             last_commit_cycle: 0,
@@ -301,6 +319,7 @@ impl<'c> Core<'c> {
                 l2: Default::default(),
                 load_latency_sum: 0,
                 load_latency_count: 0,
+                faults: Default::default(),
             },
             hier,
             cfg,
@@ -332,7 +351,7 @@ impl<'c> Core<'c> {
         }
     }
 
-    fn run(&mut self, max_instructions: u64) -> Result<SimResult, VmError> {
+    fn run(&mut self, max_instructions: u64) -> Result<SimResult, SimError> {
         loop {
             self.commit();
             if self.done(max_instructions) {
@@ -343,26 +362,18 @@ impl<'c> Core<'c> {
             self.issue();
             self.dispatch(max_instructions)?;
             self.sample_occupancy();
+            if self.cfg.audit {
+                if let Some(what) = self.audit_cycle() {
+                    return Err(SimError::InvariantViolation(Box::new(InvariantViolation {
+                        what,
+                        dump: self.diagnostic_dump(0),
+                    })));
+                }
+            }
             if self.cycle - self.last_commit_cycle > self.cfg.deadlock_cycles {
-                let head = self.rob.head_slot().map(|s| self.rob.get(s));
-                panic!(
-                    "no commit for {} cycles at cycle {} (rob {} entries, head {:?}, \
-                     issued {:?}, completed {:?}, mem {:?}, pending events {})",
-                    self.cfg.deadlock_cycles,
-                    self.cycle,
-                    self.rob.len(),
-                    head.map(|e| e.d.instr),
-                    head.map(|e| e.issued),
-                    head.map(|e| e.completed),
-                    head.and_then(|e| e.mem.as_ref()).map(|m| (
-                        m.in_lvaq,
-                        m.addr_ready_at,
-                        m.launched,
-                        m.data_ready_at,
-                        m.replicated,
-                    )),
-                    self.events.pending + self.events_heap.len(),
-                );
+                return Err(SimError::Deadlock(Box::new(
+                    self.diagnostic_dump(self.cfg.deadlock_cycles),
+                )));
             }
             self.cycle += 1;
         }
@@ -373,7 +384,132 @@ impl<'c> Core<'c> {
         res.l1 = self.hier.l1_stats();
         res.lvc = self.hier.lvc_stats();
         res.l2 = self.hier.l2_stats();
+        if let Some(f) = &self.faults {
+            res.faults = f.stats;
+            res.faults.flips_evicted = self.hier.poison_evictions();
+            res.faults.flips_latent = self.hier.poisoned_lines() as u64;
+        }
         Ok(res)
+    }
+
+    /// Wraps a functional-execution fault with the timing context at
+    /// which the front-end saw it.
+    fn trap(&self, e: VmError) -> SimError {
+        SimError::Trap(Trap {
+            kind: TrapKind::from(e),
+            cycle: self.cycle,
+            committed: self.res.committed,
+        })
+    }
+
+    /// Snapshots the pipeline for a watchdog or auditor error.
+    fn diagnostic_dump(&self, watchdog_window: u64) -> DiagnosticDump {
+        let head = self.rob.head_slot().map(|s| {
+            let e = self.rob.get(s);
+            HeadSnapshot {
+                uid: e.uid,
+                seq: e.d.seq,
+                pc: e.d.pc,
+                instr: e.d.instr,
+                issued: e.issued,
+                completed: e.completed,
+                waiting: e.waiting,
+                mem: e.mem.as_ref().map(|m| HeadMemSnapshot {
+                    in_lvaq: m.in_lvaq,
+                    is_store: m.is_store,
+                    addr: m.addr,
+                    addr_ready_at: m.addr_ready_at,
+                    data_ready_at: m.data_ready_at,
+                    launched: m.launched,
+                    replicated: m.replicated,
+                }),
+            }
+        });
+        DiagnosticDump {
+            cycle: self.cycle,
+            committed: self.res.committed,
+            dispatched: self.dispatched,
+            watchdog_window,
+            rob_len: self.rob.len(),
+            rob_cap: self.cfg.rob_size,
+            lsq_len: self.lsq.len(),
+            lsq_cap: self.cfg.lsq_size,
+            lvaq_len: self.lvaq.len(),
+            lvaq_cap: self.cfg.decoupling.lvaq_size,
+            pending_events: self.events.pending + self.events_heap.len(),
+            l1_port_stalls: self.res.lsq.port_stall_cycles,
+            lvc_port_stalls: self.res.lvaq.port_stall_cycles,
+            head,
+            recent_pcs: self.retired_pcs.snapshot(),
+        }
+    }
+
+    /// The invariant auditor: cross-checks queue/ROB consistency, queue
+    /// age order, and the store index once per cycle (when
+    /// `MachineConfig::audit` is on). Returns a description of the first
+    /// violated invariant. Pure observation — auditing never changes the
+    /// simulation.
+    fn audit_cycle(&self) -> Option<String> {
+        if self.lsq.len() > self.cfg.lsq_size {
+            return Some(format!(
+                "LSQ over capacity: {} > {}",
+                self.lsq.len(),
+                self.cfg.lsq_size
+            ));
+        }
+        if self.lvaq.len() > self.cfg.decoupling.lvaq_size {
+            return Some(format!(
+                "LVAQ over capacity: {} > {}",
+                self.lvaq.len(),
+                self.cfg.decoupling.lvaq_size
+            ));
+        }
+        for (name, q, here) in [("LSQ", &self.lsq, false), ("LVAQ", &self.lvaq, true)] {
+            let mut prev: Option<u64> = None;
+            let mut resident_stores = 0usize;
+            for i in 0..q.len() {
+                let slot = q.slot_at(i);
+                if !self.rob.is_alive(slot) {
+                    return Some(format!("{name} position {i} references dead ROB slot {slot}"));
+                }
+                let e = self.rob.get(slot);
+                let Some(m) = e.mem.as_ref() else {
+                    return Some(format!(
+                        "{name} position {i} (slot {slot}) has no memory state"
+                    ));
+                };
+                if m.is_store {
+                    resident_stores += 1;
+                }
+                // A resident belongs to this queue either primarily or as
+                // a not-yet-resolved ghost copy (footnote-3 replication).
+                let ord = if m.in_lvaq == here {
+                    m.ord
+                } else if m.replicated {
+                    m.ghost_ord
+                } else {
+                    return Some(format!(
+                        "{name} position {i} (slot {slot}) belongs to the other queue \
+                         and is not replicated"
+                    ));
+                };
+                if let Some(p) = prev {
+                    if ord <= p {
+                        return Some(format!(
+                            "{name} age order broken at position {i}: ordinal {ord} after {p}"
+                        ));
+                    }
+                }
+                prev = Some(ord);
+            }
+            let indexed = q.stores_older_than(u64::MAX).count();
+            if indexed != resident_stores {
+                return Some(format!(
+                    "{name} store index out of sync: {indexed} indexed, {resident_stores} resident"
+                ));
+            }
+        }
+        None
     }
 
     fn done(&self, max_instructions: u64) -> bool {
@@ -392,9 +528,15 @@ impl<'c> Core<'c> {
             let Some(head) = self.rob.head_slot() else { break };
             let e = self.rob.get(head);
             let mem = e.mem.as_ref().map(|m| {
-                (m.is_store, m.in_lvaq, m.addr, m.addr_known(self.cycle) && m.data_known(self.cycle))
+                (
+                    m.is_store,
+                    m.in_lvaq,
+                    m.addr,
+                    m.addr_known(self.cycle) && m.data_known(self.cycle),
+                    m.poisoned,
+                )
             });
-            if let Some((is_store, in_lvaq, addr, store_ready)) = mem {
+            if let Some((is_store, in_lvaq, addr, store_ready, poisoned)) = mem {
                 if is_store {
                     // The store's port was paid at address generation
                     // (sim-outorder issues stores through the memory
@@ -413,11 +555,20 @@ impl<'c> Core<'c> {
                         // busy): commit stalls this cycle.
                         break;
                     }
+                    self.fault_cache_access(in_lvaq, addr);
                     self.trace(head, |tr| tr.mem_path = MemPath::StoreRetired);
                     self.pop_mem_head(head, in_lvaq, true);
                 } else {
                     if !e.completed {
                         break;
+                    }
+                    if poisoned {
+                        // Commit-time audit of a forwarded value: the
+                        // corruption is caught (and scrubbed) before the
+                        // load retires.
+                        if let Some(f) = self.faults.as_mut() {
+                            f.stats.forwards_detected += 1;
+                        }
                     }
                     self.pop_mem_head(head, in_lvaq, false);
                 }
@@ -427,6 +578,7 @@ impl<'c> Core<'c> {
                 }
                 let is_halt = matches!(e.d.instr, Instr::Halt);
                 let e = self.rob.pop_head();
+                self.retired_pcs.push(e.d.pc);
                 if let Some(tr) = &mut self.tracer {
                     tr.commit(e.uid, self.cycle);
                 }
@@ -447,14 +599,65 @@ impl<'c> Core<'c> {
     }
 
     fn pop_mem_head(&mut self, head: usize, in_lvaq: bool, is_store: bool) {
+        // A fault-delayed address-ready event can leave a fast-forwarded
+        // load's footnote-3 ghost in the other queue past retirement;
+        // the ghost must not outlive its ROB entry.
+        let ghost = {
+            let m = self.rob.get(head).mem();
+            if m.replicated { Some((m.is_store, m.ghost_ord)) } else { None }
+        };
+        if let Some((gstore, gord)) = ghost {
+            debug_assert!(self.faults.is_some(), "ghost survived to retirement");
+            let other = if in_lvaq { &mut self.lsq } else { &mut self.lvaq };
+            other.remove_ghost(head, gstore, gord);
+        }
         let q = if in_lvaq { &mut self.lvaq } else { &mut self.lsq };
         let front = q.pop_front(is_store);
         debug_assert_eq!(front, Some(head), "memory queue out of sync with ROB");
         let e = self.rob.pop_head();
+        self.retired_pcs.push(e.d.pc);
         if let Some(tr) = &mut self.tracer {
             tr.commit(e.uid, self.cycle);
         }
         self.recycle_deps(e.dependents);
+    }
+
+    /// Fault hooks around one data-cache data access: first a parity
+    /// check on the touched line (detecting — and scrubbing — an earlier
+    /// injected flip), then a chance to flip the line just accessed.
+    /// Detection runs before injection so a fresh flip is never
+    /// self-detected by the access that created it.
+    fn fault_cache_access(&mut self, in_lvaq: bool, addr: u32) {
+        let Some(f) = self.faults.as_mut() else { return };
+        let rate = if in_lvaq { f.plan.flip_lvc_line } else { f.plan.flip_l1_line };
+        if rate == 0.0 {
+            return;
+        }
+        // Draw first so the injector borrow ends before the hierarchy is
+        // touched.
+        let inject = f.rng.gen_bool(rate);
+        let detected = if in_lvaq {
+            self.hier.lvc_check_poison(addr)
+        } else {
+            self.hier.l1_check_poison(addr)
+        };
+        let injected = inject
+            && if in_lvaq {
+                self.hier.lvc_poison_line(addr)
+            } else {
+                self.hier.l1_poison_line(addr)
+            };
+        let Some(f) = self.faults.as_mut() else { return };
+        if detected {
+            f.stats.flips_detected += 1;
+        }
+        if injected {
+            if in_lvaq {
+                f.stats.lvc_flips_injected += 1;
+            } else {
+                f.stats.l1_flips_injected += 1;
+            }
+        }
     }
 
     /// Returns a retired entry's `dependents` vector to the pool.
@@ -476,11 +679,13 @@ impl<'c> Core<'c> {
     fn writeback(&mut self) {
         if self.cfg.reference_kernel {
             // Seed implementation: pop the binary heap while due.
-            while let Some(Reverse((t, _, _, _))) = self.events_heap.peek() {
-                if *t > self.cycle {
+            while let Some(&Reverse((t, _, _, _))) = self.events_heap.peek() {
+                if t > self.cycle {
                     break;
                 }
-                let Reverse((t, uid, slot, kind)) = self.events_heap.pop().expect("peeked");
+                let Some(Reverse((t, uid, slot, kind))) = self.events_heap.pop() else {
+                    break;
+                };
                 self.writeback_event(t, uid, slot, kind);
             }
             return;
@@ -502,18 +707,19 @@ impl<'c> Core<'c> {
     /// Applies one due event: address availability or result completion
     /// (with dependent wakeup).
     fn writeback_event(&mut self, t: u64, uid: u64, slot: usize, kind: EvKind) {
-        debug_assert!(self.rob.holds(slot, uid), "event for a dead entry");
+        if !self.rob.holds(slot, uid) {
+            // Only a fault-delayed address-ready event can outlive its
+            // entry: the load was fast-forwarded (§2.2.2 needs no AGU
+            // result) and retired inside the injected delay window.
+            debug_assert!(self.faults.is_some(), "event for a dead entry");
+            return;
+        }
         {
             match kind {
                 EvKind::AddrReady => {
-                    let penalty = {
-                        let e = self.rob.get_mut(slot);
-                        let m = e.mem.as_mut().expect("AddrReady on non-memory entry");
-                        m.penalty
-                    };
+                    let penalty = self.rob.get(slot).mem().penalty;
                     let (replicated, in_lvaq, is_store, ghost_ord) = {
-                        let e = self.rob.get_mut(slot);
-                        let m = e.mem.as_mut().expect("AddrReady on non-memory entry");
+                        let m = self.rob.get_mut(slot).mem_mut();
                         m.addr_ready_at = Some(t + penalty);
                         (m.replicated, m.in_lvaq, m.is_store, m.ghost_ord)
                     };
@@ -522,7 +728,7 @@ impl<'c> Core<'c> {
                         // (paper §2.1, footnote 3).
                         let other = if in_lvaq { &mut self.lsq } else { &mut self.lvaq };
                         other.remove_ghost(slot, is_store, ghost_ord);
-                        self.rob.get_mut(slot).mem.as_mut().expect("mem").replicated = false;
+                        self.rob.get_mut(slot).mem_mut().replicated = false;
                     }
                     self.trace(slot, |tr| tr.addr_ready_at = Some(t + penalty));
                 }
@@ -552,8 +758,7 @@ impl<'c> Core<'c> {
                                 }
                             }
                             DepKind::StoreData => {
-                                let m = de.mem.as_mut().expect("store-data wake on non-mem");
-                                m.data_ready_at = Some(t);
+                                de.mem_mut().data_ready_at = Some(t);
                             }
                         }
                     }
@@ -604,7 +809,7 @@ impl<'c> Core<'c> {
             }
             if let Some((lver, loff, lbytes)) = self.ff_candidate(slot) {
                 let (ord, ff_ord) = {
-                    let m = self.rob.get(slot).mem.as_ref().expect("queued load");
+                    let m = self.rob.get(slot).mem();
                     (m.ord, m.ff_ord)
                 };
                 let (out, cursor) = ff_scan(&self.rob, &self.lvaq, ff_ord, lver, loff, lbytes);
@@ -613,11 +818,11 @@ impl<'c> Core<'c> {
                     ff_scan(&self.rob, &self.lvaq, ord, lver, loff, lbytes).0,
                     "incremental fast-forward scan diverged from the full rescan"
                 );
-                self.rob.get_mut(slot).mem.as_mut().expect("load").ff_ord = cursor;
+                self.rob.get_mut(slot).mem_mut().ff_ord = cursor;
                 self.apply_fast_forward(slot, out);
             }
             let e = self.rob.get(slot);
-            if !e.mem.as_ref().expect("queued load").launched && !e.completed {
+            if !e.mem().launched && !e.completed {
                 list[w] = (slot, uid);
                 w += 1;
             }
@@ -643,14 +848,12 @@ impl<'c> Core<'c> {
     fn apply_fast_forward(&mut self, slot: usize, outcome: FfScan) {
         let cycle = self.cycle;
         if let FfScan::Match(store_slot) = outcome {
-            let data_ready = {
-                let s = self.rob.get(store_slot);
-                s.mem.as_ref().expect("matched store").data_known(cycle)
-            };
+            let data_ready = self.rob.get(store_slot).mem().data_known(cycle);
             if data_ready {
                 let e = self.rob.get_mut(slot);
                 e.issued = true; // skip AGU if not yet issued
-                e.mem.as_mut().expect("load").launched = true;
+                e.mem_mut().launched = true;
+                self.fault_corrupt_forward(slot);
                 self.trace(slot, |tr| tr.mem_path = MemPath::FastForwarded);
                 self.res.lvaq.fast_forwards += 1;
                 self.res.load_latency_sum += 1;
@@ -658,6 +861,22 @@ impl<'c> Core<'c> {
                 self.schedule(cycle + 1, slot, EvKind::Complete);
             }
             // If the data is not ready yet, retry next cycle.
+        }
+    }
+
+    /// Fault hook on a store→load forward: maybe corrupts the bypassed
+    /// value. The poison rides the load's queue entry until the
+    /// commit-time audit catches it.
+    fn fault_corrupt_forward(&mut self, slot: usize) {
+        let mut corrupt = false;
+        if let Some(f) = self.faults.as_mut() {
+            if f.plan.corrupt_forward > 0.0 && f.rng.gen_bool(f.plan.corrupt_forward) {
+                f.stats.forwards_corrupted += 1;
+                corrupt = true;
+            }
+        }
+        if corrupt {
+            self.rob.get_mut(slot).mem_mut().poisoned = true;
         }
     }
 
@@ -695,7 +914,7 @@ impl<'c> Core<'c> {
             }
             if let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) {
                 let (ord, scan_ord) = {
-                    let m = self.rob.get(slot).mem.as_ref().expect("queued load");
+                    let m = self.rob.get(slot).mem();
                     (m.ord, m.scan_ord)
                 };
                 // Conservative disambiguation against older stores in
@@ -710,11 +929,11 @@ impl<'c> Core<'c> {
                     );
                     (out, cursor)
                 };
-                self.rob.get_mut(slot).mem.as_mut().expect("load").scan_ord = cursor;
+                self.rob.get_mut(slot).mem_mut().scan_ord = cursor;
                 self.apply_launch(in_lvaq, slot, addr, outcome);
             }
             let e = self.rob.get(slot);
-            if !e.mem.as_ref().expect("queued load").launched && !e.completed {
+            if !e.mem().launched && !e.completed {
                 list[w] = (slot, uid);
                 w += 1;
             }
@@ -755,7 +974,8 @@ impl<'c> Core<'c> {
                 qstats.forwards += 1;
                 self.res.load_latency_sum += 1;
                 self.res.load_latency_count += 1;
-                self.rob.get_mut(slot).mem.as_mut().expect("load").launched = true;
+                self.rob.get_mut(slot).mem_mut().launched = true;
+                self.fault_corrupt_forward(slot);
                 self.trace(slot, |tr| tr.mem_path = MemPath::Forwarded);
                 self.schedule(cycle + 1, slot, EvKind::Complete);
             }
@@ -770,10 +990,11 @@ impl<'c> Core<'c> {
                     // cycle.
                     return;
                 };
+                self.fault_cache_access(in_lvaq, addr);
                 let complete_at = c.complete_at;
                 self.res.load_latency_sum += complete_at - cycle;
                 self.res.load_latency_count += 1;
-                self.rob.get_mut(slot).mem.as_mut().expect("load").launched = true;
+                self.rob.get_mut(slot).mem_mut().launched = true;
                 self.trace(slot, |tr| tr.mem_path = MemPath::Cache);
                 self.schedule(complete_at, slot, EvKind::Complete);
             }
@@ -880,11 +1101,29 @@ impl<'c> Core<'c> {
                         && q_seq.saturating_sub(sq) < degree as u64);
             if !combinable {
                 let meter = if in_lvaq {
-                    self.lvc_ports.as_mut().expect("LVAQ without LVC")
+                    match self.lvc_ports.as_mut() {
+                        Some(m) => m,
+                        None => unreachable!("LVAQ without LVC"),
+                    }
                 } else {
                     &mut self.l1_ports
                 };
                 if !meter.try_claim(self.cycle) {
+                    let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                    qstats.port_stall_cycles += 1;
+                    return;
+                }
+                // Fault hook: a granted port slot can be revoked after
+                // arbitration. The port cycle is consumed; the entry
+                // retries next cycle.
+                let mut dropped = false;
+                if let Some(f) = self.faults.as_mut() {
+                    if f.plan.drop_port_grant > 0.0 && f.rng.gen_bool(f.plan.drop_port_grant) {
+                        f.stats.grants_dropped += 1;
+                        dropped = true;
+                    }
+                }
+                if dropped {
                     let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
                     qstats.port_stall_cycles += 1;
                     return;
@@ -894,7 +1133,16 @@ impl<'c> Core<'c> {
                 self.rob.get_mut(slot).issued = true;
                 let now = self.cycle;
                 self.trace(slot, |tr| tr.issued_at = Some(now));
-                self.schedule(self.cycle + 1, slot, EvKind::AddrReady);
+                // Fault hook: a granted port's address-ready event can be
+                // held back by `delay_cycles`.
+                let mut extra = 0u64;
+                if let Some(f) = self.faults.as_mut() {
+                    if f.plan.delay_port_grant > 0.0 && f.rng.gen_bool(f.plan.delay_port_grant) {
+                        f.stats.grants_delayed += 1;
+                        extra = f.plan.delay_cycles as u64;
+                    }
+                }
+                self.schedule(self.cycle + 1 + extra, slot, EvKind::AddrReady);
                 *budget -= 1;
                 if combinable {
                     self.res.lvaq.combined += 1;
@@ -917,16 +1165,19 @@ impl<'c> Core<'c> {
 
     // ----- dispatch -------------------------------------------------------
 
-    fn dispatch(&mut self, max_instructions: u64) -> Result<(), VmError> {
+    fn dispatch(&mut self, max_instructions: u64) -> Result<(), SimError> {
         for _ in 0..self.cfg.dispatch_width {
             if self.dispatched >= max_instructions {
                 break;
             }
             let d = match self.pending.take() {
                 Some(d) => d,
-                None => match self.vm.step()? {
-                    Some(d) => d,
-                    None => break,
+                None => match self.vm.step() {
+                    Ok(Some(d)) => d,
+                    Ok(None) => break,
+                    // The workload raised an architectural fault: surface
+                    // it as a structured trap with timing context.
+                    Err(e) => return Err(self.trap(e)),
                 },
             };
             if self.rob.is_full() {
@@ -995,6 +1246,7 @@ impl<'c> Core<'c> {
                     ghost_ord: 0,
                     scan_ord: 0,
                     ff_ord: 0,
+                    poisoned: false,
                 }),
                 d,
             };
@@ -1007,7 +1259,7 @@ impl<'c> Core<'c> {
             let store_data_src = if is_store { uses[0] } else { None };
             let def = entry.d.instr.def();
             if is_store {
-                entry.mem.as_mut().expect("store").data_ready_at = Some(self.cycle);
+                entry.mem_mut().data_ready_at = Some(self.cycle);
             }
             let slot = self.rob.push(entry);
 
@@ -1033,7 +1285,7 @@ impl<'c> Core<'c> {
                             .get_mut(pslot)
                             .dependents
                             .push(Dependent { slot, kind: DepKind::StoreData });
-                        self.rob.get_mut(slot).mem.as_mut().expect("store").data_ready_at = None;
+                        self.rob.get_mut(slot).mem_mut().data_ready_at = None;
                     }
                 }
             }
@@ -1085,7 +1337,7 @@ impl<'c> Core<'c> {
                 } else {
                     0
                 };
-                let m = self.rob.get_mut(slot).mem.as_mut().expect("mem entry");
+                let m = self.rob.get_mut(slot).mem_mut();
                 m.ord = ord;
                 m.ghost_ord = ghost_ord;
                 // Empty cleared segment: the scans start just below `ord`.
@@ -1230,7 +1482,7 @@ fn ff_scan(
     lbytes: u32,
 ) -> (FfScan, u64) {
     for (so, sslot) in q.stores_older_than(start) {
-        let sm = rob.get(sslot).mem.as_ref().expect("queued store has mem state");
+        let sm = rob.get(sslot).mem();
         match sm.stack_slot {
             None => return (FfScan::Blocked, so + 1), // cannot prove independence
             Some((sver, soff)) => {
@@ -1263,7 +1515,7 @@ fn disamb_scan(
     bytes: u32,
 ) -> (DisambScan, u64) {
     for (so, sslot) in q.stores_older_than(start) {
-        let sm = rob.get(sslot).mem.as_ref().expect("queued store has mem state");
+        let sm = rob.get(sslot).mem();
         if !sm.addr_known(cycle) {
             return (DisambScan::Blocked, so + 1);
         }
@@ -1338,7 +1590,7 @@ mod tests {
     }
 
     fn run(cfg: MachineConfig, p: &Program) -> SimResult {
-        Simulator::new(cfg).run(p, 10_000_000).unwrap()
+        Simulator::new(cfg).unwrap().run(p, 10_000_000).unwrap()
     }
 
     #[test]
@@ -1530,7 +1782,7 @@ mod tests {
             f.load_imm(Gpr::T0, i);
         }
         let p = build(f);
-        let r = Simulator::new(MachineConfig::iscapaper_base()).run(&p, 100).unwrap();
+        let r = Simulator::new(MachineConfig::iscapaper_base()).unwrap().run(&p, 100).unwrap();
         assert_eq!(r.committed, 100);
         assert!(!r.halted);
     }
@@ -1742,7 +1994,7 @@ mod tests {
         f.load_local(Gpr::T1, 8);
         f.load(Gpr::T2, Gpr::GP, 0, MemWidth::Word, StreamHint::NonLocal);
         let p = build(f);
-        let sim = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations());
+        let sim = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations()).unwrap();
         let (res, traces) = sim.run_traced(&p, 1000, 1000).unwrap();
         assert_eq!(res.committed as usize, traces.len());
         for t in &traces {
@@ -1783,7 +2035,7 @@ mod tests {
         }
         f.load_local(Gpr::T1, 4);
         let p = build(f);
-        let sim = Simulator::new(MachineConfig::n_plus_m(2, 2).with_fast_forwarding(true));
+        let sim = Simulator::new(MachineConfig::n_plus_m(2, 2).with_fast_forwarding(true)).unwrap();
         let (res, traces) = sim.run_traced(&p, 1000, 1000).unwrap();
         assert!(res.lvaq.fast_forwards >= 1);
         use crate::trace::MemPath;
@@ -1797,7 +2049,7 @@ mod tests {
             f.load_imm(Gpr::T0, i);
         }
         let p = build(f);
-        let sim = Simulator::new(MachineConfig::iscapaper_base());
+        let sim = Simulator::new(MachineConfig::iscapaper_base()).unwrap();
         let (_, traces) = sim.run_traced(&p, 1000, 10).unwrap();
         assert_eq!(traces.len(), 10);
     }

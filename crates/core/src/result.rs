@@ -3,6 +3,8 @@
 use dda_mem::{DataCacheStats, L2Stats};
 use dda_stats::Histogram;
 
+use crate::fault::FaultStats;
+
 /// Per-queue (LSQ or LVAQ) statistics.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct QueueStats {
@@ -71,6 +73,9 @@ pub struct SimResult {
     pub load_latency_sum: u64,
     /// Number of loads contributing to `load_latency_sum`.
     pub load_latency_count: u64,
+    /// Fault-injection accounting; all-zero under
+    /// [`crate::FaultPlan::none`].
+    pub faults: FaultStats,
 }
 
 impl SimResult {
@@ -124,6 +129,7 @@ mod tests {
             l2: L2Stats::default(),
             load_latency_sum: 0,
             load_latency_count: 0,
+            faults: FaultStats::default(),
         }
     }
 

@@ -71,7 +71,9 @@ impl CacheCore {
     ///
     /// Panics if the geometry fails [`CacheConfig::validate`].
     pub fn new(config: &CacheConfig) -> CacheCore {
-        config.validate().expect("invalid cache geometry");
+        if let Err(e) = config.validate() {
+            panic!("invalid cache geometry: {e}");
+        }
         let sets = config.n_sets();
         CacheCore {
             lines: vec![Line::default(); (sets * config.assoc) as usize],
@@ -156,12 +158,10 @@ impl CacheCore {
             Some(i) => i,
             None => {
                 // True LRU victim.
-                lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("associativity is at least 1")
+                match lines.iter().enumerate().min_by_key(|(_, l)| l.lru) {
+                    Some((i, _)) => i,
+                    None => unreachable!("associativity is at least 1"),
+                }
             }
         };
         let victim = if lines[way].valid {

@@ -1,5 +1,98 @@
 //! Cache and hierarchy configuration.
 
+use core::fmt;
+
+/// A structural problem with one cache's geometry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheConfigError {
+    /// `line_bytes` is zero or not a power of two.
+    LineBytesNotPowerOfTwo {
+        /// The offending line size.
+        line_bytes: u32,
+    },
+    /// `assoc` is zero.
+    ZeroAssociativity,
+    /// `size_bytes` is zero or not divisible into whole sets.
+    SizeNotDivisible {
+        /// The offending capacity.
+        size_bytes: u32,
+        /// `line_bytes * assoc`, the required divisor.
+        line_x_assoc: u32,
+    },
+    /// The derived set count is not a power of two.
+    SetsNotPowerOfTwo {
+        /// The derived set count.
+        sets: u32,
+    },
+    /// `hit_latency` is zero.
+    ZeroHitLatency,
+    /// `ports` is zero.
+    ZeroPorts,
+    /// `mshrs` is zero.
+    ZeroMshrs,
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CacheConfigError::LineBytesNotPowerOfTwo { line_bytes } => {
+                write!(f, "line size {line_bytes} must be a power of two")
+            }
+            CacheConfigError::ZeroAssociativity => write!(f, "associativity must be at least 1"),
+            CacheConfigError::SizeNotDivisible { size_bytes, line_x_assoc } => {
+                write!(f, "size {size_bytes} is not divisible by line*assoc {line_x_assoc}")
+            }
+            CacheConfigError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "set count {sets} must be a power of two")
+            }
+            CacheConfigError::ZeroHitLatency => write!(f, "hit latency must be at least 1"),
+            CacheConfigError::ZeroPorts => write!(f, "port count must be at least 1"),
+            CacheConfigError::ZeroMshrs => write!(f, "MSHR count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+/// Which cache of the hierarchy a [`CacheConfigError`] belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheId {
+    /// The L1 D-cache.
+    L1,
+    /// The local variable cache.
+    Lvc,
+}
+
+impl fmt::Display for CacheId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheId::L1 => write!(f, "l1"),
+            CacheId::Lvc => write!(f, "lvc"),
+        }
+    }
+}
+
+/// A structural problem with the hierarchy: which cache, and what.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HierarchyConfigError {
+    /// The cache whose geometry is invalid.
+    pub cache: CacheId,
+    /// The underlying geometry error.
+    pub error: CacheConfigError,
+}
+
+impl fmt::Display for HierarchyConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.cache, self.error)
+    }
+}
+
+impl std::error::Error for HierarchyConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// Geometry and timing of one cache level.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CacheConfig {
@@ -71,33 +164,33 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message if any field is zero, not a power of two where
-    /// required, or inconsistent (size not divisible into sets).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`CacheConfigError`] if any field is zero, not a power
+    /// of two where required, or inconsistent (size not divisible into
+    /// sets).
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(format!("line size {} must be a power of two", self.line_bytes));
+            return Err(CacheConfigError::LineBytesNotPowerOfTwo { line_bytes: self.line_bytes });
         }
         if self.assoc == 0 {
-            return Err("associativity must be at least 1".into());
+            return Err(CacheConfigError::ZeroAssociativity);
         }
         if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_bytes * self.assoc) {
-            return Err(format!(
-                "size {} is not divisible by line*assoc {}",
-                self.size_bytes,
-                self.line_bytes * self.assoc
-            ));
+            return Err(CacheConfigError::SizeNotDivisible {
+                size_bytes: self.size_bytes,
+                line_x_assoc: self.line_bytes * self.assoc,
+            });
         }
         if !self.n_sets().is_power_of_two() {
-            return Err(format!("set count {} must be a power of two", self.n_sets()));
+            return Err(CacheConfigError::SetsNotPowerOfTwo { sets: self.n_sets() });
         }
         if self.hit_latency == 0 {
-            return Err("hit latency must be at least 1".into());
+            return Err(CacheConfigError::ZeroHitLatency);
         }
         if self.ports == 0 {
-            return Err("port count must be at least 1".into());
+            return Err(CacheConfigError::ZeroPorts);
         }
         if self.mshrs == 0 {
-            return Err("MSHR count must be at least 1".into());
+            return Err(CacheConfigError::ZeroMshrs);
         }
         Ok(())
     }
@@ -170,12 +263,15 @@ impl HierarchyConfig {
     ///
     /// # Errors
     ///
-    /// Propagates the first invalid cache geometry, prefixed by which
+    /// Propagates the first invalid cache geometry, tagged with which
     /// cache it belongs to.
-    pub fn validate(&self) -> Result<(), String> {
-        self.l1.validate().map_err(|e| format!("l1: {e}"))?;
+    pub fn validate(&self) -> Result<(), HierarchyConfigError> {
+        self.l1
+            .validate()
+            .map_err(|error| HierarchyConfigError { cache: CacheId::L1, error })?;
         if let Some(lvc) = &self.lvc {
-            lvc.validate().map_err(|e| format!("lvc: {e}"))?;
+            lvc.validate()
+                .map_err(|error| HierarchyConfigError { cache: CacheId::Lvc, error })?;
         }
         Ok(())
     }

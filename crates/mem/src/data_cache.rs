@@ -64,6 +64,12 @@ pub struct DataCache {
     mshrs: MshrFile,
     source: L2Source,
     stats: DataCacheStats,
+    /// Line-aligned addresses of resident lines whose content has been
+    /// corrupted by fault injection. A "parity check" on a later access
+    /// detects (and clears) the corruption; an eviction silently drops
+    /// it. Empty — and never touched — outside fault campaigns.
+    poisoned: Vec<u32>,
+    poison_evictions: u64,
 }
 
 impl DataCache {
@@ -79,6 +85,8 @@ impl DataCache {
             config,
             source,
             stats: DataCacheStats::default(),
+            poisoned: Vec::new(),
+            poison_evictions: 0,
         }
     }
 
@@ -94,6 +102,12 @@ impl DataCache {
             if let Some(v) = self.core.fill(e.line_addr, e.any_write) {
                 if v.dirty {
                     l2.writeback(now, v.line_addr);
+                }
+                // A poisoned victim leaves the cache unnoticed: the
+                // corruption escapes without ever tripping a parity check.
+                if let Some(i) = self.poisoned.iter().position(|&p| p == v.line_addr) {
+                    self.poisoned.swap_remove(i);
+                    self.poison_evictions += 1;
                 }
             }
         }
@@ -185,6 +199,42 @@ impl DataCache {
     /// Whether the line containing `addr` is resident (no side effects).
     pub fn probe(&self, addr: u32) -> bool {
         self.core.probe(addr)
+    }
+
+    /// Marks the resident line containing `addr` as corrupted (fault
+    /// injection). Returns `false` — and injects nothing — when the line
+    /// is not resident or is already poisoned.
+    pub fn poison_line(&mut self, addr: u32) -> bool {
+        let line = self.core.line_addr(addr);
+        if !self.core.probe(line) || self.poisoned.contains(&line) {
+            return false;
+        }
+        self.poisoned.push(line);
+        true
+    }
+
+    /// Parity check on the line containing `addr`: reports whether it was
+    /// poisoned, and scrubs the poison if so (the check caught it).
+    pub fn check_poison(&mut self, addr: u32) -> bool {
+        let line = self.core.line_addr(addr);
+        match self.poisoned.iter().position(|&p| p == line) {
+            Some(i) => {
+                self.poisoned.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of currently poisoned (corrupted, undetected) lines.
+    pub fn poisoned_lines(&self) -> usize {
+        self.poisoned.len()
+    }
+
+    /// Poisoned lines that were evicted without a parity check seeing
+    /// them — injected corruption that escaped the cache silently.
+    pub fn poison_evictions(&self) -> u64 {
+        self.poison_evictions
     }
 
     /// Access statistics.

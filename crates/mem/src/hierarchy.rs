@@ -1,6 +1,6 @@
 //! The assembled data-memory hierarchy.
 
-use crate::config::HierarchyConfig;
+use crate::config::{HierarchyConfig, HierarchyConfigError};
 use crate::data_cache::{Completion, DataCache, DataCacheStats};
 use crate::l2::{L2Source, L2Stats, L2};
 
@@ -25,15 +25,29 @@ impl Hierarchy {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`HierarchyConfig::validate`].
+    /// Panics if the configuration fails [`HierarchyConfig::validate`];
+    /// use [`Hierarchy::try_new`] to handle invalid geometries.
     pub fn new(config: HierarchyConfig) -> Hierarchy {
-        config.validate().expect("invalid hierarchy configuration");
-        Hierarchy {
+        match Hierarchy::try_new(config) {
+            Ok(h) => h,
+            Err(e) => panic!("invalid hierarchy configuration: {e}"),
+        }
+    }
+
+    /// Builds an empty hierarchy, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid cache geometry, tagged with which cache
+    /// it belongs to.
+    pub fn try_new(config: HierarchyConfig) -> Result<Hierarchy, HierarchyConfigError> {
+        config.validate()?;
+        Ok(Hierarchy {
             config,
             l1: DataCache::new(config.l1, L2Source::L1),
             lvc: config.lvc.map(|c| DataCache::new(c, L2Source::Lvc)),
             l2: L2::new(config.l2),
-        }
+        })
     }
 
     /// The configuration this hierarchy was built with.
@@ -64,10 +78,10 @@ impl Hierarchy {
     ///
     /// Panics if the machine has no LVC.
     pub fn lvc_try_access(&mut self, now: u64, addr: u32, is_write: bool) -> Option<Completion> {
-        self.lvc
-            .as_mut()
-            .expect("machine has no LVC")
-            .try_access(now, addr, is_write, &mut self.l2)
+        match self.lvc.as_mut() {
+            Some(lvc) => lvc.try_access(now, addr, is_write, &mut self.l2),
+            None => panic!("machine has no LVC"),
+        }
     }
 
     /// Timed access through the LVC.
@@ -77,10 +91,44 @@ impl Hierarchy {
     /// Panics if the machine has no LVC; the core must steer local
     /// accesses to the L1 when decoupling is off.
     pub fn lvc_access(&mut self, now: u64, addr: u32, is_write: bool) -> Completion {
-        self.lvc
-            .as_mut()
-            .expect("machine has no LVC")
-            .access(now, addr, is_write, &mut self.l2)
+        match self.lvc.as_mut() {
+            Some(lvc) => lvc.access(now, addr, is_write, &mut self.l2),
+            None => panic!("machine has no LVC"),
+        }
+    }
+
+    /// Marks the resident L1 line containing `addr` as corrupted (fault
+    /// injection); `false` when the line is not resident.
+    pub fn l1_poison_line(&mut self, addr: u32) -> bool {
+        self.l1.poison_line(addr)
+    }
+
+    /// Marks the resident LVC line containing `addr` as corrupted; `false`
+    /// when there is no LVC or the line is not resident.
+    pub fn lvc_poison_line(&mut self, addr: u32) -> bool {
+        self.lvc.as_mut().is_some_and(|c| c.poison_line(addr))
+    }
+
+    /// Parity check on the L1 line containing `addr`: whether it was
+    /// poisoned (the poison is scrubbed when detected).
+    pub fn l1_check_poison(&mut self, addr: u32) -> bool {
+        self.l1.check_poison(addr)
+    }
+
+    /// Parity check on the LVC line containing `addr`; `false` when there
+    /// is no LVC.
+    pub fn lvc_check_poison(&mut self, addr: u32) -> bool {
+        self.lvc.as_mut().is_some_and(|c| c.check_poison(addr))
+    }
+
+    /// Poisoned lines still resident and undetected, across both caches.
+    pub fn poisoned_lines(&self) -> usize {
+        self.l1.poisoned_lines() + self.lvc.as_ref().map_or(0, |c| c.poisoned_lines())
+    }
+
+    /// Poisoned lines evicted without detection, across both caches.
+    pub fn poison_evictions(&self) -> u64 {
+        self.l1.poison_evictions() + self.lvc.as_ref().map_or(0, |c| c.poison_evictions())
     }
 
     /// L1 statistics.

@@ -45,7 +45,9 @@ mod mshr;
 mod port;
 
 pub use cache_core::{CacheCore, CacheCoreStats, Victim};
-pub use config::{CacheConfig, HierarchyConfig, L2Config};
+pub use config::{
+    CacheConfig, CacheConfigError, CacheId, HierarchyConfig, HierarchyConfigError, L2Config,
+};
 pub use data_cache::{Completion, DataCache, DataCacheStats};
 pub use hierarchy::Hierarchy;
 pub use l2::{L2Source, L2Stats, L2};

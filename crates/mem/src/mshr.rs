@@ -59,12 +59,10 @@ impl MshrFile {
     ///
     /// Panics if there is no outstanding miss for that line.
     pub fn merge(&mut self, line_addr: u32, is_write: bool) {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.line_addr == line_addr)
-            .expect("merge requires an outstanding miss");
-        e.any_write |= is_write;
+        match self.entries.iter_mut().find(|e| e.line_addr == line_addr) {
+            Some(e) => e.any_write |= is_write,
+            None => panic!("merge requires an outstanding miss"),
+        }
     }
 
     /// Whether a new miss can be allocated right now.
@@ -77,7 +75,10 @@ impl MshrFile {
         if self.has_free_slot() {
             now
         } else {
-            self.entries.iter().map(|e| e.complete_at).min().expect("file is full").max(now)
+            match self.entries.iter().map(|e| e.complete_at).min() {
+                Some(t) => t.max(now),
+                None => now, // capacity 0 is rejected by config validation
+            }
         }
     }
 

@@ -342,13 +342,21 @@ fn parse_statement(line: usize, text: &str) -> Result<Stmt, AsmError> {
 /// # Errors
 ///
 /// Returns an [`AsmError`] carrying the offending line for syntax
-/// problems, or a linker message (line 0) for unresolved symbols and
-/// other [`BuildError`]s.
+/// problems. Link-stage failures ([`BuildError`]: unresolved calls,
+/// unbound labels, duplicate functions) carry the header line of the
+/// offending function.
 pub fn assemble(source: &str) -> Result<Program, AsmError> {
     struct PendingFn {
+        name: String,
+        header_line: usize,
         builder: FunctionBuilder,
         labels: HashMap<String, Label>,
     }
+
+    /// Upper bound on a declared static frame (bytes) — generous for any
+    /// real workload, small enough to reject a typo'd frame before the
+    /// layout maps it over the whole stack region.
+    const MAX_FRAME_BYTES: i32 = 1 << 20;
 
     let mut funcs: Vec<PendingFn> = Vec::new();
 
@@ -374,25 +382,41 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         }
 
         // Function header: unindented `name:` (optionally `frame N`).
-        if !raw.starts_with(char::is_whitespace) && trimmed.contains(':') && !trimmed.starts_with('.') {
-            let (name, rest) = trimmed.split_once(':').expect("contains ':'");
-            let name = name.trim();
-            if name.is_empty() {
-                return err(line_no, "function names must be non-empty");
+        if !raw.starts_with(char::is_whitespace) && !trimmed.starts_with('.') {
+            if let Some((name, rest)) = trimmed.split_once(':') {
+                let name = name.trim();
+                if name.is_empty() {
+                    return err(line_no, "function names must be non-empty");
+                }
+                let rest = rest.trim();
+                let frame = if let Some(n) = rest.strip_prefix("frame") {
+                    let v = parse_imm(line_no, n.trim())?;
+                    if v < 0 {
+                        return err(line_no, format!("frame size must be non-negative, got {v}"));
+                    }
+                    if v > MAX_FRAME_BYTES {
+                        return err(
+                            line_no,
+                            format!("frame size {v} exceeds the {MAX_FRAME_BYTES}-byte maximum"),
+                        );
+                    }
+                    v as u32
+                } else if rest.is_empty() {
+                    0
+                } else {
+                    return err(
+                        line_no,
+                        format!("unexpected text after function header: `{rest}`"),
+                    );
+                };
+                funcs.push(PendingFn {
+                    name: name.to_string(),
+                    header_line: line_no,
+                    builder: FunctionBuilder::with_frame(name, frame),
+                    labels: HashMap::new(),
+                });
+                continue;
             }
-            let rest = rest.trim();
-            let frame = if let Some(n) = rest.strip_prefix("frame") {
-                parse_imm(line_no, n.trim())? as u32
-            } else if rest.is_empty() {
-                0
-            } else {
-                return err(line_no, format!("unexpected text after function header: `{rest}`"));
-            };
-            funcs.push(PendingFn {
-                builder: FunctionBuilder::with_frame(name, frame),
-                labels: HashMap::new(),
-            });
-            continue;
         }
 
         let Some(f) = funcs.last_mut() else {
@@ -448,11 +472,28 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     if funcs.is_empty() {
         return err(0, "no functions in source");
     }
+    // Header lines by function name, so link-stage errors (unresolved
+    // calls, unbound labels, duplicates) point at the offending function
+    // instead of the useless "line 0".
+    let header_lines: HashMap<String, usize> =
+        funcs.iter().map(|f| (f.name.clone(), f.header_line)).collect();
     let mut b = ProgramBuilder::new();
     for f in funcs {
         b.add_function(f.builder);
     }
-    b.build().map_err(AsmError::from)
+    b.build().map_err(|e| {
+        let line = match &e {
+            BuildError::DuplicateFunction(n) | BuildError::MissingEntry(n) => {
+                header_lines.get(n.as_str())
+            }
+            BuildError::UndefinedFunction { caller, .. } => header_lines.get(caller.as_str()),
+            BuildError::UnboundLabel { function } | BuildError::LabelBoundTwice { function } => {
+                header_lines.get(function.as_str())
+            }
+            BuildError::Empty => None,
+        };
+        AsmError { line: line.copied().unwrap_or(0), message: e.to_string() }
+    })
 }
 
 #[cfg(test)]
@@ -602,6 +643,43 @@ main:
 
         let e = assemble("main:\n    jal ghost\nmain2:\n    halt\n").unwrap_err();
         assert!(e.message.contains("undefined function"));
+    }
+
+    #[test]
+    fn link_errors_point_at_the_offending_function() {
+        // The unresolved call is in `broken` (header on line 4), not main.
+        let e = assemble("main:\n    halt\n\nbroken:\n    jal ghost\n    halt\n").unwrap_err();
+        assert!(e.message.contains("undefined function"), "{e}");
+        assert_eq!(e.line, 4, "{e}");
+
+        // A duplicate function header points at (one of) the duplicates.
+        let e = assemble("main:\n    halt\nmain:\n    halt\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+        assert_eq!(e.line, 3, "{e}");
+
+        // A branch to a never-bound label points at its function.
+        let e = assemble("main:\n    halt\nf:\n    j .nowhere\n    halt\n").unwrap_err();
+        assert!(e.message.contains("label"), "{e}");
+        assert_eq!(e.line, 3, "{e}");
+    }
+
+    #[test]
+    fn hostile_frame_declarations_are_rejected_with_line_context() {
+        let e = assemble("main: frame -16\n    halt\n").unwrap_err();
+        assert_eq!(e.line, 1, "{e}");
+        assert!(e.message.contains("non-negative"), "{e}");
+
+        let e = assemble("main:\n    halt\nbig: frame 99999999\n    halt\n").unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.message.contains("maximum"), "{e}");
+
+        let e = assemble("main: frame zebra\n    halt\n").unwrap_err();
+        assert_eq!(e.line, 1, "{e}");
+        assert!(e.message.contains("bad immediate"), "{e}");
+
+        // A sane declaration still assembles.
+        let p = assemble("main: frame 64\n    halt\n").unwrap();
+        assert_eq!(p.functions()[0].frame_bytes, 64);
     }
 
     #[test]

@@ -52,8 +52,11 @@ impl MemoryLayout {
     /// The default layout: 16 MB of globals at `0x1000_0000`, 64 MB of heap
     /// at `0x2000_0000`, and a 4 MB stack topping out at `0x7fff_fff0`.
     pub fn standard() -> MemoryLayout {
-        MemoryLayout::new(0x1000_0000, 16 << 20, 0x2000_0000, 64 << 20, 0x7fff_fff0, 4 << 20)
-            .expect("standard layout is valid")
+        match MemoryLayout::new(0x1000_0000, 16 << 20, 0x2000_0000, 64 << 20, 0x7fff_fff0, 4 << 20)
+        {
+            Ok(l) => l,
+            Err(e) => unreachable!("standard layout is valid: {e}"),
+        }
     }
 
     /// Creates a layout after validating region alignment and disjointness.

@@ -28,13 +28,31 @@ pub enum VmError {
         /// The access size in bytes.
         bytes: u32,
     },
-    /// A load or store touched an address outside every mapped region
-    /// (including stack overflow past the stack limit).
+    /// A load or store touched an address outside every mapped region.
     OutOfRegion {
         /// The pc of the access.
         pc: u32,
         /// The effective address.
         addr: u32,
+    },
+    /// A `$sp`-relative (or near-stack) access ran past the stack limit —
+    /// the frame layout overflowed the stack region.
+    StackOverflow {
+        /// The pc of the access.
+        pc: u32,
+        /// The effective address.
+        addr: u32,
+        /// The lowest legal stack address.
+        limit: u32,
+    },
+    /// A taken branch, jump, call, or return targeted a pc outside the
+    /// program image — fetching from there would decode garbage, the
+    /// moral equivalent of an illegal instruction.
+    IllegalTarget {
+        /// The pc of the control transfer.
+        pc: u32,
+        /// The out-of-image target.
+        target: u32,
     },
     /// `Ret` executed with no outstanding call.
     ReturnWithoutCall {
@@ -53,6 +71,12 @@ impl fmt::Display for VmError {
             VmError::OutOfRegion { pc, addr } => {
                 write!(f, "access to unmapped address {addr:#x} at pc {pc}")
             }
+            VmError::StackOverflow { pc, addr, limit } => {
+                write!(f, "stack overflow: access to {addr:#x} past limit {limit:#x} at pc {pc}")
+            }
+            VmError::IllegalTarget { pc, target } => {
+                write!(f, "control transfer to illegal target pc {target} at pc {pc}")
+            }
             VmError::ReturnWithoutCall { pc } => {
                 write!(f, "return without a matching call at pc {pc}")
             }
@@ -61,6 +85,11 @@ impl fmt::Display for VmError {
 }
 
 impl std::error::Error for VmError {}
+
+/// Unmapped accesses this close below the stack limit are classified as
+/// stack overflow even when computed through a register other than `$sp`
+/// (a copied frame pointer walking off a frame).
+const STACK_GUARD_BYTES: u32 = 4096;
 
 /// Memory-access metadata attached to a dynamic load or store.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -264,7 +293,21 @@ impl Vm {
         hint: StreamHint,
     ) -> Result<(u32, MemInfo), VmError> {
         let addr = (self.gpr(base) as u32).wrapping_add(offset as u32);
-        let region = self.check_access(pc, addr, bytes)?;
+        let region = match self.check_access(pc, addr, bytes) {
+            Ok(region) => region,
+            Err(VmError::OutOfRegion { pc, addr }) => {
+                // An unmapped access through `$sp`, or just below the
+                // stack region, is a frame layout running off the end of
+                // the stack — report it as the overflow it is.
+                let limit = self.program.layout().stack_limit();
+                let in_guard = addr < limit && limit - addr <= STACK_GUARD_BYTES;
+                if base == Gpr::SP || in_guard {
+                    return Err(VmError::StackOverflow { pc, addr, limit });
+                }
+                return Err(VmError::OutOfRegion { pc, addr });
+            }
+            Err(e) => return Err(e),
+        };
         let stack_slot = (base == Gpr::SP).then_some((self.sp_version, offset));
         Ok((addr, MemInfo { addr, bytes, is_store, region, hint, stack_slot }))
     }
@@ -405,6 +448,15 @@ impl Vm {
             }
         }
 
+        // A *taken* control transfer out of the program image faults at
+        // the transfer itself (fetching the target would decode garbage).
+        // Sequential fall-through past the last instruction stays lazy —
+        // it faults as `PcOutOfRange` on the next step.
+        if !self.halted && next_pc != pc + 1 && self.program.get(next_pc).is_none() {
+            self.halted = true;
+            return Err(VmError::IllegalTarget { pc, target: next_pc });
+        }
+
         if !self.halted || matches!(instr, Instr::Halt) {
             self.pc = next_pc;
         }
@@ -444,7 +496,10 @@ impl Iterator for Stream<'_> {
     type Item = DynInst;
 
     fn next(&mut self) -> Option<DynInst> {
-        self.vm.step().expect("functional execution error in dynamic stream")
+        match self.vm.step() {
+            Ok(d) => d,
+            Err(e) => panic!("functional execution error in dynamic stream: {e}"),
+        }
     }
 }
 
@@ -636,6 +691,64 @@ mod tests {
         f.halt();
         let mut vm = Vm::new(build(vec![f]));
         assert!(matches!(vm.run(10), Err(VmError::OutOfRegion { addr: 0x40, .. })));
+    }
+
+    #[test]
+    fn sp_relative_overflow_is_a_stack_overflow() {
+        use dda_isa::AluOp;
+        let mut f = FunctionBuilder::new("main");
+        // Drop $sp just past the 4 MB stack region and store there.
+        f.load_imm(Gpr::T0, (4 << 20) + 16);
+        f.alu(AluOp::Sub, Gpr::SP, Gpr::SP, Gpr::T0);
+        f.store_local(Gpr::T0, 0);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        let limit = vm.program().layout().stack_limit();
+        let err = vm.run(10).unwrap_err();
+        assert_eq!(err, VmError::StackOverflow { pc: 2, addr: limit - 16, limit });
+        assert!(vm.is_halted());
+    }
+
+    #[test]
+    fn guard_band_access_is_a_stack_overflow_even_without_sp() {
+        let mut f = FunctionBuilder::new("main");
+        let limit = MemoryLayoutProbe::limit();
+        f.load_imm(Gpr::T0, (limit - 8) as i32);
+        f.load(Gpr::T1, Gpr::T0, 0, MemWidth::Word, StreamHint::Unknown);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        assert!(matches!(vm.run(10), Err(VmError::StackOverflow { .. })));
+    }
+
+    /// The standard layout's stack limit, for building hostile addresses.
+    struct MemoryLayoutProbe;
+    impl MemoryLayoutProbe {
+        fn limit() -> u32 {
+            dda_program::MemoryLayout::standard().stack_limit()
+        }
+    }
+
+    #[test]
+    fn indirect_call_to_garbage_is_an_illegal_target() {
+        let mut f = FunctionBuilder::new("main");
+        f.load_imm(Gpr::T0, 9999);
+        f.call_reg(Gpr::T0);
+        f.halt();
+        let mut vm = Vm::new(build(vec![f]));
+        assert_eq!(vm.run(10), Err(VmError::IllegalTarget { pc: 1, target: 9999 }));
+        assert!(vm.is_halted());
+    }
+
+    #[test]
+    fn return_to_clobbered_ra_is_an_illegal_target() {
+        let mut main = FunctionBuilder::new("main");
+        main.call("f");
+        main.halt();
+        let mut f = FunctionBuilder::new("f");
+        f.load_imm(Gpr::RA, 1_000_000);
+        f.ret();
+        let mut vm = Vm::new(build(vec![main, f]));
+        assert!(matches!(vm.run(10), Err(VmError::IllegalTarget { target: 1_000_000, .. })));
     }
 
     #[test]

@@ -92,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             MachineConfig::n_plus_m(n, m)
         };
-        let r = Simulator::new(cfg).run(&program, 200_000)?;
+        let r = Simulator::new(cfg)?.run(&program, 200_000)?;
         println!("  ({n}+{m}): IPC {:.2}", r.ipc());
     }
     Ok(())

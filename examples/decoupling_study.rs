@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ratios = Vec::new();
     for bench in Benchmark::ALL {
         let program = bench.program(u32::MAX / 2);
-        let a = Simulator::new(four.clone()).run(&program, budget)?;
-        let b = Simulator::new(two_two.clone()).run(&program, budget)?;
+        let a = Simulator::new(four.clone())?.run(&program, budget)?;
+        let b = Simulator::new(two_two.clone())?.run(&program, budget)?;
         let ratio = b.speedup_over(&a);
         ratios.push(ratio.ln());
         table.row([

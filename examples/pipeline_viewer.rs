@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Program ({} instructions):\n{}", program.len(), program.listing());
 
     let cfg = MachineConfig::n_plus_m(2, 2).with_optimizations();
-    let sim = Simulator::new(cfg);
+    let sim = Simulator::new(cfg)?;
     let (result, traces) = sim.run_traced(&program, 10_000, 64)?;
 
     println!(

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             MachineConfig::n_plus_m(n, m)
         };
-        let r = Simulator::new(cfg).run(&program, budget)?;
+        let r = Simulator::new(cfg)?.run(&program, budget)?;
         let ipc = r.ipc();
         let base = *base_ipc.get_or_insert(ipc);
         table.row([

@@ -52,9 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fib(14) = {} (architectural)", vm.gpr(Gpr::V0));
 
     // The paper's base machine: 16-issue, 2-port L1, no LVC — "(2+0)".
-    let base = Simulator::new(MachineConfig::n_plus_m(2, 0)).run(&program, 10_000_000)?;
+    let base = Simulator::new(MachineConfig::n_plus_m(2, 0))?.run(&program, 10_000_000)?;
     // Data-decoupled machine with both §2.2.2 optimizations — "(2+2)".
-    let dec = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations())
+    let dec = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations())?
         .run(&program, 10_000_000)?;
 
     println!("(2+0): {} cycles, IPC {:.2}", base.cycles, base.ipc());

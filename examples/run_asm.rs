@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         MachineConfig::n_plus_m(n, m)
     };
-    let r = Simulator::new(cfg).run(&program, summary.executed.max(1))?;
+    let r = Simulator::new(cfg)?.run(&program, summary.executed.max(1))?;
     println!(
         "({n}+{m}): {} cycles, IPC {:.2}; LVAQ {} loads / {} stores, {} fast fwds",
         r.cycles,

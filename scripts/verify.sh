@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Standard pre-PR check: tier-1 verification plus a throughput smoke run.
+# Standard pre-PR check: tier-1 verification plus smoke runs.
 #
 #   scripts/verify.sh
 #
@@ -7,9 +7,14 @@
 # The throughput smoke run exercises the benchmark binary in `--quick`
 # mode, which also cross-checks the incremental scheduler kernel against
 # the rescan-per-cycle reference kernel on three workloads (the run
-# aborts if any counter diverges). It writes its report to a throwaway
-# path so the committed BENCH_throughput.json (full budget, all twelve
-# workloads) is not clobbered by smoke numbers.
+# aborts if any counter diverges). The fault-campaign smoke run injects
+# every fault class once and fails on any host panic or unexpected
+# outcome. Both write their reports to throwaway paths so the committed
+# BENCH_*.json files (full budgets) are not clobbered by smoke numbers.
+#
+# The clippy gate bans `.unwrap()`/`.expect()` from the hot simulation
+# crates' library code (tests and benches are exempt via cfg(test)):
+# every runtime failure there must surface as a typed error value.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,8 +25,16 @@ cargo build --release
 echo "== tier-1: cargo test -q"
 cargo test -q
 
+echo "== clippy: no unwrap/expect in simulation crates"
+cargo clippy -q -p dda-core -p dda-vm -p dda-mem -p dda-program -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== throughput smoke (--quick)"
 cargo run --release -q -p dda-bench --bin throughput -- \
     --quick --out target/BENCH_throughput_smoke.json
+
+echo "== fault-campaign smoke (--quick)"
+cargo run --release -q -p dda-bench --bin faults -- \
+    --quick --out target/BENCH_faults_smoke.json
 
 echo "== verify OK"

@@ -69,10 +69,10 @@ fact: frame 16
     // The pipeline commits the same stream on unified and decoupled
     // machines, and the decoupled run steers the frame traffic to the
     // LVAQ.
-    let unified = Simulator::new(MachineConfig::n_plus_m(2, 0))
+    let unified = Simulator::new(MachineConfig::n_plus_m(2, 0)).unwrap()
         .run(&program, 100_000)
         .unwrap();
-    let decoupled = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations())
+    let decoupled = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations()).unwrap()
         .run(&program, 100_000)
         .unwrap();
     assert_eq!(unified.committed, decoupled.committed);

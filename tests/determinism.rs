@@ -15,7 +15,7 @@ const BUDGET: u64 = 40_000;
 
 fn run(bench: Benchmark, cfg: &MachineConfig) -> SimResult {
     let program = bench.program(u32::MAX / 2);
-    Simulator::new(cfg.clone()).run(&program, BUDGET).expect("benchmark executes cleanly")
+    Simulator::new(cfg.clone()).unwrap().run(&program, BUDGET).expect("benchmark executes cleanly")
 }
 
 /// The machine configurations the paper's figures sweep most often.
@@ -43,8 +43,8 @@ fn shared_program_runs_match_owned_program_runs() {
     let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
     for bench in [Benchmark::Compress, Benchmark::Vortex] {
         let program = bench.program(u32::MAX / 2);
-        let owned = Simulator::new(cfg.clone()).run(&program, BUDGET).expect("runs");
-        let shared = Simulator::new(cfg.clone())
+        let owned = Simulator::new(cfg.clone()).unwrap().run(&program, BUDGET).expect("runs");
+        let shared = Simulator::new(cfg.clone()).unwrap()
             .run_shared(Arc::new(program), BUDGET)
             .expect("runs");
         assert_eq!(owned, shared, "{bench}: Arc-shared program changed the result");

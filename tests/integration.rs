@@ -9,7 +9,7 @@ const BUDGET: u64 = 40_000;
 
 fn run(bench: Benchmark, cfg: MachineConfig) -> dda::core::SimResult {
     let program = bench.program(u32::MAX / 2);
-    Simulator::new(cfg).run(&program, BUDGET).expect("benchmark executes cleanly")
+    Simulator::new(cfg).unwrap().run(&program, BUDGET).expect("benchmark executes cleanly")
 }
 
 #[test]
@@ -172,7 +172,7 @@ fn functional_and_timing_instruction_counts_agree() {
         let program = bench.program(u32::MAX / 2);
         let mut vm = Vm::new(program.clone());
         vm.run(BUDGET).unwrap();
-        let r = Simulator::new(MachineConfig::iscapaper_base())
+        let r = Simulator::new(MachineConfig::iscapaper_base()).unwrap()
             .run(&program, BUDGET)
             .unwrap();
         assert_eq!(vm.instructions_executed(), r.committed, "{bench}");

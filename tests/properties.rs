@@ -424,7 +424,7 @@ fn random_programs_run_identically_on_vm_and_pipeline() {
             MachineConfig::n_plus_m(2, 0),
             MachineConfig::n_plus_m(2, 2).with_optimizations(),
         ] {
-            let r = Simulator::new(cfg).run(&program, 100_000).unwrap();
+            let r = Simulator::new(cfg).unwrap().run(&program, 100_000).unwrap();
             assert!(r.halted);
             assert_eq!(r.committed, summary.executed);
         }
@@ -451,7 +451,7 @@ fn timing_configuration_never_changes_architecture() {
             None => break,
         }
     }
-    let oracle = Simulator::new(MachineConfig::iscapaper_base())
+    let oracle = Simulator::new(MachineConfig::iscapaper_base()).unwrap()
         .run(&program, budget)
         .unwrap();
 
@@ -477,7 +477,7 @@ fn timing_configuration_never_changes_architecture() {
             _ => SteerPolicy::Replicate,
         };
 
-        let r = Simulator::new(cfg).run(&program, budget).unwrap();
+        let r = Simulator::new(cfg).unwrap().run(&program, budget).unwrap();
         assert_eq!(r.committed, executed);
         // Memory-traffic bookkeeping is conserved across any split.
         let mem_total = r.lsq.loads + r.lsq.stores + r.lvaq.loads + r.lvaq.stores;
