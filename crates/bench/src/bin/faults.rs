@@ -289,6 +289,7 @@ fn main() {
                             SimError::InvariantViolation(_) => ("invariant_violation", true),
                             SimError::Trap(_) => ("trap", true),
                             SimError::Config(_) => ("config", true),
+                            SimError::WorkerPanic(_) => ("worker_panic", true),
                         };
                         if class.expect_error {
                             eprintln!(

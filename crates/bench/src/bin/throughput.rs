@@ -16,16 +16,23 @@
 //! ```
 //!
 //! `--quick` restricts the sweep to three representative workloads with a
-//! reduced budget (the CI smoke mode); `--budget` overrides the committed
-//! instruction budget per run; `--reps` sets the repetitions per timing
-//! (best-of-N, default 3, to damp scheduler noise); `--out` changes the
-//! JSON report path (default `BENCH_throughput.json`).
+//! reduced budget (the CI smoke mode); `--workloads a,b,...` restricts it
+//! to named workloads (case-insensitive); `--budget` overrides the
+//! committed instruction budget per run; `--reps` sets the repetitions
+//! per timing (best-of-N, default 3, to damp scheduler noise); `--out`
+//! changes the JSON report path (default `BENCH_throughput.json`).
+//!
+//! After the per-workload kernel timings the binary reruns the full
+//! (workload × config) matrix once through the work-stealing sweep pool
+//! and records sweep throughput in configurations per second — the number
+//! figure regeneration is bounded by — cross-checking that the pooled
+//! results stay bit-identical to the serially-timed fast-kernel runs.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dda_bench::pipeline_budget;
+use dda_bench::{pipeline_budget, run_matrix_checked};
 use dda_core::{MachineConfig, SimResult, Simulator};
 use dda_workloads::Benchmark;
 
@@ -84,7 +91,9 @@ fn json_pair(out: &mut String, label: &str, t: &Timed) {
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: throughput [--quick] [--reps N] [--budget N] [--out PATH]");
+    eprintln!(
+        "usage: throughput [--quick] [--workloads a,b,...] [--reps N] [--budget N] [--out PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -93,11 +102,16 @@ fn main() {
     let mut out_path = String::from("BENCH_throughput.json");
     let mut budget: Option<u64> = None;
     let mut reps: u32 = 3;
+    let mut workload_filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--workloads" => {
+                workload_filter =
+                    Some(args.next().unwrap_or_else(|| usage("--workloads needs a CSV list")))
+            }
             "--reps" => {
                 reps = args
                     .next()
@@ -121,11 +135,35 @@ fn main() {
             pipeline_budget()
         }
     });
-    let workloads: &[Benchmark] = if quick {
-        &[Benchmark::Compress, Benchmark::Li, Benchmark::Vortex]
+    let workloads: Vec<Benchmark> = if let Some(filter) = &workload_filter {
+        filter
+            .split(',')
+            .filter(|n| !n.is_empty())
+            .map(|n| {
+                // Accept "129.compress" or just "compress".
+                let n = n.trim();
+                Benchmark::ALL
+                    .iter()
+                    .copied()
+                    .find(|b| {
+                        let full = b.name();
+                        full.eq_ignore_ascii_case(n)
+                            || full
+                                .split_once('.')
+                                .is_some_and(|(_, short)| short.eq_ignore_ascii_case(n))
+                    })
+                    .unwrap_or_else(|| usage(&format!("unknown workload: {n}")))
+            })
+            .collect()
+    } else if quick {
+        vec![Benchmark::Compress, Benchmark::Li, Benchmark::Vortex]
     } else {
-        &Benchmark::ALL
+        Benchmark::ALL.to_vec()
     };
+    if workloads.is_empty() {
+        usage("no workloads selected");
+    }
+    let workloads: &[Benchmark] = &workloads;
 
     // Fail on an unwritable report path now, not after minutes of timing.
     if let Err(e) = std::fs::write(&out_path, "") {
@@ -148,6 +186,8 @@ fn main() {
     );
 
     let mut speedups: Vec<f64> = Vec::new();
+    let mut serial_fast: Vec<SimResult> = Vec::new();
+    let mut serial_fast_secs = 0.0f64;
     for (wi, &bench) in workloads.iter().enumerate() {
         let program = Arc::new(bench.program(u32::MAX / 2));
         eprintln!("[throughput] {} (budget {budget})", bench.name());
@@ -175,6 +215,8 @@ fn main() {
             row.push_str(", ");
             json_pair(&mut row, "reference", &refr);
             let _ = write!(row, ", \"kernel_speedup\": {speedup:.3}}}, ");
+            serial_fast_secs += fast.secs;
+            serial_fast.push(fast.res);
         }
         row.truncate(row.len() - 2);
         row.push('}');
@@ -186,7 +228,43 @@ fn main() {
     }
 
     let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
-    let _ = write!(json, "  ],\n  \"geomean_kernel_speedup\": {geomean:.3}\n}}\n");
+    json.push_str("  ],\n");
+
+    // Sweep throughput: the full (workload × config) matrix once through
+    // the work-stealing pool, cross-checked against the serially-timed
+    // fast-kernel results above.
+    let sweep_cfgs = [base.clone(), dec.clone()];
+    let n_tasks = workloads.len() * sweep_cfgs.len();
+    let workers = dda_bench::pool::default_workers(n_tasks);
+    eprintln!("[throughput] sweep: {n_tasks} configs on {workers} workers");
+    let sweep_start = Instant::now();
+    let matrix = run_matrix_checked(workloads, &sweep_cfgs, budget);
+    let sweep_secs = sweep_start.elapsed().as_secs_f64().max(1e-9);
+    for (wi, bench) in workloads.iter().enumerate() {
+        for (ci, _) in sweep_cfgs.iter().enumerate() {
+            let pooled = matrix[wi][ci].as_ref().expect("sweep run executes cleanly");
+            assert_eq!(
+                pooled,
+                &serial_fast[wi * sweep_cfgs.len() + ci],
+                "{}: pooled sweep diverged from the serial fast kernel",
+                bench.name()
+            );
+        }
+    }
+    let configs_per_sec = n_tasks as f64 / sweep_secs;
+    let parallel_speedup = serial_fast_secs / sweep_secs;
+    eprintln!(
+        "[throughput] sweep: {configs_per_sec:.2} configs/sec \
+         ({sweep_secs:.2}s pooled vs {serial_fast_secs:.2}s serial, {parallel_speedup:.2}x)"
+    );
+    let _ = write!(
+        json,
+        "  \"sweep\": {{\"tasks\": {n_tasks}, \"workers\": {workers}, \
+         \"host_secs\": {sweep_secs:.4}, \"configs_per_sec\": {configs_per_sec:.3}, \
+         \"serial_fast_secs\": {serial_fast_secs:.4}, \
+         \"parallel_speedup\": {parallel_speedup:.3}, \"bit_identical\": true}},\n"
+    );
+    let _ = write!(json, "  \"geomean_kernel_speedup\": {geomean:.3}\n}}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         print!("{json}");

@@ -6,6 +6,8 @@ use dda_core::{MachineConfig, SimError, SimResult, Simulator};
 use dda_vm::{StreamProfiler, StreamStats, Vm};
 use dda_workloads::Benchmark;
 
+use crate::pool;
+
 /// Committed-instruction budget for pipeline experiments.
 ///
 /// Override with the `DDA_BUDGET` environment variable. The default keeps
@@ -90,11 +92,23 @@ pub fn run_config(bench: Benchmark, cfg: MachineConfig) -> SimResult {
 /// violation all come back as a structured [`SimError`] instead of a
 /// panic — the form fault campaigns and robustness sweeps consume.
 pub fn run_config_checked(bench: Benchmark, cfg: MachineConfig) -> Result<SimResult, SimError> {
-    let program = Arc::new(bench.program(u32::MAX / 2));
-    Simulator::new(cfg)?.run_shared(program, pipeline_budget())
+    run_config_checked_with_budget(bench, cfg, pipeline_budget())
 }
 
-/// Runs one benchmark under several configurations, in parallel threads.
+/// [`run_config_checked`] with an explicit committed-instruction budget
+/// instead of the process-wide `DDA_BUDGET` default — the form tests use,
+/// so they never mutate (or race on) process environment state.
+pub fn run_config_checked_with_budget(
+    bench: Benchmark,
+    cfg: MachineConfig,
+    budget: u64,
+) -> Result<SimResult, SimError> {
+    let program = Arc::new(bench.program(u32::MAX / 2));
+    Simulator::new(cfg)?.run_shared(program, budget)
+}
+
+/// Runs one benchmark under several configurations on the work-stealing
+/// pool.
 ///
 /// The program is generated once and shared (`Arc`) across the sweep
 /// rather than regenerated or cloned per configuration.
@@ -110,22 +124,87 @@ pub fn run_configs_for(bench: Benchmark, cfgs: &[MachineConfig]) -> Vec<SimResul
 /// Like [`run_configs_for`] but each run's failure stays its own
 /// [`SimError`]: one wedged or faulting configuration degrades to one
 /// structured per-run failure without tearing down the rest of the sweep.
+/// A panicking worker likewise degrades to [`SimError::WorkerPanic`] for
+/// that run alone.
 pub fn run_configs_checked(
     bench: Benchmark,
     cfgs: &[MachineConfig],
 ) -> Vec<Result<SimResult, SimError>> {
+    run_configs_checked_with_budget(bench, cfgs, pipeline_budget())
+}
+
+/// [`run_configs_checked`] with an explicit budget (see
+/// [`run_config_checked_with_budget`]).
+pub fn run_configs_checked_with_budget(
+    bench: Benchmark,
+    cfgs: &[MachineConfig],
+    budget: u64,
+) -> Vec<Result<SimResult, SimError>> {
     let program = Arc::new(bench.program(u32::MAX / 2));
-    std::thread::scope(|s| {
-        let handles: Vec<_> = cfgs
-            .iter()
-            .map(|cfg| {
-                let cfg = cfg.clone();
-                let program = Arc::clone(&program);
-                s.spawn(move || Simulator::new(cfg)?.run_shared(program, pipeline_budget()))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
-    })
+    let tasks: Vec<_> = cfgs
+        .iter()
+        .map(|cfg| {
+            let cfg = cfg.clone();
+            let program = Arc::clone(&program);
+            move || Simulator::new(cfg)?.run_shared(program, budget)
+        })
+        .collect();
+    let workers = pool::default_workers(tasks.len());
+    pool::run_tasks(tasks, workers).into_iter().map(flatten_task).collect()
+}
+
+/// Runs the full `benches` × `cfgs` matrix as independent tasks on the
+/// work-stealing pool — the figure-regeneration shape, where per-config
+/// parallelism alone underuses wide machines. Each program is generated
+/// once and shared across its row. Results come back as
+/// `result[bench_index][cfg_index]`, deterministically, regardless of how
+/// the pool interleaved the tasks.
+pub fn run_matrix_checked(
+    benches: &[Benchmark],
+    cfgs: &[MachineConfig],
+    budget: u64,
+) -> Vec<Vec<Result<SimResult, SimError>>> {
+    let programs: Vec<_> =
+        benches.iter().map(|b| Arc::new(b.program(u32::MAX / 2))).collect();
+    let mut tasks = Vec::with_capacity(benches.len() * cfgs.len());
+    for program in &programs {
+        for cfg in cfgs {
+            let cfg = cfg.clone();
+            let program = Arc::clone(program);
+            tasks.push(move || Simulator::new(cfg)?.run_shared(program, budget));
+        }
+    }
+    let workers = pool::default_workers(tasks.len());
+    let mut flat = pool::run_tasks(tasks, workers).into_iter().map(flatten_task);
+    benches.iter().map(|_| (0..cfgs.len()).map(|_| flatten_next(&mut flat)).collect()).collect()
+}
+
+fn flatten_next(
+    it: &mut impl Iterator<Item = Result<SimResult, SimError>>,
+) -> Result<SimResult, SimError> {
+    match it.next() {
+        Some(r) => r,
+        None => Err(SimError::WorkerPanic("pool returned too few results".to_string())),
+    }
+}
+
+/// Collapses a pool task result: a caught worker panic becomes a
+/// structured [`SimError::WorkerPanic`] carrying the panic message.
+fn flatten_task(r: pool::TaskResult<Result<SimResult, SimError>>) -> Result<SimResult, SimError> {
+    match r {
+        Ok(res) => res,
+        Err(payload) => Err(SimError::WorkerPanic(panic_message(payload.as_ref()))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -140,25 +219,78 @@ mod tests {
         assert!(w.static_functions >= 3);
     }
 
+    /// Tests thread their budget explicitly instead of mutating the
+    /// process-wide `DDA_BUDGET` (removing it mid-process raced with any
+    /// concurrently running test that read it).
+    const TEST_BUDGET: u64 = 60_000;
+
     #[test]
     fn parallel_sweep_matches_serial() {
         let cfgs = [MachineConfig::n_plus_m(2, 0), MachineConfig::n_plus_m(4, 0)];
-        std::env::remove_var("DDA_BUDGET");
-        let results = run_configs_for(Benchmark::Li, &cfgs);
-        let serial = run_config(Benchmark::Li, cfgs[0].clone());
-        assert_eq!(results[0], serial);
-        assert!(results[1].ipc() >= results[0].ipc() * 0.95);
+        let results = run_configs_checked_with_budget(Benchmark::Li, &cfgs, TEST_BUDGET);
+        let serial =
+            run_config_checked_with_budget(Benchmark::Li, cfgs[0].clone(), TEST_BUDGET).unwrap();
+        assert_eq!(*results[0].as_ref().unwrap(), serial);
+        let (r0, r1) = (results[0].as_ref().unwrap(), results[1].as_ref().unwrap());
+        assert!(r1.ipc() >= r0.ipc() * 0.95);
     }
 
     #[test]
     fn parallel_sweep_is_deterministic() {
-        // Two full parallel sweeps must agree bit for bit: thread
+        // Two full parallel sweeps must agree bit for bit: pool
         // scheduling may reorder the runs but never their results.
         let cfgs =
             [MachineConfig::n_plus_m(2, 2), MachineConfig::n_plus_m(4, 2).with_optimizations()];
-        std::env::remove_var("DDA_BUDGET");
-        let first = run_configs_for(Benchmark::Compress, &cfgs);
-        let second = run_configs_for(Benchmark::Compress, &cfgs);
+        let first = run_configs_checked_with_budget(Benchmark::Compress, &cfgs, TEST_BUDGET);
+        let second = run_configs_checked_with_budget(Benchmark::Compress, &cfgs, TEST_BUDGET);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn matrix_sweep_matches_per_config_runs() {
+        let benches = [Benchmark::Compress, Benchmark::Li];
+        let cfgs = [MachineConfig::n_plus_m(2, 0), MachineConfig::n_plus_m(2, 2)];
+        let matrix = run_matrix_checked(&benches, &cfgs, TEST_BUDGET);
+        assert_eq!(matrix.len(), benches.len());
+        for (bi, bench) in benches.iter().enumerate() {
+            assert_eq!(matrix[bi].len(), cfgs.len());
+            for (ci, cfg) in cfgs.iter().enumerate() {
+                let serial =
+                    run_config_checked_with_budget(*bench, cfg.clone(), TEST_BUDGET).unwrap();
+                assert_eq!(*matrix[bi][ci].as_ref().unwrap(), serial, "({bi},{ci}) diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_degrades_to_one_structured_failure() {
+        let mut bad = MachineConfig::n_plus_m(2, 0);
+        bad.rob_size = 0;
+        let cfgs = [MachineConfig::n_plus_m(2, 0), bad];
+        let results = run_configs_checked_with_budget(Benchmark::Li, &cfgs, TEST_BUDGET);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(SimError::Config(_))));
+    }
+
+    #[test]
+    fn worker_panic_becomes_a_per_task_sim_error() {
+        // Drive the pool through the same flattening the harness uses.
+        let tasks: Vec<Box<dyn FnOnce() -> Result<SimResult, SimError> + Send>> = vec![
+            Box::new(|| {
+                run_config_checked_with_budget(
+                    Benchmark::Compress,
+                    MachineConfig::n_plus_m(2, 0),
+                    5_000,
+                )
+            }),
+            Box::new(|| panic!("poisoned task")),
+        ];
+        let out: Vec<_> =
+            pool::run_tasks(tasks, 2).into_iter().map(super::flatten_task).collect();
+        assert!(out[0].is_ok());
+        match &out[1] {
+            Err(SimError::WorkerPanic(msg)) => assert!(msg.contains("poisoned task")),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 }

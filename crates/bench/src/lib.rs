@@ -15,6 +15,7 @@
 mod experiments;
 mod harness;
 pub mod microbench;
+pub mod pool;
 
 pub use microbench::{Bencher, BenchmarkGroup, Criterion};
 
@@ -27,5 +28,6 @@ pub use experiments::{
 };
 pub use harness::{
     pipeline_budget, profile, profile_budget, run_config, run_config_checked,
-    run_configs_checked, run_configs_for, workload_stats, ProfiledWorkload,
+    run_config_checked_with_budget, run_configs_checked, run_configs_checked_with_budget,
+    run_configs_for, run_matrix_checked, workload_stats, ProfiledWorkload,
 };

@@ -21,7 +21,13 @@ pub(crate) struct Dependent {
 }
 
 /// Memory-specific pipeline state of a load or store.
-#[derive(Clone, Debug)]
+///
+/// Boxed inside [`RobEntry`]: loads/stores are a minority of the
+/// stream, and keeping the ~140-byte state out of line keeps the
+/// dispatch-time entry construction (and the ring-slot move) a small
+/// copy. The box itself is recycled through the core's `mem_pool`, so
+/// the steady state allocates nothing.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct MemState {
     /// Steered to the LVAQ (`true`) or the LSQ (`false`).
     pub in_lvaq: bool,
@@ -64,6 +70,12 @@ pub(crate) struct MemState {
     /// forwarded store; the commit-time auditor detects (and scrubs) it.
     /// Always `false` outside fault campaigns.
     pub poisoned: bool,
+    /// Loads whose scheduling scan blocked on *this* store, as
+    /// `(slot, uid)` — the event-driven kernel's wakeup index. Drained
+    /// (re-waking every registrant) whenever this store's address or data
+    /// becomes ready or it leaves a queue; always empty for loads and
+    /// under the reference kernel.
+    pub waiters: Vec<(usize, u64)>,
 }
 
 impl MemState {
@@ -99,7 +111,7 @@ pub(crate) struct RobEntry {
     /// `mem` readiness instead.
     pub completed: bool,
     /// Memory state for loads/stores.
-    pub mem: Option<MemState>,
+    pub mem: Option<Box<MemState>>,
 }
 
 impl RobEntry {
@@ -111,7 +123,7 @@ impl RobEntry {
     /// guarantees the state exists, so a miss here is a scheduler bug.
     #[inline]
     pub fn mem(&self) -> &MemState {
-        match self.mem.as_ref() {
+        match self.mem.as_deref() {
             Some(m) => m,
             None => unreachable!("queue resident without memory state"),
         }
@@ -124,7 +136,7 @@ impl RobEntry {
     /// Panics if the entry is not a memory instruction.
     #[inline]
     pub fn mem_mut(&mut self) -> &mut MemState {
-        match self.mem.as_mut() {
+        match self.mem.as_deref_mut() {
             Some(m) => m,
             None => unreachable!("queue resident without memory state"),
         }
@@ -208,19 +220,28 @@ impl Rob {
         (self.len > 0).then_some(self.head)
     }
 
-    /// Removes and returns the oldest entry.
+    /// Retires the oldest entry in place, returning only the pieces
+    /// commit needs: `(uid, pc, dependents, mem)`. The entry body is
+    /// dropped inside its slot rather than memcpy'd out — the extracted
+    /// allocations recycle through the core's pools, so the drop itself
+    /// is trivial.
     ///
     /// # Panics
     ///
     /// Panics if empty.
-    pub fn pop_head(&mut self) -> RobEntry {
-        let e = match self.slots[self.head].take() {
+    pub fn pop_head_parts(&mut self) -> (u64, u32, Vec<Dependent>, Option<Box<MemState>>) {
+        let e = match self.slots[self.head].as_mut() {
             Some(e) => e,
             None => panic!("ROB underflow"),
         };
+        let uid = e.uid;
+        let pc = e.d.pc;
+        let deps = std::mem::take(&mut e.dependents);
+        let mem = e.mem.take();
+        self.slots[self.head] = None;
         self.head = (self.head + 1) % self.slots.len();
         self.len -= 1;
-        e
+        (uid, pc, deps, mem)
     }
 
     /// Immutable access by slot (alive entries only).
@@ -284,7 +305,7 @@ mod tests {
         let mut r = Rob::new(4);
         let s0 = r.push(entry(0));
         let _s1 = r.push(entry(1));
-        assert_eq!(r.pop_head().uid, 0);
+        assert_eq!(r.pop_head_parts().0, 0);
         let _s2 = r.push(entry(2));
         let _s3 = r.push(entry(3));
         let s4 = r.push(entry(4)); // wraps into slot 0
@@ -299,7 +320,7 @@ mod tests {
         let mut r = Rob::new(2);
         let s = r.push(entry(10));
         assert!(r.holds(s, 10));
-        r.pop_head();
+        r.pop_head_parts();
         assert!(!r.holds(s, 10));
         let s2 = r.push(entry(11));
         let s3 = r.push(entry(12));
@@ -319,7 +340,7 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn underflow_panics() {
         let mut r = Rob::new(1);
-        r.pop_head();
+        r.pop_head_parts();
     }
 
     #[test]
@@ -349,6 +370,7 @@ mod tests {
             scan_ord: 0,
             ff_ord: 0,
             poisoned: false,
+            waiters: Vec::new(),
         };
         assert!(!m.addr_known(9));
         assert!(m.addr_known(10));

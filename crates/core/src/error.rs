@@ -210,6 +210,11 @@ pub enum SimError {
     Deadlock(Box<DiagnosticDump>),
     /// The cycle-by-cycle auditor caught a broken scheduler invariant.
     InvariantViolation(Box<InvariantViolation>),
+    /// A sweep worker panicked while running this task; the payload is
+    /// the panic message. The panic is caught at the task boundary so one
+    /// poisoned run degrades to one structured failure instead of
+    /// tearing down the whole sweep.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for SimError {
@@ -227,6 +232,7 @@ impl fmt::Display for SimError {
             SimError::InvariantViolation(v) => {
                 write!(f, "invariant violation at cycle {}: {}", v.dump.cycle, v.what)
             }
+            SimError::WorkerPanic(msg) => write!(f, "sweep worker panicked: {msg}"),
         }
     }
 }

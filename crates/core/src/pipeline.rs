@@ -29,7 +29,7 @@ use dda_program::Program;
 use dda_vm::{DynInst, Vm, VmError};
 
 use crate::classify::Classifier;
-use crate::config::MachineConfig;
+use crate::config::{FuCounts, MachineConfig};
 use crate::diag::{DiagnosticDump, HeadMemSnapshot, HeadSnapshot, RetiredPcRing};
 use crate::entry::{DepKind, Dependent, MemState, Rob, RobEntry};
 use crate::error::{InvariantViolation, SimError, Trap, TrapKind};
@@ -43,6 +43,13 @@ use crate::trace::{InstrTrace, MemPath, Tracer};
 enum EvKind {
     AddrReady,
     Complete,
+    /// Fast kernel only: a memory entry's penalty-delayed address becomes
+    /// *effective* at this cycle — re-arm the entry (and, for stores, the
+    /// loads blocked on it) for re-examination. A pure scheduling hint:
+    /// it carries no architectural state change, so it may legally
+    /// outlive its ROB entry (e.g. a load that fast-forwarded and retired
+    /// inside its own penalty window).
+    MemWake,
 }
 
 type Ev = (u64, u64, usize, EvKind); // (cycle, uid, slot, kind)
@@ -106,6 +113,38 @@ impl EventWheel {
 /// is_store, line key = ($sp version, offset / line size), queue sequence
 /// number of the port-claiming leader).
 type CombineSeed = (u64, bool, bool, (u64, i32), u64);
+
+/// Indices into the class-split issue-candidate lists.
+const READY_FU: usize = 0;
+const READY_LSQ: usize = 1;
+const READY_LVAQ: usize = 2;
+
+/// Which ready list an entry lives on — fixed at dispatch (memory-ness
+/// and queue side never change over an entry's lifetime).
+#[inline]
+fn ready_class(mem: Option<&MemState>) -> usize {
+    match mem {
+        None => READY_FU,
+        Some(m) if m.in_lvaq => READY_LVAQ,
+        Some(_) => READY_LSQ,
+    }
+}
+
+/// Per-cycle resource-exhaustion latches for the fast kernel's issue
+/// walk. Within one cycle both kinds of resource are monotone — port
+/// claims and unit issues only consume, nothing frees until the next
+/// cycle's roll — so one refusal means every later ask this cycle would
+/// be refused too, and the walk can skip the re-ask.
+#[derive(Default)]
+struct IssueLatches {
+    /// Port meters, `[l1, lvc]`: a latched queue takes its port-stall
+    /// charge without re-asking the meter.
+    port: [bool; 2],
+    /// Functional-unit pools by [`FuCounts::pool_of`] index: a latched
+    /// pool's candidates are skipped without any charge, exactly like
+    /// the reference walk's failed pool scan.
+    pool: [bool; 4],
+}
 
 /// The simulator: builds a machine from a [`MachineConfig`] and runs
 /// programs on it.
@@ -235,27 +274,55 @@ struct Core<'c> {
     pending: Option<DynInst>,
     dispatched: u64,
     issue_combine: Option<CombineSeed>,
+    /// `log2` of the LVC line size — combining's line key uses a shift
+    /// instead of a division (line sizes are validated powers of two).
+    lvc_line_shift: u32,
     lsq_seq: u64,
     lvaq_seq: u64,
     /// Issue candidates — entries whose operands have all resolved but
-    /// which have not issued — as `(uid, slot)` sorted by uid. Dispatch
-    /// order makes uid monotone with age, so walking this list oldest
-    /// first selects exactly like the full ROB walk. Unused (left empty)
-    /// under the reference kernel.
-    ready: Vec<(u64, usize)>,
+    /// which have not issued — as `(uid, slot)` sorted by uid, split by
+    /// issue resource class (`ReadyClass`): LSQ memory ops, LVAQ memory
+    /// ops, everything else. Dispatch order makes uid monotone with age,
+    /// so a three-way merge walk oldest-first selects exactly like the
+    /// full ROB walk — and once a queue's port meter is exhausted for
+    /// the cycle, the rest of that class can be charged its port stalls
+    /// without touching the ROB at all. Unused (left empty) under the
+    /// reference kernel.
+    ready: [Vec<(u64, usize)>; 3],
     /// Entries that became ready since the last issue pass (woken at
     /// writeback or dispatched with no pending producers); merged into
     /// `ready` by uid at the start of issue().
-    newly_ready: Vec<(u64, usize)>,
-    /// Not-yet-launched primary loads of each queue in age order — the
-    /// candidates of the memory-scheduling passes. Same lazy-compaction
-    /// scheme as `ready`.
-    lsq_waiting: Vec<(usize, u64)>,
-    lvaq_waiting: Vec<(usize, u64)>,
+    newly_ready: [Vec<(u64, usize)>; 3],
+    /// Per-queue wakeup worklists of the event-driven memory scheduler
+    /// (fast kernel): `(queue ordinal, slot, uid)` of primary loads that
+    /// may have become actionable since their last examination — their
+    /// address turned effective, a store they were blocked on changed, or
+    /// a refused cache access wants a retry. Sorted and deduplicated at
+    /// the top of `memory_schedule`, so examination order is queue age
+    /// order, exactly the reference walk's order. A cycle with no memory
+    /// event leaves both lists empty and does zero queue work.
+    lsq_wake: Vec<(u64, usize, u64)>,
+    lvaq_wake: Vec<(u64, usize, u64)>,
+    /// Double buffers for the wake lists, swapped in each scheduling
+    /// pass so wakes pushed *during* a pass land in the next cycle's
+    /// list without reallocating.
+    lsq_wake_spare: Vec<(u64, usize, u64)>,
+    lvaq_wake_spare: Vec<(u64, usize, u64)>,
+    /// Recycled waiter vectors (see [`MemState::waiters`]), pooled like
+    /// `dep_pool`.
+    waiter_pool: Vec<Vec<(usize, u64)>>,
     /// Recycled `dependents` vectors (fast kernel): dispatch draws from
     /// here and retire/writeback return emptied vectors, so steady-state
     /// execution performs no per-instruction heap traffic.
     dep_pool: Vec<Vec<Dependent>>,
+    /// Recycled [`MemState`] boxes (both kernels): retire returns them,
+    /// dispatch reuses them, so memory instructions allocate only until
+    /// the pool warms up to the peak number in flight (≤ ROB size).
+    // The boxes themselves are the pooled resource — they move into
+    // `RobEntry::mem` unchanged, so `Vec<MemState>` would re-allocate
+    // on every dispatch.
+    #[allow(clippy::vec_box)]
+    mem_pool: Vec<Box<MemState>>,
     tracer: Option<Tracer>,
     /// The fault injector; `None` under [`crate::FaultPlan::none`], so the
     /// fault-free path costs one branch per hook.
@@ -291,13 +358,23 @@ impl<'c> Core<'c> {
             pending: None,
             dispatched: 0,
             issue_combine: None,
+            lvc_line_shift: cfg
+                .hierarchy
+                .lvc
+                .map(|c| c.line_bytes)
+                .unwrap_or(32)
+                .trailing_zeros(),
             lsq_seq: 0,
             lvaq_seq: 0,
-            ready: Vec::with_capacity(cfg.rob_size),
-            newly_ready: Vec::with_capacity(cfg.rob_size),
-            lsq_waiting: Vec::with_capacity(cfg.lsq_size),
-            lvaq_waiting: Vec::with_capacity(cfg.decoupling.lvaq_size),
+            ready: std::array::from_fn(|_| Vec::with_capacity(cfg.rob_size)),
+            newly_ready: std::array::from_fn(|_| Vec::with_capacity(cfg.rob_size)),
+            lsq_wake: Vec::with_capacity(cfg.lsq_size),
+            lvaq_wake: Vec::with_capacity(cfg.decoupling.lvaq_size),
+            lsq_wake_spare: Vec::with_capacity(cfg.lsq_size),
+            lvaq_wake_spare: Vec::with_capacity(cfg.decoupling.lvaq_size),
+            waiter_pool: Vec::new(),
             dep_pool: Vec::with_capacity(cfg.rob_size),
+            mem_pool: Vec::with_capacity(cfg.rob_size),
             tracer,
             faults: FaultState::from_plan(cfg.fault_plan),
             retired_pcs: RetiredPcRing::new(),
@@ -326,15 +403,6 @@ impl<'c> Core<'c> {
         }
     }
 
-    fn line_bytes(&self, in_lvaq: bool) -> u32 {
-        if in_lvaq {
-            self.cfg.hierarchy.lvc.map(|c| c.line_bytes).unwrap_or(32)
-        } else {
-            self.cfg.hierarchy.l1.line_bytes
-        }
-    }
-
-
     fn trace(&mut self, slot: usize, f: impl FnOnce(&mut InstrTrace)) {
         if let Some(tr) = &mut self.tracer {
             let uid = self.rob.get(slot).uid;
@@ -342,8 +410,12 @@ impl<'c> Core<'c> {
         }
     }
 
-    fn schedule(&mut self, cycle: u64, slot: usize, kind: EvKind) {
-        let uid = self.rob.get(slot).uid;
+    /// Enqueues an event. `uid` must be the current uid of `slot` —
+    /// every call site already holds the entry, so re-reading the ROB
+    /// here would be a wasted random access on the hot path.
+    #[inline]
+    fn schedule(&mut self, cycle: u64, uid: u64, slot: usize, kind: EvKind) {
+        debug_assert_eq!(uid, self.rob.get(slot).uid);
         if self.cfg.reference_kernel {
             self.events_heap.push(Reverse((cycle, uid, slot, kind)));
         } else {
@@ -509,6 +581,51 @@ impl<'c> Core<'c> {
                 ));
             }
         }
+        if !self.cfg.reference_kernel {
+            if let Some(what) = self.audit_wake_liveness() {
+                return Some(what);
+            }
+        }
+        None
+    }
+
+    /// Event-driven scheduler liveness (fast kernel): every primary load
+    /// whose address is effective but which has neither launched nor
+    /// completed must be reachable from a wake list or registered on a
+    /// resident store's waiter list — otherwise no future event would
+    /// ever examine it and the pipeline would wedge.
+    fn audit_wake_liveness(&self) -> Option<String> {
+        let mut reachable: std::collections::HashSet<(usize, u64)> =
+            std::collections::HashSet::new();
+        for &(_, slot, uid) in self.lsq_wake.iter().chain(self.lvaq_wake.iter()) {
+            reachable.insert((slot, uid));
+        }
+        for q in [&self.lsq, &self.lvaq] {
+            for i in 0..q.len() {
+                let e = self.rob.get(q.slot_at(i));
+                if let Some(m) = e.mem.as_ref() {
+                    for &w in &m.waiters {
+                        reachable.insert(w);
+                    }
+                }
+            }
+        }
+        for (name, q, here) in [("LSQ", &self.lsq, false), ("LVAQ", &self.lvaq, true)] {
+            for i in 0..q.len() {
+                let slot = q.slot_at(i);
+                let e = self.rob.get(slot);
+                let Some(m) = e.mem.as_ref() else { continue };
+                if m.in_lvaq != here || m.is_store || m.launched || e.completed {
+                    continue;
+                }
+                if m.addr_known(self.cycle) && !reachable.contains(&(slot, e.uid)) {
+                    return Some(format!(
+                        "{name} position {i} (slot {slot}): actionable load unreachable \
+                         from wake lists and waiter lists"
+                    ));
+                }
+            }
+        }
         None
     }
 
@@ -577,12 +694,13 @@ impl<'c> Core<'c> {
                     break;
                 }
                 let is_halt = matches!(e.d.instr, Instr::Halt);
-                let e = self.rob.pop_head();
-                self.retired_pcs.push(e.d.pc);
+                let (uid, pc, deps, _mem) = self.rob.pop_head_parts();
+                debug_assert!(_mem.is_none(), "non-memory entry with memory state");
+                self.retired_pcs.push(pc);
                 if let Some(tr) = &mut self.tracer {
-                    tr.commit(e.uid, self.cycle);
+                    tr.commit(uid, self.cycle);
                 }
-                self.recycle_deps(e.dependents);
+                self.recycle_deps(deps);
                 self.res.committed += 1;
                 self.last_commit_cycle = self.cycle;
                 if is_halt {
@@ -614,12 +732,25 @@ impl<'c> Core<'c> {
         let q = if in_lvaq { &mut self.lvaq } else { &mut self.lsq };
         let front = q.pop_front(is_store);
         debug_assert_eq!(front, Some(head), "memory queue out of sync with ROB");
-        let e = self.rob.pop_head();
-        self.retired_pcs.push(e.d.pc);
+        let (uid, pc, deps, mem) = self.rob.pop_head_parts();
+        self.retired_pcs.push(pc);
         if let Some(tr) = &mut self.tracer {
-            tr.commit(e.uid, self.cycle);
+            tr.commit(uid, self.cycle);
         }
-        self.recycle_deps(e.dependents);
+        self.recycle_deps(deps);
+        if let Some(mut m) = mem {
+            // The waiter vector's capacity recycles through `waiter_pool`
+            // (inside `drain_waiter_list`), the box through `mem_pool`.
+            let waiters = std::mem::take(&mut m.waiters);
+            self.mem_pool.push(m);
+            if !self.cfg.reference_kernel {
+                // A departing store unblocks the loads scanned up against
+                // it (commit runs before memory scheduling, so they
+                // re-examine this same cycle — just like the reference
+                // rescan would).
+                self.drain_waiter_list(waiters);
+            }
+        }
     }
 
     /// Fault hooks around one data-cache data access: first a parity
@@ -707,6 +838,16 @@ impl<'c> Core<'c> {
     /// Applies one due event: address availability or result completion
     /// (with dependent wakeup).
     fn writeback_event(&mut self, t: u64, uid: u64, slot: usize, kind: EvKind) {
+        if kind == EvKind::MemWake {
+            // A pure scheduling hint (fast kernel only): re-arm the entry
+            // if it is still alive. A penalty-delayed load can
+            // fast-forward and retire before its wake fires, so a dead
+            // target here is normal even without fault injection.
+            if self.rob.holds(slot, uid) {
+                self.mem_wake(slot);
+            }
+            return;
+        }
         if !self.rob.holds(slot, uid) {
             // Only a fault-delayed address-ready event can outlive its
             // entry: the load was fast-forwarded (§2.2.2 needs no AGU
@@ -716,6 +857,7 @@ impl<'c> Core<'c> {
         }
         {
             match kind {
+                EvKind::MemWake => unreachable!("handled above"),
                 EvKind::AddrReady => {
                     let penalty = self.rob.get(slot).mem().penalty;
                     let (replicated, in_lvaq, is_store, ghost_ord) = {
@@ -729,6 +871,26 @@ impl<'c> Core<'c> {
                         let other = if in_lvaq { &mut self.lsq } else { &mut self.lvaq };
                         other.remove_ghost(slot, is_store, ghost_ord);
                         self.rob.get_mut(slot).mem_mut().replicated = false;
+                    }
+                    if !self.cfg.reference_kernel {
+                        if penalty == 0 {
+                            // The address is effective this very cycle
+                            // (writeback precedes memory scheduling).
+                            if is_store {
+                                self.drain_waiters_of(slot);
+                            } else {
+                                self.wake_load(slot);
+                            }
+                        } else {
+                            if is_store && replicated {
+                                // The ghost's departure may unblock the
+                                // other queue now, even though this
+                                // store's own address is not yet
+                                // effective.
+                                self.drain_waiters_of(slot);
+                            }
+                            self.schedule(t + penalty, uid, slot, EvKind::MemWake);
+                        }
                     }
                     self.trace(slot, |tr| tr.addr_ready_at = Some(t + penalty));
                 }
@@ -753,12 +915,18 @@ impl<'c> Core<'c> {
                                 // re-enter.
                                 let woke = de.waiting == 0 && !de.issued;
                                 let duid = de.uid;
+                                let class = ready_class(de.mem.as_deref());
                                 if track_ready && woke {
-                                    self.newly_ready.push((duid, ds));
+                                    self.newly_ready[class].push((duid, ds));
                                 }
                             }
                             DepKind::StoreData => {
                                 de.mem_mut().data_ready_at = Some(t);
+                                if track_ready {
+                                    // Loads blocked on this store's value
+                                    // can now forward from it.
+                                    self.drain_waiters_of(ds);
+                                }
                             }
                         }
                     }
@@ -770,13 +938,212 @@ impl<'c> Core<'c> {
 
     // ----- memory scheduling ---------------------------------------------
 
-    fn memory_schedule(&mut self) {
-        if self.cfg.decoupling.fast_forwarding && self.hier.has_lvc() {
-            self.fast_forward_pass();
+    /// Re-arms an alive entry whose penalty-delayed address just became
+    /// effective (fast kernel, [`EvKind::MemWake`]).
+    fn mem_wake(&mut self, slot: usize) {
+        if self.rob.get(slot).mem().is_store {
+            self.drain_waiters_of(slot);
+        } else {
+            let e = self.rob.get(slot);
+            if !e.completed && !e.mem().launched {
+                self.wake_load(slot);
+            }
         }
-        self.launch_queue(false);
+    }
+
+    /// Queues a load for (re-)examination by the next `memory_schedule`
+    /// pass over its own queue.
+    fn wake_load(&mut self, slot: usize) {
+        let uid = self.rob.get(slot).uid;
+        let (in_lvaq, ord) = {
+            let m = self.rob.get(slot).mem();
+            (m.in_lvaq, m.ord)
+        };
+        let wl = if in_lvaq { &mut self.lvaq_wake } else { &mut self.lsq_wake };
+        wl.push((ord, slot, uid));
+    }
+
+    /// Registers a load on the waiter list of the store its scheduling
+    /// scan stopped at: the load re-enters its queue's wake list when
+    /// that store's address or data readiness changes or it leaves a
+    /// queue. Spurious wakeups are harmless — the load just re-examines
+    /// (in O(1) from its scan cursor) and re-registers.
+    fn register_waiter(&mut self, store_slot: usize, load_slot: usize) {
+        debug_assert!(self.rob.get(store_slot).is_store(), "waiter registered on a non-store");
+        let uid = self.rob.get(load_slot).uid;
+        if self.rob.get(store_slot).mem().waiters.capacity() == 0 {
+            if let Some(v) = self.waiter_pool.pop() {
+                self.rob.get_mut(store_slot).mem_mut().waiters = v;
+            }
+        }
+        let w = &mut self.rob.get_mut(store_slot).mem_mut().waiters;
+        // A load re-blocking on the same store is the common case; keep
+        // the list duplicate-free for it (full dedup happens in the wake
+        // lists anyway).
+        if w.last() != Some(&(load_slot, uid)) {
+            w.push((load_slot, uid));
+        }
+    }
+
+    /// Wakes every load registered on the store in `store_slot`.
+    fn drain_waiters_of(&mut self, store_slot: usize) {
+        let w = std::mem::take(&mut self.rob.get_mut(store_slot).mem_mut().waiters);
+        self.drain_waiter_list(w);
+    }
+
+    /// Wakes the still-alive, still-idle loads of a taken waiter list and
+    /// recycles its allocation.
+    fn drain_waiter_list(&mut self, mut w: Vec<(usize, u64)>) {
+        for (slot, uid) in w.drain(..) {
+            if !self.rob.holds(slot, uid) {
+                continue;
+            }
+            let e = self.rob.get(slot);
+            if e.completed || e.mem().launched {
+                continue;
+            }
+            self.wake_load(slot);
+        }
+        if w.capacity() > 0 {
+            self.waiter_pool.push(w);
+        }
+    }
+
+    fn memory_schedule(&mut self) {
+        if self.cfg.reference_kernel {
+            // Seed implementation: rescan every queue resident, every
+            // cycle.
+            if self.cfg.decoupling.fast_forwarding && self.hier.has_lvc() {
+                self.fast_forward_pass();
+            }
+            self.launch_queue(false);
+            if self.hier.has_lvc() {
+                self.launch_queue(true);
+            }
+            return;
+        }
+        // Event-driven fast kernel: only woken loads are examined. Every
+        // state change that can make a load actionable funnels into the
+        // wake lists (address-ready and penalty expiry in
+        // `writeback_event`, store data arrival via `drain_waiters_of`,
+        // store departure in `pop_mem_head` / ghost removal, MSHR-refusal
+        // retries below, initial fast-forward eligibility at dispatch),
+        // so an empty list cycle provably has no scheduling work.
+        if self.lsq_wake.is_empty() && self.lvaq_wake.is_empty() {
+            return;
+        }
+        let mut lv =
+            std::mem::replace(&mut self.lvaq_wake, std::mem::take(&mut self.lvaq_wake_spare));
+        let mut ls =
+            std::mem::replace(&mut self.lsq_wake, std::mem::take(&mut self.lsq_wake_spare));
+        // Sorting by queue ordinal restores the reference walk's age
+        // order; examination order decides fault-RNG draw order, so this
+        // is a bit-identity requirement, not a heuristic.
+        lv.sort_unstable();
+        lv.dedup();
+        ls.sort_unstable();
+        ls.dedup();
+        if self.cfg.decoupling.fast_forwarding && self.hier.has_lvc() {
+            for &(_, slot, uid) in &lv {
+                if self.rob.holds(slot, uid) {
+                    self.ff_exam(slot);
+                }
+            }
+        }
+        for &(_, slot, uid) in &ls {
+            if self.rob.holds(slot, uid) {
+                self.launch_exam(false, slot, uid);
+            }
+        }
         if self.hier.has_lvc() {
-            self.launch_queue(true);
+            for &(_, slot, uid) in &lv {
+                if self.rob.holds(slot, uid) {
+                    self.launch_exam(true, slot, uid);
+                }
+            }
+        }
+        lv.clear();
+        ls.clear();
+        self.lvaq_wake_spare = lv;
+        self.lsq_wake_spare = ls;
+    }
+
+    /// Examines one woken LVAQ load for fast forwarding (fast kernel):
+    /// resumes the CAM scan from its cursor, applies a ready match, and
+    /// otherwise registers the load on the store that stopped the scan.
+    fn ff_exam(&mut self, slot: usize) {
+        let Some((lver, loff, lbytes)) = self.ff_candidate(slot) else { return };
+        let (ord, ff_ord) = {
+            let m = self.rob.get(slot).mem();
+            (m.ord, m.ff_ord)
+        };
+        let (out, cursor) = ff_scan(&self.rob, &self.lvaq, ff_ord, lver, loff, lbytes);
+        debug_assert_eq!(
+            out,
+            ff_scan(&self.rob, &self.lvaq, ord, lver, loff, lbytes).0,
+            "incremental fast-forward scan diverged from the full rescan"
+        );
+        self.rob.get_mut(slot).mem_mut().ff_ord = cursor;
+        match out {
+            FfScan::Match(store_slot) => {
+                if self.rob.get(store_slot).mem().data_known(self.cycle) {
+                    self.apply_fast_forward(slot, out);
+                } else {
+                    // Re-examine when the matched store's data arrives.
+                    self.register_waiter(store_slot, slot);
+                }
+            }
+            FfScan::Blocked => {
+                // The cursor sits just above the youngest blocking store.
+                let Some(blocker) = self.lvaq.store_at(cursor - 1) else {
+                    debug_assert!(false, "blocked fast-forward scan without a blocking store");
+                    return;
+                };
+                self.register_waiter(blocker, slot);
+            }
+            FfScan::NoMatch => {}
+        }
+    }
+
+    /// Examines one woken load of a queue for launch (fast kernel):
+    /// resumes the disambiguation scan from its cursor, launches on
+    /// forward/cache outcomes (re-arming a refused cache access for the
+    /// next cycle), and registers blocked loads on their blocking store.
+    fn launch_exam(&mut self, in_lvaq: bool, slot: usize, uid: u64) {
+        let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) else { return };
+        let cycle = self.cycle;
+        let (ord, scan_ord) = {
+            let m = self.rob.get(slot).mem();
+            (m.ord, m.scan_ord)
+        };
+        // Conservative disambiguation against older stores in *this*
+        // queue only — the decoupling benefit.
+        let (outcome, cursor) = {
+            let q = if in_lvaq { &self.lvaq } else { &self.lsq };
+            let (out, cursor) = disamb_scan(&self.rob, q, scan_ord, cycle, addr, bytes);
+            debug_assert_eq!(
+                out,
+                disamb_scan(&self.rob, q, ord, cycle, addr, bytes).0,
+                "incremental disambiguation scan diverged from the full rescan"
+            );
+            (out, cursor)
+        };
+        self.rob.get_mut(slot).mem_mut().scan_ord = cursor;
+        if let DisambScan::Blocked = outcome {
+            let blocker = {
+                let q = if in_lvaq { &self.lvaq } else { &self.lsq };
+                q.store_at(cursor - 1)
+            };
+            let Some(blocker) = blocker else {
+                debug_assert!(false, "blocked disambiguation scan without a blocking store");
+                return;
+            };
+            self.register_waiter(blocker, slot);
+        } else if !self.apply_launch(in_lvaq, slot, addr, outcome) {
+            // Structural hazard (every MSHR busy): the reference kernel
+            // retries each cycle, so re-arm for the very next one.
+            let wl = if in_lvaq { &mut self.lvaq_wake } else { &mut self.lsq_wake };
+            wl.push((ord, slot, uid));
         }
     }
 
@@ -785,50 +1152,16 @@ impl<'c> Core<'c> {
     /// effective addresses are computed — and bypass the value in one
     /// cycle, using neither the AGU result nor an LVC port.
     fn fast_forward_pass(&mut self) {
-        if self.cfg.reference_kernel {
-            // The reference kernel replays the original implementation
-            // verbatim: snapshot the queue, then rescan every older entry
-            // for every candidate load, every cycle.
-            let snapshot: Vec<usize> =
-                (0..self.lvaq.len()).map(|j| self.lvaq.slot_at(j)).collect();
-            for (i, &slot) in snapshot.iter().enumerate() {
-                let Some((lver, loff, lbytes)) = self.ff_candidate(slot) else { continue };
-                let outcome = ff_scan_full(&self.rob, &snapshot[..i], lver, loff, lbytes);
-                self.apply_fast_forward(slot, outcome);
-            }
-            return;
+        // The reference kernel replays the original implementation
+        // verbatim: snapshot the queue, then rescan every older entry
+        // for every candidate load, every cycle. (The fast kernel's
+        // event-driven counterpart is `ff_exam`.)
+        let snapshot: Vec<usize> = (0..self.lvaq.len()).map(|j| self.lvaq.slot_at(j)).collect();
+        for (i, &slot) in snapshot.iter().enumerate() {
+            let Some((lver, loff, lbytes)) = self.ff_candidate(slot) else { continue };
+            let outcome = ff_scan_full(&self.rob, &snapshot[..i], lver, loff, lbytes);
+            self.apply_fast_forward(slot, outcome);
         }
-        // Fast kernel: only not-yet-launched LVAQ loads are candidates,
-        // so walk exactly those (compacting the list as entries leave).
-        let mut list = std::mem::take(&mut self.lvaq_waiting);
-        let mut w = 0;
-        for r in 0..list.len() {
-            let (slot, uid) = list[r];
-            if !self.rob.holds(slot, uid) {
-                continue; // committed: drop
-            }
-            if let Some((lver, loff, lbytes)) = self.ff_candidate(slot) {
-                let (ord, ff_ord) = {
-                    let m = self.rob.get(slot).mem();
-                    (m.ord, m.ff_ord)
-                };
-                let (out, cursor) = ff_scan(&self.rob, &self.lvaq, ff_ord, lver, loff, lbytes);
-                debug_assert_eq!(
-                    out,
-                    ff_scan(&self.rob, &self.lvaq, ord, lver, loff, lbytes).0,
-                    "incremental fast-forward scan diverged from the full rescan"
-                );
-                self.rob.get_mut(slot).mem_mut().ff_ord = cursor;
-                self.apply_fast_forward(slot, out);
-            }
-            let e = self.rob.get(slot);
-            if !e.mem().launched && !e.completed {
-                list[w] = (slot, uid);
-                w += 1;
-            }
-        }
-        list.truncate(w);
-        self.lvaq_waiting = list;
     }
 
     /// The per-load eligibility filter of the fast-forwarding pass;
@@ -851,6 +1184,7 @@ impl<'c> Core<'c> {
             let data_ready = self.rob.get(store_slot).mem().data_known(cycle);
             if data_ready {
                 let e = self.rob.get_mut(slot);
+                let uid = e.uid;
                 e.issued = true; // skip AGU if not yet issued
                 e.mem_mut().launched = true;
                 self.fault_corrupt_forward(slot);
@@ -858,7 +1192,7 @@ impl<'c> Core<'c> {
                 self.res.lvaq.fast_forwards += 1;
                 self.res.load_latency_sum += 1;
                 self.res.load_latency_count += 1;
-                self.schedule(cycle + 1, slot, EvKind::Complete);
+                self.schedule(cycle + 1, uid, slot, EvKind::Complete);
             }
             // If the data is not ready yet, retry next cycle.
         }
@@ -885,61 +1219,21 @@ impl<'c> Core<'c> {
     /// claimed at address-generation issue, so no arbitration happens
     /// here.
     fn launch_queue(&mut self, in_lvaq: bool) {
+        // Reference kernel: the original snapshot-and-rescan
+        // implementation. (The fast kernel's event-driven counterpart is
+        // `launch_exam`.)
         let cycle = self.cycle;
-        if self.cfg.reference_kernel {
-            // Reference kernel: the original snapshot-and-rescan
-            // implementation.
-            let qlen = if in_lvaq { self.lvaq.len() } else { self.lsq.len() };
-            let snapshot: Vec<usize> = (0..qlen)
-                .map(|j| if in_lvaq { self.lvaq.slot_at(j) } else { self.lsq.slot_at(j) })
-                .collect();
-            for (i, &slot) in snapshot.iter().enumerate() {
-                let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) else {
-                    continue;
-                };
-                let outcome = disamb_scan_full(&self.rob, &snapshot[..i], cycle, addr, bytes);
-                self.apply_launch(in_lvaq, slot, addr, outcome);
-            }
-            return;
+        let qlen = if in_lvaq { self.lvaq.len() } else { self.lsq.len() };
+        let snapshot: Vec<usize> = (0..qlen)
+            .map(|j| if in_lvaq { self.lvaq.slot_at(j) } else { self.lsq.slot_at(j) })
+            .collect();
+        for (i, &slot) in snapshot.iter().enumerate() {
+            let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) else {
+                continue;
+            };
+            let outcome = disamb_scan_full(&self.rob, &snapshot[..i], cycle, addr, bytes);
+            self.apply_launch(in_lvaq, slot, addr, outcome);
         }
-        // Fast kernel: walk only this queue's not-yet-launched primary
-        // loads, resuming each disambiguation scan from its cursor.
-        let mut list =
-            std::mem::take(if in_lvaq { &mut self.lvaq_waiting } else { &mut self.lsq_waiting });
-        let mut w = 0;
-        for r in 0..list.len() {
-            let (slot, uid) = list[r];
-            if !self.rob.holds(slot, uid) {
-                continue; // committed: drop
-            }
-            if let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) {
-                let (ord, scan_ord) = {
-                    let m = self.rob.get(slot).mem();
-                    (m.ord, m.scan_ord)
-                };
-                // Conservative disambiguation against older stores in
-                // *this* queue only — the decoupling benefit.
-                let (outcome, cursor) = {
-                    let q = if in_lvaq { &self.lvaq } else { &self.lsq };
-                    let (out, cursor) = disamb_scan(&self.rob, q, scan_ord, cycle, addr, bytes);
-                    debug_assert_eq!(
-                        out,
-                        disamb_scan(&self.rob, q, ord, cycle, addr, bytes).0,
-                        "incremental disambiguation scan diverged from the full rescan"
-                    );
-                    (out, cursor)
-                };
-                self.rob.get_mut(slot).mem_mut().scan_ord = cursor;
-                self.apply_launch(in_lvaq, slot, addr, outcome);
-            }
-            let e = self.rob.get(slot);
-            if !e.mem().launched && !e.completed {
-                list[w] = (slot, uid);
-                w += 1;
-            }
-        }
-        list.truncate(w);
-        *(if in_lvaq { &mut self.lvaq_waiting } else { &mut self.lsq_waiting }) = list;
     }
 
     /// The per-load eligibility filter of the launch pass: a primary
@@ -963,7 +1257,9 @@ impl<'c> Core<'c> {
     /// Applies a disambiguation outcome: forward from the covering store,
     /// or access the cache (which may refuse when every MSHR is busy — a
     /// structural hazard retried next cycle). `Blocked` loads just wait.
-    fn apply_launch(&mut self, in_lvaq: bool, slot: usize, addr: u32, outcome: DisambScan) {
+    /// Returns `false` exactly when a cache access was refused, so the
+    /// fast kernel knows to re-arm the load for the next cycle.
+    fn apply_launch(&mut self, in_lvaq: bool, slot: usize, addr: u32, outcome: DisambScan) -> bool {
         let cycle = self.cycle;
         match outcome {
             DisambScan::Blocked => {}
@@ -974,10 +1270,12 @@ impl<'c> Core<'c> {
                 qstats.forwards += 1;
                 self.res.load_latency_sum += 1;
                 self.res.load_latency_count += 1;
-                self.rob.get_mut(slot).mem_mut().launched = true;
+                let e = self.rob.get_mut(slot);
+                let uid = e.uid;
+                e.mem_mut().launched = true;
                 self.fault_corrupt_forward(slot);
                 self.trace(slot, |tr| tr.mem_path = MemPath::Forwarded);
-                self.schedule(cycle + 1, slot, EvKind::Complete);
+                self.schedule(cycle + 1, uid, slot, EvKind::Complete);
             }
             DisambScan::Cache => {
                 let completion = if in_lvaq {
@@ -988,17 +1286,20 @@ impl<'c> Core<'c> {
                 let Some(c) = completion else {
                     // Structural hazard: every MSHR busy — retry next
                     // cycle.
-                    return;
+                    return false;
                 };
                 self.fault_cache_access(in_lvaq, addr);
                 let complete_at = c.complete_at;
                 self.res.load_latency_sum += complete_at - cycle;
                 self.res.load_latency_count += 1;
-                self.rob.get_mut(slot).mem_mut().launched = true;
+                let e = self.rob.get_mut(slot);
+                let uid = e.uid;
+                e.mem_mut().launched = true;
                 self.trace(slot, |tr| tr.mem_path = MemPath::Cache);
-                self.schedule(complete_at, slot, EvKind::Complete);
+                self.schedule(complete_at, uid, slot, EvKind::Complete);
             }
         }
+        true
     }
 
     // ----- issue ----------------------------------------------------------
@@ -1013,63 +1314,151 @@ impl<'c> Core<'c> {
                 if budget == 0 {
                     break;
                 }
-                self.try_issue_slot(slot, &mut budget);
+                self.try_issue_slot(slot, &mut budget, None);
             }
             return;
         }
         // Fast kernel: walk only the ready entries (all operands
         // resolved, not yet issued). uid is monotone with dispatch
-        // order, so keeping the list uid-sorted and compacting stably
-        // preserves age order — selection is identical to the full ROB
+        // order, so keeping each class list uid-sorted and merge-walking
+        // the three lists oldest-first selects exactly like the full ROB
         // walk, since entries still waiting on operands cannot issue
         // (and charge nothing) there either.
-        if !self.newly_ready.is_empty() {
-            self.newly_ready.sort_unstable();
-            if self
-                .ready
+        for class in 0..3 {
+            if self.newly_ready[class].is_empty() {
+                continue;
+            }
+            self.newly_ready[class].sort_unstable();
+            if self.ready[class]
                 .last()
-                .is_none_or(|&(last, _)| last < self.newly_ready[0].0)
+                .is_none_or(|&(last, _)| last < self.newly_ready[class][0].0)
             {
                 // Common case: every newcomer is younger than the tail.
-                self.ready.append(&mut self.newly_ready);
+                let mut newly = std::mem::take(&mut self.newly_ready[class]);
+                self.ready[class].append(&mut newly);
+                self.newly_ready[class] = newly;
             } else {
-                let old = std::mem::take(&mut self.ready);
-                let new = std::mem::take(&mut self.newly_ready);
-                self.ready = merge_by_uid(old, new);
+                let old = std::mem::take(&mut self.ready[class]);
+                let new = std::mem::take(&mut self.newly_ready[class]);
+                self.ready[class] = merge_by_uid(old, new);
             }
         }
-        let mut list = std::mem::take(&mut self.ready);
-        let mut w = 0;
-        let mut r = 0;
-        while r < list.len() {
-            if budget == 0 {
-                // The reference walk breaks here; keep the unexamined
-                // tail untouched.
-                list.copy_within(r.., w);
-                w += list.len() - r;
+
+        // Three-way merge walk by uid (= age). The latches record a
+        // port meter or FU pool exhausted earlier this cycle: once the
+        // L1 (or LVC) meter has refused a claim, every later claim this
+        // cycle refuses too, so the rest of that class needs only its
+        // port-stall charge — no ROB access, no meter call — taken as
+        // one bulk run per consecutive stretch (a stalled run contains
+        // no issues, so the budget cannot change inside it and the
+        // reference walk charges the whole stretch too). That charge is
+        // exact only when every resident entry of the class must reach
+        // the port claim: LSQ ops always do (AGU issue comes first; a
+        // resident LSQ entry is live and unissued), but an LVAQ entry
+        // can be rescued portlessly by access combining or completed in
+        // place by fast forwarding (`apply_fast_forward` marks it
+        // issued without an `issue()` exam), so LVAQ bulk charging is
+        // off under either optimization.
+        let mut lists = std::mem::take(&mut self.ready);
+        let [fu_l, lsq_l, lvaq_l] = &mut lists;
+        let mut latches = IssueLatches::default();
+        let lvaq_bulk = self.cfg.decoupling.combining_degree <= 1
+            && !(self.cfg.decoupling.fast_forwarding && self.hier.has_lvc());
+        let (mut fr, mut fw) = (0usize, 0usize);
+        let (mut lr, mut lw) = (0usize, 0usize);
+        let (mut vr, mut vw) = (0usize, 0usize);
+        // Cached head uids: only the cursor that advanced refreshes its
+        // head, so steady-state iterations touch one list, not three.
+        let head = |l: &Vec<(u64, usize)>, r: usize| l.get(r).map(|e| e.0).unwrap_or(u64::MAX);
+        let mut fuid = head(fu_l, fr);
+        let mut luid = head(lsq_l, lr);
+        let mut vuid = head(lvaq_l, vr);
+        while budget > 0 {
+            let next = fuid.min(luid).min(vuid);
+            if next == u64::MAX {
                 break;
             }
-            let (uid, slot) = list[r];
-            r += 1;
+            if next == luid && latches.port[0] {
+                // Bulk-charge the stalled run up to the next candidate
+                // from another list.
+                let other = fuid.min(vuid);
+                let start = lr;
+                while lr < lsq_l.len() && lsq_l[lr].0 < other {
+                    debug_assert!(self.rob.holds(lsq_l[lr].1, lsq_l[lr].0));
+                    lr += 1;
+                }
+                self.res.lsq.port_stall_cycles += (lr - start) as u64;
+                lsq_l.copy_within(start..lr, lw);
+                lw += lr - start;
+                luid = head(lsq_l, lr);
+                continue;
+            }
+            if next == vuid && latches.port[1] && lvaq_bulk {
+                let other = fuid.min(luid);
+                let start = vr;
+                while vr < lvaq_l.len() && lvaq_l[vr].0 < other {
+                    debug_assert!(self.rob.holds(lvaq_l[vr].1, lvaq_l[vr].0));
+                    vr += 1;
+                }
+                self.res.lvaq.port_stall_cycles += (vr - start) as u64;
+                lvaq_l.copy_within(start..vr, vw);
+                vw += vr - start;
+                vuid = head(lvaq_l, vr);
+                continue;
+            }
+            let (list, r, w, h) = if next == fuid {
+                (&mut *fu_l, &mut fr, &mut fw, &mut fuid)
+            } else if next == luid {
+                (&mut *lsq_l, &mut lr, &mut lw, &mut luid)
+            } else {
+                (&mut *lvaq_l, &mut vr, &mut vw, &mut vuid)
+            };
+            let (uid, slot) = list[*r];
+            *r += 1;
+            *h = head(list, *r);
             if !self.rob.holds(slot, uid) {
                 continue; // committed: drop
             }
-            self.try_issue_slot(slot, &mut budget);
+            self.try_issue_slot(slot, &mut budget, Some(&mut latches));
             let e = self.rob.get(slot);
             if !e.issued && !e.completed {
-                list[w] = (uid, slot);
-                w += 1;
+                list[*w] = (uid, slot);
+                *w += 1;
             }
         }
-        list.truncate(w);
-        self.ready = list;
+        // Keep the unexamined tails untouched (the reference walk breaks
+        // on budget exhaustion without charging them either).
+        fu_l.copy_within(fr.., fw);
+        let flen = fw + fu_l.len() - fr;
+        fu_l.truncate(flen);
+        lsq_l.copy_within(lr.., lw);
+        let llen = lw + lsq_l.len() - lr;
+        lsq_l.truncate(llen);
+        lvaq_l.copy_within(vr.., vw);
+        let vlen = vw + lvaq_l.len() - vr;
+        lvaq_l.truncate(vlen);
+        self.ready = lists;
     }
 
     /// Tries to issue the entry in `slot` onto a functional unit (memory
     /// instructions: the AGU plus their cache-port slot), decrementing
     /// `budget` on success. Not-ready entries return without charge.
-    fn try_issue_slot(&mut self, slot: usize, budget: &mut u32) {
-        let (mem, fu) = {
+    ///
+    /// `latches` (fast kernel only) records per-cycle port-meter and
+    /// FU-pool exhaustion: when this entry's meter is already
+    /// known-exhausted and combining cannot rescue it, the stall is
+    /// charged without touching the meter, and a known-exhausted FU
+    /// pool skips its scan without any charge; a refusal sets the
+    /// corresponding latch. The reference kernel passes `None` and
+    /// re-asks every resource every time, as the seed implementation
+    /// did.
+    fn try_issue_slot(
+        &mut self,
+        slot: usize,
+        budget: &mut u32,
+        mut latches: Option<&mut IssueLatches>,
+    ) {
+        let (mem, fu, uid) = {
             let e = self.rob.get(slot);
             if e.issued || e.completed || e.waiting > 0 {
                 return;
@@ -1077,6 +1466,7 @@ impl<'c> Core<'c> {
             (
                 e.mem.as_ref().map(|m| (m.in_lvaq, m.is_store, m.stack_slot, m.q_seq)),
                 e.fu,
+                e.uid,
             )
         };
         if let Some((in_lvaq, is_store, stack_slot, q_seq)) = mem {
@@ -1089,8 +1479,14 @@ impl<'c> Core<'c> {
             // addresses exist via the ($sp version, offset) pair, the
             // same CAM the fast-forwarding hardware uses.
             let degree = if in_lvaq { self.cfg.decoupling.combining_degree } else { 1 };
-            let line_key =
-                stack_slot.map(|(v, off)| (v, off.div_euclid(self.line_bytes(in_lvaq) as i32)));
+            // The line key only matters to combining (`degree > 1`, LVAQ
+            // side); the shift is exact because line sizes are powers of
+            // two and `>> k` floors like `div_euclid(2^k)`.
+            let line_key = if degree > 1 {
+                stack_slot.map(|(v, off)| (v, off >> self.lvc_line_shift))
+            } else {
+                None
+            };
             let combinable = degree > 1
                 && line_key.is_some()
                 && matches!(self.issue_combine,
@@ -1100,6 +1496,14 @@ impl<'c> Core<'c> {
                         && Some(lk) == line_key
                         && q_seq.saturating_sub(sq) < degree as u64);
             if !combinable {
+                if let Some(l) = latches.as_deref_mut() {
+                    if l.port[in_lvaq as usize] {
+                        let qstats =
+                            if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                        qstats.port_stall_cycles += 1;
+                        return;
+                    }
+                }
                 let meter = if in_lvaq {
                     match self.lvc_ports.as_mut() {
                         Some(m) => m,
@@ -1109,6 +1513,9 @@ impl<'c> Core<'c> {
                     &mut self.l1_ports
                 };
                 if !meter.try_claim(self.cycle) {
+                    if let Some(l) = latches {
+                        l.port[in_lvaq as usize] = true;
+                    }
                     let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
                     qstats.port_stall_cycles += 1;
                     return;
@@ -1129,6 +1536,15 @@ impl<'c> Core<'c> {
                     return;
                 }
             }
+            if let Some(l) = latches.as_deref_mut() {
+                if l.pool[FuCounts::pool_of(FuClass::IntAlu)] {
+                    // AGU pool known-exhausted, but only discovered
+                    // after the port claim above — the port cycle is
+                    // consumed and the entry retries, exactly as the
+                    // reference's failed pool scan leaves it.
+                    return;
+                }
+            }
             if self.fus.try_issue(FuClass::IntAlu, self.cycle).is_some() {
                 self.rob.get_mut(slot).issued = true;
                 let now = self.cycle;
@@ -1142,7 +1558,7 @@ impl<'c> Core<'c> {
                         extra = f.plan.delay_cycles as u64;
                     }
                 }
-                self.schedule(self.cycle + 1 + extra, slot, EvKind::AddrReady);
+                self.schedule(self.cycle + 1 + extra, uid, slot, EvKind::AddrReady);
                 *budget -= 1;
                 if combinable {
                     self.res.lvaq.combined += 1;
@@ -1153,13 +1569,30 @@ impl<'c> Core<'c> {
                         self.issue_combine = None;
                     }
                 }
+            } else if let Some(l) = latches {
+                l.pool[FuCounts::pool_of(FuClass::IntAlu)] = true;
             }
-        } else if let Some(done) = self.fus.try_issue(fu, self.cycle) {
-            self.rob.get_mut(slot).issued = true;
-            let now = self.cycle;
-            self.trace(slot, |tr| tr.issued_at = Some(now));
-            self.schedule(done, slot, EvKind::Complete);
-            *budget -= 1;
+        } else {
+            let pool = FuCounts::pool_of(fu);
+            if let Some(l) = latches.as_deref_mut() {
+                if l.pool[pool] {
+                    return;
+                }
+            }
+            match self.fus.try_issue(fu, self.cycle) {
+                Some(done) => {
+                    self.rob.get_mut(slot).issued = true;
+                    let now = self.cycle;
+                    self.trace(slot, |tr| tr.issued_at = Some(now));
+                    self.schedule(done, uid, slot, EvKind::Complete);
+                    *budget -= 1;
+                }
+                None => {
+                    if let Some(l) = latches {
+                        l.pool[pool] = true;
+                    }
+                }
+            }
         }
     }
 
@@ -1224,29 +1657,34 @@ impl<'c> Core<'c> {
                 },
                 issued: false,
                 completed: false,
-                mem: d.mem.map(|m| MemState {
-                    in_lvaq,
-                    q_seq: if in_lvaq { self.lvaq_seq } else { self.lsq_seq },
-                    is_store: m.is_store,
-                    addr: m.addr,
-                    bytes: m.bytes,
-                    stack_slot: m.stack_slot,
-                    addr_ready_at: None,
-                    data_ready_at: None,
-                    launched: false,
-                    penalty: if mispredicted {
-                        self.cfg.decoupling.misclass_penalty as u64
-                    } else {
-                        0
-                    },
-                    replicated,
-                    // Queue ordinals and scan cursors are assigned at the
-                    // queue push below.
-                    ord: 0,
-                    ghost_ord: 0,
-                    scan_ord: 0,
-                    ff_ord: 0,
-                    poisoned: false,
+                mem: d.mem.map(|m| {
+                    let mut st = self.mem_pool.pop().unwrap_or_default();
+                    *st = MemState {
+                        in_lvaq,
+                        q_seq: if in_lvaq { self.lvaq_seq } else { self.lsq_seq },
+                        is_store: m.is_store,
+                        addr: m.addr,
+                        bytes: m.bytes,
+                        stack_slot: m.stack_slot,
+                        addr_ready_at: None,
+                        data_ready_at: None,
+                        launched: false,
+                        penalty: if mispredicted {
+                            self.cfg.decoupling.misclass_penalty as u64
+                        } else {
+                            0
+                        },
+                        replicated,
+                        // Queue ordinals and scan cursors are assigned at the
+                        // queue push below.
+                        ord: 0,
+                        ghost_ord: 0,
+                        scan_ord: 0,
+                        ff_ord: 0,
+                        poisoned: false,
+                        waiters: Vec::new(),
+                    };
+                    st
                 }),
                 d,
             };
@@ -1292,9 +1730,13 @@ impl<'c> Core<'c> {
             if let Some(dst) = def {
                 self.rename[dst.unified_index()] = Some((slot, uid));
             }
-            if !self.cfg.reference_kernel && self.rob.get(slot).waiting == 0 {
-                // No pending producers: an issue candidate immediately.
-                self.newly_ready.push((uid, slot));
+            if !self.cfg.reference_kernel {
+                let e = self.rob.get(slot);
+                if e.waiting == 0 {
+                    // No pending producers: an issue candidate immediately.
+                    let class = ready_class(e.mem.as_deref());
+                    self.newly_ready[class].push((uid, slot));
+                }
             }
 
             // Enqueue in the memory queue and count stream statistics.
@@ -1343,9 +1785,18 @@ impl<'c> Core<'c> {
                 // Empty cleared segment: the scans start just below `ord`.
                 m.scan_ord = ord;
                 m.ff_ord = ord;
-                if !is_store && !self.cfg.reference_kernel {
-                    let wl = if in_lvaq { &mut self.lvaq_waiting } else { &mut self.lsq_waiting };
-                    wl.push((slot, uid));
+                if !is_store
+                    && !self.cfg.reference_kernel
+                    && in_lvaq
+                    && self.cfg.decoupling.fast_forwarding
+                    && self.rob.get(slot).mem().stack_slot.is_some()
+                {
+                    // Fast forwarding needs no address (§2.2.2): this
+                    // load is examinable from the cycle after dispatch,
+                    // before any event fires for it. Loads on the
+                    // address path instead get their first wake from
+                    // their own AddrReady event.
+                    self.lvaq_wake.push((ord, slot, uid));
                 }
                 let qs = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
                 if is_store {

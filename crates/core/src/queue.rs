@@ -90,6 +90,14 @@ impl MemQueue {
         let end = self.stores.partition_point(|&(o, _)| o < ord);
         self.stores.range(..end).rev().copied()
     }
+
+    /// The ROB slot of the resident store with exactly ordinal `ord`, if
+    /// one exists — how a blocked scan resolves its cursor back to the
+    /// blocking store for waiter registration.
+    pub fn store_at(&self, ord: u64) -> Option<usize> {
+        let i = self.stores.partition_point(|&(o, _)| o < ord);
+        self.stores.get(i).filter(|&&(o, _)| o == ord).map(|&(_, s)| s)
+    }
 }
 
 #[cfg(test)]

@@ -1,13 +1,14 @@
 //! Sparse, page-granular data memory.
 
-use dda_stats::FastMap;
-
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const N_PAGES: usize = 1 << (32 - PAGE_SHIFT);
 
 // Page-table lookups sit on the hot path of every simulated memory
-// access, so the map avoids SipHash.
-type PageMap = FastMap<u32, Box<[u8; PAGE_SIZE]>>;
+// access, so the table is a flat one-level array indexed by page number
+// (2²⁰ slots × 8 bytes = 8 MB of pointers per VM) — no hashing, no
+// probing, one predictable load per access.
+type PageMap = Vec<Option<Box<[u8; PAGE_SIZE]>>>;
 
 /// A sparse 32-bit byte-addressable memory.
 ///
@@ -16,9 +17,16 @@ type PageMap = FastMap<u32, Box<[u8; PAGE_SIZE]>>;
 /// synthetic workloads rely on. All multi-byte accesses are little-endian.
 /// Alignment is *not* checked here — the [`crate::Vm`] enforces it so that
 /// misalignment errors carry the faulting pc.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SparseMemory {
     pages: PageMap,
+    resident: usize,
+}
+
+impl Default for SparseMemory {
+    fn default() -> SparseMemory {
+        SparseMemory { pages: vec![None; N_PAGES], resident: 0 }
+    }
 }
 
 impl SparseMemory {
@@ -29,17 +37,25 @@ impl SparseMemory {
 
     /// Number of 4 KB pages currently materialised.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 
     #[inline]
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+        self.pages[(addr >> PAGE_SHIFT) as usize].as_deref()
     }
 
     #[inline]
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        let slot = &mut self.pages[(addr >> PAGE_SHIFT) as usize];
+        if slot.is_none() {
+            *slot = Some(Box::new([0; PAGE_SIZE]));
+            self.resident += 1;
+        }
+        match slot {
+            Some(p) => p,
+            None => unreachable!("slot filled above"),
+        }
     }
 
     /// Reads one byte.

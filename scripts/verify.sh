@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Standard pre-PR check: tier-1 verification plus smoke runs.
 #
-#   scripts/verify.sh
+#   scripts/verify.sh [--quick]
 #
 # Tier-1 (from ROADMAP.md) is `cargo build --release && cargo test -q`.
 # The throughput smoke run exercises the benchmark binary in `--quick`
@@ -12,12 +12,26 @@
 # outcome. Both write their reports to throwaway paths so the committed
 # BENCH_*.json files (full budgets) are not clobbered by smoke numbers.
 #
+# `--quick` replaces the three-workload throughput smoke with a
+# two-workload perf smoke (compress + li) and skips the fault-campaign
+# smoke — the fastest loop that still fails the build if the fast kernel
+# ever loses bit-identity with the reference kernel (the binary asserts
+# identity internally; speedup numbers are reported, not gated).
+#
 # The clippy gate bans `.unwrap()`/`.expect()` from the hot simulation
 # crates' library code (tests and benches are exempt via cfg(test)):
 # every runtime failure there must surface as a typed error value.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "usage: scripts/verify.sh [--quick]" >&2; exit 2 ;;
+    esac
+done
 
 echo "== tier-1: cargo build --release"
 cargo build --release
@@ -29,12 +43,23 @@ echo "== clippy: no unwrap/expect in simulation crates"
 cargo clippy -q -p dda-core -p dda-vm -p dda-mem -p dda-program -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-echo "== throughput smoke (--quick)"
-cargo run --release -q -p dda-bench --bin throughput -- \
-    --quick --out target/BENCH_throughput_smoke.json
+if [ "$QUICK" = 1 ]; then
+    # Perf smoke: two workloads, one rep. The binary itself asserts the
+    # fast kernel is bit-identical to the reference kernel (serially and
+    # through the sweep pool) and exits nonzero on any divergence;
+    # speedups are reported in the log, not gated here.
+    echo "== perf smoke (--quick: compress + li)"
+    cargo run --release -q -p dda-bench --bin throughput -- \
+        --quick --workloads compress,li --reps 1 \
+        --out target/BENCH_throughput_smoke.json
+else
+    echo "== throughput smoke (--quick)"
+    cargo run --release -q -p dda-bench --bin throughput -- \
+        --quick --out target/BENCH_throughput_smoke.json
 
-echo "== fault-campaign smoke (--quick)"
-cargo run --release -q -p dda-bench --bin faults -- \
-    --quick --out target/BENCH_faults_smoke.json
+    echo "== fault-campaign smoke (--quick)"
+    cargo run --release -q -p dda-bench --bin faults -- \
+        --quick --out target/BENCH_faults_smoke.json
+fi
 
 echo "== verify OK"

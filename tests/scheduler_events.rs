@@ -1,0 +1,157 @@
+//! Randomized cross-checks for the event-driven memory scheduler.
+//!
+//! The fast kernel replaces the reference kernel's per-cycle queue
+//! rescans with wake lists driven by address-ready / disambiguation /
+//! port events. These tests hammer that equivalence with randomized
+//! machine shapes, budgets and fault plans (seeded xoshiro, so failures
+//! reproduce), and pin the one counter the event-driven rewrite is most
+//! likely to silently break: `port_stall_cycles` over a long stretch
+//! where every port grant is being dropped or delayed.
+
+use dda::core::{FaultPlan, MachineConfig, SimError, SimResult, Simulator};
+use dda::stats::Rng;
+use dda::workloads::Benchmark;
+
+/// Runs `bench` under both kernels and asserts bit-identical outcomes.
+///
+/// Successful runs must agree on the full [`SimResult`]; failing runs
+/// must at least fail the same way (the deadlock diagnostic dump may
+/// legally differ between kernels — pending wake events are a fast-kernel
+/// implementation detail — so only the error variant is compared).
+fn cross_check(label: &str, bench: Benchmark, cfg: &MachineConfig, budget: u64) {
+    let program = bench.program(u32::MAX / 2);
+    let mut fast_cfg = cfg.clone();
+    fast_cfg.reference_kernel = false;
+    let mut ref_cfg = cfg.clone();
+    ref_cfg.reference_kernel = true;
+    let fast = Simulator::new(fast_cfg).unwrap().run(&program, budget);
+    let reference = Simulator::new(ref_cfg).unwrap().run(&program, budget);
+    match (fast, reference) {
+        (Ok(f), Ok(r)) => {
+            assert_eq!(f, r, "{label}: kernels diverged on {bench}");
+        }
+        (Err(f), Err(r)) => {
+            assert_eq!(
+                std::mem::discriminant(&f),
+                std::mem::discriminant(&r),
+                "{label}: kernels failed differently on {bench}: {f:?} vs {r:?}"
+            );
+        }
+        (f, r) => panic!("{label}: one kernel failed on {bench}: {f:?} vs {r:?}"),
+    }
+}
+
+/// A random but always-valid (N+M) machine drawn from `rng`.
+fn random_config(rng: &mut Rng) -> MachineConfig {
+    let n = rng.gen_range(1..=4u32);
+    let m = rng.gen_range(0..=2u32);
+    let mut cfg = MachineConfig::n_plus_m(n, m);
+    if m > 0 {
+        cfg = cfg.with_fast_forwarding(rng.gen_bool(0.5));
+        if rng.gen_bool(0.5) {
+            cfg = cfg.with_combining(rng.gen_range(2..=4u32));
+        }
+    }
+    if rng.gen_bool(0.3) {
+        cfg = cfg.with_l1_hit_latency(rng.gen_range(1..=3u32));
+    }
+    cfg.audit = rng.gen_bool(0.25);
+    cfg
+}
+
+/// A tame random fault plan: every class may fire, but at rates low
+/// enough that the machine keeps retiring instructions (a wedge would
+/// turn the comparison into one of diagnostic dumps, which the fast
+/// kernel is allowed to render differently).
+fn random_fault_plan(rng: &mut Rng) -> FaultPlan {
+    FaultPlan {
+        seed: rng.next_u64(),
+        flip_lvc_line: if rng.gen_bool(0.5) { 0.02 } else { 0.0 },
+        flip_l1_line: if rng.gen_bool(0.5) { 0.02 } else { 0.0 },
+        drop_port_grant: if rng.gen_bool(0.5) { 0.02 } else { 0.0 },
+        delay_port_grant: if rng.gen_bool(0.5) { 0.05 } else { 0.0 },
+        delay_cycles: rng.gen_range(1..=8u32),
+        corrupt_forward: if rng.gen_bool(0.3) { 0.05 } else { 0.0 },
+    }
+}
+
+fn random_bench(rng: &mut Rng) -> Benchmark {
+    let i: usize = rng.gen_range(0..Benchmark::ALL.len());
+    Benchmark::ALL[i]
+}
+
+#[test]
+fn random_configs_are_bit_identical_across_kernels() {
+    let mut rng = Rng::seed_from_u64(0xDDA0_0003);
+    for trial in 0..12 {
+        let cfg = random_config(&mut rng);
+        let budget: u64 = rng.gen_range(5_000..=30_000u64);
+        let bench = random_bench(&mut rng);
+        cross_check(&format!("clean trial {trial}"), bench, &cfg, budget);
+    }
+}
+
+#[test]
+fn random_fault_plans_are_bit_identical_across_kernels() {
+    // Fault injection draws from a per-run RNG whose consumption order
+    // depends on the order memory operations are examined — exactly what
+    // the event-driven scheduler reorders internally. Bit-identity here
+    // means the wake lists replay the reference examination order.
+    let mut rng = Rng::seed_from_u64(0xDDA0_FA17);
+    for trial in 0..10 {
+        let cfg = random_config(&mut rng).with_fault_plan(random_fault_plan(&mut rng));
+        let budget: u64 = rng.gen_range(5_000..=20_000u64);
+        let bench = random_bench(&mut rng);
+        cross_check(&format!("fault trial {trial}"), bench, &cfg, budget);
+    }
+}
+
+#[test]
+fn audited_random_runs_stay_clean() {
+    // The fast kernel's liveness auditor (every schedulable load must be
+    // reachable from a wake list or a store's waiter list) runs on every
+    // cycle here; an invariant break surfaces as SimError::Invariant.
+    let mut rng = Rng::seed_from_u64(0xA0D1_7000);
+    for trial in 0..6 {
+        let mut cfg = random_config(&mut rng).with_audit(true);
+        cfg.reference_kernel = false;
+        let budget: u64 = rng.gen_range(5_000..=20_000u64);
+        let bench = random_bench(&mut rng);
+        let program = bench.program(u32::MAX / 2);
+        let res: Result<SimResult, SimError> =
+            Simulator::new(cfg).unwrap().run(&program, budget);
+        assert!(res.is_ok(), "audit trial {trial} on {bench}: {res:?}");
+    }
+}
+
+#[test]
+fn port_stall_cycles_count_exactly_through_a_stalled_stretch() {
+    // A single-L1-port machine where most port grants are revoked after
+    // arbitration: loads sit launchable-but-refused for long stretches,
+    // and the event-driven kernel must re-arm them every cycle so
+    // `port_stall_cycles` counts each stalled cycle exactly as the
+    // rescanning reference does.
+    let budget = 15_000;
+    let plan = FaultPlan { seed: 21, drop_port_grant: 0.8, ..FaultPlan::none() };
+    for bench in [Benchmark::Compress, Benchmark::Vortex] {
+        let program = bench.program(u32::MAX / 2);
+        let cfg = MachineConfig::n_plus_m(1, 0).with_fault_plan(plan);
+        let run = |reference: bool| {
+            let mut c = cfg.clone();
+            c.reference_kernel = reference;
+            Simulator::new(c).unwrap().run(&program, budget).expect("stalled machine still retires")
+        };
+        let fast = run(false);
+        let reference = run(true);
+        assert_eq!(fast, reference, "{bench}: kernels diverged under port starvation");
+        assert!(
+            fast.lsq.port_stall_cycles > budget / 10,
+            "{bench}: the stretch must actually stall (got {} stall cycles)",
+            fast.lsq.port_stall_cycles
+        );
+        assert_eq!(
+            fast.lsq.port_stall_cycles, reference.lsq.port_stall_cycles,
+            "{bench}: port_stall_cycles accounting diverged"
+        );
+    }
+}
