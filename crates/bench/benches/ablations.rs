@@ -4,7 +4,7 @@
 
 mod common;
 
-use dda_bench::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use dda_core::{MachineConfig, SteerPolicy};
 use dda_vm::Vm;
 use dda_workloads::Benchmark;
@@ -33,7 +33,7 @@ fn vm_speed(c: &mut Criterion) {
     let program = Benchmark::Compress.program(u32::MAX / 2);
     let mut g = c.benchmark_group("component_vm_speed");
     g.sample_size(10);
-    g.throughput(criterion::Throughput::Elements(100_000));
+    g.throughput(Throughput::Elements(100_000));
     g.bench_function("functional-100k", |b| {
         b.iter(|| {
             let mut vm = Vm::new(program.clone());

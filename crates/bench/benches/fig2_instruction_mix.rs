@@ -2,7 +2,7 @@
 //! functional-profiling path (VM + StreamProfiler) that produces the
 //! figure.
 
-use dda_bench::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, drain_stream, Criterion};
 use dda_vm::{StreamProfiler, Vm};
 use dda_workloads::Benchmark;
 
@@ -15,12 +15,7 @@ fn bench(c: &mut Criterion) {
             bencher.iter(|| {
                 let mut vm = Vm::new(program.clone());
                 let mut prof = StreamProfiler::new(&program);
-                for _ in 0..50_000 {
-                    match vm.step().unwrap() {
-                        Some(d) => prof.observe(&d),
-                        None => break,
-                    }
-                }
+                drain_stream(&mut vm, 50_000, |d| prof.observe(d)).unwrap();
                 prof.into_stats().local_mem_fraction()
             })
         });

@@ -1,7 +1,7 @@
 //! Figure 3 — dynamic frame-size distribution: benchmarks the per-call
 //! frame histogram collection.
 
-use dda_bench::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, drain_stream, Criterion};
 use dda_vm::{StreamProfiler, Vm};
 use dda_workloads::Benchmark;
 
@@ -14,12 +14,7 @@ fn bench(c: &mut Criterion) {
             bencher.iter(|| {
                 let mut vm = Vm::new(program.clone());
                 let mut prof = StreamProfiler::new(&program);
-                for _ in 0..50_000 {
-                    match vm.step().unwrap() {
-                        Some(d) => prof.observe(&d),
-                        None => break,
-                    }
-                }
+                drain_stream(&mut vm, 50_000, |d| prof.observe(d)).unwrap();
                 prof.into_stats().frame_words.mean()
             })
         });

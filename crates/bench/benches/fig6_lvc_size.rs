@@ -1,7 +1,7 @@
 //! Figure 6 — LVC miss rate vs capacity: benchmarks the content-model
 //! replay that produces the figure.
 
-use dda_bench::{criterion_group, criterion_main, Criterion};
+use dda_bench::{criterion_group, criterion_main, drain_stream, Criterion};
 use dda_mem::{CacheConfig, CacheCore};
 use dda_vm::Vm;
 use dda_workloads::Benchmark;
@@ -15,18 +15,14 @@ fn bench(c: &mut Criterion) {
             bencher.iter(|| {
                 let mut vm = Vm::new(program.clone());
                 let mut cache = CacheCore::new(&CacheConfig::lvc_2k().with_size(size));
-                for _ in 0..50_000 {
-                    match vm.step().unwrap() {
-                        Some(d) => {
-                            if let Some(m) = d.mem {
-                                if m.is_local() && !cache.access(m.addr, m.is_store) {
-                                    cache.fill(m.addr, m.is_store);
-                                }
-                            }
+                drain_stream(&mut vm, 50_000, |d| {
+                    if let Some(m) = d.mem {
+                        if m.is_local() && !cache.access(m.addr, m.is_store) {
+                            cache.fill(m.addr, m.is_store);
                         }
-                        None => break,
                     }
-                }
+                })
+                .unwrap();
                 cache.stats().miss_rate()
             })
         });

@@ -34,11 +34,15 @@ use std::time::Instant;
 
 use dda_bench::{pipeline_budget, run_matrix_checked};
 use dda_core::{MachineConfig, SimResult, Simulator};
+use dda_vm::TCacheStats;
 use dda_workloads::Benchmark;
 
 /// One timed simulation.
 struct Timed {
     res: SimResult,
+    /// Translation-cache counters of the run's front-end (all zero for
+    /// reference-kernel runs, which interpret one instruction at a time).
+    tcache: TCacheStats,
     secs: f64,
 }
 
@@ -62,12 +66,15 @@ fn run_timed(
     for _ in 0..reps.max(1) {
         let sim = Simulator::new(cfg.clone()).expect("valid machine configuration");
         let start = Instant::now();
-        let res = sim.run_shared(Arc::clone(program), budget).expect("workload executes cleanly");
+        let (res, tcache) = sim
+            .run_shared_detailed(Arc::clone(program), budget)
+            .expect("workload executes cleanly");
         let secs = start.elapsed().as_secs_f64().max(1e-9);
         match &mut best {
-            None => best = Some(Timed { res, secs }),
+            None => best = Some(Timed { res, tcache, secs }),
             Some(b) => {
                 assert_eq!(b.res, res, "nondeterministic result across repetitions");
+                assert_eq!(b.tcache, tcache, "nondeterministic front-end across repetitions");
                 b.secs = b.secs.min(secs);
             }
         }
@@ -188,6 +195,7 @@ fn main() {
     let mut speedups: Vec<f64> = Vec::new();
     let mut serial_fast: Vec<SimResult> = Vec::new();
     let mut serial_fast_secs = 0.0f64;
+    let mut tc_total = TCacheStats::default();
     for (wi, &bench) in workloads.iter().enumerate() {
         let program = Arc::new(bench.program(u32::MAX / 2));
         eprintln!("[throughput] {} (budget {budget})", bench.name());
@@ -216,6 +224,7 @@ fn main() {
             json_pair(&mut row, "reference", &refr);
             let _ = write!(row, ", \"kernel_speedup\": {speedup:.3}}}, ");
             serial_fast_secs += fast.secs;
+            tc_total.merge(&fast.tcache);
             serial_fast.push(fast.res);
         }
         row.truncate(row.len() - 2);
@@ -263,6 +272,31 @@ fn main() {
          \"host_secs\": {sweep_secs:.4}, \"configs_per_sec\": {configs_per_sec:.3}, \
          \"serial_fast_secs\": {serial_fast_secs:.4}, \
          \"parallel_speedup\": {parallel_speedup:.3}, \"bit_identical\": true}},\n"
+    );
+    // Block-cache behaviour of the fast-kernel front-end, aggregated over
+    // the serially-timed runs above: the hit rate is the fraction of block
+    // executions that never touched the decoder, `blocks_decoded` the
+    // decode-once count.
+    let blocks_per_sec = tc_total.blocks_replayed as f64 / serial_fast_secs.max(1e-9);
+    eprintln!(
+        "[throughput] block cache: {:.4} hit rate, {:.2} mean block len, \
+         {} blocks decoded once, {:.0} blocks/sec",
+        tc_total.hit_rate(),
+        tc_total.mean_block_len(),
+        tc_total.blocks_decoded,
+        blocks_per_sec,
+    );
+    let _ = write!(
+        json,
+        "  \"block_cache\": {{\"hit_rate\": {:.6}, \"mean_block_len\": {:.3}, \
+         \"blocks_decoded\": {}, \"blocks_replayed\": {}, \"ops_replayed\": {}, \
+         \"inline_hit_rate\": {:.6}, \"blocks_per_sec\": {blocks_per_sec:.0}}},\n",
+        tc_total.hit_rate(),
+        tc_total.mean_block_len(),
+        tc_total.blocks_decoded,
+        tc_total.blocks_replayed,
+        tc_total.ops_replayed,
+        tc_total.inline_hit_rate(),
     );
     let _ = write!(json, "  \"geomean_kernel_speedup\": {geomean:.3}\n}}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -222,23 +222,19 @@ pub fn fig6_lvc_size() -> Table {
             .map(|&s| CacheCore::new(&CacheConfig::lvc_2k().with_size(s)))
             .collect();
         let mut locals = 0u64;
-        for _ in 0..profile_budget() {
-            match vm.step().expect("benchmark executes cleanly") {
-                Some(d) => {
-                    if let Some(m) = d.mem {
-                        if m.is_local() {
-                            locals += 1;
-                            for c in &mut caches {
-                                if !c.access(m.addr, m.is_store) {
-                                    c.fill(m.addr, m.is_store);
-                                }
-                            }
+        crate::drain_stream(&mut vm, profile_budget(), |d| {
+            if let Some(m) = d.mem {
+                if m.is_local() {
+                    locals += 1;
+                    for c in &mut caches {
+                        if !c.access(m.addr, m.is_store) {
+                            c.fill(m.addr, m.is_store);
                         }
                     }
                 }
-                None => break,
             }
-        }
+        })
+        .expect("benchmark executes cleanly");
         let mut row = vec![b.name().to_string()];
         row.extend(
             caches.iter().map(|c| format!("{:.2}%", 100.0 * c.stats().miss_rate())),
@@ -646,22 +642,18 @@ pub fn lvc_line_size() -> Table {
             })
             .map(|c| CacheCore::new(&c))
             .collect();
-        for _ in 0..profile_budget() {
-            match vm.step().expect("benchmark executes cleanly") {
-                Some(d) => {
-                    if let Some(m) = d.mem {
-                        if m.is_local() {
-                            for c in &mut caches {
-                                if !c.access(m.addr, m.is_store) {
-                                    c.fill(m.addr, m.is_store);
-                                }
-                            }
+        crate::drain_stream(&mut vm, profile_budget(), |d| {
+            if let Some(m) = d.mem {
+                if m.is_local() {
+                    for c in &mut caches {
+                        if !c.access(m.addr, m.is_store) {
+                            c.fill(m.addr, m.is_store);
                         }
                     }
                 }
-                None => break,
             }
-        }
+        })
+        .expect("benchmark executes cleanly");
         let mut row = vec![b.name().to_string()];
         row.extend(caches.iter().map(|c| format!("{:.2}%", 100.0 * c.stats().miss_rate())));
         t.row(row);

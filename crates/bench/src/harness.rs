@@ -3,10 +3,53 @@
 use std::sync::{Arc, OnceLock};
 
 use dda_core::{MachineConfig, SimError, SimResult, Simulator};
-use dda_vm::{StreamProfiler, StreamStats, Vm};
+use dda_vm::{DynInst, StreamProfiler, StreamStats, Vm, VmError};
 use dda_workloads::Benchmark;
 
 use crate::pool;
+
+/// Drains up to `budget` instructions of `vm`'s dynamic stream through
+/// `observe` — the one shared warm-up/profiling loop (the experiment
+/// tables, the figure benches and [`profile`] all route through here
+/// instead of hand-rolling a `vm.step()` drain each).
+///
+/// Replays pre-decoded basic blocks via [`Vm::step_block`], so profiling
+/// sweeps run at translation-cache speed; the observed prefix is
+/// bit-identical to stepping one instruction at a time. Returns the
+/// number of instructions observed (less than `budget` when the program
+/// halts first).
+///
+/// # Errors
+///
+/// Returns the [`VmError`] if the program faults within the observed
+/// window. A fault past the budget is not reported — a per-step loop
+/// stopping at `budget` would never have executed it.
+pub fn drain_stream(
+    vm: &mut Vm,
+    budget: u64,
+    mut observe: impl FnMut(&DynInst),
+) -> Result<u64, VmError> {
+    let mut seen = 0u64;
+    let mut ring: Vec<DynInst> = Vec::with_capacity(72);
+    while seen < budget {
+        ring.clear();
+        let fault = vm.step_block(&mut ring);
+        for d in &ring {
+            observe(d);
+            seen += 1;
+            if seen == budget {
+                return Ok(seen);
+            }
+        }
+        if let Some(e) = fault {
+            return Err(e);
+        }
+        if ring.is_empty() {
+            break; // machine halted
+        }
+    }
+    Ok(seen)
+}
 
 /// Committed-instruction budget for pipeline experiments.
 ///
@@ -57,12 +100,7 @@ pub fn profile(bench: Benchmark, budget: u64) -> ProfiledWorkload {
     let program = bench.program(u32::MAX / 2);
     let mut vm = Vm::new(program.clone());
     let mut prof = StreamProfiler::new(&program);
-    for _ in 0..budget {
-        match vm.step().expect("benchmark executes cleanly") {
-            Some(d) => prof.observe(&d),
-            None => break,
-        }
-    }
+    drain_stream(&mut vm, budget, |d| prof.observe(d)).expect("benchmark executes cleanly");
     ProfiledWorkload {
         bench,
         stats: prof.into_stats(),

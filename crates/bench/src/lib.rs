@@ -17,7 +17,7 @@ mod harness;
 pub mod microbench;
 pub mod pool;
 
-pub use microbench::{Bencher, BenchmarkGroup, Criterion};
+pub use microbench::{Bencher, BenchmarkGroup, Criterion, Throughput};
 
 pub use experiments::{
     ablation_issue_width, ablation_lvaq_size, ablation_mshrs, ablation_steering,
@@ -27,7 +27,7 @@ pub use experiments::{
     table1_machine_model, table2_benchmarks, table3_fast_forwarding,
 };
 pub use harness::{
-    pipeline_budget, profile, profile_budget, run_config, run_config_checked,
+    drain_stream, pipeline_budget, profile, profile_budget, run_config, run_config_checked,
     run_config_checked_with_budget, run_configs_checked, run_configs_checked_with_budget,
     run_configs_for, run_matrix_checked, workload_stats, ProfiledWorkload,
 };

@@ -27,20 +27,37 @@ impl Criterion {
     /// Starts a named group of related measurements.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
-        BenchmarkGroup { _c: self, sample_size: 10 }
+        BenchmarkGroup { _c: self, sample_size: 10, throughput: None }
     }
+}
+
+/// Work per iteration, for rate reporting (mirrors `criterion::Throughput`).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. instructions) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
 }
 
 /// A named group of measurements (mirrors `criterion::BenchmarkGroup`).
 pub struct BenchmarkGroup<'a> {
     _c: &'a mut Criterion,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work per iteration; subsequent benchmarks in the
+    /// group also report a rate (Melem/s or MB/s).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -65,8 +82,17 @@ impl BenchmarkGroup<'_> {
             println!("  {:40} no iterations", id.as_ref());
         } else {
             let median = samples[samples.len() / 2];
+            let rate = match self.throughput {
+                Some(Throughput::Elements(n)) if median > 0.0 => {
+                    format!(", {:.2} Melem/s", n as f64 / median / 1e6)
+                }
+                Some(Throughput::Bytes(n)) if median > 0.0 => {
+                    format!(", {:.2} MB/s", n as f64 / median / 1e6)
+                }
+                _ => String::new(),
+            };
             println!(
-                "  {:40} median {:>12} (min {}, max {})",
+                "  {:40} median {:>12} (min {}, max {}{rate})",
                 id.as_ref(),
                 fmt_time(median),
                 fmt_time(samples[0]),

@@ -200,6 +200,18 @@ impl Rob {
         u
     }
 
+    /// The slot index the next [`Rob::push`] will occupy. Dispatch
+    /// assembles an entry's dataflow wiring (which records this index in
+    /// producer dependent lists) before the entry itself is pushed.
+    #[inline]
+    pub fn next_slot(&self) -> usize {
+        // Compare-and-wrap instead of `%`: the capacity is not a compile-
+        // time constant, and an integer divide here lands on the per-
+        // instruction hot path of both kernels.
+        let s = self.head + self.len;
+        if s >= self.slots.len() { s - self.slots.len() } else { s }
+    }
+
     /// Pushes at the tail; returns the slot index.
     ///
     /// # Panics
@@ -207,7 +219,7 @@ impl Rob {
     /// Panics if full.
     pub fn push(&mut self, entry: RobEntry) -> usize {
         assert!(!self.is_full(), "ROB overflow");
-        let slot = (self.head + self.len) % self.slots.len();
+        let slot = self.next_slot();
         debug_assert!(self.slots[slot].is_none());
         self.slots[slot] = Some(entry);
         self.len += 1;
@@ -239,7 +251,10 @@ impl Rob {
         let deps = std::mem::take(&mut e.dependents);
         let mem = e.mem.take();
         self.slots[self.head] = None;
-        self.head = (self.head + 1) % self.slots.len();
+        self.head += 1;
+        if self.head == self.slots.len() {
+            self.head = 0;
+        }
         self.len -= 1;
         (uid, pc, deps, mem)
     }
@@ -272,6 +287,13 @@ impl Rob {
     #[inline]
     pub fn holds(&self, slot: usize, uid: u64) -> bool {
         self.slots[slot].as_ref().is_some_and(|e| e.uid == uid)
+    }
+
+    /// Mutable access iff `slot` still holds the entry with `uid` — the
+    /// one-lookup fusion of [`Rob::holds`] + [`Rob::get_mut`].
+    #[inline]
+    pub fn alive_mut(&mut self, slot: usize, uid: u64) -> Option<&mut RobEntry> {
+        self.slots[slot].as_mut().filter(|e| e.uid == uid)
     }
 
     /// Slot indices in age order (oldest first).

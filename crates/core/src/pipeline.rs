@@ -26,7 +26,7 @@ use std::sync::Arc;
 use dda_isa::{FuClass, Instr};
 use dda_mem::{Hierarchy, PortMeter};
 use dda_program::Program;
-use dda_vm::{DynInst, Vm, VmError};
+use dda_vm::{DynInst, TCacheStats, Vm, VmError};
 
 use crate::classify::Classifier;
 use crate::config::{FuCounts, MachineConfig};
@@ -119,6 +119,7 @@ const READY_FU: usize = 0;
 const READY_LSQ: usize = 1;
 const READY_LVAQ: usize = 2;
 
+
 /// Which ready list an entry lives on — fixed at dispatch (memory-ness
 /// and queue side never change over an entry's lifetime).
 #[inline]
@@ -209,6 +210,29 @@ impl Simulator {
         core.run(max_instructions)
     }
 
+    /// Like [`Simulator::run_shared`], additionally returning the
+    /// translation-cache counters of the run's front-end.
+    ///
+    /// The counters live outside [`SimResult`] on purpose: they describe
+    /// the simulator's own front-end machinery, not the modelled machine,
+    /// and the fast-vs-reference bit-identity checks compare `SimResult`s
+    /// directly (the reference kernel interprets instruction by
+    /// instruction, so its counters are all zero).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run`].
+    pub fn run_shared_detailed(
+        &self,
+        program: Arc<Program>,
+        max_instructions: u64,
+    ) -> Result<(SimResult, TCacheStats), SimError> {
+        let mut core = Core::new(&self.cfg, Vm::new(program), None);
+        let res = core.run(max_instructions)?;
+        let tcache = core.vm.tcache_stats();
+        Ok((res, tcache))
+    }
+
     /// Like [`Simulator::run`], additionally recording an [`InstrTrace`]
     /// for each of the first `trace_limit` dispatched instructions.
     ///
@@ -246,11 +270,43 @@ impl Simulator {
     }
 }
 
+/// Per-pc static decode memo for the fast kernel's dispatch stage: FU
+/// class, defined register, and source operands are a function of the
+/// static instruction alone, so they are resolved once per program here
+/// instead of once per dynamic instance. Register slots hold unified
+/// indices into the rename table, [`NO_REG`] for none. The reference
+/// kernel keeps decoding per dispatch, as the seed implementation did.
+#[derive(Clone, Copy)]
+struct SDec {
+    fu: FuClass,
+    def: u16,
+    uses: [u16; 3],
+}
+
+/// "No register" sentinel in [`SDec`] slots.
+const NO_REG: u16 = u16::MAX;
+
+impl SDec {
+    fn of(instr: &Instr) -> SDec {
+        let uses = instr.uses();
+        SDec {
+            fu: instr.fu_class(),
+            def: instr.def().map_or(NO_REG, |r| r.unified_index() as u16),
+            uses: std::array::from_fn(|k| {
+                uses[k].map_or(NO_REG, |r| r.unified_index() as u16)
+            }),
+        }
+    }
+}
+
 struct Core<'c> {
     cfg: &'c MachineConfig,
     vm: Vm,
     rob: Rob,
     rename: Vec<Option<(usize, u64)>>,
+    /// Static decode memo indexed by pc (fast kernel only; empty under
+    /// the reference kernel).
+    sdec: Vec<SDec>,
     lsq: MemQueue,
     lvaq: MemQueue,
     fus: FuPools,
@@ -272,6 +328,17 @@ struct Core<'c> {
     occ_lsq: Vec<u64>,
     occ_lvaq: Vec<u64>,
     pending: Option<DynInst>,
+    /// Dispatch ring (fast kernel): dynamic instructions pre-pulled from
+    /// the VM one basic block at a time via [`Vm::step_block`], drained
+    /// front to back. The reference kernel never touches it.
+    inst_ring: Vec<DynInst>,
+    /// Index of the next undelivered record in `inst_ring`.
+    ring_head: usize,
+    /// A [`VmError`] raised while refilling the ring, held back until the
+    /// ring drains: the instructions ahead of the fault are real, and the
+    /// trap must surface at exactly the dispatch pull where the
+    /// interpreter would have faulted.
+    ring_err: Option<VmError>,
     dispatched: u64,
     issue_combine: Option<CombineSeed>,
     /// `log2` of the LVC line size — combining's line key uses a shift
@@ -340,10 +407,16 @@ struct Core<'c> {
 impl<'c> Core<'c> {
     fn new(cfg: &'c MachineConfig, vm: Vm, tracer: Option<Tracer>) -> Core<'c> {
         let hier = Hierarchy::new(cfg.hierarchy);
+        let sdec = if cfg.reference_kernel {
+            Vec::new()
+        } else {
+            vm.program().instrs().iter().map(SDec::of).collect()
+        };
         Core {
             vm,
             rob: Rob::new(cfg.rob_size),
             rename: vec![None; dda_isa::Reg::UNIFIED_COUNT],
+            sdec,
             lsq: MemQueue::with_capacity(cfg.lsq_size),
             lvaq: MemQueue::with_capacity(cfg.decoupling.lvaq_size),
             fus: FuPools::new(cfg.fu_counts, cfg.latencies.clone()),
@@ -356,6 +429,11 @@ impl<'c> Core<'c> {
             occ_lsq: vec![0; cfg.lsq_size + 1],
             occ_lvaq: vec![0; cfg.decoupling.lvaq_size + 1],
             pending: None,
+            // One basic block per refill; blocks are capped well below
+            // this, so the ring never reallocates.
+            inst_ring: Vec::with_capacity(72),
+            ring_head: 0,
+            ring_err: None,
             dispatched: 0,
             issue_combine: None,
             lvc_line_shift: cfg
@@ -633,8 +711,17 @@ impl<'c> Core<'c> {
         if self.halted || self.res.committed >= max_instructions {
             return true;
         }
-        // Stream exhausted (program halted in the VM) and pipeline empty.
-        self.vm.is_halted() && self.pending.is_none() && self.rob.is_empty()
+        // Stream exhausted (program halted in the VM, no undelivered ring
+        // records or deferred fault) and pipeline empty. Under block
+        // batching the VM halts as soon as the refill *executes* `Halt`,
+        // which may be several dispatch cycles before the pipeline sees
+        // it — the ring conditions keep `done` firing at exactly the
+        // cycle the one-at-a-time front-end would.
+        self.vm.is_halted()
+            && self.pending.is_none()
+            && self.ring_head >= self.inst_ring.len()
+            && self.ring_err.is_none()
+            && self.rob.is_empty()
     }
 
     // ----- commit ---------------------------------------------------------
@@ -1598,44 +1685,88 @@ impl<'c> Core<'c> {
 
     // ----- dispatch -------------------------------------------------------
 
+    /// Ensures the ring holds an undelivered instruction, refilling one
+    /// basic block at a time through the VM's translation cache (fast
+    /// kernel only). Both kernels deliver bit-identical streams, and a
+    /// fault surfaces at exactly the same pull — a refill fault is
+    /// stashed in `ring_err` and returned only once the instructions
+    /// ahead of it have been delivered. `Ok(false)` = stream exhausted.
+    fn fill_ring(&mut self) -> Result<bool, VmError> {
+        loop {
+            if self.ring_head < self.inst_ring.len() {
+                return Ok(true);
+            }
+            if let Some(e) = self.ring_err.take() {
+                return Err(e);
+            }
+            if self.vm.is_halted() {
+                return Ok(false);
+            }
+            self.inst_ring.clear();
+            self.ring_head = 0;
+            self.ring_err = self.vm.step_block(&mut self.inst_ring);
+        }
+    }
+
     fn dispatch(&mut self, max_instructions: u64) -> Result<(), SimError> {
         for _ in 0..self.cfg.dispatch_width {
             if self.dispatched >= max_instructions {
                 break;
             }
-            let d = match self.pending.take() {
-                Some(d) => d,
-                None => match self.vm.step() {
-                    Ok(Some(d)) => d,
-                    Ok(None) => break,
-                    // The workload raised an architectural fault: surface
-                    // it as a structured trap with timing context.
+            // Fetch. The reference kernel buffers the interpreter's pull
+            // in `pending` across stalled attempts (a stepped instruction
+            // cannot be un-stepped); the fast kernel leaves the ring head
+            // in place until the stall checks pass, so a stalled cycle
+            // re-examines it where it lies instead of bouncing it through
+            // a side buffer.
+            if self.cfg.reference_kernel {
+                if self.pending.is_none() {
+                    match self.vm.step() {
+                        Ok(Some(d)) => self.pending = Some(d),
+                        Ok(None) => break,
+                        // The workload raised an architectural fault:
+                        // surface it as a structured trap with timing
+                        // context.
+                        Err(e) => return Err(self.trap(e)),
+                    }
+                }
+            } else {
+                match self.fill_ring() {
+                    Ok(true) => {}
+                    Ok(false) => break,
                     Err(e) => return Err(self.trap(e)),
-                },
-            };
+                }
+            }
             if self.rob.is_full() {
-                self.pending = Some(d);
                 self.res.stall_rob_full += 1;
                 break;
             }
-            // Steering and queue-space check for memory instructions.
-            let steer = if d.mem.is_some() && self.hier.has_lvc() {
-                Some(self.classifier.steer(&d))
-            } else {
-                None
+            // Steering and queue-space check for memory instructions
+            // (examined in place: a stalled attempt repeats the exam next
+            // cycle, re-training the region predictor exactly like the
+            // seed implementation did).
+            let (is_mem, steer) = {
+                let d: &DynInst = match &self.pending {
+                    Some(p) => p,
+                    None => &self.inst_ring[self.ring_head],
+                };
+                let steer = if d.mem.is_some() && self.hier.has_lvc() {
+                    Some(self.classifier.steer(d))
+                } else {
+                    None
+                };
+                (d.mem.is_some(), steer)
             };
             let in_lvaq = steer.map(|s| s.actual_local).unwrap_or(false);
             let replicated = steer.is_some_and(|s| s.replicated);
-            if d.mem.is_some() {
+            if is_mem {
                 let need_lvaq = in_lvaq || replicated;
                 let need_lsq = !in_lvaq || replicated;
                 if need_lvaq && self.lvaq.len() >= self.cfg.decoupling.lvaq_size {
-                    self.pending = Some(d);
                     self.res.stall_lvaq_full += 1;
                     break;
                 }
                 if need_lsq && self.lsq.len() >= self.cfg.lsq_size {
-                    self.pending = Some(d);
                     self.res.stall_lsq_full += 1;
                     break;
                 }
@@ -1645,151 +1776,151 @@ impl<'c> Core<'c> {
                 self.res.misclassifications += 1;
             }
 
-            let uid = self.rob.next_uid();
-            let mut entry = RobEntry {
-                uid,
-                fu: d.instr.fu_class(),
-                waiting: 0,
-                dependents: if self.cfg.reference_kernel {
-                    Vec::new()
-                } else {
-                    self.dep_pool.pop().unwrap_or_default()
-                },
-                issued: false,
-                completed: false,
-                mem: d.mem.map(|m| {
-                    let mut st = self.mem_pool.pop().unwrap_or_default();
-                    *st = MemState {
-                        in_lvaq,
-                        q_seq: if in_lvaq { self.lvaq_seq } else { self.lsq_seq },
-                        is_store: m.is_store,
-                        addr: m.addr,
-                        bytes: m.bytes,
-                        stack_slot: m.stack_slot,
-                        addr_ready_at: None,
-                        data_ready_at: None,
-                        launched: false,
-                        penalty: if mispredicted {
-                            self.cfg.decoupling.misclass_penalty as u64
-                        } else {
-                            0
-                        },
-                        replicated,
-                        // Queue ordinals and scan cursors are assigned at the
-                        // queue push below.
-                        ord: 0,
-                        ghost_ord: 0,
-                        scan_ord: 0,
-                        ff_ord: 0,
-                        poisoned: false,
-                        waiters: Vec::new(),
-                    };
-                    st
-                }),
-                d,
+            // All stall checks passed: take the instruction off the
+            // stream.
+            let d: DynInst = match self.pending.take() {
+                Some(p) => p,
+                None => {
+                    let v = self.inst_ring[self.ring_head];
+                    self.ring_head += 1;
+                    v
+                }
             };
 
-            // Rename: wire source operands to in-flight producers. The
-            // slot index is needed before registering dependents, so push
-            // a skeleton first (`uses()` is a small by-value array).
-            let uses = entry.d.instr.uses();
-            let is_store = entry.is_store();
-            let store_data_src = if is_store { uses[0] } else { None };
-            let def = entry.d.instr.def();
-            if is_store {
-                entry.mem_mut().data_ready_at = Some(self.cycle);
-            }
-            let slot = self.rob.push(entry);
+            // Static decode: memoized per pc for the fast kernel, redone
+            // per dynamic instance by the reference kernel (seed
+            // behaviour).
+            let sd = if self.cfg.reference_kernel {
+                SDec::of(&d.instr)
+            } else {
+                self.sdec[d.pc as usize]
+            };
 
-            for (i, r) in uses.into_iter().enumerate() {
-                let Some(r) = r else { continue };
+            let uid = self.rob.next_uid();
+            // The entry is assembled in full — memory state, rename
+            // wiring, queue residency — before the one move into its ROB
+            // slot, so nothing below re-finds it through the ROB.
+            let slot = self.rob.next_slot();
+            let is_store = d.mem.is_some_and(|m| m.is_store);
+            let mut mem_state = d.mem.map(|m| {
+                let mut st = self.mem_pool.pop().unwrap_or_default();
+                *st = MemState {
+                    in_lvaq,
+                    q_seq: if in_lvaq { self.lvaq_seq } else { self.lsq_seq },
+                    is_store: m.is_store,
+                    addr: m.addr,
+                    bytes: m.bytes,
+                    stack_slot: m.stack_slot,
+                    addr_ready_at: None,
+                    // Stores start with their data operand ready unless
+                    // the rename scan below finds an in-flight producer.
+                    data_ready_at: if m.is_store { Some(self.cycle) } else { None },
+                    launched: false,
+                    penalty: if mispredicted {
+                        self.cfg.decoupling.misclass_penalty as u64
+                    } else {
+                        0
+                    },
+                    replicated,
+                    // Queue ordinals and scan cursors are assigned at the
+                    // queue push below.
+                    ord: 0,
+                    ghost_ord: 0,
+                    scan_ord: 0,
+                    ff_ord: 0,
+                    poisoned: false,
+                    waiters: Vec::new(),
+                };
+                st
+            });
+
+            // Rename: wire source operands to in-flight producers.
+            let store_data_src = if is_store { sd.uses[0] } else { NO_REG };
+            let mut waiting: u8 = 0;
+            for (i, &ri) in sd.uses.iter().enumerate() {
+                if ri == NO_REG {
+                    continue;
+                }
                 if is_store && i == 0 {
                     continue; // the data operand is tracked separately
                 }
-                if let Some((pslot, puid)) = self.rename[r.unified_index()] {
-                    if self.rob.holds(pslot, puid) && !self.rob.get(pslot).completed {
-                        self.rob
-                            .get_mut(pslot)
-                            .dependents
-                            .push(Dependent { slot, kind: DepKind::Operand });
-                        self.rob.get_mut(slot).waiting += 1;
+                if let Some((pslot, puid)) = self.rename[ri as usize] {
+                    if let Some(pe) = self.rob.alive_mut(pslot, puid) {
+                        if !pe.completed {
+                            pe.dependents.push(Dependent { slot, kind: DepKind::Operand });
+                            waiting += 1;
+                        }
                     }
                 }
             }
-            if let Some(r) = store_data_src {
-                if let Some((pslot, puid)) = self.rename[r.unified_index()] {
-                    if self.rob.holds(pslot, puid) && !self.rob.get(pslot).completed {
-                        self.rob
-                            .get_mut(pslot)
-                            .dependents
-                            .push(Dependent { slot, kind: DepKind::StoreData });
-                        self.rob.get_mut(slot).mem_mut().data_ready_at = None;
+            if store_data_src != NO_REG {
+                if let Some((pslot, puid)) = self.rename[store_data_src as usize] {
+                    if let Some(pe) = self.rob.alive_mut(pslot, puid) {
+                        if !pe.completed {
+                            pe.dependents.push(Dependent { slot, kind: DepKind::StoreData });
+                            if let Some(m) = mem_state.as_deref_mut() {
+                                m.data_ready_at = None;
+                            }
+                        }
                     }
                 }
             }
-            if let Some(dst) = def {
-                self.rename[dst.unified_index()] = Some((slot, uid));
+            if sd.def != NO_REG {
+                self.rename[sd.def as usize] = Some((slot, uid));
             }
-            if !self.cfg.reference_kernel {
-                let e = self.rob.get(slot);
-                if e.waiting == 0 {
-                    // No pending producers: an issue candidate immediately.
-                    let class = ready_class(e.mem.as_deref());
-                    self.newly_ready[class].push((uid, slot));
-                }
+            if !self.cfg.reference_kernel && waiting == 0 {
+                // No pending producers: an issue candidate immediately.
+                let class = ready_class(mem_state.as_deref());
+                self.newly_ready[class].push((uid, slot));
             }
 
-            // Enqueue in the memory queue and count stream statistics.
             if let Some(tr) = &mut self.tracer {
                 if tr.wants(uid) {
-                    let e = self.rob.get(slot);
                     tr.dispatch(
                         uid,
                         InstrTrace {
-                            seq: e.d.seq,
-                            pc: e.d.pc,
-                            instr: e.d.instr,
+                            seq: d.seq,
+                            pc: d.pc,
+                            instr: d.instr,
                             dispatched_at: self.cycle,
                             issued_at: None,
                             addr_ready_at: None,
                             completed_at: None,
                             committed_at: 0,
-                            in_lvaq: e.mem.as_ref().map(|m| m.in_lvaq),
+                            in_lvaq: mem_state.as_ref().map(|m| m.in_lvaq),
                             mem_path: MemPath::None,
                         },
                     );
                 }
             }
-            let mem_kind = self.rob.get(slot).mem.as_ref().map(|m| {
-                (m.in_lvaq, m.is_store, m.replicated)
-            });
-            if let Some((in_lvaq, is_store, replicated)) = mem_kind {
-                if in_lvaq {
+
+            // Enqueue in the memory queue and count stream statistics.
+            if let Some(m) = mem_state.as_deref_mut() {
+                if m.in_lvaq {
                     self.lvaq_seq += 1;
                 } else {
                     self.lsq_seq += 1;
                 }
-                let q = if in_lvaq { &mut self.lvaq } else { &mut self.lsq };
-                let ord = q.push_back(slot, is_store);
-                let ghost_ord = if replicated {
+                let q = if m.in_lvaq { &mut self.lvaq } else { &mut self.lsq };
+                let ord = q.push_back(slot, m.is_store);
+                let ghost_ord = if m.replicated {
                     // Footnote 3: the ghost copy occupies the other queue
                     // until the address resolves.
-                    let other = if in_lvaq { &mut self.lsq } else { &mut self.lvaq };
-                    other.push_back(slot, is_store)
+                    let other = if m.in_lvaq { &mut self.lsq } else { &mut self.lvaq };
+                    other.push_back(slot, m.is_store)
                 } else {
                     0
                 };
-                let m = self.rob.get_mut(slot).mem_mut();
                 m.ord = ord;
                 m.ghost_ord = ghost_ord;
                 // Empty cleared segment: the scans start just below `ord`.
                 m.scan_ord = ord;
                 m.ff_ord = ord;
-                if !is_store
+                if !m.is_store
                     && !self.cfg.reference_kernel
-                    && in_lvaq
+                    && m.in_lvaq
                     && self.cfg.decoupling.fast_forwarding
-                    && self.rob.get(slot).mem().stack_slot.is_some()
+                    && m.stack_slot.is_some()
                 {
                     // Fast forwarding needs no address (§2.2.2): this
                     // load is examinable from the cycle after dispatch,
@@ -1798,13 +1929,29 @@ impl<'c> Core<'c> {
                     // their own AddrReady event.
                     self.lvaq_wake.push((ord, slot, uid));
                 }
-                let qs = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
-                if is_store {
+                let qs = if m.in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                if m.is_store {
                     qs.stores += 1;
                 } else {
                     qs.loads += 1;
                 }
             }
+
+            let pushed = self.rob.push(RobEntry {
+                uid,
+                fu: sd.fu,
+                waiting,
+                dependents: if self.cfg.reference_kernel {
+                    Vec::new()
+                } else {
+                    self.dep_pool.pop().unwrap_or_default()
+                },
+                issued: false,
+                completed: false,
+                mem: mem_state,
+                d,
+            });
+            debug_assert_eq!(pushed, slot, "dispatch raced the ROB tail");
             self.dispatched += 1;
         }
         Ok(())

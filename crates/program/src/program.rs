@@ -127,6 +127,51 @@ impl Program {
         out
     }
 
+    /// Static basic-block leader pre-scan.
+    ///
+    /// Returns one flag per instruction: `true` when the pc can begin a
+    /// basic block under any *statically visible* control flow — the
+    /// entry pc, every function start, every branch/jump/call target,
+    /// the fall-through pc of every conditional branch, and the return
+    /// site (`call pc + 1`) of every call (which is exactly the dynamic
+    /// target set of the matching `ret`). Indirect-call and return
+    /// targets that never appear statically are discovered at run time
+    /// by the translation cache; splitting on static leaders here keeps
+    /// dynamically discovered blocks from overlapping already-decoded
+    /// ones, so each static region is decoded at most once.
+    pub fn leaders(&self) -> Vec<bool> {
+        let mut leaders = vec![false; self.instrs.len()];
+        let mut mark = |pc: u32| {
+            if let Some(l) = leaders.get_mut(pc as usize) {
+                *l = true;
+            }
+        };
+        mark(self.entry);
+        for f in &self.functions {
+            mark(f.start);
+        }
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let pc = pc as u32;
+            match *i {
+                Instr::Branch { target, .. } => {
+                    mark(target);
+                    mark(pc + 1);
+                }
+                Instr::Jump { target } => mark(target),
+                Instr::Call { target } => {
+                    mark(target);
+                    mark(pc + 1);
+                }
+                Instr::CallReg { .. } => mark(pc + 1),
+                // `Ret` targets are return sites, marked at their call;
+                // the pc after a `ret`/`jump`/`halt` starts a new block
+                // only if something statically reaches it.
+                _ => {}
+            }
+        }
+        leaders
+    }
+
     /// Counts of static loads and stores, split by stream hint — used to
     /// sanity-check generated workloads.
     pub fn static_mem_mix(&self) -> StaticMemMix {
@@ -218,6 +263,40 @@ mod tests {
         assert_eq!(mix.stores, 1);
         assert_eq!(mix.local_stores, 1);
         assert_eq!(mix.loads, 0);
+    }
+
+    #[test]
+    fn leader_scan_marks_static_control_flow() {
+        // main:  0 li, 1 jal f, 2 halt      f: 3 sw, 4 ret
+        let p = two_function_program();
+        let l = p.leaders();
+        assert_eq!(l.len(), 5);
+        assert!(l[0], "entry/function start");
+        assert!(!l[1], "middle of main");
+        assert!(l[2], "return site of the call");
+        assert!(l[3], "call target / function start");
+        assert!(!l[4], "middle of f");
+    }
+
+    #[test]
+    fn leader_scan_marks_branch_targets_and_fall_through() {
+        use crate::builder::FunctionBuilder;
+        use dda_isa::BranchCond;
+        let mut f = FunctionBuilder::new("main");
+        let top = f.new_label();
+        f.load_imm(Gpr::T0, 3); // 0
+        f.bind(top); // 1
+        f.addi(Gpr::T0, Gpr::T0, -1); // 1
+        f.branch(BranchCond::Gt, Gpr::T0, Gpr::ZERO, top); // 2
+        f.halt(); // 3
+        let mut b = ProgramBuilder::new();
+        b.add_function(f);
+        let p = b.build().unwrap();
+        let l = p.leaders();
+        assert!(l[0], "entry");
+        assert!(l[1], "branch target");
+        assert!(!l[2], "branch itself is not a leader");
+        assert!(l[3], "branch fall-through");
     }
 
     #[test]

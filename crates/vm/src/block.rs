@@ -1,0 +1,254 @@
+//! Pre-decoded basic blocks: the micro-op format of the translation
+//! cache.
+//!
+//! A [`Block`] is one basic block of the guest program decoded exactly
+//! once: a run of straight-line micro-ops followed by a [`Terminator`].
+//! Each [`MicroOp`] carries the original [`Instr`] (replayed into the
+//! emitted [`crate::DynInst`] verbatim) plus an execution payload with
+//! everything static pre-resolved — ALU/FPU/branch evaluators as plain
+//! function pointers (routed through the canonical `eval` of `dda-isa`,
+//! so there is a single source of operator semantics), register indices,
+//! and per-access memory metadata (`base == $sp`, width in bytes, the
+//! [`StreamHint`], whether the access stores). Only the genuinely dynamic
+//! work — register reads, effective addresses, region classification,
+//! `sp_version` stack-slot tagging — remains for replay time.
+
+use dda_isa::{AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, StreamHint};
+
+/// Sentinel for "no block id": unresolved successor links and the
+/// machine's block hint.
+pub(crate) const NO_BLOCK: u32 = u32::MAX;
+
+/// Cap on straight-line micro-ops per block. Bounds the dispatch ring the
+/// pipeline fills per refill; blocks that would run longer end in an
+/// implicit [`Terminator::FallThrough`] to their own continuation.
+pub(crate) const MAX_BLOCK_OPS: usize = 64;
+
+pub(crate) type AluFn = fn(i32, i32) -> i32;
+pub(crate) type FpuFn = fn(f64, f64) -> f64;
+pub(crate) type FpCmpFn = fn(f64, f64) -> bool;
+pub(crate) type BranchFn = fn(i32, i32) -> bool;
+
+/// Resolves an operator enum value to a monomorphic function pointer.
+///
+/// Each arm wraps `Op::Variant.eval(..)` in its own `fn` item, so the
+/// compiler constant-folds the inner match away while the semantics stay
+/// defined in exactly one place (`dda-isa`'s `eval`).
+macro_rules! resolve {
+    ($op:expr, $Op:ident, ($a:ty, $b:ty) -> $r:ty, [$($v:ident),+ $(,)?]) => {
+        match $op {
+            $($Op::$v => {
+                fn eval(a: $a, b: $b) -> $r {
+                    $Op::$v.eval(a, b)
+                }
+                eval as fn($a, $b) -> $r
+            })+
+        }
+    };
+}
+
+pub(crate) fn alu_fn(op: AluOp) -> AluFn {
+    resolve!(op, AluOp, (i32, i32) -> i32,
+        [Add, Sub, Mul, Div, Rem, And, Or, Xor, Nor, Sll, Srl, Sra, Slt, Sltu])
+}
+
+pub(crate) fn fpu_fn(op: FpuOp) -> FpuFn {
+    resolve!(op, FpuOp, (f64, f64) -> f64, [Add, Sub, Mul, Div, Neg, Abs, Mov, Sqrt])
+}
+
+pub(crate) fn fp_cmp_fn(cond: FpCond) -> FpCmpFn {
+    resolve!(cond, FpCond, (f64, f64) -> bool, [Eq, Lt, Le])
+}
+
+pub(crate) fn branch_fn(cond: BranchCond) -> BranchFn {
+    resolve!(cond, BranchCond, (i32, i32) -> bool, [Eq, Ne, Lt, Ge, Le, Gt])
+}
+
+/// Pre-decoded memory-access metadata: everything the architectural
+/// access check needs that does not depend on run-time register values.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MemOp {
+    /// Base address register.
+    pub base: Gpr,
+    /// Static offset added to the base.
+    pub offset: i32,
+    /// Access size in bytes.
+    pub bytes: u32,
+    /// The compiler's stream hint, carried into the [`crate::MemInfo`].
+    pub hint: StreamHint,
+    /// Whether the access writes memory.
+    pub is_store: bool,
+    /// `base == $sp`, pre-resolved: drives stack-slot tagging
+    /// (`sp_version` pairing) and the stack-overflow classification of
+    /// unmapped accesses.
+    pub base_is_sp: bool,
+}
+
+impl MemOp {
+    pub(crate) fn new(base: Gpr, offset: i32, bytes: u32, hint: StreamHint, is_store: bool) -> MemOp {
+        MemOp { base, offset, bytes, hint, is_store, base_is_sp: base == Gpr::SP }
+    }
+}
+
+/// The execution payload of a straight-line micro-op.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum OpKind {
+    /// No architectural effect.
+    Nop,
+    /// `rd = f(rs, rt)`.
+    Alu { f: AluFn, rd: Gpr, rs: Gpr, rt: Gpr },
+    /// `rd = f(rs, imm)`.
+    AluImm { f: AluFn, rd: Gpr, rs: Gpr, imm: i32 },
+    /// `rd = imm`.
+    LoadImm { rd: Gpr, imm: i32 },
+    /// `fd = f(fs, ft)`.
+    Fpu { f: FpuFn, fd: Fpr, fs: Fpr, ft: Fpr },
+    /// `rd = f(fs, ft) as i32`.
+    FpCmp { f: FpCmpFn, rd: Gpr, fs: Fpr, ft: Fpr },
+    /// `fd = rs as f64`.
+    IntToFp { fd: Fpr, rs: Gpr },
+    /// `rd = fs as i32` (saturating).
+    FpToInt { rd: Gpr, fs: Fpr },
+    /// Integer load of `width` into `rd`.
+    Load { rd: Gpr, m: MemOp, width: MemWidth },
+    /// Integer store of `width` from `rs`.
+    Store { rs: Gpr, m: MemOp, width: MemWidth },
+    /// 8-byte floating-point load into `fd`.
+    FLoad { fd: Fpr, m: MemOp },
+    /// 8-byte floating-point store from `fs`.
+    FStore { fs: Fpr, m: MemOp },
+}
+
+/// One pre-decoded straight-line micro-op.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MicroOp {
+    /// The fetch pc (stamped into the emitted [`crate::DynInst`] and
+    /// used for fault attribution).
+    pub pc: u32,
+    /// The original instruction, carried verbatim into the stream.
+    pub instr: Instr,
+    /// The pre-decoded execution payload.
+    pub kind: OpKind,
+}
+
+impl MicroOp {
+    /// Decodes a straight-line instruction, or returns `None` when the
+    /// instruction is a control transfer or `Halt` (a block terminator).
+    pub fn decode(pc: u32, instr: Instr) -> Option<MicroOp> {
+        let kind = match instr {
+            Instr::Nop => OpKind::Nop,
+            Instr::Alu { op, rd, rs, rt } => OpKind::Alu { f: alu_fn(op), rd, rs, rt },
+            Instr::AluImm { op, rd, rs, imm } => OpKind::AluImm { f: alu_fn(op), rd, rs, imm },
+            Instr::LoadImm { rd, imm } => OpKind::LoadImm { rd, imm },
+            Instr::Fpu { op, fd, fs, ft } => OpKind::Fpu { f: fpu_fn(op), fd, fs, ft },
+            Instr::FpCmp { cond, rd, fs, ft } => {
+                OpKind::FpCmp { f: fp_cmp_fn(cond), rd, fs, ft }
+            }
+            Instr::IntToFp { fd, rs } => OpKind::IntToFp { fd, rs },
+            Instr::FpToInt { rd, fs } => OpKind::FpToInt { rd, fs },
+            Instr::Load { rd, base, offset, width, hint } => OpKind::Load {
+                rd,
+                m: MemOp::new(base, offset, width.bytes(), hint, false),
+                width,
+            },
+            Instr::Store { rs, base, offset, width, hint } => OpKind::Store {
+                rs,
+                m: MemOp::new(base, offset, width.bytes(), hint, true),
+                width,
+            },
+            Instr::FLoad { fd, base, offset, hint } => {
+                OpKind::FLoad { fd, m: MemOp::new(base, offset, 8, hint, false) }
+            }
+            Instr::FStore { fs, base, offset, hint } => {
+                OpKind::FStore { fs, m: MemOp::new(base, offset, 8, hint, true) }
+            }
+            Instr::Branch { .. }
+            | Instr::Jump { .. }
+            | Instr::Call { .. }
+            | Instr::CallReg { .. }
+            | Instr::Ret
+            | Instr::Halt => return None,
+        };
+        Some(MicroOp { pc, instr, kind })
+    }
+}
+
+/// The control transfer that ends a block.
+///
+/// Static targets carry a pre-validated "in image" flag (`ok`), so taken
+/// transfers raise [`crate::VmError::IllegalTarget`] without touching the
+/// program image at replay time. A target equal to the sequential
+/// fall-through pc is always `ok`: the interpreter's illegal-target check
+/// applies only to *redirecting* transfers, and sequential escape off the
+/// image end stays lazy (it faults as `PcOutOfRange` on the next step).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Terminator {
+    /// The next pc is a static leader (or the block hit the length cap):
+    /// no instruction executes, the block simply chains to `term_pc`.
+    FallThrough,
+    /// Conditional branch to `target`, falling through to `term_pc + 1`.
+    Branch { f: BranchFn, rs: Gpr, rt: Gpr, target: u32, taken_ok: bool },
+    /// Unconditional jump.
+    Jump { target: u32, ok: bool },
+    /// Direct call (writes `$ra`, bumps the call depth).
+    Call { target: u32, ok: bool },
+    /// Indirect call through `rs`: target and successor are dynamic.
+    CallReg { rs: Gpr },
+    /// Return through `$ra`: target and successor are dynamic.
+    Ret,
+    /// Stop the machine.
+    Halt,
+}
+
+impl Terminator {
+    /// Decodes a terminator instruction; straight-line instructions
+    /// return `None`.
+    pub fn decode(pc: u32, instr: Instr, image_len: u32) -> Option<Terminator> {
+        let in_image = |target: u32| target == pc + 1 || target < image_len;
+        match instr {
+            Instr::Branch { cond, rs, rt, target } => Some(Terminator::Branch {
+                f: branch_fn(cond),
+                rs,
+                rt,
+                target,
+                taken_ok: in_image(target),
+            }),
+            Instr::Jump { target } => Some(Terminator::Jump { target, ok: in_image(target) }),
+            Instr::Call { target } => Some(Terminator::Call { target, ok: in_image(target) }),
+            Instr::CallReg { rs } => Some(Terminator::CallReg { rs }),
+            Instr::Ret => Some(Terminator::Ret),
+            Instr::Halt => Some(Terminator::Halt),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded basic block.
+///
+/// `Copy` is deliberate: replay snapshots the block header once, so the
+/// micro-op walk borrows only the cache's flat op array while the
+/// machine state is mutated.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Block {
+    /// First pc of the block.
+    pub start: u32,
+    /// `(index, len)` into the cache's flat micro-op array.
+    pub ops: (u32, u32),
+    /// The control transfer ending the block.
+    pub term: Terminator,
+    /// Pc of the terminator; for [`Terminator::FallThrough`] this is the
+    /// successor pc itself (one past the last straight-line op).
+    pub term_pc: u32,
+    /// The terminator instruction as fetched ([`Instr::Nop`] for the
+    /// instruction-less fall-through).
+    pub term_instr: Instr,
+    /// Inline-cached successor block ids ([`NO_BLOCK`] = unresolved):
+    /// `succ[0]` is the fall-through / not-taken / static-target link,
+    /// `succ[1]` the taken-branch link. Once resolved a link never needs
+    /// revalidation — static targets are fixed and the program image is
+    /// immutable.
+    pub succ: [u32; 2],
+    /// Monomorphic inline cache for dynamic targets (`ret` and indirect
+    /// calls): the last observed `(target pc, block id)` pair.
+    pub dyn_succ: (u32, u32),
+}

@@ -41,10 +41,13 @@
 //! # }
 //! ```
 
+mod block;
 mod machine;
 mod memory;
 mod profile;
+mod tcache;
 
 pub use machine::{DynInst, MemInfo, RunSummary, Stream, Vm, VmError};
 pub use memory::SparseMemory;
 pub use profile::{StreamProfiler, StreamStats};
+pub use tcache::TCacheStats;

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use dda_isa::{Fpr, Gpr, Instr, MemWidth, StreamHint};
 use dda_program::{MemRegion, Program};
 
+use crate::block::{MemOp, MicroOp, OpKind, Terminator, NO_BLOCK};
 use crate::memory::SparseMemory;
+use crate::tcache::{TCache, TCacheStats};
 
 /// An error raised during functional execution.
 ///
@@ -160,6 +162,12 @@ pub struct Vm {
     call_depth: u32,
     max_call_depth: u32,
     halted: bool,
+    /// Basic-block translation cache, created lazily on the first
+    /// [`Vm::step_block`] call (plain [`Vm::step`] never pays for it).
+    tcache: Option<Box<TCache>>,
+    /// Predicted id of the block starting at the current pc, chained from
+    /// the previous block's successor link ([`NO_BLOCK`] = no prediction).
+    block_hint: u32,
 }
 
 impl Vm {
@@ -185,6 +193,8 @@ impl Vm {
             call_depth: 0,
             max_call_depth: 0,
             halted: false,
+            tcache: None,
+            block_hint: NO_BLOCK,
         }
     }
 
@@ -283,17 +293,13 @@ impl Vm {
         Ok(region)
     }
 
-    fn mem_info(
-        &self,
-        pc: u32,
-        base: Gpr,
-        offset: i32,
-        bytes: u32,
-        is_store: bool,
-        hint: StreamHint,
-    ) -> Result<(u32, MemInfo), VmError> {
-        let addr = (self.gpr(base) as u32).wrapping_add(offset as u32);
-        let region = match self.check_access(pc, addr, bytes) {
+    /// The shared architectural access check: one implementation serves
+    /// both the interpreter (which builds the [`MemOp`] on the fly) and
+    /// the block replayer (which pre-decoded it), so the two front-ends
+    /// cannot drift apart in fault or classification semantics.
+    fn mem_info(&self, pc: u32, m: &MemOp) -> Result<(u32, MemInfo), VmError> {
+        let addr = (self.gpr(m.base) as u32).wrapping_add(m.offset as u32);
+        let region = match self.check_access(pc, addr, m.bytes) {
             Ok(region) => region,
             Err(VmError::OutOfRegion { pc, addr }) => {
                 // An unmapped access through `$sp`, or just below the
@@ -301,15 +307,25 @@ impl Vm {
                 // the stack — report it as the overflow it is.
                 let limit = self.program.layout().stack_limit();
                 let in_guard = addr < limit && limit - addr <= STACK_GUARD_BYTES;
-                if base == Gpr::SP || in_guard {
+                if m.base_is_sp || in_guard {
                     return Err(VmError::StackOverflow { pc, addr, limit });
                 }
                 return Err(VmError::OutOfRegion { pc, addr });
             }
             Err(e) => return Err(e),
         };
-        let stack_slot = (base == Gpr::SP).then_some((self.sp_version, offset));
-        Ok((addr, MemInfo { addr, bytes, is_store, region, hint, stack_slot }))
+        let stack_slot = m.base_is_sp.then_some((self.sp_version, m.offset));
+        Ok((
+            addr,
+            MemInfo {
+                addr,
+                bytes: m.bytes,
+                is_store: m.is_store,
+                region,
+                hint: m.hint,
+                stack_slot,
+            },
+        ))
     }
 
     /// Executes one instruction.
@@ -373,7 +389,7 @@ impl Vm {
                 self.set_gpr(rd, v);
             }
             Instr::Load { rd, base, offset, width, hint } => {
-                match self.mem_info(pc, base, offset, width.bytes(), false, hint) {
+                match self.mem_info(pc, &MemOp::new(base, offset, width.bytes(), hint, false)) {
                     Ok((addr, info)) => {
                         let v = match width {
                             MemWidth::Byte => self.mem.read_u8(addr) as i8 as i32,
@@ -387,7 +403,7 @@ impl Vm {
                 }
             }
             Instr::Store { rs, base, offset, width, hint } => {
-                match self.mem_info(pc, base, offset, width.bytes(), true, hint) {
+                match self.mem_info(pc, &MemOp::new(base, offset, width.bytes(), hint, true)) {
                     Ok((addr, info)) => {
                         let v = self.gpr(rs);
                         match width {
@@ -401,7 +417,7 @@ impl Vm {
                 }
             }
             Instr::FLoad { fd, base, offset, hint } => {
-                match self.mem_info(pc, base, offset, 8, false, hint) {
+                match self.mem_info(pc, &MemOp::new(base, offset, 8, hint, false)) {
                     Ok((addr, info)) => {
                         let v = self.mem.read_f64(addr);
                         self.set_fpr(fd, v);
@@ -411,7 +427,7 @@ impl Vm {
                 }
             }
             Instr::FStore { fs, base, offset, hint } => {
-                match self.mem_info(pc, base, offset, 8, true, hint) {
+                match self.mem_info(pc, &MemOp::new(base, offset, 8, hint, true)) {
                     Ok((addr, info)) => {
                         let v = self.fpr(fs);
                         self.mem.write_f64(addr, v);
@@ -479,6 +495,299 @@ impl Vm {
             }
         }
         Ok(RunSummary { executed, halted: self.halted })
+    }
+
+    /// Executes one basic block through the translation cache, appending
+    /// the emitted [`DynInst`]s to `out`.
+    ///
+    /// This is the batched equivalent of calling [`Vm::step`] in a loop:
+    /// the concatenation of `out` across calls is bit-identical to the
+    /// interpreter's stream (sequence numbers, `next_pc`, [`MemInfo`]
+    /// stack-slot tags included). Each call appends at least one
+    /// instruction unless the machine is already halted (`out` untouched,
+    /// returns `None`) or the block faults.
+    ///
+    /// On a fault the error is *returned* (not `Err` — the signature
+    /// deliberately differs from `step` so callers handle the partial
+    /// batch): instructions before the faulting micro-op are already in
+    /// `out`, committed exactly as the interpreter would have committed
+    /// them, and the machine is halted at the faulting pc with no effects
+    /// of the faulting instruction applied — the same "state unchanged
+    /// except halted" contract as [`Vm::step`].
+    pub fn step_block(&mut self, out: &mut Vec<DynInst>) -> Option<VmError> {
+        if self.halted {
+            return None;
+        }
+        // Take the cache out of `self` so the replay loop can borrow the
+        // machine state and the cache's op array independently.
+        let mut tc = match self.tcache.take() {
+            Some(tc) => tc,
+            None => Box::new(TCache::new(&self.program)),
+        };
+        let err = self.replay_block(&mut tc, out);
+        self.tcache = Some(tc);
+        err
+    }
+
+    /// Translation-cache counters (all zero until the first
+    /// [`Vm::step_block`] call).
+    pub fn tcache_stats(&self) -> TCacheStats {
+        match self.tcache.as_ref() {
+            Some(tc) => tc.stats,
+            None => TCacheStats::default(),
+        }
+    }
+
+    fn replay_block(&mut self, tc: &mut TCache, out: &mut Vec<DynInst>) -> Option<VmError> {
+        let pc = self.pc;
+        if pc as usize >= self.program.len() {
+            self.halted = true;
+            self.block_hint = NO_BLOCK;
+            return Some(VmError::PcOutOfRange { pc });
+        }
+        // Resolve the current block: the hint chained from the previous
+        // block's successor link usually short-circuits the pc map.
+        let hint = self.block_hint;
+        let id = if hint != NO_BLOCK && tc.blocks[hint as usize].start == pc {
+            tc.stats.inline_hits += 1;
+            hint
+        } else {
+            tc.block_at(&self.program, pc)
+        };
+        // Blocks are `Copy`: snapshot the header so the micro-op walk
+        // only borrows the flat op array.
+        let blk = tc.blocks[id as usize];
+        tc.stats.blocks_replayed += 1;
+
+        // Straight-line micro-ops. `self.pc` tracks the fetch pc op by
+        // op, so a faulting op leaves the machine exactly where the
+        // interpreter would (pc at the fault, prior effects committed).
+        let (ops_start, ops_len) = blk.ops;
+        for idx in ops_start..ops_start + ops_len {
+            let op = tc.ops[idx as usize];
+            match self.exec_micro(&op) {
+                Ok(mem) => {
+                    out.push(DynInst {
+                        seq: self.seq,
+                        pc: op.pc,
+                        instr: op.instr,
+                        next_pc: op.pc + 1,
+                        mem,
+                    });
+                    self.seq += 1;
+                    self.pc = op.pc + 1;
+                }
+                Err(e) => {
+                    self.halted = true;
+                    self.block_hint = NO_BLOCK;
+                    tc.stats.ops_replayed += (idx - ops_start) as u64;
+                    return Some(e);
+                }
+            }
+        }
+        tc.stats.ops_replayed += ops_len as u64;
+
+        // The terminator. Effect ordering per variant mirrors `step`
+        // exactly — in particular `Call`/`CallReg` write `$ra` and bump
+        // the call depth *before* the illegal-target check fires, and
+        // `Ret` decrements the depth before it.
+        let tpc = blk.term_pc;
+        macro_rules! fault {
+            ($e:expr) => {{
+                self.halted = true;
+                self.block_hint = NO_BLOCK;
+                return Some($e);
+            }};
+        }
+        let (next_pc, succ_slot) = match blk.term {
+            Terminator::FallThrough => {
+                // No instruction: the block ended at a static leader (or
+                // the length cap); chain straight to the successor.
+                self.pc = tpc;
+                self.resolve_succ(tc, id, 0, tpc);
+                return None;
+            }
+            Terminator::Branch { f, rs, rt, target, taken_ok } => {
+                if f(self.gpr(rs), self.gpr(rt)) {
+                    if target != tpc + 1 && !taken_ok {
+                        fault!(VmError::IllegalTarget { pc: tpc, target });
+                    }
+                    (target, 1)
+                } else {
+                    (tpc + 1, 0)
+                }
+            }
+            Terminator::Jump { target, ok } => {
+                if target != tpc + 1 && !ok {
+                    fault!(VmError::IllegalTarget { pc: tpc, target });
+                }
+                (target, 0)
+            }
+            Terminator::Call { target, ok } => {
+                self.set_gpr(Gpr::RA, (tpc + 1) as i32);
+                self.call_depth += 1;
+                self.max_call_depth = self.max_call_depth.max(self.call_depth);
+                if target != tpc + 1 && !ok {
+                    fault!(VmError::IllegalTarget { pc: tpc, target });
+                }
+                (target, 0)
+            }
+            Terminator::CallReg { rs } => {
+                let target = self.gpr(rs) as u32;
+                self.set_gpr(Gpr::RA, (tpc + 1) as i32);
+                self.call_depth += 1;
+                self.max_call_depth = self.max_call_depth.max(self.call_depth);
+                if target != tpc + 1 && self.program.get(target).is_none() {
+                    fault!(VmError::IllegalTarget { pc: tpc, target });
+                }
+                (target, 2)
+            }
+            Terminator::Ret => {
+                if self.call_depth == 0 {
+                    fault!(VmError::ReturnWithoutCall { pc: tpc });
+                }
+                let target = self.gpr(Gpr::RA) as u32;
+                self.call_depth -= 1;
+                if target != tpc + 1 && self.program.get(target).is_none() {
+                    fault!(VmError::IllegalTarget { pc: tpc, target });
+                }
+                (target, 2)
+            }
+            Terminator::Halt => {
+                self.halted = true;
+                self.block_hint = NO_BLOCK;
+                out.push(DynInst {
+                    seq: self.seq,
+                    pc: tpc,
+                    instr: blk.term_instr,
+                    next_pc: tpc + 1,
+                    mem: None,
+                });
+                self.seq += 1;
+                self.pc = tpc + 1;
+                tc.stats.ops_replayed += 1;
+                return None;
+            }
+        };
+        out.push(DynInst { seq: self.seq, pc: tpc, instr: blk.term_instr, next_pc, mem: None });
+        self.seq += 1;
+        self.pc = next_pc;
+        tc.stats.ops_replayed += 1;
+        if succ_slot == 2 {
+            self.resolve_dyn_succ(tc, id, next_pc);
+        } else {
+            self.resolve_succ(tc, id, succ_slot, next_pc);
+        }
+        None
+    }
+
+    /// Resolves a static successor link (`succ[slot]`), filling the
+    /// inline cache on first use and updating the machine's block hint.
+    fn resolve_succ(&mut self, tc: &mut TCache, id: u32, slot: usize, next_pc: u32) {
+        let cached = tc.blocks[id as usize].succ[slot];
+        if cached != NO_BLOCK {
+            tc.stats.inline_hits += 1;
+            self.block_hint = cached;
+        } else if (next_pc as usize) < self.program.len() {
+            let nid = tc.block_at(&self.program, next_pc);
+            tc.blocks[id as usize].succ[slot] = nid;
+            self.block_hint = nid;
+        } else {
+            // Sequential escape off the image: stays lazy, the next
+            // `step_block` raises `PcOutOfRange` like the interpreter.
+            self.block_hint = NO_BLOCK;
+        }
+    }
+
+    /// Resolves a dynamic successor (`ret`, indirect call) through the
+    /// block's monomorphic `(target, id)` inline cache.
+    fn resolve_dyn_succ(&mut self, tc: &mut TCache, id: u32, next_pc: u32) {
+        let (dpc, did) = tc.blocks[id as usize].dyn_succ;
+        if did != NO_BLOCK && dpc == next_pc {
+            tc.stats.inline_hits += 1;
+            self.block_hint = did;
+        } else if (next_pc as usize) < self.program.len() {
+            let nid = tc.block_at(&self.program, next_pc);
+            tc.blocks[id as usize].dyn_succ = (next_pc, nid);
+            self.block_hint = nid;
+        } else {
+            self.block_hint = NO_BLOCK;
+        }
+    }
+
+    /// Executes one straight-line micro-op; on `Err` no architectural
+    /// state has changed (access checks run before any write).
+    #[inline]
+    fn exec_micro(&mut self, op: &MicroOp) -> Result<Option<MemInfo>, VmError> {
+        match op.kind {
+            OpKind::Nop => Ok(None),
+            OpKind::Alu { f, rd, rs, rt } => {
+                let v = f(self.gpr(rs), self.gpr(rt));
+                self.set_gpr(rd, v);
+                Ok(None)
+            }
+            OpKind::AluImm { f, rd, rs, imm } => {
+                let v = f(self.gpr(rs), imm);
+                self.set_gpr(rd, v);
+                Ok(None)
+            }
+            OpKind::LoadImm { rd, imm } => {
+                self.set_gpr(rd, imm);
+                Ok(None)
+            }
+            OpKind::Fpu { f, fd, fs, ft } => {
+                let v = f(self.fpr(fs), self.fpr(ft));
+                self.set_fpr(fd, v);
+                Ok(None)
+            }
+            OpKind::FpCmp { f, rd, fs, ft } => {
+                let v = f(self.fpr(fs), self.fpr(ft)) as i32;
+                self.set_gpr(rd, v);
+                Ok(None)
+            }
+            OpKind::IntToFp { fd, rs } => {
+                let v = self.gpr(rs) as f64;
+                self.set_fpr(fd, v);
+                Ok(None)
+            }
+            OpKind::FpToInt { rd, fs } => {
+                let v = self.fpr(fs) as i32; // saturating in Rust
+                self.set_gpr(rd, v);
+                Ok(None)
+            }
+            OpKind::Load { rd, m, width } => {
+                let (addr, info) = self.mem_info(op.pc, &m)?;
+                let v = match width {
+                    MemWidth::Byte => self.mem.read_u8(addr) as i8 as i32,
+                    MemWidth::Half => self.mem.read_u16(addr) as i16 as i32,
+                    MemWidth::Word => self.mem.read_u32(addr) as i32,
+                };
+                self.set_gpr(rd, v);
+                Ok(Some(info))
+            }
+            OpKind::Store { rs, m, width } => {
+                let (addr, info) = self.mem_info(op.pc, &m)?;
+                let v = self.gpr(rs);
+                match width {
+                    MemWidth::Byte => self.mem.write_u8(addr, v as u8),
+                    MemWidth::Half => self.mem.write_u16(addr, v as u16),
+                    MemWidth::Word => self.mem.write_u32(addr, v as u32),
+                }
+                Ok(Some(info))
+            }
+            OpKind::FLoad { fd, m } => {
+                let (addr, info) = self.mem_info(op.pc, &m)?;
+                let v = self.mem.read_f64(addr);
+                self.set_fpr(fd, v);
+                Ok(Some(info))
+            }
+            OpKind::FStore { fs, m } => {
+                let (addr, info) = self.mem_info(op.pc, &m)?;
+                let v = self.fpr(fs);
+                self.mem.write_f64(addr, v);
+                Ok(Some(info))
+            }
+        }
     }
 }
 

@@ -1,0 +1,59 @@
+//! Front-end throughput probe: interpreter vs block replay.
+//!
+//! Streams the same instruction budget through `Vm::step` (decode every
+//! dynamic instance) and `Vm::step_block` (decode-once traces replayed
+//! from the translation cache) and prints the MIPS of each — isolating
+//! the front-end's share of the fast kernel's speedup from the scheduler
+//! work the pipeline adds on top.
+//!
+//! ```text
+//! cargo run --release --example fe_speed
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dda::vm::Vm;
+use dda::workloads::Benchmark;
+
+fn main() {
+    const N: u64 = 300_000;
+    for bench in [Benchmark::Compress, Benchmark::Vortex, Benchmark::Swim] {
+        let program = Arc::new(bench.program(u32::MAX / 2));
+        // Interpretive front-end: one decoded instruction per step.
+        let t = Instant::now();
+        let mut vm = Vm::new(Arc::clone(&program));
+        let mut n = 0u64;
+        while n < N {
+            match vm.step().expect("workload executes cleanly") {
+                Some(_) => n += 1,
+                None => break,
+            }
+        }
+        let interp = t.elapsed().as_secs_f64();
+        // Block-replay front-end: one pre-decoded basic block per refill.
+        let t = Instant::now();
+        let mut vm = Vm::new(Arc::clone(&program));
+        let mut ring = Vec::new();
+        let mut n = 0u64;
+        while n < N {
+            ring.clear();
+            if vm.step_block(&mut ring).is_some() {
+                break;
+            }
+            if ring.is_empty() {
+                break;
+            }
+            n += ring.len() as u64;
+        }
+        let replay = t.elapsed().as_secs_f64();
+        println!(
+            "{bench}: interp {:.1} MIPS ({:.2} ms) replay {:.1} MIPS ({:.2} ms) = {:.2}x",
+            N as f64 / interp / 1e6,
+            interp * 1e3,
+            N as f64 / replay / 1e6,
+            replay * 1e3,
+            interp / replay
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Quick host-throughput probe for the full pipeline kernel.
+//!
+//! Times the decoupled (4+2) machine end to end on two representative
+//! workloads and prints host MIPS — a fast inner-loop check while tuning
+//! the simulation kernel, without the full `throughput` benchmark's
+//! matrix and JSON report. Pass `--reference` to time the
+//! rescan-per-cycle reference kernel instead of the incremental one.
+//!
+//! ```text
+//! cargo run --release --example pipe_speed [-- --reference]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dda::core::{MachineConfig, Simulator};
+use dda::workloads::Benchmark;
+
+fn main() {
+    let reference = std::env::args().any(|a| a == "--reference");
+    const N: u64 = 2_000_000;
+    for bench in [Benchmark::Compress, Benchmark::Vortex] {
+        let program = Arc::new(bench.program(u32::MAX / 2));
+        let mut cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
+        cfg.reference_kernel = reference;
+        let sim = Simulator::new(cfg).expect("valid machine configuration");
+        let t = Instant::now();
+        let res = sim.run_shared(Arc::clone(&program), N).expect("workload executes cleanly");
+        let secs = t.elapsed().as_secs_f64();
+        println!("{bench}: {:.2} MIPS ({} cycles)", res.committed as f64 / secs / 1e6, res.cycles);
+    }
+}

@@ -43,6 +43,12 @@ echo "== clippy: no unwrap/expect in simulation crates"
 cargo clippy -q -p dda-core -p dda-vm -p dda-mem -p dda-program -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
+# Block-cache smoke: one loop-heavy and one call-heavy program replayed
+# through the translation cache and cross-checked instruction-for-
+# instruction against the interpretive front-end (final state included).
+echo "== block-cache smoke (loop-heavy + call-heavy vs interpreter)"
+cargo test --release -q --test block_cache quick_smoke
+
 if [ "$QUICK" = 1 ]; then
     # Perf smoke: two workloads, one rep. The binary itself asserts the
     # fast kernel is bit-identical to the reference kernel (serially and
