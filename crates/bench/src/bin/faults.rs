@@ -28,10 +28,10 @@
 //! `--out` changes the JSON report path (default `BENCH_faults.json`).
 
 use std::fmt::Write as _;
-use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use dda_core::{FaultPlan, MachineConfig, SimError, SimResult, Simulator};
+use dda_bench::campaign::{contained_run, json_escape};
+use dda_core::{FaultPlan, MachineConfig, SimError};
 use dda_workloads::Benchmark;
 
 /// One named fault class: a plan template whose `seed` is filled per run.
@@ -79,48 +79,6 @@ fn fault_classes() -> Vec<FaultClass> {
             expect_error: true,
         },
     ]
-}
-
-/// Outcome of one contained simulation run.
-enum Outcome {
-    Ok(Box<SimResult>),
-    Err(SimError),
-    /// The run escaped the typed error model — a campaign failure.
-    Panicked(String),
-}
-
-/// Runs one configuration with a panic backstop. The hardened runtime
-/// must never get here via unwinding; if it does, the campaign fails.
-fn contained_run(cfg: &MachineConfig, program: &Arc<dda_program::Program>, budget: u64) -> Outcome {
-    let cfg = cfg.clone();
-    let program = Arc::clone(program);
-    let caught = panic::catch_unwind(AssertUnwindSafe(move || {
-        Simulator::new(cfg).and_then(|sim| sim.run_shared(program, budget))
-    }));
-    match caught {
-        Ok(Ok(res)) => Outcome::Ok(Box::new(res)),
-        Ok(Err(e)) => Outcome::Err(e),
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Outcome::Panicked(msg)
-        }
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 fn usage(msg: &str) -> ! {
@@ -178,13 +136,13 @@ fn main() {
         reference.reference_kernel = true;
 
         let run = |cfg: &MachineConfig| match contained_run(cfg, &program, budget) {
-            Outcome::Ok(res) => *res,
-            Outcome::Err(e) => {
-                eprintln!("[faults] BASELINE FAILED: {} errored: {e}", bench.name());
+            Ok(res) => *res,
+            Err(SimError::WorkerPanic(msg)) => {
+                eprintln!("[faults] BASELINE PANICKED: {}: {msg}", bench.name());
                 std::process::exit(1);
             }
-            Outcome::Panicked(msg) => {
-                eprintln!("[faults] BASELINE PANICKED: {}: {msg}", bench.name());
+            Err(e) => {
+                eprintln!("[faults] BASELINE FAILED: {} errored: {e}", bench.name());
                 std::process::exit(1);
             }
         };
@@ -236,7 +194,7 @@ fn main() {
                     bench.name()
                 );
                 match contained_run(&cfg, &program, budget) {
-                    Outcome::Ok(res) => {
+                    Ok(res) => {
                         let f = res.faults;
                         total_injected += f.injected();
                         total_detected += f.detected();
@@ -275,7 +233,20 @@ fn main() {
                             f.forwards_corrupted,
                         );
                     }
-                    Outcome::Err(e) => {
+                    Err(SimError::WorkerPanic(msg)) => {
+                        panics += 1;
+                        eprintln!(
+                            "[faults] HOST PANIC: {}/{} seed {seed}: {msg}",
+                            class.name,
+                            bench.name()
+                        );
+                        let _ = write!(
+                            row,
+                            "\"outcome\": \"host_panic\", \"panic\": \"{}\"}}",
+                            json_escape(&msg)
+                        );
+                    }
+                    Err(e) => {
                         if !class.expect_error {
                             eprintln!(
                                 "[faults] UNEXPECTED ERROR: {}/{} seed {seed}: {e}",
@@ -289,6 +260,8 @@ fn main() {
                             SimError::InvariantViolation(_) => ("invariant_violation", true),
                             SimError::Trap(_) => ("trap", true),
                             SimError::Config(_) => ("config", true),
+                            // Handled by the arm above; kept for match
+                            // exhaustiveness.
                             SimError::WorkerPanic(_) => ("worker_panic", true),
                         };
                         if class.expect_error {
@@ -303,19 +276,6 @@ fn main() {
                             "\"outcome\": \"structured_error\", \"error_kind\": \"{kind}\", \
                              \"dump_populated\": {dump_ok}, \"error\": \"{}\"}}",
                             json_escape(&e.to_string())
-                        );
-                    }
-                    Outcome::Panicked(msg) => {
-                        panics += 1;
-                        eprintln!(
-                            "[faults] HOST PANIC: {}/{} seed {seed}: {msg}",
-                            class.name,
-                            bench.name()
-                        );
-                        let _ = write!(
-                            row,
-                            "\"outcome\": \"host_panic\", \"panic\": \"{}\"}}",
-                            json_escape(&msg)
                         );
                     }
                 }

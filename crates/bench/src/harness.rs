@@ -231,17 +231,9 @@ fn flatten_next(
 fn flatten_task(r: pool::TaskResult<Result<SimResult, SimError>>) -> Result<SimResult, SimError> {
     match r {
         Ok(res) => res,
-        Err(payload) => Err(SimError::WorkerPanic(panic_message(payload.as_ref()))),
-    }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        Err(payload) => {
+            Err(SimError::WorkerPanic(crate::campaign::panic_message(payload.as_ref())))
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 //! for pipeline experiments), so IPC comparisons across configurations
 //! always cover the same dynamic instruction stream.
 
+pub mod campaign;
 mod experiments;
 mod harness;
 pub mod microbench;

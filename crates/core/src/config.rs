@@ -85,6 +85,14 @@ pub struct MachineConfig {
     /// [`crate::SimError::InvariantViolation`] instead of silent
     /// corruption). Defaults to on in debug builds, off in release.
     pub audit: bool,
+    /// **Test-only.** Plants a deterministic counter defect in the *fast*
+    /// kernel (the reference kernel is untouched): LVAQ stores retiring
+    /// to certain addresses charge a phantom port-stall cycle, so the two
+    /// kernels' [`crate::SimResult`]s diverge. The differential fuzzer's
+    /// self-test flips this on to prove its oracle catches and minimizes
+    /// a real kernel bug. Never set outside tests; defaults to off and
+    /// has zero effect on any counter while off.
+    pub planted_defect: bool,
 }
 
 /// Functional-unit pool sizes. Multiply and divide of the same register
@@ -141,6 +149,7 @@ impl MachineConfig {
             reference_kernel: false,
             fault_plan: FaultPlan::none(),
             audit: cfg!(debug_assertions),
+            planted_defect: false,
         }
     }
 
@@ -213,6 +222,19 @@ impl MachineConfig {
     /// Returns a copy with the invariant auditor forced on or off.
     pub fn with_audit(mut self, on: bool) -> MachineConfig {
         self.audit = on;
+        self
+    }
+
+    /// Returns a copy with the deadlock-watchdog window set to `cycles`
+    /// (how long the pipeline may go without committing before the run
+    /// aborts with a structured [`crate::SimError::Deadlock`]).
+    ///
+    /// The 200 000-cycle default suits interactive runs; fuzz campaigns
+    /// set a much tighter window so a wedged input is bounded by
+    /// `budget × window` cycles instead of hanging a worker. A zero
+    /// window is rejected by [`MachineConfig::validate`].
+    pub fn with_deadlock_window(mut self, cycles: u64) -> MachineConfig {
+        self.deadlock_cycles = cycles;
         self
     }
 
@@ -324,6 +346,23 @@ mod tests {
         let mut c = MachineConfig::iscapaper_base();
         c.fu_counts.int_alu = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn deadlock_window_builder_and_validation() {
+        let c = MachineConfig::iscapaper_base();
+        assert_eq!(c.deadlock_cycles, 200_000, "default window");
+        let c = c.with_deadlock_window(25_000);
+        assert_eq!(c.deadlock_cycles, 25_000);
+        assert_eq!(c.validate(), Ok(()));
+        let c = c.with_deadlock_window(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroDeadlockWindow));
+    }
+
+    #[test]
+    fn planted_defect_defaults_off() {
+        assert!(!MachineConfig::iscapaper_base().planted_defect);
+        assert!(!MachineConfig::n_plus_m(4, 2).with_optimizations().planted_defect);
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub struct DiagnosticDump {
     pub dispatched: u64,
     /// The watchdog window that expired (0 when captured by the auditor).
     pub watchdog_window: u64,
+    /// The *configured* watchdog threshold
+    /// ([`crate::MachineConfig::deadlock_cycles`]), populated in every
+    /// dump regardless of what tripped it — campaigns run with tightened
+    /// windows, and a dump must say which budget it was captured under.
+    pub deadlock_window: u64,
     /// ROB occupancy.
     pub rob_len: usize,
     /// ROB capacity.
@@ -110,8 +115,8 @@ impl fmt::Display for DiagnosticDump {
         )?;
         writeln!(
             f,
-            "  port stalls: l1 {}, lvc {}",
-            self.l1_port_stalls, self.lvc_port_stalls
+            "  port stalls: l1 {}, lvc {} (watchdog window {} cycles)",
+            self.l1_port_stalls, self.lvc_port_stalls, self.deadlock_window
         )?;
         match &self.head {
             Some(h) => {

@@ -580,6 +580,7 @@ impl<'c> Core<'c> {
             committed: self.res.committed,
             dispatched: self.dispatched,
             watchdog_window,
+            deadlock_window: self.cfg.deadlock_cycles,
             rob_len: self.rob.len(),
             rob_cap: self.cfg.rob_size,
             lsq_len: self.lsq.len(),
@@ -760,6 +761,17 @@ impl<'c> Core<'c> {
                         break;
                     }
                     self.fault_cache_access(in_lvaq, addr);
+                    // Test-only planted defect (see MachineConfig): the
+                    // fast kernel charges a phantom LVAQ port-stall cycle
+                    // for stores retiring to word index 6 mod 16, so a
+                    // differential campaign has a real bug to catch.
+                    if self.cfg.planted_defect
+                        && !self.cfg.reference_kernel
+                        && in_lvaq
+                        && (addr >> 2) & 0xf == 0x6
+                    {
+                        self.res.lvaq.port_stall_cycles += 1;
+                    }
                     self.trace(head, |tr| tr.mem_path = MemPath::StoreRetired);
                     self.pop_mem_head(head, in_lvaq, true);
                 } else {

@@ -124,6 +124,20 @@ impl FunctionBuilder {
         self.frame_bytes
     }
 
+    /// The instructions emitted so far (branch/call targets still
+    /// unresolved — they are fixed up at link time).
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Creates a label and binds it to the next instruction in one step —
+    /// the common "target is right here" case in generated code.
+    pub fn label_here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
     /// Appends an arbitrary instruction.
     pub fn push(&mut self, i: Instr) -> &mut Self {
         self.instrs.push(i);

@@ -1,0 +1,1056 @@
+//! Seeded generative program fuzzing.
+//!
+//! Three layers, all deterministic under a seed:
+//!
+//! 1. **Generation** — [`fuzz_program`] emits a random but *well-formed*
+//!    program from a [`FuzzWeights`] table: bounded loops, calls down a
+//!    DAG with varied frame sizes (plus an optional counter-bounded
+//!    recursive function), `$sp`-relative and *computed* stack addresses
+//!    (the ambiguous stack-pointing accesses decoupled designs are most
+//!    fragile on), deliberately wrong stream hints, FP mixes, and — when
+//!    the weight table asks for them — deliberate trap sites.
+//! 2. **Mutation** — [`mutate`] perturbs an existing program (op
+//!    substitution, hint rotation, immediate/offset jitter, matched
+//!    frame-size jitter, block splicing) while preserving structural
+//!    well-formedness: the image length never changes and every static
+//!    control target stays inside the image. Mutants may *trap* — that is
+//!    fine, both simulation kernels must trap identically.
+//! 3. **Reduction support** — [`nop_range`], [`compact`] and
+//!    [`active_len`] are the primitives a delta-debugging minimizer needs:
+//!    nop-ing keeps the pc layout (so every control target stays valid),
+//!    and compaction strips the accumulated nops with a monotone pc remap
+//!    once the reducer has converged.
+//!
+//! "Well-formed" here means: the program links, every statically visible
+//! control target is inside the image, every loop is counter-bounded, and
+//! recursion depth is bounded. It does *not* mean trap-free — a program
+//! that traps is a valid differential-fuzzing input as long as both
+//! kernels report the identical trap.
+
+use dda_isa::{
+    AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, StreamHint,
+};
+use dda_stats::Rng;
+
+use crate::builder::{FunctionBuilder, ProgramBuilder};
+use crate::program::Program;
+
+/// Weight table steering [`fuzz_program`] toward regions of the ISA.
+///
+/// Each field is a relative weight for one *segment kind* (a segment is
+/// one to a handful of instructions). Weights are relative to each other;
+/// a zero weight disables the kind. Campaigns rotate through
+/// [`FuzzWeights::presets`] so every region gets attention.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FuzzWeights {
+    /// Three-register ALU operations.
+    pub alu: u32,
+    /// Immediate ALU operations.
+    pub alu_imm: u32,
+    /// Immediate loads (constants, occasionally extreme values).
+    pub load_imm: u32,
+    /// FP arithmetic, compares and int<->fp conversions.
+    pub fp: u32,
+    /// `$sp`-relative loads/stores hinted local (word and FP double).
+    pub local_mem: u32,
+    /// Stack accesses through a *computed* base register (`$k0 = $sp +
+    /// off` then access through `$k0`, hint `Unknown`) — ambiguous
+    /// stack-pointing accesses the steering logic cannot see statically.
+    pub computed_mem: u32,
+    /// Memory accesses carrying a deliberately wrong stream hint (stack
+    /// access hinted non-local, global access hinted local) to stress the
+    /// misclassification-recovery path.
+    pub wrong_hint_mem: u32,
+    /// `$gp`-relative and heap accesses hinted non-local.
+    pub global_mem: u32,
+    /// Sub-word (byte/halfword) accesses to the global region.
+    pub narrow_mem: u32,
+    /// Short forward conditional branches.
+    pub branch: u32,
+    /// Counter-bounded loops (nesting up to two deep).
+    pub loops: u32,
+    /// Calls down the function DAG (including the bounded-recursion
+    /// helper when present).
+    pub call: u32,
+    /// Deliberate trap sites: misaligned access, unmapped access, stack
+    /// overflow through `$sp`, illegal indirect-call target. Zero in
+    /// every preset except [`FuzzWeights::trapping`].
+    pub trap_site: u32,
+}
+
+impl FuzzWeights {
+    /// A bit of everything — the default campaign mix.
+    pub fn balanced() -> FuzzWeights {
+        FuzzWeights {
+            alu: 20,
+            alu_imm: 14,
+            load_imm: 10,
+            fp: 8,
+            local_mem: 16,
+            computed_mem: 8,
+            wrong_hint_mem: 4,
+            global_mem: 10,
+            narrow_mem: 4,
+            branch: 6,
+            loops: 6,
+            call: 8,
+            trap_site: 0,
+        }
+    }
+
+    /// Heavy on `$sp`-relative, computed and wrongly hinted stack traffic —
+    /// the LVAQ/steering stress mix.
+    pub fn stack_heavy() -> FuzzWeights {
+        FuzzWeights {
+            local_mem: 30,
+            computed_mem: 18,
+            wrong_hint_mem: 10,
+            call: 12,
+            global_mem: 4,
+            ..FuzzWeights::balanced()
+        }
+    }
+
+    /// FP-dominated bodies (double loads/stores ride on `local_mem` /
+    /// `global_mem` with FP variants).
+    pub fn fp_heavy() -> FuzzWeights {
+        FuzzWeights { fp: 32, local_mem: 14, alu: 10, ..FuzzWeights::balanced() }
+    }
+
+    /// Branch/loop/call dominated — deep call/return chains and dense
+    /// control flow.
+    pub fn control_heavy() -> FuzzWeights {
+        FuzzWeights { branch: 18, loops: 14, call: 16, alu: 10, ..FuzzWeights::balanced() }
+    }
+
+    /// Includes deliberate trap sites; both kernels must report the
+    /// identical structured trap.
+    pub fn trapping() -> FuzzWeights {
+        FuzzWeights { trap_site: 8, ..FuzzWeights::balanced() }
+    }
+
+    /// All named presets, for campaign rotation.
+    pub fn presets() -> [(&'static str, FuzzWeights); 5] {
+        [
+            ("balanced", FuzzWeights::balanced()),
+            ("stack_heavy", FuzzWeights::stack_heavy()),
+            ("fp_heavy", FuzzWeights::fp_heavy()),
+            ("control_heavy", FuzzWeights::control_heavy()),
+            ("trapping", FuzzWeights::trapping()),
+        ]
+    }
+}
+
+impl Default for FuzzWeights {
+    fn default() -> Self {
+        FuzzWeights::balanced()
+    }
+}
+
+/// Derives the per-input seed for input `index` of a campaign, so results
+/// are independent of worker count and input batching (splitmix64 over
+/// the pair).
+pub fn derive_seed(campaign_seed: u64, index: u64) -> u64 {
+    let mut z = campaign_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// Registers random segments may write. `$sp`/`$gp`/`$ra` are managed by
+// the generated prologue/epilogue/call code, `$s0..$s3` are loop
+// counters, and `$k0`/`$k1` are reserved as address scratch, so none of
+// them appear here.
+const SCRATCH: [Gpr; 14] = [
+    Gpr::T0,
+    Gpr::T1,
+    Gpr::T2,
+    Gpr::T3,
+    Gpr::T4,
+    Gpr::T5,
+    Gpr::T6,
+    Gpr::T7,
+    Gpr::V0,
+    Gpr::V1,
+    Gpr::A1,
+    Gpr::A2,
+    Gpr::A3,
+    Gpr::T8,
+];
+
+// Loop counters by nesting depth.
+const COUNTERS: [Gpr; 2] = [Gpr::S0, Gpr::S1];
+
+struct Gen<'w> {
+    rng: Rng,
+    w: &'w FuzzWeights,
+}
+
+/// What a function body is allowed to emit.
+struct BodyCtx<'n> {
+    frame: i32,
+    /// Functions this one may call (strictly later in the DAG).
+    callees: &'n [String],
+    /// The bounded-recursion helper, callable from anywhere but itself.
+    rec: Option<&'n str>,
+    loop_depth: u32,
+    calls_left: u32,
+}
+
+impl Gen<'_> {
+    fn reg(&mut self) -> Gpr {
+        SCRATCH[self.rng.gen_range(0..SCRATCH.len())]
+    }
+
+    fn fpr(&mut self) -> Fpr {
+        Fpr::new(self.rng.gen_range(0u8..8))
+    }
+
+    fn alu_op(&mut self) -> AluOp {
+        AluOp::ALL[self.rng.gen_range(0..AluOp::ALL.len())]
+    }
+
+    fn cond(&mut self) -> BranchCond {
+        BranchCond::ALL[self.rng.gen_range(0..BranchCond::ALL.len())]
+    }
+
+    /// A word-aligned in-frame offset at or above the 8-byte save area.
+    fn frame_off(&mut self, frame: i32, align: i32) -> i32 {
+        let lo = 8 / align;
+        let hi = frame / align;
+        if hi <= lo {
+            8
+        } else {
+            self.rng.gen_range(lo..hi) * align
+        }
+    }
+
+    /// Draws one segment kind index from the weight table.
+    fn pick(&mut self, weights: &[(u32, SegKind)]) -> SegKind {
+        let total: u32 = weights.iter().map(|(w, _)| *w).sum();
+        if total == 0 {
+            return SegKind::Alu;
+        }
+        let mut roll = self.rng.gen_range(0..total);
+        for (w, kind) in weights {
+            if roll < *w {
+                return *kind;
+            }
+            roll -= *w;
+        }
+        SegKind::Alu
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SegKind {
+    Alu,
+    AluImm,
+    LoadImm,
+    Fp,
+    LocalMem,
+    ComputedMem,
+    WrongHintMem,
+    GlobalMem,
+    NarrowMem,
+    Branch,
+    Loop,
+    Call,
+    TrapSite,
+}
+
+fn weight_table(w: &FuzzWeights, ctx: &BodyCtx<'_>) -> Vec<(u32, SegKind)> {
+    let can_call =
+        ctx.calls_left > 0 && (!ctx.callees.is_empty() || ctx.rec.is_some());
+    vec![
+        (w.alu, SegKind::Alu),
+        (w.alu_imm, SegKind::AluImm),
+        (w.load_imm, SegKind::LoadImm),
+        (w.fp, SegKind::Fp),
+        (w.local_mem, SegKind::LocalMem),
+        (w.computed_mem, SegKind::ComputedMem),
+        (w.wrong_hint_mem, SegKind::WrongHintMem),
+        (w.global_mem, SegKind::GlobalMem),
+        (w.narrow_mem, SegKind::NarrowMem),
+        (w.branch, SegKind::Branch),
+        (if ctx.loop_depth < 2 { w.loops } else { 0 }, SegKind::Loop),
+        (if can_call { w.call } else { 0 }, SegKind::Call),
+        (w.trap_site, SegKind::TrapSite),
+    ]
+}
+
+fn emit_segment(g: &mut Gen<'_>, f: &mut FunctionBuilder, ctx: &mut BodyCtx<'_>) {
+    let kind = {
+        let table = weight_table(g.w, ctx);
+        g.pick(&table)
+    };
+    match kind {
+        SegKind::Alu => {
+            let (op, rd, rs, rt) = (g.alu_op(), g.reg(), g.reg(), g.reg());
+            f.alu(op, rd, rs, rt);
+        }
+        SegKind::AluImm => {
+            let (op, rd, rs) = (g.alu_op(), g.reg(), g.reg());
+            let imm = g.rng.gen_range(-64i32..=64);
+            f.alui(op, rd, rs, imm);
+        }
+        SegKind::LoadImm => {
+            let rd = g.reg();
+            let imm = match g.rng.gen_range(0..6u32) {
+                0 => 0,
+                1 => 1,
+                2 => -1,
+                3 => i32::MAX,
+                4 => i32::MIN,
+                _ => g.rng.gen_range(-4096i32..=4096),
+            };
+            f.load_imm(rd, imm);
+        }
+        SegKind::Fp => match g.rng.gen_range(0..5u32) {
+            0 => {
+                let (fd, rs) = (g.fpr(), g.reg());
+                f.int_to_fp(fd, rs);
+            }
+            1 => {
+                let ops = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Div];
+                let op = ops[g.rng.gen_range(0..ops.len())];
+                let (fd, fs, ft) = (g.fpr(), g.fpr(), g.fpr());
+                f.fpu(op, fd, fs, ft);
+            }
+            2 => {
+                // Unary op: `ft` mirrors `fs` so the image round-trips
+                // through the assembler (unary syntax carries no `ft`).
+                let ops = [FpuOp::Neg, FpuOp::Abs, FpuOp::Mov, FpuOp::Sqrt];
+                let op = ops[g.rng.gen_range(0..ops.len())];
+                let (fd, fs) = (g.fpr(), g.fpr());
+                f.fpu(op, fd, fs, fs);
+            }
+            3 => {
+                let cond = FpCond::ALL[g.rng.gen_range(0..FpCond::ALL.len())];
+                let (rd, fs, ft) = (g.reg(), g.fpr(), g.fpr());
+                f.fp_cmp(cond, rd, fs, ft);
+            }
+            _ => {
+                let (rd, fs) = (g.reg(), g.fpr());
+                f.fp_to_int(rd, fs);
+            }
+        },
+        SegKind::LocalMem => match g.rng.gen_range(0..4u32) {
+            0 => {
+                let (rs, off) = (g.reg(), g.frame_off(ctx.frame, 4));
+                f.store_local(rs, off);
+            }
+            1 => {
+                let (rd, off) = (g.reg(), g.frame_off(ctx.frame, 4));
+                f.load_local(rd, off);
+            }
+            2 => {
+                let (fs, off) = (g.fpr(), g.frame_off(ctx.frame, 8));
+                f.fstore(fs, Gpr::SP, off, StreamHint::Local);
+            }
+            _ => {
+                let (fd, off) = (g.fpr(), g.frame_off(ctx.frame, 8));
+                f.fload(fd, Gpr::SP, off, StreamHint::Local);
+            }
+        },
+        SegKind::ComputedMem => {
+            // The base register points into the frame, but the access is
+            // not $sp-relative — the steering logic only sees the hint.
+            let off = g.frame_off(ctx.frame, 4);
+            if g.rng.gen_bool(0.5) {
+                f.addi(Gpr::K0, Gpr::SP, off);
+                let r = g.reg();
+                if g.rng.gen_bool(0.5) {
+                    f.store(r, Gpr::K0, 0, MemWidth::Word, StreamHint::Unknown);
+                } else {
+                    f.load(r, Gpr::K0, 0, MemWidth::Word, StreamHint::Unknown);
+                }
+            } else {
+                f.mov(Gpr::K0, Gpr::SP);
+                let r = g.reg();
+                if g.rng.gen_bool(0.5) {
+                    f.store(r, Gpr::K0, off, MemWidth::Word, StreamHint::Unknown);
+                } else {
+                    f.load(r, Gpr::K0, off, MemWidth::Word, StreamHint::Unknown);
+                }
+            }
+        }
+        SegKind::WrongHintMem => {
+            if g.rng.gen_bool(0.5) {
+                // Stack access claiming to be non-local.
+                let (r, off) = (g.reg(), g.frame_off(ctx.frame, 4));
+                if g.rng.gen_bool(0.5) {
+                    f.store(r, Gpr::SP, off, MemWidth::Word, StreamHint::NonLocal);
+                } else {
+                    f.load(r, Gpr::SP, off, MemWidth::Word, StreamHint::NonLocal);
+                }
+            } else {
+                // Global access claiming to be local.
+                let r = g.reg();
+                let off = g.rng.gen_range(0..64i32) * 4;
+                if g.rng.gen_bool(0.5) {
+                    f.store(r, Gpr::GP, off, MemWidth::Word, StreamHint::Local);
+                } else {
+                    f.load(r, Gpr::GP, off, MemWidth::Word, StreamHint::Local);
+                }
+            }
+        }
+        SegKind::GlobalMem => {
+            let r = g.reg();
+            if g.rng.gen_bool(0.8) {
+                let off = g.rng.gen_range(0..128i32) * 4;
+                if g.rng.gen_bool(0.5) {
+                    f.store(r, Gpr::GP, off, MemWidth::Word, StreamHint::NonLocal);
+                } else {
+                    f.load(r, Gpr::GP, off, MemWidth::Word, StreamHint::NonLocal);
+                }
+            } else {
+                // Heap access through a constant base.
+                let off = g.rng.gen_range(0..64i32) * 4;
+                f.load_imm(Gpr::K1, 0x2000_0000);
+                if g.rng.gen_bool(0.5) {
+                    f.store(r, Gpr::K1, off, MemWidth::Word, StreamHint::NonLocal);
+                } else {
+                    f.load(r, Gpr::K1, off, MemWidth::Word, StreamHint::NonLocal);
+                }
+            }
+        }
+        SegKind::NarrowMem => {
+            let r = g.reg();
+            let width = if g.rng.gen_bool(0.5) { MemWidth::Byte } else { MemWidth::Half };
+            let align = width.bytes() as i32;
+            let off = g.rng.gen_range(0..128i32) * align;
+            let hint =
+                if g.rng.gen_bool(0.5) { StreamHint::NonLocal } else { StreamHint::Unknown };
+            if g.rng.gen_bool(0.5) {
+                f.store(r, Gpr::GP, off, width, hint);
+            } else {
+                f.load(r, Gpr::GP, off, width, hint);
+            }
+        }
+        SegKind::Branch => {
+            // Short forward skip; both paths are well-formed.
+            let skip = f.new_label();
+            let (cond, rs, rt) = (g.cond(), g.reg(), g.reg());
+            f.branch(cond, rs, rt, skip);
+            for _ in 0..g.rng.gen_range(1..=3u32) {
+                let (op, rd, rs2, rt2) = (g.alu_op(), g.reg(), g.reg(), g.reg());
+                f.alu(op, rd, rs2, rt2);
+            }
+            f.bind(skip);
+        }
+        SegKind::Loop => {
+            let counter = COUNTERS[ctx.loop_depth as usize];
+            let trip = g.rng.gen_range(1..=8i32);
+            f.load_imm(counter, trip);
+            let top = f.new_label();
+            f.bind(top);
+            ctx.loop_depth += 1;
+            for _ in 0..g.rng.gen_range(1..=4u32) {
+                emit_segment(g, f, ctx);
+            }
+            ctx.loop_depth -= 1;
+            f.addi(counter, counter, -1);
+            f.branch(BranchCond::Gt, counter, Gpr::ZERO, top);
+        }
+        SegKind::Call => {
+            ctx.calls_left = ctx.calls_left.saturating_sub(1);
+            let pick_rec = ctx.rec.is_some() && (ctx.callees.is_empty() || g.rng.gen_bool(0.3));
+            if pick_rec {
+                if let Some(rec) = ctx.rec {
+                    let depth = g.rng.gen_range(2..=24i32);
+                    f.load_imm(Gpr::A0, depth);
+                    f.call(rec.to_string());
+                }
+            } else if !ctx.callees.is_empty() {
+                let callee = &ctx.callees[g.rng.gen_range(0..ctx.callees.len())];
+                f.call(callee.clone());
+            }
+        }
+        SegKind::TrapSite => match g.rng.gen_range(0..4u32) {
+            0 => {
+                // Misaligned word access.
+                let r = g.reg();
+                f.load(r, Gpr::GP, 2, MemWidth::Word, StreamHint::NonLocal);
+            }
+            1 => {
+                // Unmapped low address.
+                let r = g.reg();
+                f.load(r, Gpr::ZERO, 64, MemWidth::Word, StreamHint::Unknown);
+            }
+            2 => {
+                // Far below the stack through $sp: stack overflow.
+                let r = g.reg();
+                f.load(r, Gpr::SP, -8_388_608, MemWidth::Word, StreamHint::Local);
+            }
+            _ => {
+                // Indirect call to an illegal target.
+                f.load_imm(Gpr::K1, 0x00AB_CDEF);
+                f.call_reg(Gpr::K1);
+            }
+        },
+    }
+}
+
+/// Emits one function: prologue, weighted body segments, epilogue.
+fn emit_function(
+    g: &mut Gen<'_>,
+    name: &str,
+    frame: i32,
+    callees: &[String],
+    rec: Option<&str>,
+    is_main: bool,
+) -> FunctionBuilder {
+    let mut f = FunctionBuilder::with_frame(name, frame as u32);
+    f.addi(Gpr::SP, Gpr::SP, -frame);
+    f.store_local(Gpr::RA, 0);
+    let mut ctx = BodyCtx {
+        frame,
+        callees,
+        rec,
+        loop_depth: 0,
+        calls_left: 3,
+    };
+    for _ in 0..g.rng.gen_range(4..=10u32) {
+        emit_segment(g, &mut f, &mut ctx);
+    }
+    f.load_local(Gpr::RA, 0);
+    f.addi(Gpr::SP, Gpr::SP, frame);
+    if is_main {
+        f.halt();
+    } else {
+        f.ret();
+    }
+    f
+}
+
+/// The counter-bounded recursion helper: call with the depth in `$a0`.
+fn emit_rec(name: &str) -> FunctionBuilder {
+    let mut f = FunctionBuilder::with_frame(name, 16);
+    f.addi(Gpr::SP, Gpr::SP, -16);
+    f.store_local(Gpr::RA, 0);
+    f.store_local(Gpr::A0, 4);
+    f.addi(Gpr::A0, Gpr::A0, -1);
+    let done = f.new_label();
+    f.branch(BranchCond::Le, Gpr::A0, Gpr::ZERO, done);
+    f.call(name.to_string());
+    f.bind(done);
+    f.load_local(Gpr::A0, 4);
+    f.load_local(Gpr::RA, 0);
+    f.addi(Gpr::SP, Gpr::SP, 16);
+    f.ret();
+    f
+}
+
+/// Generates a random well-formed program from `seed` and a weight table.
+///
+/// The result always links (`main` first, standard memory layout), every
+/// loop is counter-bounded, recursion is depth-bounded, and every
+/// statically visible control target is inside the image. With
+/// `trap_site == 0` the program runs to `halt` on the functional
+/// simulator; with trap sites it may end in a deterministic trap instead.
+pub fn fuzz_program(seed: u64, w: &FuzzWeights) -> Program {
+    let mut g = Gen { rng: Rng::seed_from_u64(seed), w };
+
+    let helpers = g.rng.gen_range(0..=3usize);
+    let with_rec = g.rng.gen_bool(0.35);
+    let names: Vec<String> = (1..=helpers).map(|i| format!("f{i}")).collect();
+    let rec_name = with_rec.then(|| "rec".to_string());
+
+    let mut b = ProgramBuilder::new();
+    let main_frame = 8 * g.rng.gen_range(4..=12i32);
+    b.add_function(emit_function(
+        &mut g,
+        "main",
+        main_frame,
+        &names,
+        rec_name.as_deref(),
+        true,
+    ));
+    for (i, name) in names.iter().enumerate() {
+        let frame = 8 * g.rng.gen_range(2..=12i32);
+        let callees = &names[i + 1..];
+        let f = emit_function(&mut g, name, frame, callees, rec_name.as_deref(), false);
+        b.add_function(f);
+    }
+    if let Some(rec) = &rec_name {
+        b.add_function(emit_rec(rec));
+    }
+
+    match b.build() {
+        Ok(p) => p,
+        // Unreachable by construction (unique names, all calls resolve,
+        // all labels bound); a degenerate fallback keeps the API total.
+        Err(_) => trivial_program(),
+    }
+}
+
+/// The smallest valid program: `main: halt`.
+fn trivial_program() -> Program {
+    let mut main = FunctionBuilder::new("main");
+    main.halt();
+    let mut b = ProgramBuilder::new();
+    b.add_function(main);
+    match b.build() {
+        Ok(p) => p,
+        Err(_) => unreachable!("single-halt program always links"),
+    }
+}
+
+// --------------------------------------------------------------- mutate --
+
+/// Whether an instruction writes `$sp` (frame-balance relevant).
+fn defines_sp(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::Alu { rd, .. } | Instr::AluImm { rd, .. } | Instr::LoadImm { rd, .. }
+            if *rd == Gpr::SP
+    )
+}
+
+fn rotate_hint(h: StreamHint) -> StreamHint {
+    match h {
+        StreamHint::Unknown => StreamHint::Local,
+        StreamHint::Local => StreamHint::NonLocal,
+        StreamHint::NonLocal => StreamHint::Unknown,
+    }
+}
+
+/// Perturbs `p` while preserving structural well-formedness: the image
+/// length never changes and no control target is touched, so every
+/// branch/jump/call still lands inside the image. Mutants may trap or
+/// wander — the differential oracle only requires both kernels to agree.
+///
+/// Applied mutations (a seeded mix of): ALU/branch/FP op substitution,
+/// stream-hint rotation, immediate and aligned-offset jitter, matched
+/// prologue/epilogue frame-size jitter (metadata updated to match), and
+/// splicing one straight-line run over another of the same length.
+pub fn mutate(p: &Program, seed: u64) -> Program {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut out = p.clone();
+    if out.instrs.is_empty() {
+        return out;
+    }
+    let n_mutations = rng.gen_range(2..=8u32);
+    for _ in 0..n_mutations {
+        match rng.gen_range(0..5u32) {
+            0 => substitute_op(&mut out, &mut rng),
+            1 => rotate_one_hint(&mut out, &mut rng),
+            2 => jitter_immediate(&mut out, &mut rng),
+            3 => jitter_frame(&mut out, &mut rng),
+            _ => splice_blocks(&mut out, &mut rng),
+        }
+    }
+    out
+}
+
+fn pick_site(len: usize, rng: &mut Rng, mut accept: impl FnMut(usize) -> bool) -> Option<usize> {
+    for _ in 0..16 {
+        let i = rng.gen_range(0..len);
+        if accept(i) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn substitute_op(p: &mut Program, rng: &mut Rng) {
+    let site = pick_site(p.instrs.len(), rng, |i| {
+        matches!(
+            p.instrs[i],
+            Instr::Alu { .. }
+                | Instr::AluImm { .. }
+                | Instr::Branch { .. }
+                | Instr::Fpu { .. }
+                | Instr::FpCmp { .. }
+        )
+    });
+    let Some(i) = site else { return };
+    match &mut p.instrs[i] {
+        Instr::Alu { op, .. } | Instr::AluImm { op, .. } => {
+            *op = AluOp::ALL[rng.gen_range(0..AluOp::ALL.len())];
+        }
+        Instr::Branch { cond, .. } => {
+            *cond = BranchCond::ALL[rng.gen_range(0..BranchCond::ALL.len())];
+        }
+        Instr::Fpu { op, fs, ft, .. } => {
+            if op.is_binary() {
+                let ops = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Div];
+                *op = ops[rng.gen_range(0..ops.len())];
+            } else {
+                let ops = [FpuOp::Neg, FpuOp::Abs, FpuOp::Mov, FpuOp::Sqrt];
+                *op = ops[rng.gen_range(0..ops.len())];
+                *ft = *fs; // keep the unary normal form
+            }
+        }
+        Instr::FpCmp { cond, .. } => {
+            *cond = FpCond::ALL[rng.gen_range(0..FpCond::ALL.len())];
+        }
+        _ => {}
+    }
+}
+
+fn rotate_one_hint(p: &mut Program, rng: &mut Rng) {
+    let site = pick_site(p.instrs.len(), rng, |i| p.instrs[i].mem_operand().is_some());
+    let Some(i) = site else { return };
+    match &mut p.instrs[i] {
+        Instr::Load { hint, .. }
+        | Instr::Store { hint, .. }
+        | Instr::FLoad { hint, .. }
+        | Instr::FStore { hint, .. } => *hint = rotate_hint(*hint),
+        _ => {}
+    }
+}
+
+fn jitter_immediate(p: &mut Program, rng: &mut Rng) {
+    let site = pick_site(p.instrs.len(), rng, |i| match &p.instrs[i] {
+        // Leave $sp arithmetic to the matched frame jitter.
+        Instr::AluImm { rd, .. } | Instr::LoadImm { rd, .. } => *rd != Gpr::SP,
+        Instr::Load { .. } | Instr::Store { .. } | Instr::FLoad { .. } | Instr::FStore { .. } => {
+            true
+        }
+        _ => false,
+    });
+    let Some(i) = site else { return };
+    match &mut p.instrs[i] {
+        Instr::AluImm { imm, .. } | Instr::LoadImm { imm, .. } => {
+            *imm = imm.wrapping_add(rng.gen_range(-16i32..=16));
+        }
+        Instr::Load { offset, width, .. } | Instr::Store { offset, width, .. } => {
+            let step = width.bytes() as i32;
+            *offset = offset.wrapping_add(step * rng.gen_range(-4i32..=4));
+        }
+        Instr::FLoad { offset, .. } | Instr::FStore { offset, .. } => {
+            *offset = offset.wrapping_add(8 * rng.gen_range(-2i32..=2));
+        }
+        _ => {}
+    }
+}
+
+/// Bumps one function's frame size, keeping the `addi $sp, $sp, -k` /
+/// `addi $sp, $sp, +k` pair matched and the metadata in sync.
+fn jitter_frame(p: &mut Program, rng: &mut Rng) {
+    if p.functions.is_empty() {
+        return;
+    }
+    let fi = rng.gen_range(0..p.functions.len());
+    let (start, end) = (p.functions[fi].start as usize, p.functions[fi].end as usize);
+    let is_sp_adjust = |i: &Instr| -> Option<i32> {
+        match i {
+            Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm } => Some(*imm),
+            _ => None,
+        }
+    };
+    let mut alloc = None;
+    for idx in start..end.min(p.instrs.len()) {
+        if let Some(imm) = is_sp_adjust(&p.instrs[idx]) {
+            if imm < 0 {
+                alloc = Some((idx, -imm));
+                break;
+            }
+        }
+    }
+    let Some((alloc_idx, k)) = alloc else { return };
+    let mut release = None;
+    for idx in (alloc_idx + 1)..end.min(p.instrs.len()) {
+        if is_sp_adjust(&p.instrs[idx]) == Some(k) {
+            release = Some(idx);
+        }
+    }
+    let Some(release_idx) = release else { return };
+    let new_k = (k + 8 * rng.gen_range(-2i32..=4)).clamp(16, 4096);
+    p.instrs[alloc_idx] =
+        Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm: -new_k };
+    p.instrs[release_idx] =
+        Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm: new_k };
+    p.functions[fi].frame_bytes = new_k as u32;
+}
+
+/// Copies one straight-line run (no control flow, no `$sp` definition)
+/// over another of the same length. Targets are untouched, so the result
+/// stays structurally well-formed.
+fn splice_blocks(p: &mut Program, rng: &mut Rng) {
+    let len = p.instrs.len();
+    let span = rng.gen_range(2..=6usize).min(len);
+    if span < 2 || len < 2 * span {
+        return;
+    }
+    let ok_run = |s: usize| {
+        p.instrs[s..s + span].iter().all(|i| !i.is_control() && !defines_sp(i))
+    };
+    let src = pick_site(len - span, rng, ok_run);
+    let Some(src) = src else { return };
+    let dst = pick_site(len - span, rng, |d| {
+        ok_run(d) && (d + span <= src || d >= src + span)
+    });
+    let Some(dst) = dst else { return };
+    let run: Vec<Instr> = p.instrs[src..src + span].to_vec();
+    p.instrs[dst..dst + span].copy_from_slice(&run);
+}
+
+// ------------------------------------------------------------- reduce --
+
+/// Returns a copy of `p` with `[start, end)` replaced by `nop`s.
+///
+/// The pc layout is untouched, so every control target in the rest of
+/// the image stays valid — this is the reduction step a delta-debugging
+/// minimizer applies repeatedly. Out-of-range bounds are clamped.
+pub fn nop_range(p: &Program, start: usize, end: usize) -> Program {
+    let mut out = p.clone();
+    let end = end.min(out.instrs.len());
+    for i in out.instrs.iter_mut().take(end).skip(start) {
+        *i = Instr::Nop;
+    }
+    out
+}
+
+/// Number of non-`nop` instructions — the size a minimized reproducer is
+/// measured by while it is still nop-padded.
+pub fn active_len(p: &Program) -> usize {
+    p.instrs.iter().filter(|i| !matches!(i, Instr::Nop)).count()
+}
+
+/// Strips every `nop` from the image, remapping all control targets, the
+/// entry pc and the function table through the (monotone) old-to-new pc
+/// map. A target that pointed at a removed instruction moves to the next
+/// surviving one. Functions that become empty are dropped.
+///
+/// Returns `None` if nothing would remain. The caller must re-validate
+/// that whatever property the reduction preserves still holds on the
+/// compacted program (compaction changes pcs, so timing-sensitive
+/// reproducers can shift).
+pub fn compact(p: &Program) -> Option<Program> {
+    let keep: Vec<bool> = p.instrs.iter().map(|i| !matches!(i, Instr::Nop)).collect();
+    let kept = keep.iter().filter(|k| **k).count();
+    if kept == 0 {
+        return None;
+    }
+    // map[pc] = number of kept instructions strictly before pc; for a
+    // removed pc this is exactly the new index of the next survivor.
+    let mut map = Vec::with_capacity(keep.len() + 1);
+    let mut running = 0u32;
+    for k in &keep {
+        map.push(running);
+        if *k {
+            running += 1;
+        }
+    }
+    map.push(running);
+    let remap = |t: u32| -> u32 { map.get(t as usize).copied().unwrap_or(running) };
+
+    let mut instrs = Vec::with_capacity(kept);
+    for (i, keep_it) in keep.iter().enumerate() {
+        if !*keep_it {
+            continue;
+        }
+        let mut instr = p.instrs[i];
+        match &mut instr {
+            Instr::Branch { target, .. }
+            | Instr::Jump { target }
+            | Instr::Call { target } => *target = remap(*target),
+            _ => {}
+        }
+        instrs.push(instr);
+    }
+
+    let mut functions = Vec::new();
+    for f in &p.functions {
+        let (start, end) = (remap(f.start), remap(f.end));
+        if start < end {
+            let mut nf = f.clone();
+            nf.start = start;
+            nf.end = end;
+            functions.push(nf);
+        }
+    }
+    if functions.is_empty() {
+        return None;
+    }
+    let symbols = functions.iter().map(|f| (f.name.clone(), f.start)).collect();
+    let entry = remap(p.entry).min(instrs.len() as u32 - 1);
+    Some(Program { instrs, entry, layout: p.layout, functions, symbols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets_in_image(p: &Program) -> bool {
+        let len = p.len() as u32;
+        p.instrs().iter().all(|i| match i {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target } => {
+                *target < len
+            }
+            _ => true,
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = FuzzWeights::balanced();
+        for seed in 0..8 {
+            assert_eq!(fuzz_program(seed, &w), fuzz_program(seed, &w));
+        }
+    }
+
+    #[test]
+    fn generated_programs_are_structurally_well_formed() {
+        for (name, w) in FuzzWeights::presets() {
+            for seed in 0..24 {
+                let p = fuzz_program(derive_seed(7, seed), &w);
+                assert!(!p.is_empty(), "{name}/{seed} empty");
+                assert!(targets_in_image(&p), "{name}/{seed} has a target off-image");
+                assert_eq!(p.symbol("main"), Some(0), "{name}/{seed} main not first");
+                assert_eq!(p.entry(), 0, "{name}/{seed} entry not main");
+                // Functions partition the image.
+                let mut pc = 0;
+                for f in p.functions() {
+                    assert_eq!(f.start, pc, "{name}/{seed} function gap");
+                    pc = f.end;
+                }
+                assert_eq!(pc, p.len() as u32, "{name}/{seed} trailing gap");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_zeroes_suppress_segment_kinds() {
+        let only_alu = FuzzWeights {
+            alu: 1,
+            alu_imm: 0,
+            load_imm: 0,
+            fp: 0,
+            local_mem: 0,
+            computed_mem: 0,
+            wrong_hint_mem: 0,
+            global_mem: 0,
+            narrow_mem: 0,
+            branch: 0,
+            loops: 0,
+            call: 0,
+            trap_site: 0,
+        };
+        for seed in 0..8 {
+            let p = fuzz_program(seed, &only_alu);
+            // Prologue/epilogue aside, no memory op other than the $ra
+            // save/restore pair and no FP op may appear.
+            for i in p.instrs() {
+                assert!(
+                    !matches!(i, Instr::Fpu { .. } | Instr::FLoad { .. } | Instr::FStore { .. }),
+                    "unexpected FP op {i} with zero fp weight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutants_preserve_length_and_targets() {
+        let w = FuzzWeights::balanced();
+        for seed in 0..24 {
+            let p = fuzz_program(derive_seed(11, seed), &w);
+            let m = mutate(&p, derive_seed(13, seed));
+            assert_eq!(p.len(), m.len(), "mutation changed the image length");
+            assert!(targets_in_image(&m), "mutation broke a control target");
+            // Control-flow instruction *positions* are preserved (ops may
+            // change cond, never kind-to-or-from control).
+            for (a, b) in p.instrs().iter().zip(m.instrs()) {
+                assert_eq!(a.is_control(), b.is_control());
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_usually_changes_something() {
+        let w = FuzzWeights::balanced();
+        let mut changed = 0;
+        for seed in 0..16 {
+            let p = fuzz_program(derive_seed(3, seed), &w);
+            let a = mutate(&p, 99 + seed);
+            let b = mutate(&p, 99 + seed);
+            assert_eq!(a, b);
+            if a != p {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 12, "only {changed}/16 mutants differed from their parent");
+    }
+
+    #[test]
+    fn frame_jitter_keeps_prologue_and_metadata_in_sync() {
+        let w = FuzzWeights::balanced();
+        for seed in 0..32 {
+            let m = mutate(&fuzz_program(derive_seed(5, seed), &w), seed);
+            for f in m.functions() {
+                let body = &m.instrs()[f.start as usize..f.end as usize];
+                let allocs: Vec<i32> = body
+                    .iter()
+                    .filter_map(|i| match i {
+                        Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm }
+                            if *imm < 0 =>
+                        {
+                            Some(-imm)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(first) = allocs.first() {
+                    assert_eq!(
+                        *first as u32, f.frame_bytes,
+                        "{}: frame metadata out of sync with prologue",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nop_range_and_active_len() {
+        let p = fuzz_program(1, &FuzzWeights::balanced());
+        let n = nop_range(&p, 2, 5);
+        assert_eq!(n.len(), p.len());
+        assert!(active_len(&n) <= active_len(&p));
+        assert!(matches!(n.fetch(2), Instr::Nop));
+        // Clamped out-of-range reduction is a no-op beyond the image.
+        let full = nop_range(&p, 0, usize::MAX);
+        assert_eq!(active_len(&full), 0);
+    }
+
+    #[test]
+    fn compact_remaps_targets_monotonically() {
+        // main: 0 li, 1 nop(after reduce), 2 beq->4, 3 nop, 4 halt
+        let mut f = FunctionBuilder::new("main");
+        let done = f.new_label();
+        f.load_imm(Gpr::T0, 1);
+        f.nop();
+        f.beqz(Gpr::ZERO, done);
+        f.nop();
+        f.bind(done);
+        f.halt();
+        let mut b = ProgramBuilder::new();
+        b.add_function(f);
+        let p = b.build().expect("links");
+        let c = compact(&p).expect("something remains");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.fetch(0), Instr::LoadImm { rd: Gpr::T0, imm: 1 });
+        assert!(matches!(c.fetch(1), Instr::Branch { target: 2, .. }));
+        assert_eq!(c.fetch(2), Instr::Halt);
+        assert_eq!(c.entry(), 0);
+        assert_eq!(c.functions()[0].end, 3);
+    }
+
+    #[test]
+    fn compact_of_all_nops_is_none() {
+        let p = fuzz_program(2, &FuzzWeights::balanced());
+        assert!(compact(&nop_range(&p, 0, p.len())).is_none());
+    }
+
+    #[test]
+    fn derive_seed_spreads() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -36,10 +36,12 @@
 
 mod asm;
 mod builder;
+pub mod fuzz;
 mod layout;
 mod program;
 
 pub use asm::{assemble, AsmError};
 pub use builder::{BuildError, FunctionBuilder, Label, ProgramBuilder};
+pub use fuzz::FuzzWeights;
 pub use layout::{MemRegion, MemoryLayout};
 pub use program::{FunctionInfo, Program};

@@ -127,6 +127,37 @@ impl Program {
         out
     }
 
+    /// Emits the program as assembler source that re-[`assemble`]s to the
+    /// same image — the round-trippable sibling of [`Program::listing`]
+    /// (which is formatted for humans, not the parser).
+    ///
+    /// Functions are emitted in layout order with their `frame`
+    /// declarations; all control targets are numeric absolute pcs, which
+    /// the assembler accepts directly. The round trip is exact when the
+    /// program follows the assembler's conventions: functions partition
+    /// the image, the layout is [`MemoryLayout::standard`], the entry is
+    /// `main` (or the first function), and unary FPU ops carry `ft == fs`
+    /// (the normal form the parser produces). Programs from the builder,
+    /// the assembler and the fuzz generator all satisfy these.
+    ///
+    /// [`assemble`]: crate::assemble
+    /// [`MemoryLayout::standard`]: crate::MemoryLayout::standard
+    pub fn to_asm(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.functions {
+            if f.frame_bytes == 0 {
+                let _ = writeln!(out, "{}:", f.name);
+            } else {
+                let _ = writeln!(out, "{}: frame {}", f.name, f.frame_bytes);
+            }
+            for pc in f.start..f.end {
+                let _ = writeln!(out, "    {}", self.instrs[pc as usize]);
+            }
+        }
+        out
+    }
+
     /// Static basic-block leader pre-scan.
     ///
     /// Returns one flag per instruction: `true` when the pc can begin a

@@ -42,11 +42,13 @@
 //! ```
 
 mod block;
+mod coverage;
 mod machine;
 mod memory;
 mod profile;
 mod tcache;
 
+pub use coverage::{op_class, CoverageMap, EDGE_BUCKETS, OP_CLASS_COUNT};
 pub use machine::{DynInst, MemInfo, RunSummary, Stream, Vm, VmError};
 pub use memory::SparseMemory;
 pub use profile::{StreamProfiler, StreamStats};

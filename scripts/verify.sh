@@ -12,6 +12,13 @@
 # outcome. Both write their reports to throwaway paths so the committed
 # BENCH_*.json files (full budgets) are not clobbered by smoke numbers.
 #
+# The fuzz smoke runs a bounded differential campaign (200 generated
+# programs, fixed seed) through the fast-vs-reference oracle and fails
+# on any host panic or divergence; the corpus-replay step reruns every
+# minimized reproducer checked into tests/corpus/ through both kernels.
+# Both run in normal AND --quick modes — they are the cheapest
+# whole-machine bit-identity gates we have.
+#
 # `--quick` replaces the three-workload throughput smoke with a
 # two-workload perf smoke (compress + li) and skips the fault-campaign
 # smoke — the fastest loop that still fails the build if the fast kernel
@@ -48,6 +55,20 @@ cargo clippy -q -p dda-core -p dda-vm -p dda-mem -p dda-program -- \
 # instruction against the interpretive front-end (final state included).
 echo "== block-cache smoke (loop-heavy + call-heavy vs interpreter)"
 cargo test --release -q --test block_cache quick_smoke
+
+# Differential-fuzz smoke: 200 seeded generated/mutated programs through
+# fast vs reference with the auditor armed; the binary exits nonzero on
+# any host panic or (unminimized) divergence. Runs in both modes.
+echo "== differential-fuzz smoke (200 programs, fixed seed)"
+cargo run --release -q -p dda-bench --bin fuzz -- \
+    --quick --seed 3405695742 \
+    --out target/BENCH_fuzz_smoke.json --corpus target/fuzz_corpus_smoke
+
+# Corpus replay: every checked-in minimized reproducer re-assembles and
+# reruns through both kernels (and planted-* entries must still
+# reproduce their defect when it is armed).
+echo "== corpus replay (tests/corpus/)"
+cargo test --release -q --test corpus_replay
 
 if [ "$QUICK" = 1 ]; then
     # Perf smoke: two workloads, one rep. The binary itself asserts the

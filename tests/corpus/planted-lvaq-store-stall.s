@@ -1,0 +1,12 @@
+# Minimized differential-fuzzing reproducer.
+# campaign seed 51966, input 1 (preset stack_heavy, input seed 6306229426436461176)
+# reduced 29 -> 3 instructions (43 probes, compacted)
+# fast:      ok: 58 committed / 130 cycles, lsq 0+1 lvaq 12+9, port stalls l1 0 lvc 59, misclass 4
+# reference: ok: 58 committed / 130 cycles, lsq 0+1 lvaq 12+9, port stalls l1 0 lvc 54, misclass 4
+#
+# Replay: tests/corpus_replay.rs asserts fast == reference on every
+# file in tests/corpus/ under the (4+2) optimized machine.
+main: frame 64
+    addi  $sp, $sp, -64
+    s.d   $f1, 40($sp) !local
+    halt

@@ -1,0 +1,96 @@
+//! Regression-corpus replay: every minimized reproducer checked into
+//! `tests/corpus/` is re-assembled and rerun through both simulation
+//! kernels on the recommended (4+2) optimized machine.
+//!
+//! Two guarantees per entry:
+//!
+//! 1. **Regression guard** — with no defect armed, the fast and
+//!    reference kernels must agree on the entry. Each of these programs
+//!    once exposed a divergence; this keeps them permanently in the
+//!    oracle's path.
+//! 2. **Reproducer fidelity** — entries named `planted-*` were minimized
+//!    against the test-only planted kernel defect and must *still*
+//!    diverge when that defect is armed: the corpus stays an honest
+//!    witness, not a stale artifact.
+
+use std::sync::Arc;
+
+use dda::core::MachineConfig;
+use dda::program::assemble;
+use dda_bench::campaign::{differential, diverges};
+
+const BUDGET: u64 = 20_000;
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_entries() -> Vec<(String, String)> {
+    let mut entries = Vec::new();
+    let dir = corpus_dir();
+    let rd = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", dir.display()));
+    for entry in rd {
+        let entry = entry.expect("readable dir entry");
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("s") {
+            continue;
+        }
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        entries.push((name, src));
+    }
+    entries.sort();
+    entries
+}
+
+fn machine() -> MachineConfig {
+    MachineConfig::n_plus_m(4, 2)
+        .with_optimizations()
+        .with_audit(true)
+        .with_deadlock_window(25_000)
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        !corpus_entries().is_empty(),
+        "tests/corpus/ holds no .s entries — the regression corpus went missing"
+    );
+}
+
+#[test]
+fn every_corpus_entry_replays_clean_without_the_defect() {
+    for (name, src) in corpus_entries() {
+        let program =
+            assemble(&src).unwrap_or_else(|e| panic!("{name}: does not assemble: {e}"));
+        let d = differential(&machine(), &Arc::new(program), BUDGET);
+        assert!(!d.panicked(), "{name}: replay escaped the typed error model");
+        assert!(
+            d.agrees(),
+            "{name}: fast and reference kernels disagree — a fixed divergence regressed\n\
+             (this entry was minimized from a real divergence; investigate before touching it)"
+        );
+    }
+}
+
+#[test]
+fn planted_entries_still_reproduce_their_defect() {
+    let mut armed = machine();
+    armed.planted_defect = true;
+    let mut planted = 0;
+    for (name, src) in corpus_entries() {
+        if !name.starts_with("planted-") {
+            continue;
+        }
+        planted += 1;
+        let program =
+            assemble(&src).unwrap_or_else(|e| panic!("{name}: does not assemble: {e}"));
+        assert!(
+            diverges(&armed, &Arc::new(program), BUDGET),
+            "{name}: no longer reproduces the planted defect it was minimized against"
+        );
+    }
+    assert!(planted > 0, "no planted-* entry in tests/corpus/");
+}

@@ -1,0 +1,111 @@
+//! Acceptance tests for the differential fuzzing campaign: a clean
+//! seeded campaign finds nothing, the campaign is deterministic, the two
+//! kernels agree on deliberately trapping inputs, and the planted
+//! test-only kernel defect is caught, minimized to a handful of
+//! instructions, and replayable from its rendered corpus entry.
+//!
+//! Budgets here are deliberately small — these run in debug CI; the
+//! 500-program release campaign lives in `scripts/verify.sh` and
+//! `BENCH_fuzz.json`.
+
+use std::sync::Arc;
+
+use dda::core::MachineConfig;
+use dda::program::assemble;
+use dda::program::fuzz::{derive_seed, fuzz_program, FuzzWeights};
+use dda_bench::campaign::{
+    corpus_entry_source, differential, diverges, run_campaign, CampaignConfig,
+};
+
+fn small_campaign(seed: u64, inputs: u32) -> CampaignConfig {
+    let mut cc = CampaignConfig::new(seed, inputs);
+    cc.budget = 1_500;
+    cc.deadlock_window = 10_000;
+    cc
+}
+
+#[test]
+fn seeded_campaign_is_clean() {
+    let r = run_campaign(&small_campaign(0xF00D, 12));
+    assert_eq!(r.inputs, 12);
+    assert!(
+        r.clean(),
+        "clean campaign found {} divergences / {} host panics",
+        r.divergences.len(),
+        r.host_panics
+    );
+    assert_eq!(r.unminimized(), 0);
+    // Inputs must actually exercise the machine.
+    assert!(r.completed > 0, "no input completed");
+    assert!(r.coverage.op_classes_seen() >= 20, "coverage too thin");
+    assert!(r.coverage.observed() > 1_000, "streams too short");
+}
+
+#[test]
+fn campaign_is_deterministic() {
+    let a = run_campaign(&small_campaign(0xD0_0D, 10));
+    let b = run_campaign(&small_campaign(0xD0_0D, 10));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.trapped, b.trapped);
+    assert_eq!(a.deadlocked, b.deadlocked);
+    assert_eq!(a.invariant_violations, b.invariant_violations);
+    assert_eq!(a.committed_total, b.committed_total);
+    assert_eq!(a.coverage.op_classes_seen(), b.coverage.op_classes_seen());
+    assert_eq!(a.coverage.edge_buckets_seen(), b.coverage.edge_buckets_seen());
+    assert_eq!(a.coverage.observed(), b.coverage.observed());
+    assert_eq!(a.divergences.len(), b.divergences.len());
+}
+
+#[test]
+fn kernels_agree_on_deliberate_trap_sites() {
+    // The trapping preset plants misaligned / unmapped / overflowing
+    // accesses; the fast and reference kernels must report the *same*
+    // structured trap at the same commit point.
+    let cfg = MachineConfig::n_plus_m(4, 2)
+        .with_optimizations()
+        .with_audit(true)
+        .with_deadlock_window(10_000);
+    let w = FuzzWeights::trapping();
+    for k in 0..10u64 {
+        let p = Arc::new(fuzz_program(derive_seed(0x7BA9, k), &w));
+        let d = differential(&cfg, &p, 1_500);
+        assert!(!d.panicked(), "trap input {k} escaped the typed error model");
+        assert!(d.agrees(), "kernels disagreed on trap input {k}");
+    }
+}
+
+#[test]
+fn planted_defect_is_caught_minimized_and_replayable() {
+    // End-to-end self-test of the oracle + minimizer + corpus pipeline:
+    // arm the test-only kernel defect, fuzz, and require that the bug is
+    // (a) caught, (b) delta-debugged to a small reproducer, and (c) that
+    // the rendered corpus entry re-assembles into a program that still
+    // flips the oracle.
+    let mut cc = small_campaign(0xDEFEC7, 24);
+    cc.budget = 2_500;
+    cc.plant_defect = true;
+    let r = run_campaign(&cc);
+    assert!(r.host_panics == 0, "{} host panics", r.host_panics);
+    assert!(!r.divergences.is_empty(), "planted defect escaped a 24-input campaign");
+    assert_eq!(r.unminimized(), 0, "a divergence failed to minimize");
+
+    let mut machine = cc.machine.clone().with_audit(true);
+    machine.deadlock_cycles = cc.deadlock_window;
+    machine.planted_defect = true;
+    for d in &r.divergences {
+        let min = d.minimized.as_ref().expect("minimized");
+        assert!(
+            min.instructions <= 20,
+            "input {}: minimizer left {} instructions (wanted <= 20)",
+            d.index,
+            min.instructions
+        );
+        let src = corpus_entry_source(cc.seed, d).expect("corpus entry renders");
+        let replay = assemble(&src).expect("corpus entry re-assembles");
+        assert!(
+            diverges(&machine, &Arc::new(replay), cc.budget),
+            "input {}: replayed corpus entry no longer diverges",
+            d.index
+        );
+    }
+}

@@ -147,6 +147,48 @@ fn branch_negation_is_involutive() {
     }
 }
 
+// ------------------------------------------- fuzzer-emitted programs --
+
+#[test]
+fn fuzzed_programs_are_an_assembler_fixpoint() {
+    // The full rendering chain on generator output: a fuzzed program's
+    // `to_asm()` re-assembles to the identical image, every instruction
+    // of that image survives encode -> decode -> disassemble -> re-parse,
+    // and a second rendering is byte-identical to the first (fixpoint).
+    use dda::program::assemble;
+    use dda::program::fuzz::{derive_seed, fuzz_program, FuzzWeights};
+    for (pi, (name, w)) in FuzzWeights::presets().iter().enumerate() {
+        for k in 0..8u64 {
+            let seed = derive_seed(0x51DE, pi as u64 * 100 + k);
+            let p = fuzz_program(seed, w);
+            let src = p.to_asm();
+            let q = assemble(&src)
+                .unwrap_or_else(|e| panic!("{name} seed {seed:#x}: did not re-assemble: {e}"));
+            assert_eq!(p, q, "{name} seed {seed:#x}: assemble(to_asm) changed the program");
+            assert_eq!(src, q.to_asm(), "{name} seed {seed:#x}: to_asm is not a fixpoint");
+            for &i in p.instrs() {
+                assert_eq!(Instr::decode(i.encode()), Ok(i));
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_programs_stay_round_trippable() {
+    use dda::program::assemble;
+    use dda::program::fuzz::{derive_seed, fuzz_program, mutate, FuzzWeights};
+    let presets = FuzzWeights::presets();
+    for k in 0..30u64 {
+        let (_, w) = presets[(k % presets.len() as u64) as usize];
+        let p = fuzz_program(derive_seed(0x51DF, k), &w);
+        let m = mutate(&p, derive_seed(0xAB1E, k));
+        let src = m.to_asm();
+        let q = assemble(&src).unwrap_or_else(|e| panic!("mutant {k}: {e}"));
+        assert_eq!(m, q, "mutant {k}: assemble(to_asm) changed the program");
+        assert_eq!(src, q.to_asm(), "mutant {k}: to_asm is not a fixpoint");
+    }
+}
+
 // ------------------------------------------------------------- memory --
 
 #[test]
