@@ -13,7 +13,13 @@ fn lvaq_size(c: &mut Criterion) {
     for size in [8usize, 64] {
         let mut cfg = MachineConfig::n_plus_m(3, 2).with_optimizations();
         cfg.decoupling.lvaq_size = size;
-        common::cell(c, "ablation_lvaq_size", Benchmark::Vortex, &format!("lvaq{size}"), &cfg);
+        common::cell(
+            c,
+            "ablation_lvaq_size",
+            Benchmark::Vortex,
+            &format!("lvaq{size}"),
+            &cfg,
+        );
     }
 }
 

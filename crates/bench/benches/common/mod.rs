@@ -29,13 +29,7 @@ pub fn simulate(program: &Program, cfg: &MachineConfig) -> SimResult {
 }
 
 /// Registers one `(benchmark, config)` cell as a Criterion benchmark.
-pub fn cell(
-    c: &mut Criterion,
-    group: &str,
-    bench: Benchmark,
-    label: &str,
-    cfg: &MachineConfig,
-) {
+pub fn cell(c: &mut Criterion, group: &str, bench: Benchmark, label: &str, cfg: &MachineConfig) {
     let program = program_of(bench);
     let mut g = c.benchmark_group(group);
     g.sample_size(10);

@@ -7,7 +7,13 @@ use dda_core::MachineConfig;
 use dda_workloads::Benchmark;
 
 fn bench(c: &mut Criterion) {
-    common::cell(c, "fig10_latency", Benchmark::M88ksim, "(4+0)2cy", &MachineConfig::n_plus_m(4, 0));
+    common::cell(
+        c,
+        "fig10_latency",
+        Benchmark::M88ksim,
+        "(4+0)2cy",
+        &MachineConfig::n_plus_m(4, 0),
+    );
     common::cell(
         c,
         "fig10_latency",

@@ -7,7 +7,12 @@ use dda_core::MachineConfig;
 use dda_workloads::Benchmark;
 
 fn bench(c: &mut Criterion) {
-    for b in [Benchmark::Gcc, Benchmark::Li, Benchmark::Vortex, Benchmark::Swim] {
+    for b in [
+        Benchmark::Gcc,
+        Benchmark::Li,
+        Benchmark::Vortex,
+        Benchmark::Swim,
+    ] {
         common::cell(
             c,
             "fig11_per_program",

@@ -8,7 +8,13 @@ use dda_workloads::Benchmark;
 
 fn bench(c: &mut Criterion) {
     for b in [Benchmark::Vortex, Benchmark::Compress] {
-        common::cell(c, "table3_fast_forwarding", b, "(3+2)", &MachineConfig::n_plus_m(3, 2));
+        common::cell(
+            c,
+            "table3_fast_forwarding",
+            b,
+            "(3+2)",
+            &MachineConfig::n_plus_m(3, 2),
+        );
         common::cell(
             c,
             "table3_fast_forwarding",

@@ -22,27 +22,71 @@ fn one(f: fn() -> Table) -> Vec<Table> {
 
 fn registry() -> Vec<Exp> {
     vec![
-        ("table1", "base machine model", || one(dda_bench::table1_machine_model)),
-        ("table2", "benchmark roster", || one(dda_bench::table2_benchmarks)),
-        ("fig2", "instruction mix / local fractions", || one(dda_bench::fig2_instruction_mix)),
-        ("fig3", "frame-size distributions", || one(dda_bench::fig3_frame_sizes)),
-        ("fig5", "(N+0) bandwidth requirements", || one(dda_bench::fig5_bandwidth)),
-        ("fig6", "LVC miss rate vs size", || one(dda_bench::fig6_lvc_size)),
-        ("fig7", "(N+M) performance, no optimizations", || one(dda_bench::fig7_lvc_ports)),
-        ("table3", "fast data forwarding", || one(dda_bench::table3_fast_forwarding)),
-        ("fig8", "access combining", || one(dda_bench::fig8_combining)),
-        ("fig9", "(N+M) performance, optimized", || one(dda_bench::fig9_optimized)),
-        ("fig10", "cache-latency sensitivity", || one(dda_bench::fig10_latency_sensitivity)),
-        ("fig11", "per-program (N+M) surfaces", dda_bench::fig11_per_program),
-        ("l2traffic", "L2 traffic with/without LVC", || one(dda_bench::l2_traffic)),
-        ("lvclat", "(3+3) and LVC latency", || one(dda_bench::lvc_latency)),
-        ("smalll1", "§4.4: small fast L1 alternative", || one(dda_bench::small_l1)),
-        ("linesize", "§4.2.1: LVC line-size sensitivity", || one(dda_bench::lvc_line_size)),
-        ("lvaqsize", "ablation: LVAQ size", || one(dda_bench::ablation_lvaq_size)),
-        ("steering", "ablation: classification policy", || one(dda_bench::ablation_steering)),
-        ("width", "ablation: issue width", || one(dda_bench::ablation_issue_width)),
-        ("window", "ablation: ROB size", || one(dda_bench::ablation_window)),
-        ("mshrs", "ablation: MSHR count", || one(dda_bench::ablation_mshrs)),
+        ("table1", "base machine model", || {
+            one(dda_bench::table1_machine_model)
+        }),
+        ("table2", "benchmark roster", || {
+            one(dda_bench::table2_benchmarks)
+        }),
+        ("fig2", "instruction mix / local fractions", || {
+            one(dda_bench::fig2_instruction_mix)
+        }),
+        ("fig3", "frame-size distributions", || {
+            one(dda_bench::fig3_frame_sizes)
+        }),
+        ("fig5", "(N+0) bandwidth requirements", || {
+            one(dda_bench::fig5_bandwidth)
+        }),
+        ("fig6", "LVC miss rate vs size", || {
+            one(dda_bench::fig6_lvc_size)
+        }),
+        ("fig7", "(N+M) performance, no optimizations", || {
+            one(dda_bench::fig7_lvc_ports)
+        }),
+        ("table3", "fast data forwarding", || {
+            one(dda_bench::table3_fast_forwarding)
+        }),
+        ("fig8", "access combining", || {
+            one(dda_bench::fig8_combining)
+        }),
+        ("fig9", "(N+M) performance, optimized", || {
+            one(dda_bench::fig9_optimized)
+        }),
+        ("fig10", "cache-latency sensitivity", || {
+            one(dda_bench::fig10_latency_sensitivity)
+        }),
+        (
+            "fig11",
+            "per-program (N+M) surfaces",
+            dda_bench::fig11_per_program,
+        ),
+        ("l2traffic", "L2 traffic with/without LVC", || {
+            one(dda_bench::l2_traffic)
+        }),
+        ("lvclat", "(3+3) and LVC latency", || {
+            one(dda_bench::lvc_latency)
+        }),
+        ("smalll1", "§4.4: small fast L1 alternative", || {
+            one(dda_bench::small_l1)
+        }),
+        ("linesize", "§4.2.1: LVC line-size sensitivity", || {
+            one(dda_bench::lvc_line_size)
+        }),
+        ("lvaqsize", "ablation: LVAQ size", || {
+            one(dda_bench::ablation_lvaq_size)
+        }),
+        ("steering", "ablation: classification policy", || {
+            one(dda_bench::ablation_steering)
+        }),
+        ("width", "ablation: issue width", || {
+            one(dda_bench::ablation_issue_width)
+        }),
+        ("window", "ablation: ROB size", || {
+            one(dda_bench::ablation_window)
+        }),
+        ("mshrs", "ablation: MSHR count", || {
+            one(dda_bench::ablation_mshrs)
+        }),
     ]
 }
 
@@ -51,7 +95,10 @@ fn main() {
     let reg = registry();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: experiments [--list] <name>... | all");
-        eprintln!("experiments: {}", reg.iter().map(|e| e.0).collect::<Vec<_>>().join(", "));
+        eprintln!(
+            "experiments: {}",
+            reg.iter().map(|e| e.0).collect::<Vec<_>>().join(", ")
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     if args.iter().any(|a| a == "--list") {
@@ -78,6 +125,9 @@ fn main() {
         for table in f() {
             println!("{table}");
         }
-        eprintln!("   [{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+        eprintln!(
+            "   [{name} done in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

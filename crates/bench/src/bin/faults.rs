@@ -47,27 +47,43 @@ fn fault_classes() -> Vec<FaultClass> {
     vec![
         FaultClass {
             name: "lvc_flip",
-            plan: FaultPlan { flip_lvc_line: 0.02, ..none },
+            plan: FaultPlan {
+                flip_lvc_line: 0.02,
+                ..none
+            },
             expect_error: false,
         },
         FaultClass {
             name: "l1_flip",
-            plan: FaultPlan { flip_l1_line: 0.02, ..none },
+            plan: FaultPlan {
+                flip_l1_line: 0.02,
+                ..none
+            },
             expect_error: false,
         },
         FaultClass {
             name: "drop_grant",
-            plan: FaultPlan { drop_port_grant: 0.05, ..none },
+            plan: FaultPlan {
+                drop_port_grant: 0.05,
+                ..none
+            },
             expect_error: false,
         },
         FaultClass {
             name: "delay_grant",
-            plan: FaultPlan { delay_port_grant: 0.05, delay_cycles: 8, ..none },
+            plan: FaultPlan {
+                delay_port_grant: 0.05,
+                delay_cycles: 8,
+                ..none
+            },
             expect_error: false,
         },
         FaultClass {
             name: "corrupt_forward",
-            plan: FaultPlan { corrupt_forward: 0.1, ..none },
+            plan: FaultPlan {
+                corrupt_forward: 0.1,
+                ..none
+            },
             expect_error: false,
         },
         // Every port grant revoked: nothing with a memory access can ever
@@ -75,7 +91,10 @@ fn fault_classes() -> Vec<FaultClass> {
         // that into a structured Deadlock with a diagnostic dump.
         FaultClass {
             name: "drop_grant_total",
-            plan: FaultPlan { drop_port_grant: 1.0, ..none },
+            plan: FaultPlan {
+                drop_port_grant: 1.0,
+                ..none
+            },
             expect_error: true,
         },
     ]
@@ -150,9 +169,23 @@ fn main() {
         let b = run(&audited);
         let c = run(&reference);
         total_runs += 3;
-        assert_eq!(a, b, "{}: enabling the auditor changed the result", bench.name());
-        assert_eq!(a, c, "{}: fast kernel diverged from reference kernel", bench.name());
-        assert_eq!(a.faults, Default::default(), "fault counters nonzero without a plan");
+        assert_eq!(
+            a,
+            b,
+            "{}: enabling the auditor changed the result",
+            bench.name()
+        );
+        assert_eq!(
+            a,
+            c,
+            "{}: fast kernel diverged from reference kernel",
+            bench.name()
+        );
+        assert_eq!(
+            a.faults,
+            Default::default(),
+            "fault counters nonzero without a plan"
+        );
         eprintln!(
             "[faults] baseline {}: fast == audited == reference ({} cycles)",
             bench.name(),
@@ -260,6 +293,7 @@ fn main() {
                             SimError::InvariantViolation(_) => ("invariant_violation", true),
                             SimError::Trap(_) => ("trap", true),
                             SimError::Config(_) => ("config", true),
+                            SimError::WarmStateMismatch => ("warm_state_mismatch", true),
                             // Handled by the arm above; kept for match
                             // exhaustiveness.
                             SimError::WorkerPanic(_) => ("worker_panic", true),

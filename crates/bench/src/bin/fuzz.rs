@@ -96,17 +96,29 @@ fn parse_args() -> Args {
     a
 }
 
-fn report_json(a: &Args, cc: &CampaignConfig, r: &CampaignReport, corpus_files: &[String]) -> String {
+fn report_json(
+    a: &Args,
+    cc: &CampaignConfig,
+    r: &CampaignReport,
+    corpus_files: &[String],
+) -> String {
     let mut json = String::from("{\n");
     let _ = write!(
         json,
         "  \"seed\": {},\n  \"programs\": {},\n  \"budget\": {},\n  \"quick\": {},\n  \
          \"deadlock_window\": {},\n  \"mutate_every\": {},\n  \"faults_armed\": {},\n  \
          \"plant_defect\": {},\n",
-        cc.seed, r.inputs, cc.budget, a.quick, cc.deadlock_window, cc.mutate_every, a.faults,
+        cc.seed,
+        r.inputs,
+        cc.budget,
+        a.quick,
+        cc.deadlock_window,
+        cc.mutate_every,
+        a.faults,
         cc.plant_defect
     );
-    let _ = write!(
+    let _ =
+        write!(
         json,
         "  \"generated\": {},\n  \"mutated\": {},\n  \"completed\": {},\n  \"trapped\": {},\n  \
          \"deadlocked\": {},\n  \"invariant_violations\": {},\n  \"host_panics\": {},\n",
@@ -204,14 +216,24 @@ fn main() {
         cc.budget,
         cc.deadlock_window,
         if a.faults { ", faults armed" } else { "" },
-        if a.plant_defect { ", planted defect armed" } else { "" },
+        if a.plant_defect {
+            ", planted defect armed"
+        } else {
+            ""
+        },
     );
     let r = run_campaign(&cc);
     eprintln!(
         "[fuzz] {} inputs ({} generated, {} mutated): {} completed, {} trapped, \
          {} deadlocked, {} invariant violations, {} host panics",
-        r.inputs, r.generated, r.mutated, r.completed, r.trapped, r.deadlocked,
-        r.invariant_violations, r.host_panics
+        r.inputs,
+        r.generated,
+        r.mutated,
+        r.completed,
+        r.trapped,
+        r.deadlocked,
+        r.invariant_violations,
+        r.host_panics
     );
     eprintln!(
         "[fuzz] coverage: {}/{} op classes, {} edge buckets, {} instructions observed",

@@ -74,7 +74,10 @@ fn run_timed(
             None => best = Some(Timed { res, tcache, secs }),
             Some(b) => {
                 assert_eq!(b.res, res, "nondeterministic result across repetitions");
-                assert_eq!(b.tcache, tcache, "nondeterministic front-end across repetitions");
+                assert_eq!(
+                    b.tcache, tcache,
+                    "nondeterministic front-end across repetitions"
+                );
                 b.secs = b.secs.min(secs);
             }
         }
@@ -116,8 +119,10 @@ fn main() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().unwrap_or_else(|| usage("--out needs a path")),
             "--workloads" => {
-                workload_filter =
-                    Some(args.next().unwrap_or_else(|| usage("--workloads needs a CSV list")))
+                workload_filter = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--workloads needs a CSV list")),
+                )
             }
             "--reps" => {
                 reps = args
@@ -135,13 +140,7 @@ fn main() {
             other => usage(&format!("unknown argument: {other}")),
         }
     }
-    let budget = budget.unwrap_or_else(|| {
-        if quick {
-            50_000
-        } else {
-            pipeline_budget()
-        }
-    });
+    let budget = budget.unwrap_or_else(|| if quick { 50_000 } else { pipeline_budget() });
     let workloads: Vec<Benchmark> = if let Some(filter) = &workload_filter {
         filter
             .split(',')
@@ -201,13 +200,15 @@ fn main() {
         eprintln!("[throughput] {} (budget {budget})", bench.name());
 
         let mut row = format!("    {{\"name\": \"{}\", ", bench.name());
-        for (key, cfg, cfg_ref) in
-            [("base_2p0", &base, &base_ref), ("decoupled_4p2", &dec, &dec_ref)]
-        {
+        for (key, cfg, cfg_ref) in [
+            ("base_2p0", &base, &base_ref),
+            ("decoupled_4p2", &dec, &dec_ref),
+        ] {
             let fast = run_timed(cfg, &program, budget, reps);
             let refr = run_timed(cfg_ref, &program, budget, reps);
             assert_eq!(
-                fast.res, refr.res,
+                fast.res,
+                refr.res,
                 "{} {key}: incremental kernel diverged from the reference kernel",
                 bench.name()
             );

@@ -104,11 +104,7 @@ impl Differential {
 /// Runs `program` through the fast and reference kernels under the same
 /// machine configuration (only `reference_kernel` differs) and returns
 /// both contained outcomes.
-pub fn differential(
-    cfg: &MachineConfig,
-    program: &Arc<Program>,
-    budget: u64,
-) -> Differential {
+pub fn differential(cfg: &MachineConfig, program: &Arc<Program>, budget: u64) -> Differential {
     let fast_cfg = {
         let mut c = cfg.clone();
         c.reference_kernel = false;
@@ -155,6 +151,7 @@ fn error_key(e: &SimError) -> String {
         }
         SimError::Config(c) => format!("config:{c}"),
         SimError::WorkerPanic(_) => "panic".to_string(),
+        SimError::WarmStateMismatch => "warm-state-mismatch".to_string(),
     }
 }
 
@@ -230,12 +227,19 @@ pub fn minimize_divergence(
     loop {
         let mut accepted = false;
         let leaders = cur.leaders();
-        let mut starts: Vec<usize> =
-            leaders.iter().enumerate().filter(|(_, l)| **l).map(|(i, _)| i).collect();
+        let mut starts: Vec<usize> = leaders
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(i, _)| i)
+            .collect();
         starts.push(cur.len());
         for w in starts.windows(2) {
             let (lo, hi) = (w[0], w[1]);
-            if cur.instrs()[lo..hi].iter().all(|i| matches!(i, dda_isa::Instr::Nop)) {
+            if cur.instrs()[lo..hi]
+                .iter()
+                .all(|i| matches!(i, dda_isa::Instr::Nop))
+            {
                 continue;
             }
             let candidate = nop_range(&cur, lo, hi);
@@ -273,11 +277,21 @@ pub fn minimize_divergence(
         let round_trips = assemble(&c.to_asm()).map(|p| p == c).unwrap_or(false);
         if round_trips && check(&c) {
             let n = active_len(&c);
-            return Some(Minimized { program: c, instructions: n, probes, compacted: true });
+            return Some(Minimized {
+                program: c,
+                instructions: n,
+                probes,
+                compacted: true,
+            });
         }
     }
     let n = active_len(&cur);
-    Some(Minimized { program: cur, instructions: n, probes, compacted: false })
+    Some(Minimized {
+        program: cur,
+        instructions: n,
+        probes,
+        compacted: false,
+    })
 }
 
 // ------------------------------------------------------------- campaign --
@@ -389,7 +403,10 @@ impl CampaignReport {
 
     /// Divergences whose minimization failed to reproduce.
     pub fn unminimized(&self) -> usize {
-        self.divergences.iter().filter(|d| d.minimized.is_none()).count()
+        self.divergences
+            .iter()
+            .filter(|d| d.minimized.is_none())
+            .count()
     }
 }
 
@@ -417,9 +434,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let mut mutated = 0usize;
     for i in 0..cfg.inputs as usize {
         let seed_i = derive_seed(cfg.seed, i as u64);
-        let is_mutant = cfg.mutate_every > 0
-            && i > 0
-            && (i as u32 + 1).is_multiple_of(cfg.mutate_every);
+        let is_mutant =
+            cfg.mutate_every > 0 && i > 0 && (i as u32 + 1).is_multiple_of(cfg.mutate_every);
         if is_mutant {
             let mut rng = dda_stats::Rng::seed_from_u64(seed_i);
             let base = rng.gen_range(0..i);
@@ -461,7 +477,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 // observed stream (the kernels see the same trap).
                 let _ = drain_stream(&mut vm, budget, |d| cov.observe(d));
                 let diff = differential(&m, &program, budget);
-                InputRun { coverage: cov, diff, elapsed_ms: t.elapsed().as_millis() }
+                InputRun {
+                    coverage: cov,
+                    diff,
+                    elapsed_ms: t.elapsed().as_millis(),
+                }
             }
         })
         .collect();
@@ -527,8 +547,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             let program = &programs[i];
             let mut m = machine.clone();
             if let Some(plan) = &cfg.fault_plan {
-                m.fault_plan =
-                    FaultPlan { seed: derive_seed(cfg.seed ^ 0xFA17, i as u64), ..*plan };
+                m.fault_plan = FaultPlan {
+                    seed: derive_seed(cfg.seed ^ 0xFA17, i as u64),
+                    ..*plan
+                };
             }
             let minimized = minimize_divergence(&m, program, budget);
             report.divergences.push(DivergenceRecord {
@@ -575,7 +597,11 @@ pub fn corpus_entry_source(campaign_seed: u64, rec: &DivergenceRecord) -> Option
         rec.original_instructions,
         min.instructions,
         min.probes,
-        if min.compacted { ", compacted" } else { ", nop-padded" }
+        if min.compacted {
+            ", compacted"
+        } else {
+            ", nop-padded"
+        }
     );
     let _ = writeln!(out, "# fast:      {}", rec.fast);
     let _ = writeln!(out, "# reference: {}", rec.reference);
@@ -584,7 +610,10 @@ pub fn corpus_entry_source(campaign_seed: u64, rec: &DivergenceRecord) -> Option
         out,
         "# Replay: tests/corpus_replay.rs asserts fast == reference on every"
     );
-    let _ = writeln!(out, "# file in tests/corpus/ under the (4+2) optimized machine.");
+    let _ = writeln!(
+        out,
+        "# file in tests/corpus/ under the (4+2) optimized machine."
+    );
     out.push_str(&body);
     Some(out)
 }
@@ -658,12 +687,32 @@ mod tests {
 
     #[test]
     fn error_keys_normalize_structurally() {
-        let kind = TrapKind::Misaligned { pc: 4, addr: 0x1000_0002, bytes: 4 };
-        let t1 = SimError::Trap(Trap { kind, cycle: 3, committed: 2 });
-        let t2 = SimError::Trap(Trap { kind, cycle: 3, committed: 2 });
-        let t3 = SimError::Trap(Trap { kind, cycle: 4, committed: 2 });
+        let kind = TrapKind::Misaligned {
+            pc: 4,
+            addr: 0x1000_0002,
+            bytes: 4,
+        };
+        let t1 = SimError::Trap(Trap {
+            kind,
+            cycle: 3,
+            committed: 2,
+        });
+        let t2 = SimError::Trap(Trap {
+            kind,
+            cycle: 3,
+            committed: 2,
+        });
+        let t3 = SimError::Trap(Trap {
+            kind,
+            cycle: 4,
+            committed: 2,
+        });
         assert!(outcomes_equal(&Err(t1), &Err(t2)));
-        let t1 = SimError::Trap(Trap { kind, cycle: 3, committed: 2 });
+        let t1 = SimError::Trap(Trap {
+            kind,
+            cycle: 3,
+            committed: 2,
+        });
         assert!(!outcomes_equal(&Err(t1), &Err(t3)));
         // Two panics agree (tracked separately as panics).
         assert!(outcomes_equal(
@@ -688,7 +737,13 @@ mod tests {
         }
         main.store_local(Gpr::T0, 8); // sp-32+8 = ...ffd8 -> word idx 6 mod 16
         for k in 0..6 {
-            main.load(Gpr::T3, Gpr::GP, 4 * k, dda_isa::MemWidth::Word, dda_isa::StreamHint::NonLocal);
+            main.load(
+                Gpr::T3,
+                Gpr::GP,
+                4 * k,
+                dda_isa::MemWidth::Word,
+                dda_isa::StreamHint::NonLocal,
+            );
         }
         main.load_local(Gpr::RA, 0);
         main.addi(Gpr::SP, Gpr::SP, 32);
@@ -725,11 +780,24 @@ mod tests {
         cc.deadlock_window = 10_000;
         let r = run_campaign(&cc);
         assert_eq!(r.inputs, 10);
-        assert!(r.clean(), "campaign found {} divergences / {} panics", r.divergences.len(), r.host_panics);
+        assert!(
+            r.clean(),
+            "campaign found {} divergences / {} panics",
+            r.divergences.len(),
+            r.host_panics
+        );
         assert_eq!(r.unminimized(), 0);
-        assert!(r.mutated >= 2, "mutation rotation produced {} mutants", r.mutated);
+        assert!(
+            r.mutated >= 2,
+            "mutation rotation produced {} mutants",
+            r.mutated
+        );
         assert!(r.completed + r.trapped + r.deadlocked > 0);
-        assert!(r.coverage.op_classes_seen() >= 20, "only {} op classes", r.coverage.op_classes_seen());
+        assert!(
+            r.coverage.op_classes_seen() >= 20,
+            "only {} op classes",
+            r.coverage.op_classes_seen()
+        );
         assert!(r.coverage.edge_buckets_seen() > 50);
     }
 
@@ -749,7 +817,11 @@ mod tests {
         assert_eq!(r.unminimized(), 0, "a divergence failed to minimize");
         for d in &r.divergences {
             let min = d.minimized.as_ref().expect("minimized");
-            assert!(min.instructions <= 20, "{} instructions after reduction", min.instructions);
+            assert!(
+                min.instructions <= 20,
+                "{} instructions after reduction",
+                min.instructions
+            );
             let src = corpus_entry_source(cc.seed, d).expect("corpus entry round-trips");
             let replay = assemble(src.as_str()).expect("corpus entry assembles");
             let mut m = cc.machine.clone().with_audit(true);

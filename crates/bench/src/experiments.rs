@@ -35,7 +35,10 @@ pub fn table1_machine_model() -> Table {
         "Func. units".to_string(),
         format!(
             "{} int + {} FP ALUs, {} int + {} FP MULT/DIV",
-            c.fu_counts.int_alu, c.fu_counts.fp_alu, c.fu_counts.int_mul_div, c.fu_counts.fp_mul_div
+            c.fu_counts.int_alu,
+            c.fu_counts.fp_alu,
+            c.fu_counts.int_mul_div,
+            c.fu_counts.fp_mul_div
         ),
     ]);
     t.row([
@@ -56,7 +59,13 @@ pub fn table1_machine_model() -> Table {
             c.hierarchy.l2.latency
         ),
     ]);
-    t.row(["Memory".to_string(), format!("{}-cycle access time. Fully interleaved.", c.hierarchy.l2.memory_latency)]);
+    t.row([
+        "Memory".to_string(),
+        format!(
+            "{}-cycle access time. Fully interleaved.",
+            c.hierarchy.l2.memory_latency
+        ),
+    ]);
     t.row(["I-cache", "Perfect I-cache with 1 cycle latency."]);
     t.row(["Br. prediction", "Perfect."]);
     t.row(["Inst. latencies", "Same as those of MIPS R10000."]);
@@ -70,7 +79,12 @@ pub fn table1_machine_model() -> Table {
 /// Table 2: the benchmark roster (paper inputs and counts, plus the
 /// synthetic stand-in budgets actually simulated here).
 pub fn table2_benchmarks() -> Table {
-    let mut t = Table::new(["benchmark", "paper input", "paper Minst", "simulated inst (budget)"]);
+    let mut t = Table::new([
+        "benchmark",
+        "paper input",
+        "paper Minst",
+        "simulated inst (budget)",
+    ]);
     t.title("Table 2: benchmark programs (synthetic stand-ins keep the SPEC names)");
     t.numeric();
     for b in Benchmark::ALL {
@@ -164,11 +178,17 @@ pub fn fig3_frame_sizes() -> Table {
     }
     t.row([
         "average (paper: ~3 dyn / ~7 static)".to_string(),
-        format!("{:.1}", dyn_means.iter().sum::<f64>() / dyn_means.len() as f64),
+        format!(
+            "{:.1}",
+            dyn_means.iter().sum::<f64>() / dyn_means.len() as f64
+        ),
         String::new(),
         String::new(),
         String::new(),
-        format!("{:.1}", static_means.iter().sum::<f64>() / static_means.len() as f64),
+        format!(
+            "{:.1}",
+            static_means.iter().sum::<f64>() / static_means.len() as f64
+        ),
         String::new(),
         String::new(),
     ]);
@@ -210,8 +230,7 @@ pub fn fig5_bandwidth() -> Table {
 /// dynamic stream and replayed against the LVC tag array.
 pub fn fig6_lvc_size() -> Table {
     let sizes = [512u32, 1024, 2048, 4096];
-    let mut t =
-        Table::new(["benchmark", "0.5 KB", "1 KB", "2 KB", "4 KB", "local refs"]);
+    let mut t = Table::new(["benchmark", "0.5 KB", "1 KB", "2 KB", "4 KB", "local refs"]);
     t.title("Figure 6: LVC miss rate vs capacity (direct-mapped, 32 B lines)");
     t.numeric();
     for b in Benchmark::ALL {
@@ -237,7 +256,9 @@ pub fn fig6_lvc_size() -> Table {
         .expect("benchmark executes cleanly");
         let mut row = vec![b.name().to_string()];
         row.extend(
-            caches.iter().map(|c| format!("{:.2}%", 100.0 * c.stats().miss_rate())),
+            caches
+                .iter()
+                .map(|c| format!("{:.2}%", 100.0 * c.stats().miss_rate())),
         );
         row.push(locals.to_string());
         t.row(row);
@@ -273,7 +294,10 @@ fn nm_table(title: &str, optimized: bool) -> Table {
     let mut t = Table::new(headers);
     t.title(title);
     t.numeric();
-    let base_idx = pairs.iter().position(|&p| p == (2, 0)).expect("(2+0) in grid");
+    let base_idx = pairs
+        .iter()
+        .position(|&p| p == (2, 0))
+        .expect("(2+0) in grid");
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); pairs.len()];
     for b in Benchmark::ALL {
         let rs = run_configs_for(b, &cfgs);
@@ -324,7 +348,10 @@ pub fn table3_fast_forwarding() -> Table {
             b.name().to_string(),
             format!("{:+.1}%", 100.0 * (s - 1.0)),
             rs[1].lvaq.fast_forwards.to_string(),
-            format!("{:.1}%", 100.0 * rs[1].lvaq.fast_forwards as f64 / loads as f64),
+            format!(
+                "{:.1}%",
+                100.0 * rs[1].lvaq.fast_forwards as f64 / loads as f64
+            ),
         ]);
     }
     t
@@ -351,7 +378,9 @@ pub fn fig8_combining() -> Table {
     let cfgs: Vec<MachineConfig> = [1u32, 2]
         .iter()
         .flat_map(|&m| {
-            degrees.iter().map(move |&d| MachineConfig::n_plus_m(3, m).with_combining(d))
+            degrees
+                .iter()
+                .map(move |&d| MachineConfig::n_plus_m(3, m).with_combining(d))
         })
         .collect();
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); cfgs.len()];
@@ -382,7 +411,13 @@ pub fn fig10_latency_sensitivity() -> Table {
         MachineConfig::n_plus_m(4, 0),
         MachineConfig::n_plus_m(4, 0).with_l1_hit_latency(3),
     ];
-    let mut t = Table::new(["benchmark", "(2+0) 2cy", "(2+2) 2cy", "(4+0) 2cy", "(4+0) 3cy"]);
+    let mut t = Table::new([
+        "benchmark",
+        "(2+0) 2cy",
+        "(2+2) 2cy",
+        "(4+0) 2cy",
+        "(4+0) 3cy",
+    ]);
     t.title("Figure 10: relative to (2+0) with 2-cycle L1 hits");
     t.numeric();
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); cfgs.len()];
@@ -405,7 +440,12 @@ pub fn fig10_latency_sensitivity() -> Table {
 /// Figure 11: per-program (N+M) surfaces for the four programs the paper
 /// plots (126.gcc, 130.li, 147.vortex, 102.swim).
 pub fn fig11_per_program() -> Vec<Table> {
-    let benches = [Benchmark::Gcc, Benchmark::Li, Benchmark::Vortex, Benchmark::Swim];
+    let benches = [
+        Benchmark::Gcc,
+        Benchmark::Li,
+        Benchmark::Vortex,
+        Benchmark::Swim,
+    ];
     let ms = [0u32, 1, 2, 3];
     let ns = [2u32, 3, 4];
     benches
@@ -414,7 +454,10 @@ pub fn fig11_per_program() -> Vec<Table> {
             let mut headers = vec!["config".to_string()];
             headers.extend(ms.iter().map(|m| format!("M={m}")));
             let mut t = Table::new(headers);
-            t.title(format!("Figure 11: {} — (N+M) relative to (2+0), optimized", b.name()));
+            t.title(format!(
+                "Figure 11: {} — (N+M) relative to (2+0), optimized",
+                b.name()
+            ));
             t.numeric();
             let cfgs: Vec<MachineConfig> = ns
                 .iter()
@@ -484,9 +527,17 @@ pub fn lvc_latency() -> Table {
     let cfgs = [
         MachineConfig::n_plus_m(4, 0),
         MachineConfig::n_plus_m(3, 3).with_optimizations(),
-        MachineConfig::n_plus_m(3, 3).with_optimizations().with_lvc_hit_latency(2),
+        MachineConfig::n_plus_m(3, 3)
+            .with_optimizations()
+            .with_lvc_hit_latency(2),
     ];
-    let mut t = Table::new(["benchmark", "(4+0)", "(3+3) 1cy LVC", "(3+3) 2cy LVC", "in-queue fwd %"]);
+    let mut t = Table::new([
+        "benchmark",
+        "(4+0)",
+        "(3+3) 1cy LVC",
+        "(3+3) 2cy LVC",
+        "in-queue fwd %",
+    ]);
     t.title("§4.3: (3+3) vs (4+0) and LVC hit-latency sensitivity (relative to (4+0))");
     t.numeric();
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); cfgs.len()];
@@ -591,7 +642,11 @@ pub fn small_l1() -> Table {
         c.hierarchy.l2.latency = lat;
         cfgs.push(c);
     }
-    let mut headers = vec!["benchmark".to_string(), "(2+0) 32K".into(), "(2+2) opt".into()];
+    let mut headers = vec![
+        "benchmark".to_string(),
+        "(2+0) 32K".into(),
+        "(2+2) opt".into(),
+    ];
     headers.extend(l2_lats.iter().map(|l| format!("2K L1, L2={l}cy")));
     let mut t = Table::new(headers);
     t.title("§4.4: small fast L1 vs decoupling (relative to the 32 KB (2+0))");
@@ -655,7 +710,11 @@ pub fn lvc_line_size() -> Table {
         })
         .expect("benchmark executes cleanly");
         let mut row = vec![b.name().to_string()];
-        row.extend(caches.iter().map(|c| format!("{:.2}%", 100.0 * c.stats().miss_rate())));
+        row.extend(
+            caches
+                .iter()
+                .map(|c| format!("{:.2}%", 100.0 * c.stats().miss_rate())),
+        );
         t.row(row);
     }
     t

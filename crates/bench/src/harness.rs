@@ -51,23 +51,51 @@ pub fn drain_stream(
     Ok(seen)
 }
 
+/// Programmatic budget overrides (see [`set_default_budgets`]). Consulted
+/// before the environment so a driver that carries its budget in a config
+/// struct (the sampling driver) can pin the process-wide value once: the
+/// fast-forward and detailed phases of one run then can never read
+/// different budgets, even if the environment changes between them.
+static PIPELINE_OVERRIDE: OnceLock<u64> = OnceLock::new();
+static PROFILE_OVERRIDE: OnceLock<u64> = OnceLock::new();
+
+/// Pins the process-wide pipeline and profiling budgets (overriding
+/// `DDA_BUDGET` / `DDA_PROFILE_BUDGET`). First caller wins — returns
+/// `false` when either budget was already pinned, in which case the
+/// earlier values remain in force.
+pub fn set_default_budgets(pipeline: u64, profile: u64) -> bool {
+    let a = PIPELINE_OVERRIDE.set(pipeline).is_ok();
+    let b = PROFILE_OVERRIDE.set(profile).is_ok();
+    a && b
+}
+
 /// Committed-instruction budget for pipeline experiments.
 ///
-/// Override with the `DDA_BUDGET` environment variable. The default keeps
-/// a full figure sweep (hundreds of runs) in the minutes range; the
-/// paper's shapes are stable well below this budget.
+/// Pinned by [`set_default_budgets`] when a driver carries an explicit
+/// budget; otherwise the `DDA_BUDGET` environment variable (read once).
+/// The default keeps a full figure sweep (hundreds of runs) in the
+/// minutes range; the paper's shapes are stable well below this budget.
 pub fn pipeline_budget() -> u64 {
+    if let Some(b) = PIPELINE_OVERRIDE.get() {
+        return *b;
+    }
     static BUDGET: OnceLock<u64> = OnceLock::new();
     *BUDGET.get_or_init(|| {
-        std::env::var("DDA_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(300_000)
+        std::env::var("DDA_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300_000)
     })
 }
 
 /// Instruction budget for functional-profiling experiments (Figures 2, 3
 /// and 6), which run only the VM and are much cheaper per instruction.
 ///
-/// Override with `DDA_PROFILE_BUDGET`.
+/// Pinned by [`set_default_budgets`]; otherwise `DDA_PROFILE_BUDGET`.
 pub fn profile_budget() -> u64 {
+    if let Some(b) = PROFILE_OVERRIDE.get() {
+        return *b;
+    }
     static BUDGET: OnceLock<u64> = OnceLock::new();
     *BUDGET.get_or_init(|| {
         std::env::var("DDA_PROFILE_BUDGET")
@@ -188,7 +216,10 @@ pub fn run_configs_checked_with_budget(
         })
         .collect();
     let workers = pool::default_workers(tasks.len());
-    pool::run_tasks(tasks, workers).into_iter().map(flatten_task).collect()
+    pool::run_tasks(tasks, workers)
+        .into_iter()
+        .map(flatten_task)
+        .collect()
 }
 
 /// Runs the full `benches` × `cfgs` matrix as independent tasks on the
@@ -202,8 +233,10 @@ pub fn run_matrix_checked(
     cfgs: &[MachineConfig],
     budget: u64,
 ) -> Vec<Vec<Result<SimResult, SimError>>> {
-    let programs: Vec<_> =
-        benches.iter().map(|b| Arc::new(b.program(u32::MAX / 2))).collect();
+    let programs: Vec<_> = benches
+        .iter()
+        .map(|b| Arc::new(b.program(u32::MAX / 2)))
+        .collect();
     let mut tasks = Vec::with_capacity(benches.len() * cfgs.len());
     for program in &programs {
         for cfg in cfgs {
@@ -213,8 +246,13 @@ pub fn run_matrix_checked(
         }
     }
     let workers = pool::default_workers(tasks.len());
-    let mut flat = pool::run_tasks(tasks, workers).into_iter().map(flatten_task);
-    benches.iter().map(|_| (0..cfgs.len()).map(|_| flatten_next(&mut flat)).collect()).collect()
+    let mut flat = pool::run_tasks(tasks, workers)
+        .into_iter()
+        .map(flatten_task);
+    benches
+        .iter()
+        .map(|_| (0..cfgs.len()).map(|_| flatten_next(&mut flat)).collect())
+        .collect()
 }
 
 fn flatten_next(
@@ -222,7 +260,9 @@ fn flatten_next(
 ) -> Result<SimResult, SimError> {
     match it.next() {
         Some(r) => r,
-        None => Err(SimError::WorkerPanic("pool returned too few results".to_string())),
+        None => Err(SimError::WorkerPanic(
+            "pool returned too few results".to_string(),
+        )),
     }
 }
 
@@ -231,9 +271,9 @@ fn flatten_next(
 fn flatten_task(r: pool::TaskResult<Result<SimResult, SimError>>) -> Result<SimResult, SimError> {
     match r {
         Ok(res) => res,
-        Err(payload) => {
-            Err(SimError::WorkerPanic(crate::campaign::panic_message(payload.as_ref())))
-        }
+        Err(payload) => Err(SimError::WorkerPanic(crate::campaign::panic_message(
+            payload.as_ref(),
+        ))),
     }
 }
 
@@ -255,6 +295,19 @@ mod tests {
     const TEST_BUDGET: u64 = 60_000;
 
     #[test]
+    fn budget_override_pins_first_value() {
+        // Pin to the defaults so concurrently running tests that read the
+        // process-wide budgets observe unchanged values.
+        assert!(set_default_budgets(300_000, 2_000_000));
+        assert_eq!(pipeline_budget(), 300_000);
+        assert_eq!(profile_budget(), 2_000_000);
+        // Later callers cannot repin.
+        assert!(!set_default_budgets(123, 456));
+        assert_eq!(pipeline_budget(), 300_000);
+        assert_eq!(profile_budget(), 2_000_000);
+    }
+
+    #[test]
     fn parallel_sweep_matches_serial() {
         let cfgs = [MachineConfig::n_plus_m(2, 0), MachineConfig::n_plus_m(4, 0)];
         let results = run_configs_checked_with_budget(Benchmark::Li, &cfgs, TEST_BUDGET);
@@ -269,8 +322,10 @@ mod tests {
     fn parallel_sweep_is_deterministic() {
         // Two full parallel sweeps must agree bit for bit: pool
         // scheduling may reorder the runs but never their results.
-        let cfgs =
-            [MachineConfig::n_plus_m(2, 2), MachineConfig::n_plus_m(4, 2).with_optimizations()];
+        let cfgs = [
+            MachineConfig::n_plus_m(2, 2),
+            MachineConfig::n_plus_m(4, 2).with_optimizations(),
+        ];
         let first = run_configs_checked_with_budget(Benchmark::Compress, &cfgs, TEST_BUDGET);
         let second = run_configs_checked_with_budget(Benchmark::Compress, &cfgs, TEST_BUDGET);
         assert_eq!(first, second);
@@ -287,7 +342,11 @@ mod tests {
             for (ci, cfg) in cfgs.iter().enumerate() {
                 let serial =
                     run_config_checked_with_budget(*bench, cfg.clone(), TEST_BUDGET).unwrap();
-                assert_eq!(*matrix[bi][ci].as_ref().unwrap(), serial, "({bi},{ci}) diverged");
+                assert_eq!(
+                    *matrix[bi][ci].as_ref().unwrap(),
+                    serial,
+                    "({bi},{ci}) diverged"
+                );
             }
         }
     }
@@ -315,8 +374,10 @@ mod tests {
             }),
             Box::new(|| panic!("poisoned task")),
         ];
-        let out: Vec<_> =
-            pool::run_tasks(tasks, 2).into_iter().map(super::flatten_task).collect();
+        let out: Vec<_> = pool::run_tasks(tasks, 2)
+            .into_iter()
+            .map(super::flatten_task)
+            .collect();
         assert!(out[0].is_ok());
         match &out[1] {
             Err(SimError::WorkerPanic(msg)) => assert!(msg.contains("poisoned task")),

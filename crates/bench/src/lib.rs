@@ -13,22 +13,29 @@
 //! always cover the same dynamic instruction stream.
 
 pub mod campaign;
+pub mod checkpoint;
 mod experiments;
 mod harness;
 pub mod microbench;
 pub mod pool;
+pub mod sampling;
 
+pub use checkpoint::{config_fingerprint, program_fingerprint, CheckpointStore};
 pub use microbench::{Bencher, BenchmarkGroup, Criterion, Throughput};
+pub use sampling::{
+    sample_program, sample_program_stored, tags_from_checkpoint, Confidence, Estimate, SampledRun,
+    SamplingConfig, WindowSample,
+};
 
 pub use experiments::{
-    ablation_issue_width, ablation_lvaq_size, ablation_mshrs, ablation_steering,
-    ablation_window, fig10_latency_sensitivity, fig11_per_program,
-    fig2_instruction_mix, fig3_frame_sizes, fig5_bandwidth, fig6_lvc_size, fig7_lvc_ports,
-    fig8_combining, fig9_optimized, l2_traffic, lvc_latency, lvc_line_size, small_l1,
-    table1_machine_model, table2_benchmarks, table3_fast_forwarding,
+    ablation_issue_width, ablation_lvaq_size, ablation_mshrs, ablation_steering, ablation_window,
+    fig10_latency_sensitivity, fig11_per_program, fig2_instruction_mix, fig3_frame_sizes,
+    fig5_bandwidth, fig6_lvc_size, fig7_lvc_ports, fig8_combining, fig9_optimized, l2_traffic,
+    lvc_latency, lvc_line_size, small_l1, table1_machine_model, table2_benchmarks,
+    table3_fast_forwarding,
 };
 pub use harness::{
     drain_stream, pipeline_budget, profile, profile_budget, run_config, run_config_checked,
     run_config_checked_with_budget, run_configs_checked, run_configs_checked_with_budget,
-    run_configs_for, run_matrix_checked, workload_stats, ProfiledWorkload,
+    run_configs_for, run_matrix_checked, set_default_budgets, workload_stats, ProfiledWorkload,
 };

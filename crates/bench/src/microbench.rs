@@ -27,7 +27,11 @@ impl Criterion {
     /// Starts a named group of related measurements.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
-        BenchmarkGroup { _c: self, sample_size: 10, throughput: None }
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+            throughput: None,
+        }
     }
 }
 
@@ -66,7 +70,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b); // warm-up (also catches panics before timing)
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {

@@ -15,10 +15,10 @@
 //! task's `Err` result, and moves on to the next task — the behaviour
 //! figure sweeps need when one configuration point is poisoned.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::collections::VecDeque;
 
 /// What one task left behind: its value, or the payload of its panic.
 pub type TaskResult<T> = std::thread::Result<T>;
@@ -26,7 +26,9 @@ pub type TaskResult<T> = std::thread::Result<T>;
 /// The number of workers a sweep of `tasks` tasks should use: one per
 /// available CPU, never more than the task count, always at least one.
 pub fn default_workers(tasks: usize) -> usize {
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     cpus.min(tasks).max(1)
 }
 
@@ -171,7 +173,10 @@ mod tests {
         let out = run_tasks(tasks, 3);
         for (i, r) in out.iter().enumerate() {
             if i == 7 {
-                let msg = r.as_ref().err().and_then(|e| e.downcast_ref::<&str>().copied());
+                let msg = r
+                    .as_ref()
+                    .err()
+                    .and_then(|e| e.downcast_ref::<&str>().copied());
                 assert_eq!(msg, Some("task 7 poisoned"));
             } else {
                 assert_eq!(*r.as_ref().unwrap(), i as u64);

@@ -105,7 +105,10 @@ pub struct Classifier {
 impl Classifier {
     /// Creates a classifier with the given policy.
     pub fn new(policy: SteerPolicy) -> Classifier {
-        Classifier { policy, predictor: RegionPredictor::new() }
+        Classifier {
+            policy,
+            predictor: RegionPredictor::new(),
+        }
     }
 
     /// Decides the queue for a dynamic memory access and trains the
@@ -123,7 +126,10 @@ impl Classifier {
         let (predicted_local, replicated) = match self.policy {
             SteerPolicy::Oracle => (actual_local, false),
             SteerPolicy::SpBase => (
-                d.instr.mem_operand().map(|(base, ..)| base.is_stack_base()).unwrap_or(false),
+                d.instr
+                    .mem_operand()
+                    .map(|(base, ..)| base.is_stack_base())
+                    .unwrap_or(false),
                 false,
             ),
             SteerPolicy::Hint => match mem.hint {
@@ -141,7 +147,11 @@ impl Classifier {
                 StreamHint::Unknown => (actual_local, true),
             },
         };
-        Steer { predicted_local, actual_local, replicated }
+        Steer {
+            predicted_local,
+            actual_local,
+            replicated,
+        }
     }
 
     /// The underlying 1-bit predictor (for accuracy statistics).
@@ -166,7 +176,13 @@ mod tests {
         DynInst {
             seq: 0,
             pc,
-            instr: Instr::Load { rd: Gpr::T0, base, offset: 0, width: MemWidth::Word, hint },
+            instr: Instr::Load {
+                rd: Gpr::T0,
+                base,
+                offset: 0,
+                width: MemWidth::Word,
+                hint,
+            },
             next_pc: pc + 1,
             mem: Some(MemInfo {
                 addr: 0x7fff_ff00,
@@ -184,7 +200,12 @@ mod tests {
         let mut c = Classifier::new(SteerPolicy::Hint);
         let s = c.steer(&dyn_load(0, Gpr::SP, MemRegion::Stack, StreamHint::Local));
         assert!(s.predicted_local && s.actual_local && !s.mispredicted());
-        let s = c.steer(&dyn_load(1, Gpr::GP, MemRegion::Global, StreamHint::NonLocal));
+        let s = c.steer(&dyn_load(
+            1,
+            Gpr::GP,
+            MemRegion::Global,
+            StreamHint::NonLocal,
+        ));
         assert!(!s.predicted_local && !s.mispredicted());
     }
 

@@ -112,7 +112,12 @@ pub struct FuCounts {
 impl FuCounts {
     /// The paper's Table 1 pool: 16 + 16 ALUs, 4 + 4 MULT/DIV units.
     pub fn iscapaper_base() -> FuCounts {
-        FuCounts { int_alu: 16, int_mul_div: 4, fp_alu: 16, fp_mul_div: 4 }
+        FuCounts {
+            int_alu: 16,
+            int_mul_div: 4,
+            fp_alu: 16,
+            fp_mul_div: 4,
+        }
     }
 
     /// The pool a [`FuClass`] executes on, as a dense index `0..4`.
@@ -324,7 +329,9 @@ mod tests {
 
     #[test]
     fn latency_builders() {
-        let c = MachineConfig::n_plus_m(2, 2).with_l1_hit_latency(3).with_lvc_hit_latency(2);
+        let c = MachineConfig::n_plus_m(2, 2)
+            .with_l1_hit_latency(3)
+            .with_lvc_hit_latency(2);
         assert_eq!(c.hierarchy.l1.hit_latency, 3);
         assert_eq!(c.hierarchy.lvc.unwrap().hit_latency, 2);
     }
@@ -362,14 +369,21 @@ mod tests {
     #[test]
     fn planted_defect_defaults_off() {
         assert!(!MachineConfig::iscapaper_base().planted_defect);
-        assert!(!MachineConfig::n_plus_m(4, 2).with_optimizations().planted_defect);
+        assert!(
+            !MachineConfig::n_plus_m(4, 2)
+                .with_optimizations()
+                .planted_defect
+        );
     }
 
     #[test]
     fn fault_plan_is_validated_with_the_machine() {
         let mut c = MachineConfig::iscapaper_base();
         c.fault_plan.drop_port_grant = 2.0;
-        assert!(matches!(c.validate(), Err(ConfigError::FaultRateOutOfRange { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FaultRateOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -377,8 +391,17 @@ mod tests {
         for class in FuClass::ALL {
             assert!(FuCounts::pool_of(class) < 4);
         }
-        assert_eq!(FuCounts::pool_of(FuClass::IntMul), FuCounts::pool_of(FuClass::IntDiv));
-        assert_eq!(FuCounts::pool_of(FuClass::FpMul), FuCounts::pool_of(FuClass::FpDiv));
-        assert_ne!(FuCounts::pool_of(FuClass::IntAlu), FuCounts::pool_of(FuClass::FpAdd));
+        assert_eq!(
+            FuCounts::pool_of(FuClass::IntMul),
+            FuCounts::pool_of(FuClass::IntDiv)
+        );
+        assert_eq!(
+            FuCounts::pool_of(FuClass::FpMul),
+            FuCounts::pool_of(FuClass::FpDiv)
+        );
+        assert_ne!(
+            FuCounts::pool_of(FuClass::IntAlu),
+            FuCounts::pool_of(FuClass::FpAdd)
+        );
     }
 }

@@ -157,7 +157,11 @@ pub(crate) struct RetiredPcRing {
 
 impl RetiredPcRing {
     pub(crate) fn new() -> RetiredPcRing {
-        RetiredPcRing { buf: [0; RETIRED_PC_WINDOW], len: 0, next: 0 }
+        RetiredPcRing {
+            buf: [0; RETIRED_PC_WINDOW],
+            len: 0,
+            next: 0,
+        }
     }
 
     #[inline]
@@ -170,7 +174,11 @@ impl RetiredPcRing {
     /// The retained pcs, oldest first.
     pub(crate) fn snapshot(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.len);
-        let start = if self.len < RETIRED_PC_WINDOW { 0 } else { self.next };
+        let start = if self.len < RETIRED_PC_WINDOW {
+            0
+        } else {
+            self.next
+        };
         for i in 0..self.len {
             out.push(self.buf[(start + i) % RETIRED_PC_WINDOW]);
         }

@@ -169,7 +169,12 @@ pub(crate) struct Rob {
 impl Rob {
     pub fn new(capacity: usize) -> Rob {
         assert!(capacity > 0, "ROB capacity must be at least 1");
-        Rob { slots: (0..capacity).map(|_| None).collect(), head: 0, len: 0, next_uid: 0 }
+        Rob {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            next_uid: 0,
+        }
     }
 
     #[allow(dead_code)] // introspection helper
@@ -209,7 +214,11 @@ impl Rob {
         // time constant, and an integer divide here lands on the per-
         // instruction hot path of both kernels.
         let s = self.head + self.len;
-        if s >= self.slots.len() { s - self.slots.len() } else { s }
+        if s >= self.slots.len() {
+            s - self.slots.len()
+        } else {
+            s
+        }
     }
 
     /// Pushes at the tail; returns the slot index.
@@ -312,7 +321,13 @@ mod tests {
     fn entry(uid: u64) -> RobEntry {
         RobEntry {
             uid,
-            d: DynInst { seq: uid, pc: 0, instr: Instr::Nop, next_pc: 1, mem: None },
+            d: DynInst {
+                seq: uid,
+                pc: 0,
+                instr: Instr::Nop,
+                next_pc: 1,
+                mem: None,
+            },
             fu: FuClass::IntAlu,
             waiting: 0,
             dependents: Vec::new(),

@@ -139,9 +139,7 @@ impl From<VmError> for TrapKind {
             VmError::StackOverflow { pc, addr, limit } => {
                 TrapKind::StackOverflow { pc, addr, limit }
             }
-            VmError::IllegalTarget { pc, target } => {
-                TrapKind::IllegalInstruction { pc, target }
-            }
+            VmError::IllegalTarget { pc, target } => TrapKind::IllegalInstruction { pc, target },
             VmError::ReturnWithoutCall { pc } => TrapKind::ReturnWithoutCall { pc },
         }
     }
@@ -158,10 +156,16 @@ impl fmt::Display for TrapKind {
                 write!(f, "access to unmapped address {addr:#x} at pc {pc}")
             }
             TrapKind::StackOverflow { pc, addr, limit } => {
-                write!(f, "stack overflow: access to {addr:#x} past limit {limit:#x} at pc {pc}")
+                write!(
+                    f,
+                    "stack overflow: access to {addr:#x} past limit {limit:#x} at pc {pc}"
+                )
             }
             TrapKind::IllegalInstruction { pc, target } => {
-                write!(f, "illegal instruction: control transfer to pc {target} at pc {pc}")
+                write!(
+                    f,
+                    "illegal instruction: control transfer to pc {target} at pc {pc}"
+                )
             }
             TrapKind::ReturnWithoutCall { pc } => {
                 write!(f, "return without a matching call at pc {pc}")
@@ -184,7 +188,11 @@ pub struct Trap {
 
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (cycle {}, {} committed)", self.kind, self.cycle, self.committed)
+        write!(
+            f,
+            "{} (cycle {}, {} committed)",
+            self.kind, self.cycle, self.committed
+        )
     }
 }
 
@@ -215,6 +223,10 @@ pub enum SimError {
     /// poisoned run degrades to one structured failure instead of
     /// tearing down the whole sweep.
     WorkerPanic(String),
+    /// Warm cache-tag state handed to [`crate::Simulator::run_from_warm`]
+    /// does not fit this machine's hierarchy (LVC presence or a cache
+    /// geometry differs).
+    WarmStateMismatch,
 }
 
 impl fmt::Display for SimError {
@@ -230,9 +242,19 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::InvariantViolation(v) => {
-                write!(f, "invariant violation at cycle {}: {}", v.dump.cycle, v.what)
+                write!(
+                    f,
+                    "invariant violation at cycle {}: {}",
+                    v.dump.cycle, v.what
+                )
             }
             SimError::WorkerPanic(msg) => write!(f, "sweep worker panicked: {msg}"),
+            SimError::WarmStateMismatch => {
+                write!(
+                    f,
+                    "warm cache-tag state does not match the machine's hierarchy"
+                )
+            }
         }
     }
 }
@@ -256,16 +278,32 @@ mod tests {
             TrapKind::PcOutOfRange { pc: 7 }
         );
         assert_eq!(
-            TrapKind::from(VmError::Misaligned { pc: 1, addr: 3, bytes: 4 }),
-            TrapKind::Misaligned { pc: 1, addr: 3, bytes: 4 }
+            TrapKind::from(VmError::Misaligned {
+                pc: 1,
+                addr: 3,
+                bytes: 4
+            }),
+            TrapKind::Misaligned {
+                pc: 1,
+                addr: 3,
+                bytes: 4
+            }
         );
         assert_eq!(
             TrapKind::from(VmError::OutOfRegion { pc: 1, addr: 0x40 }),
             TrapKind::Unmapped { pc: 1, addr: 0x40 }
         );
         assert_eq!(
-            TrapKind::from(VmError::StackOverflow { pc: 2, addr: 8, limit: 16 }),
-            TrapKind::StackOverflow { pc: 2, addr: 8, limit: 16 }
+            TrapKind::from(VmError::StackOverflow {
+                pc: 2,
+                addr: 8,
+                limit: 16
+            }),
+            TrapKind::StackOverflow {
+                pc: 2,
+                addr: 8,
+                limit: 16
+            }
         );
         assert_eq!(
             TrapKind::from(VmError::IllegalTarget { pc: 2, target: 999 }),

@@ -171,20 +171,38 @@ mod tests {
 
     #[test]
     fn rates_are_validated() {
-        let bad = FaultPlan { flip_l1_line: 1.5, ..FaultPlan::none() };
+        let bad = FaultPlan {
+            flip_l1_line: 1.5,
+            ..FaultPlan::none()
+        };
         assert!(bad.validate().is_err());
-        let bad = FaultPlan { corrupt_forward: f64::NAN, ..FaultPlan::none() };
+        let bad = FaultPlan {
+            corrupt_forward: f64::NAN,
+            ..FaultPlan::none()
+        };
         assert!(bad.validate().is_err());
-        let bad = FaultPlan { delay_port_grant: 0.5, delay_cycles: 0, ..FaultPlan::none() };
+        let bad = FaultPlan {
+            delay_port_grant: 0.5,
+            delay_cycles: 0,
+            ..FaultPlan::none()
+        };
         assert_eq!(bad.validate(), Err(ConfigError::ZeroFaultDelay));
-        let ok = FaultPlan { delay_port_grant: 0.5, delay_cycles: 3, ..FaultPlan::none() };
+        let ok = FaultPlan {
+            delay_port_grant: 0.5,
+            delay_cycles: 3,
+            ..FaultPlan::none()
+        };
         assert_eq!(ok.validate(), Ok(()));
         assert!(!ok.is_none());
     }
 
     #[test]
     fn injector_streams_are_seed_deterministic() {
-        let plan = FaultPlan { seed: 42, drop_port_grant: 0.5, ..FaultPlan::none() };
+        let plan = FaultPlan {
+            seed: 42,
+            drop_port_grant: 0.5,
+            ..FaultPlan::none()
+        };
         let mut a = FaultState::from_plan(plan).unwrap();
         let mut b = FaultState::from_plan(plan).unwrap();
         for _ in 0..100 {

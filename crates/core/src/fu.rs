@@ -46,7 +46,10 @@ impl FuPools {
 
     /// Units of the class's pool that could accept work at `cycle`.
     pub fn free_units(&self, class: FuClass, cycle: u64) -> usize {
-        self.pools[FuCounts::pool_of(class)].iter().filter(|f| **f <= cycle).count()
+        self.pools[FuCounts::pool_of(class)]
+            .iter()
+            .filter(|f| **f <= cycle)
+            .count()
     }
 }
 

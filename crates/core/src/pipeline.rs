@@ -24,7 +24,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use dda_isa::{FuClass, Instr};
-use dda_mem::{Hierarchy, PortMeter};
+use dda_mem::{Hierarchy, HierarchyTags, PortMeter};
 use dda_program::Program;
 use dda_vm::{DynInst, TCacheStats, Vm, VmError};
 
@@ -36,7 +36,7 @@ use crate::error::{InvariantViolation, SimError, Trap, TrapKind};
 use crate::fault::FaultState;
 use crate::fu::FuPools;
 use crate::queue::MemQueue;
-use crate::result::{QueueStats, SimResult};
+use crate::result::{QueueStats, SimResult, WindowRun};
 use crate::trace::{InstrTrace, MemPath, Tracer};
 
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -69,7 +69,10 @@ struct EventWheel {
 
 impl EventWheel {
     fn new() -> EventWheel {
-        EventWheel { buckets: (0..64).map(|_| Vec::new()).collect(), pending: 0 }
+        EventWheel {
+            buckets: (0..64).map(|_| Vec::new()).collect(),
+            pending: 0,
+        }
     }
 
     #[inline]
@@ -118,7 +121,6 @@ type CombineSeed = (u64, bool, bool, (u64, i32), u64);
 const READY_FU: usize = 0;
 const READY_LSQ: usize = 1;
 const READY_LVAQ: usize = 2;
-
 
 /// Which ready list an entry lives on — fixed at dispatch (memory-ness
 /// and queue side never change over an entry's lifetime).
@@ -259,14 +261,102 @@ impl Simulator {
         max_instructions: u64,
         trace_limit: u64,
     ) -> Result<(SimResult, Vec<InstrTrace>), SimError> {
-        let mut core =
-            Core::new(&self.cfg, Vm::new(program.clone()), Some(Tracer::new(trace_limit)));
+        let mut core = Core::new(
+            &self.cfg,
+            Vm::new(program.clone()),
+            Some(Tracer::new(trace_limit)),
+        );
         let res = core.run(max_instructions)?;
         let records = match core.tracer.take() {
             Some(tr) => tr.into_records(),
             None => unreachable!("tracer installed above"),
         };
         Ok((res, records))
+    }
+
+    /// Runs from an already-positioned functional machine — the hand-off
+    /// point of a fast-forwarded or checkpoint-restored [`Vm`] — until it
+    /// halts or `max_instructions` *more* have been committed.
+    ///
+    /// The pipeline and caches start cold, exactly as a detailed run
+    /// started from the same architectural state would; two calls with
+    /// bit-identical `vm` states produce bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run`].
+    pub fn run_from(&self, vm: Vm, max_instructions: u64) -> Result<SimResult, SimError> {
+        let mut core = Core::new(&self.cfg, vm, None);
+        core.run(max_instructions)
+    }
+
+    /// Like [`Simulator::run_from`], first importing functionally-warmed
+    /// cache-tag state into the (otherwise cold) hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WarmStateMismatch`] when `tags` does not fit this
+    /// machine's hierarchy (LVC presence or any cache geometry differs);
+    /// otherwise as for [`Simulator::run`].
+    pub fn run_from_warm(
+        &self,
+        vm: Vm,
+        tags: Option<&HierarchyTags>,
+        max_instructions: u64,
+    ) -> Result<SimResult, SimError> {
+        let mut core = Core::new(&self.cfg, vm, None);
+        if let Some(t) = tags {
+            if !core.hier.import_tags(t) {
+                return Err(SimError::WarmStateMismatch);
+            }
+        }
+        core.run(max_instructions)
+    }
+
+    /// Runs a detailed measurement window from a positioned [`Vm`]: a
+    /// warm-up prefix of `warmup_insts` commits (simulated in full detail
+    /// but discarded from the window statistics), then `window_insts`
+    /// measured commits. Optional `tags` pre-warm the caches as in
+    /// [`Simulator::run_from_warm`]. The warm-up boundary is quantized by
+    /// the wide commit stage — the prefix ends at the first commit-stage
+    /// boundary at or after `warmup_insts`, so the measured window may be
+    /// up to commit-width − 1 instructions short of `window_insts`; use
+    /// `window.committed`, not the request, as the denominator.
+    ///
+    /// The returned [`WindowRun`] carries both the whole run (`total`)
+    /// and the carved-out window (`window`). The marking machinery never
+    /// perturbs the simulation: `total` is bit-identical to what
+    /// [`Simulator::run_from_warm`] would return for the same budget.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run_from_warm`].
+    pub fn run_window(
+        &self,
+        vm: Vm,
+        tags: Option<&HierarchyTags>,
+        warmup_insts: u64,
+        window_insts: u64,
+    ) -> Result<WindowRun, SimError> {
+        let mut core = Core::new(&self.cfg, vm, None);
+        if let Some(t) = tags {
+            if !core.hier.import_tags(t) {
+                return Err(SimError::WarmStateMismatch);
+            }
+        }
+        let budget = warmup_insts.saturating_add(window_insts);
+        if warmup_insts == 0 {
+            let total = core.run(budget)?;
+            let window = total.clone();
+            return Ok(WindowRun { total, window });
+        }
+        let (total, at_mark) = core.run_marked(budget, Some(warmup_insts))?;
+        let window = match &at_mark {
+            Some(m) => total.delta(m),
+            // Halted inside the warm-up prefix: no measured work.
+            None => total.delta(&total),
+        };
+        Ok(WindowRun { total, window })
     }
 }
 
@@ -292,9 +382,7 @@ impl SDec {
         SDec {
             fu: instr.fu_class(),
             def: instr.def().map_or(NO_REG, |r| r.unified_index() as u16),
-            uses: std::array::from_fn(|k| {
-                uses[k].map_or(NO_REG, |r| r.unified_index() as u16)
-            }),
+            uses: std::array::from_fn(|k| uses[k].map_or(NO_REG, |r| r.unified_index() as u16)),
         }
     }
 }
@@ -502,8 +590,29 @@ impl<'c> Core<'c> {
     }
 
     fn run(&mut self, max_instructions: u64) -> Result<SimResult, SimError> {
+        self.run_marked(max_instructions, None).map(|(res, _)| res)
+    }
+
+    /// Runs like [`Core::run`], additionally snapshotting the statistics
+    /// the first time the commit count reaches `mark`. The snapshot is
+    /// taken between the commit stage and every later stage of that
+    /// cycle, so `final.delta(&snapshot)` is exactly the work after the
+    /// marked commit — and the marking itself never perturbs the
+    /// simulation ([`Core::flush_occupancy`] drains, so the final result
+    /// is bit-identical with or without a mark).
+    fn run_marked(
+        &mut self,
+        max_instructions: u64,
+        mark: Option<u64>,
+    ) -> Result<(SimResult, Option<SimResult>), SimError> {
+        let mut at_mark: Option<SimResult> = None;
         loop {
             self.commit();
+            if let Some(m) = mark {
+                if at_mark.is_none() && self.res.committed >= m {
+                    at_mark = Some(self.snapshot_result());
+                }
+            }
             if self.done(max_instructions) {
                 break;
             }
@@ -527,6 +636,13 @@ impl<'c> Core<'c> {
             }
             self.cycle += 1;
         }
+        Ok((self.snapshot_result(), at_mark))
+    }
+
+    /// Assembles the statistics as of now into a [`SimResult`]. Safe to
+    /// call mid-run: occupancy counters are drained (not copied), and
+    /// everything else is read-only against the simulation state.
+    fn snapshot_result(&mut self) -> SimResult {
         self.flush_occupancy();
         let mut res = self.res.clone();
         res.cycles = self.cycle.max(1);
@@ -539,7 +655,7 @@ impl<'c> Core<'c> {
             res.faults.flips_evicted = self.hier.poison_evictions();
             res.faults.flips_latent = self.hier.poisoned_lines() as u64;
         }
-        Ok(res)
+        res
     }
 
     /// Wraps a functional-execution fault with the timing context at
@@ -621,7 +737,9 @@ impl<'c> Core<'c> {
             for i in 0..q.len() {
                 let slot = q.slot_at(i);
                 if !self.rob.is_alive(slot) {
-                    return Some(format!("{name} position {i} references dead ROB slot {slot}"));
+                    return Some(format!(
+                        "{name} position {i} references dead ROB slot {slot}"
+                    ));
                 }
                 let e = self.rob.get(slot);
                 let Some(m) = e.mem.as_ref() else {
@@ -730,7 +848,9 @@ impl<'c> Core<'c> {
     fn commit(&mut self) {
         let mut budget = self.cfg.commit_width;
         while budget > 0 {
-            let Some(head) = self.rob.head_slot() else { break };
+            let Some(head) = self.rob.head_slot() else {
+                break;
+            };
             let e = self.rob.get(head);
             let mem = e.mem.as_ref().map(|m| {
                 (
@@ -821,14 +941,26 @@ impl<'c> Core<'c> {
         // the ghost must not outlive its ROB entry.
         let ghost = {
             let m = self.rob.get(head).mem();
-            if m.replicated { Some((m.is_store, m.ghost_ord)) } else { None }
+            if m.replicated {
+                Some((m.is_store, m.ghost_ord))
+            } else {
+                None
+            }
         };
         if let Some((gstore, gord)) = ghost {
             debug_assert!(self.faults.is_some(), "ghost survived to retirement");
-            let other = if in_lvaq { &mut self.lsq } else { &mut self.lvaq };
+            let other = if in_lvaq {
+                &mut self.lsq
+            } else {
+                &mut self.lvaq
+            };
             other.remove_ghost(head, gstore, gord);
         }
-        let q = if in_lvaq { &mut self.lvaq } else { &mut self.lsq };
+        let q = if in_lvaq {
+            &mut self.lvaq
+        } else {
+            &mut self.lsq
+        };
         let front = q.pop_front(is_store);
         debug_assert_eq!(front, Some(head), "memory queue out of sync with ROB");
         let (uid, pc, deps, mem) = self.rob.pop_head_parts();
@@ -858,8 +990,14 @@ impl<'c> Core<'c> {
     /// Detection runs before injection so a fresh flip is never
     /// self-detected by the access that created it.
     fn fault_cache_access(&mut self, in_lvaq: bool, addr: u32) {
-        let Some(f) = self.faults.as_mut() else { return };
-        let rate = if in_lvaq { f.plan.flip_lvc_line } else { f.plan.flip_l1_line };
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        let rate = if in_lvaq {
+            f.plan.flip_lvc_line
+        } else {
+            f.plan.flip_l1_line
+        };
         if rate == 0.0 {
             return;
         }
@@ -877,7 +1015,9 @@ impl<'c> Core<'c> {
             } else {
                 self.hier.l1_poison_line(addr)
             };
-        let Some(f) = self.faults.as_mut() else { return };
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
         if detected {
             f.stats.flips_detected += 1;
         }
@@ -967,7 +1107,11 @@ impl<'c> Core<'c> {
                     if replicated {
                         // Region resolved: kill the wrongly inserted copy
                         // (paper §2.1, footnote 3).
-                        let other = if in_lvaq { &mut self.lsq } else { &mut self.lvaq };
+                        let other = if in_lvaq {
+                            &mut self.lsq
+                        } else {
+                            &mut self.lvaq
+                        };
                         other.remove_ghost(slot, is_store, ghost_ord);
                         self.rob.get_mut(slot).mem_mut().replicated = false;
                     }
@@ -1058,7 +1202,11 @@ impl<'c> Core<'c> {
             let m = self.rob.get(slot).mem();
             (m.in_lvaq, m.ord)
         };
-        let wl = if in_lvaq { &mut self.lvaq_wake } else { &mut self.lsq_wake };
+        let wl = if in_lvaq {
+            &mut self.lvaq_wake
+        } else {
+            &mut self.lsq_wake
+        };
         wl.push((ord, slot, uid));
     }
 
@@ -1068,7 +1216,10 @@ impl<'c> Core<'c> {
     /// queue. Spurious wakeups are harmless — the load just re-examines
     /// (in O(1) from its scan cursor) and re-registers.
     fn register_waiter(&mut self, store_slot: usize, load_slot: usize) {
-        debug_assert!(self.rob.get(store_slot).is_store(), "waiter registered on a non-store");
+        debug_assert!(
+            self.rob.get(store_slot).is_store(),
+            "waiter registered on a non-store"
+        );
         let uid = self.rob.get(load_slot).uid;
         if self.rob.get(store_slot).mem().waiters.capacity() == 0 {
             if let Some(v) = self.waiter_pool.pop() {
@@ -1131,8 +1282,10 @@ impl<'c> Core<'c> {
         if self.lsq_wake.is_empty() && self.lvaq_wake.is_empty() {
             return;
         }
-        let mut lv =
-            std::mem::replace(&mut self.lvaq_wake, std::mem::take(&mut self.lvaq_wake_spare));
+        let mut lv = std::mem::replace(
+            &mut self.lvaq_wake,
+            std::mem::take(&mut self.lvaq_wake_spare),
+        );
         let mut ls =
             std::mem::replace(&mut self.lsq_wake, std::mem::take(&mut self.lsq_wake_spare));
         // Sorting by queue ordinal restores the reference walk's age
@@ -1171,7 +1324,9 @@ impl<'c> Core<'c> {
     /// resumes the CAM scan from its cursor, applies a ready match, and
     /// otherwise registers the load on the store that stopped the scan.
     fn ff_exam(&mut self, slot: usize) {
-        let Some((lver, loff, lbytes)) = self.ff_candidate(slot) else { return };
+        let Some((lver, loff, lbytes)) = self.ff_candidate(slot) else {
+            return;
+        };
         let (ord, ff_ord) = {
             let m = self.rob.get(slot).mem();
             (m.ord, m.ff_ord)
@@ -1209,7 +1364,9 @@ impl<'c> Core<'c> {
     /// forward/cache outcomes (re-arming a refused cache access for the
     /// next cycle), and registers blocked loads on their blocking store.
     fn launch_exam(&mut self, in_lvaq: bool, slot: usize, uid: u64) {
-        let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) else { return };
+        let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) else {
+            return;
+        };
         let cycle = self.cycle;
         let (ord, scan_ord) = {
             let m = self.rob.get(slot).mem();
@@ -1234,14 +1391,21 @@ impl<'c> Core<'c> {
                 q.store_at(cursor - 1)
             };
             let Some(blocker) = blocker else {
-                debug_assert!(false, "blocked disambiguation scan without a blocking store");
+                debug_assert!(
+                    false,
+                    "blocked disambiguation scan without a blocking store"
+                );
                 return;
             };
             self.register_waiter(blocker, slot);
         } else if !self.apply_launch(in_lvaq, slot, addr, outcome) {
             // Structural hazard (every MSHR busy): the reference kernel
             // retries each cycle, so re-arm for the very next one.
-            let wl = if in_lvaq { &mut self.lvaq_wake } else { &mut self.lsq_wake };
+            let wl = if in_lvaq {
+                &mut self.lvaq_wake
+            } else {
+                &mut self.lsq_wake
+            };
             wl.push((ord, slot, uid));
         }
     }
@@ -1257,7 +1421,9 @@ impl<'c> Core<'c> {
         // event-driven counterpart is `ff_exam`.)
         let snapshot: Vec<usize> = (0..self.lvaq.len()).map(|j| self.lvaq.slot_at(j)).collect();
         for (i, &slot) in snapshot.iter().enumerate() {
-            let Some((lver, loff, lbytes)) = self.ff_candidate(slot) else { continue };
+            let Some((lver, loff, lbytes)) = self.ff_candidate(slot) else {
+                continue;
+            };
             let outcome = ff_scan_full(&self.rob, &snapshot[..i], lver, loff, lbytes);
             self.apply_fast_forward(slot, outcome);
         }
@@ -1322,9 +1488,19 @@ impl<'c> Core<'c> {
         // implementation. (The fast kernel's event-driven counterpart is
         // `launch_exam`.)
         let cycle = self.cycle;
-        let qlen = if in_lvaq { self.lvaq.len() } else { self.lsq.len() };
+        let qlen = if in_lvaq {
+            self.lvaq.len()
+        } else {
+            self.lsq.len()
+        };
         let snapshot: Vec<usize> = (0..qlen)
-            .map(|j| if in_lvaq { self.lvaq.slot_at(j) } else { self.lsq.slot_at(j) })
+            .map(|j| {
+                if in_lvaq {
+                    self.lvaq.slot_at(j)
+                } else {
+                    self.lsq.slot_at(j)
+                }
+            })
             .collect();
         for (i, &slot) in snapshot.iter().enumerate() {
             let Some((addr, bytes)) = self.launch_candidate(slot, in_lvaq) else {
@@ -1365,7 +1541,11 @@ impl<'c> Core<'c> {
             DisambScan::Forward(_) => {
                 // In-queue store→load forwarding: 1 cycle (the port was
                 // already paid at address generation).
-                let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                let qstats = if in_lvaq {
+                    &mut self.res.lvaq
+                } else {
+                    &mut self.res.lsq
+                };
                 qstats.forwards += 1;
                 self.res.load_latency_sum += 1;
                 self.res.load_latency_count += 1;
@@ -1563,7 +1743,9 @@ impl<'c> Core<'c> {
                 return;
             }
             (
-                e.mem.as_ref().map(|m| (m.in_lvaq, m.is_store, m.stack_slot, m.q_seq)),
+                e.mem
+                    .as_ref()
+                    .map(|m| (m.in_lvaq, m.is_store, m.stack_slot, m.q_seq)),
                 e.fu,
                 e.uid,
             )
@@ -1577,7 +1759,11 @@ impl<'c> Core<'c> {
             // port slot — line identity is established *before*
             // addresses exist via the ($sp version, offset) pair, the
             // same CAM the fast-forwarding hardware uses.
-            let degree = if in_lvaq { self.cfg.decoupling.combining_degree } else { 1 };
+            let degree = if in_lvaq {
+                self.cfg.decoupling.combining_degree
+            } else {
+                1
+            };
             // The line key only matters to combining (`degree > 1`, LVAQ
             // side); the shift is exact because line sizes are powers of
             // two and `>> k` floors like `div_euclid(2^k)`.
@@ -1597,8 +1783,11 @@ impl<'c> Core<'c> {
             if !combinable {
                 if let Some(l) = latches.as_deref_mut() {
                     if l.port[in_lvaq as usize] {
-                        let qstats =
-                            if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                        let qstats = if in_lvaq {
+                            &mut self.res.lvaq
+                        } else {
+                            &mut self.res.lsq
+                        };
                         qstats.port_stall_cycles += 1;
                         return;
                     }
@@ -1615,7 +1804,11 @@ impl<'c> Core<'c> {
                     if let Some(l) = latches {
                         l.port[in_lvaq as usize] = true;
                     }
-                    let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                    let qstats = if in_lvaq {
+                        &mut self.res.lvaq
+                    } else {
+                        &mut self.res.lsq
+                    };
                     qstats.port_stall_cycles += 1;
                     return;
                 }
@@ -1630,7 +1823,11 @@ impl<'c> Core<'c> {
                     }
                 }
                 if dropped {
-                    let qstats = if in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                    let qstats = if in_lvaq {
+                        &mut self.res.lvaq
+                    } else {
+                        &mut self.res.lsq
+                    };
                     qstats.port_stall_cycles += 1;
                     return;
                 }
@@ -1859,7 +2056,10 @@ impl<'c> Core<'c> {
                 if let Some((pslot, puid)) = self.rename[ri as usize] {
                     if let Some(pe) = self.rob.alive_mut(pslot, puid) {
                         if !pe.completed {
-                            pe.dependents.push(Dependent { slot, kind: DepKind::Operand });
+                            pe.dependents.push(Dependent {
+                                slot,
+                                kind: DepKind::Operand,
+                            });
                             waiting += 1;
                         }
                     }
@@ -1869,7 +2069,10 @@ impl<'c> Core<'c> {
                 if let Some((pslot, puid)) = self.rename[store_data_src as usize] {
                     if let Some(pe) = self.rob.alive_mut(pslot, puid) {
                         if !pe.completed {
-                            pe.dependents.push(Dependent { slot, kind: DepKind::StoreData });
+                            pe.dependents.push(Dependent {
+                                slot,
+                                kind: DepKind::StoreData,
+                            });
                             if let Some(m) = mem_state.as_deref_mut() {
                                 m.data_ready_at = None;
                             }
@@ -1913,12 +2116,20 @@ impl<'c> Core<'c> {
                 } else {
                     self.lsq_seq += 1;
                 }
-                let q = if m.in_lvaq { &mut self.lvaq } else { &mut self.lsq };
+                let q = if m.in_lvaq {
+                    &mut self.lvaq
+                } else {
+                    &mut self.lsq
+                };
                 let ord = q.push_back(slot, m.is_store);
                 let ghost_ord = if m.replicated {
                     // Footnote 3: the ghost copy occupies the other queue
                     // until the address resolves.
-                    let other = if m.in_lvaq { &mut self.lsq } else { &mut self.lvaq };
+                    let other = if m.in_lvaq {
+                        &mut self.lsq
+                    } else {
+                        &mut self.lvaq
+                    };
                     other.push_back(slot, m.is_store)
                 } else {
                     0
@@ -1941,7 +2152,11 @@ impl<'c> Core<'c> {
                     // their own AddrReady event.
                     self.lvaq_wake.push((ord, slot, uid));
                 }
-                let qs = if m.in_lvaq { &mut self.res.lvaq } else { &mut self.res.lsq };
+                let qs = if m.in_lvaq {
+                    &mut self.res.lvaq
+                } else {
+                    &mut self.res.lsq
+                };
                 if m.is_store {
                     qs.stores += 1;
                 } else {
@@ -1984,13 +2199,19 @@ impl<'c> Core<'c> {
         }
     }
 
-    /// Moves the flat occupancy counters into the result histograms.
+    /// Moves the flat occupancy counters into the result histograms,
+    /// draining them: a mid-run snapshot and the end of the run can both
+    /// flush without double-counting (the remainder re-accumulates after
+    /// a drain, so end-of-run totals are unchanged by intermediate
+    /// flushes).
     fn flush_occupancy(&mut self) {
-        for (v, &n) in self.occ_lsq.iter().enumerate() {
-            self.res.lsq.occupancy.record_n(v as u64, n);
+        for (v, n) in self.occ_lsq.iter_mut().enumerate() {
+            self.res.lsq.occupancy.record_n(v as u64, *n);
+            *n = 0;
         }
-        for (v, &n) in self.occ_lvaq.iter().enumerate() {
-            self.res.lvaq.occupancy.record_n(v as u64, n);
+        for (v, n) in self.occ_lvaq.iter_mut().enumerate() {
+            self.res.lvaq.occupancy.record_n(v as u64, *n);
+            *n = 0;
         }
     }
 }
@@ -2027,7 +2248,9 @@ enum DisambScan {
 /// baseline. Must decide exactly like [`ff_scan`].
 fn ff_scan_full(rob: &Rob, older: &[usize], lver: u64, loff: i32, lbytes: u32) -> FfScan {
     for &sslot in older.iter().rev() {
-        let Some(sm) = &rob.get(sslot).mem else { continue };
+        let Some(sm) = &rob.get(sslot).mem else {
+            continue;
+        };
         if !sm.is_store {
             continue;
         }
@@ -2051,7 +2274,9 @@ fn ff_scan_full(rob: &Rob, older: &[usize], lver: u64, loff: i32, lbytes: u32) -
 /// the way [`ff_scan_full`] mirrors [`ff_scan`].
 fn disamb_scan_full(rob: &Rob, older: &[usize], cycle: u64, addr: u32, bytes: u32) -> DisambScan {
     for &sslot in older.iter().rev() {
-        let Some(sm) = &rob.get(sslot).mem else { continue };
+        let Some(sm) = &rob.get(sslot).mem else {
+            continue;
+        };
         if !sm.is_store {
             continue;
         }
@@ -2235,7 +2460,13 @@ mod tests {
         for i in 0..50 {
             f.store_local(Gpr::T0, (i % 8) * 4);
             f.load_local(Gpr::T1, (i % 8) * 4);
-            f.load(Gpr::T2, Gpr::GP, (i % 16) * 4, MemWidth::Word, StreamHint::NonLocal);
+            f.load(
+                Gpr::T2,
+                Gpr::GP,
+                (i % 16) * 4,
+                MemWidth::Word,
+                StreamHint::NonLocal,
+            );
         }
         f.addi(Gpr::SP, Gpr::SP, 64);
         let p = build(f);
@@ -2292,7 +2523,11 @@ mod tests {
         let no_ff = run(MachineConfig::n_plus_m(2, 2), &p);
         let ff = run(MachineConfig::n_plus_m(2, 2).with_fast_forwarding(true), &p);
         assert_eq!(no_ff.lvaq.fast_forwards, 0);
-        assert!(ff.lvaq.fast_forwards > 50, "fast forwards = {}", ff.lvaq.fast_forwards);
+        assert!(
+            ff.lvaq.fast_forwards > 50,
+            "fast forwards = {}",
+            ff.lvaq.fast_forwards
+        );
         assert!(ff.cycles <= no_ff.cycles);
     }
 
@@ -2339,7 +2574,13 @@ mod tests {
     fn more_l1_ports_help_bandwidth_bound_code() {
         let mut f = FunctionBuilder::new("main");
         for i in 0..1500 {
-            f.load(Gpr::new((8 + i % 8) as u8), Gpr::GP, (i % 64) * 4, MemWidth::Word, StreamHint::NonLocal);
+            f.load(
+                Gpr::new((8 + i % 8) as u8),
+                Gpr::GP,
+                (i % 64) * 4,
+                MemWidth::Word,
+                StreamHint::NonLocal,
+            );
         }
         let p = build(f);
         let one = run(MachineConfig::n_plus_m(1, 0), &p);
@@ -2376,7 +2617,13 @@ mod tests {
     fn small_lsq_causes_dispatch_stalls() {
         let mut f = FunctionBuilder::new("main");
         for i in 0..200 {
-            f.load(Gpr::T0, Gpr::GP, (i % 512) * 32, MemWidth::Word, StreamHint::NonLocal);
+            f.load(
+                Gpr::T0,
+                Gpr::GP,
+                (i % 512) * 32,
+                MemWidth::Word,
+                StreamHint::NonLocal,
+            );
         }
         let p = build(f);
         let mut cfg = MachineConfig::iscapaper_base();
@@ -2392,7 +2639,10 @@ mod tests {
             f.load_imm(Gpr::T0, i);
         }
         let p = build(f);
-        let r = Simulator::new(MachineConfig::iscapaper_base()).unwrap().run(&p, 100).unwrap();
+        let r = Simulator::new(MachineConfig::iscapaper_base())
+            .unwrap()
+            .run(&p, 100)
+            .unwrap();
         assert_eq!(r.committed, 100);
         assert!(!r.halted);
     }
@@ -2448,7 +2698,11 @@ mod tests {
                 "width {width}: {} cycles",
                 r.cycles
             );
-            assert!(r.ipc() <= width as f64 + 1e-9, "width {width}: IPC {}", r.ipc());
+            assert!(
+                r.ipc() <= width as f64 + 1e-9,
+                "width {width}: IPC {}",
+                r.ipc()
+            );
         }
     }
 
@@ -2680,8 +2934,131 @@ mod tests {
         // §4.3 observation that 50–90 % of LVC accesses are satisfied in
         // the queue); after it commits they hit in the LVC.
         let lvc = r.lvc.unwrap();
-        assert_eq!(lvc.hits + r.lvaq.forwards + lvc.miss_merges, 100, "lvc = {lvc:?}");
+        assert_eq!(
+            lvc.hits + r.lvaq.forwards + lvc.miss_merges,
+            100,
+            "lvc = {lvc:?}"
+        );
         assert!(r.lvaq.forwards > 0);
         assert!(lvc.hits > 0);
+    }
+
+    /// Memory-heavy straight-line workload for the window/hand-off tests:
+    /// local stores/loads interleaved with global traffic (~2000 dynamic
+    /// instructions).
+    fn windowed_program() -> Program {
+        let mut f = FunctionBuilder::new("main");
+        f.addi(Gpr::SP, Gpr::SP, -64);
+        for i in 0..400 {
+            f.load_imm(Gpr::T0, i);
+            f.store_local(Gpr::T0, (i % 8) * 4);
+            f.load_local(Gpr::T1, (i % 8) * 4);
+            f.load(
+                Gpr::T2,
+                Gpr::GP,
+                (i % 32) * 4,
+                MemWidth::Word,
+                StreamHint::NonLocal,
+            );
+            f.alu(AluOp::Add, Gpr::T3, Gpr::T1, Gpr::T2);
+        }
+        f.addi(Gpr::SP, Gpr::SP, 64);
+        build(f)
+    }
+
+    #[test]
+    fn marking_never_perturbs_the_run() {
+        let p = windowed_program();
+        let sim = Simulator::new(MachineConfig::n_plus_m(4, 2).with_optimizations()).unwrap();
+        let plain = sim.run_from(Vm::new(p.clone()), 1200).unwrap();
+        let w = sim.run_window(Vm::new(p.clone()), None, 500, 700).unwrap();
+        // The mark snapshot (draining occupancy flush included) must not
+        // change anything about the run itself.
+        assert_eq!(w.total, plain);
+        // The warm-up boundary is quantized by the wide commit stage: the
+        // prefix may run over the requested 500 by up to commit width - 1.
+        let prefix = plain.committed - w.window.committed;
+        assert!((500..500 + 16).contains(&prefix), "prefix = {prefix}");
+        assert!(w.window.cycles < plain.cycles);
+        assert!(w.window.lsq.occupancy.samples() < plain.lsq.occupancy.samples());
+        // A zero warm-up window is the whole run.
+        let w0 = sim.run_window(Vm::new(p), None, 0, 1200).unwrap();
+        assert_eq!(w0.window, w0.total);
+        assert_eq!(w0.total, plain);
+    }
+
+    #[test]
+    fn window_is_empty_when_the_program_halts_inside_warmup() {
+        let mut f = FunctionBuilder::new("main");
+        for i in 0..20 {
+            f.load_imm(Gpr::T0, i);
+        }
+        let p = build(f);
+        let sim = Simulator::new(MachineConfig::iscapaper_base()).unwrap();
+        let w = sim.run_window(Vm::new(p), None, 10_000, 500).unwrap();
+        assert!(w.total.halted);
+        assert_eq!(w.window.committed, 0);
+        assert_eq!(w.window.cycles, 0);
+    }
+
+    #[test]
+    fn run_from_a_fast_forwarded_vm_is_deterministic_and_continues() {
+        let p = windowed_program();
+        let sim = Simulator::new(MachineConfig::n_plus_m(4, 2).with_optimizations()).unwrap();
+        let mut vm1 = Vm::new(p.clone());
+        vm1.fast_forward(700).unwrap();
+        let mut vm2 = Vm::new(p);
+        vm2.fast_forward(700).unwrap();
+        let a = sim.run_from(vm1, 300).unwrap();
+        let b = sim.run_from(vm2, 300).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.committed, 300);
+        assert!(!a.halted);
+    }
+
+    #[test]
+    fn warm_tags_must_match_the_hierarchy() {
+        let p = windowed_program();
+        // Tags from a machine with an LVC cannot warm a machine without.
+        let donor = Hierarchy::new(dda_mem::HierarchyConfig::n_plus_m(4, 2));
+        let tags = donor.export_tags();
+        let sim = Simulator::new(MachineConfig::iscapaper_base()).unwrap();
+        let err = sim.run_from_warm(Vm::new(p), Some(&tags), 100).unwrap_err();
+        assert_eq!(err, SimError::WarmStateMismatch);
+    }
+
+    #[test]
+    fn functionally_warmed_tags_remove_cold_misses() {
+        let p = windowed_program();
+        let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
+        let sim = Simulator::new(cfg.clone()).unwrap();
+        // Functionally execute the whole program once, feeding every
+        // access to the timing-free warmup model — the sampling driver's
+        // fast-forward flow.
+        let mut warm = dda_mem::FunctionalWarmup::new(&cfg.hierarchy);
+        let mut vm = Vm::new(p.clone());
+        vm.fast_forward_observed(u64::MAX, |d| {
+            if let Some(m) = &d.mem {
+                warm.touch(m.addr, m.is_store, m.is_local());
+            }
+        })
+        .unwrap();
+        let tags = warm.tags();
+        let cold = sim.run_from(Vm::new(p.clone()), 2_000).unwrap();
+        let warmed = sim.run_from_warm(Vm::new(p), Some(&tags), 2_000).unwrap();
+        assert_eq!(cold.committed, warmed.committed);
+        assert!(
+            warmed.l1.misses < cold.l1.misses,
+            "warmed {} vs cold {}",
+            warmed.l1.misses,
+            cold.l1.misses
+        );
+        let (wl, cl) = (warmed.lvc.unwrap(), cold.lvc.unwrap());
+        assert!(
+            wl.misses <= cl.misses,
+            "lvc warmed {} vs cold {}",
+            wl.misses,
+            cl.misses
+        );
     }
 }

@@ -75,7 +75,11 @@ impl MemQueue {
             self.q.remove(pos);
             if is_store {
                 let i = self.stores.partition_point(|&(o, _)| o < ord);
-                debug_assert_eq!(self.stores.get(i), Some(&(ord, slot)), "ghost store missing");
+                debug_assert_eq!(
+                    self.stores.get(i),
+                    Some(&(ord, slot)),
+                    "ghost store missing"
+                );
                 if self.stores.get(i) == Some(&(ord, slot)) {
                     self.stores.remove(i);
                 }
@@ -96,7 +100,10 @@ impl MemQueue {
     /// blocking store for waiter registration.
     pub fn store_at(&self, ord: u64) -> Option<usize> {
         let i = self.stores.partition_point(|&(o, _)| o < ord);
-        self.stores.get(i).filter(|&&(o, _)| o == ord).map(|&(_, s)| s)
+        self.stores
+            .get(i)
+            .filter(|&&(o, _)| o == ord)
+            .map(|&(_, s)| s)
     }
 }
 

@@ -37,6 +37,73 @@ impl QueueStats {
             (self.forwards + self.fast_forwards) as f64 / self.loads as f64
         }
     }
+
+    fn delta(&self, earlier: &QueueStats) -> QueueStats {
+        QueueStats {
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            forwards: self.forwards.saturating_sub(earlier.forwards),
+            fast_forwards: self.fast_forwards.saturating_sub(earlier.fast_forwards),
+            combined: self.combined.saturating_sub(earlier.combined),
+            combine_groups: self.combine_groups.saturating_sub(earlier.combine_groups),
+            port_stall_cycles: self
+                .port_stall_cycles
+                .saturating_sub(earlier.port_stall_cycles),
+            occupancy: self.occupancy.diff(&earlier.occupancy),
+        }
+    }
+}
+
+fn cache_delta(later: &DataCacheStats, earlier: &DataCacheStats) -> DataCacheStats {
+    DataCacheStats {
+        reads: later.reads.saturating_sub(earlier.reads),
+        writes: later.writes.saturating_sub(earlier.writes),
+        hits: later.hits.saturating_sub(earlier.hits),
+        misses: later.misses.saturating_sub(earlier.misses),
+        miss_merges: later.miss_merges.saturating_sub(earlier.miss_merges),
+        mshr_stalls: later.mshr_stalls.saturating_sub(earlier.mshr_stalls),
+    }
+}
+
+fn l2_delta(later: &L2Stats, earlier: &L2Stats) -> L2Stats {
+    L2Stats {
+        requests_from_l1: later
+            .requests_from_l1
+            .saturating_sub(earlier.requests_from_l1),
+        requests_from_lvc: later
+            .requests_from_lvc
+            .saturating_sub(earlier.requests_from_lvc),
+        hits: later.hits.saturating_sub(earlier.hits),
+        misses: later.misses.saturating_sub(earlier.misses),
+        writebacks_in: later.writebacks_in.saturating_sub(earlier.writebacks_in),
+        writebacks_to_memory: later
+            .writebacks_to_memory
+            .saturating_sub(earlier.writebacks_to_memory),
+    }
+}
+
+fn fault_delta(later: &FaultStats, earlier: &FaultStats) -> FaultStats {
+    FaultStats {
+        l1_flips_injected: later
+            .l1_flips_injected
+            .saturating_sub(earlier.l1_flips_injected),
+        lvc_flips_injected: later
+            .lvc_flips_injected
+            .saturating_sub(earlier.lvc_flips_injected),
+        flips_detected: later.flips_detected.saturating_sub(earlier.flips_detected),
+        flips_evicted: later.flips_evicted.saturating_sub(earlier.flips_evicted),
+        // A point-in-time gauge, not a counter: the later value *is* the
+        // window's state.
+        flips_latent: later.flips_latent,
+        grants_dropped: later.grants_dropped.saturating_sub(earlier.grants_dropped),
+        grants_delayed: later.grants_delayed.saturating_sub(earlier.grants_delayed),
+        forwards_corrupted: later
+            .forwards_corrupted
+            .saturating_sub(earlier.forwards_corrupted),
+        forwards_detected: later
+            .forwards_detected
+            .saturating_sub(earlier.forwards_detected),
+    }
 }
 
 /// The outcome of one simulation run.
@@ -107,6 +174,59 @@ impl SimResult {
             self.ipc() / base.ipc()
         }
     }
+
+    /// The slice of work between an `earlier` snapshot of the same run and
+    /// this result: every monotone counter is subtracted (saturating, so a
+    /// snapshot from a different run degrades to zeros rather than
+    /// wrapping), occupancy histograms via [`Histogram::diff`], and
+    /// point-in-time state (`halted`, latent fault gauge, the LVC's
+    /// presence) is taken from `self`.
+    ///
+    /// This is how a detailed measurement window is carved out of a run
+    /// that includes a warm-up prefix: simulate prefix + window in one
+    /// go, snapshot at the prefix boundary, and `delta` the end against
+    /// the snapshot.
+    pub fn delta(&self, earlier: &SimResult) -> SimResult {
+        SimResult {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            committed: self.committed.saturating_sub(earlier.committed),
+            halted: self.halted,
+            stall_rob_full: self.stall_rob_full.saturating_sub(earlier.stall_rob_full),
+            stall_lsq_full: self.stall_lsq_full.saturating_sub(earlier.stall_lsq_full),
+            stall_lvaq_full: self.stall_lvaq_full.saturating_sub(earlier.stall_lvaq_full),
+            misclassifications: self
+                .misclassifications
+                .saturating_sub(earlier.misclassifications),
+            lsq: self.lsq.delta(&earlier.lsq),
+            lvaq: self.lvaq.delta(&earlier.lvaq),
+            l1: cache_delta(&self.l1, &earlier.l1),
+            lvc: self.lvc.as_ref().map(|later| match &earlier.lvc {
+                Some(e) => cache_delta(later, e),
+                None => *later,
+            }),
+            l2: l2_delta(&self.l2, &earlier.l2),
+            load_latency_sum: self
+                .load_latency_sum
+                .saturating_sub(earlier.load_latency_sum),
+            load_latency_count: self
+                .load_latency_count
+                .saturating_sub(earlier.load_latency_count),
+            faults: fault_delta(&self.faults, &earlier.faults),
+        }
+    }
+}
+
+/// The outcome of [`crate::Simulator::run_window`]: the whole run from
+/// the handed-off state (`total`, warm-up prefix included) and the
+/// detailed measurement window carved out of it (`window`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct WindowRun {
+    /// The full run: warm-up prefix plus measurement window.
+    pub total: SimResult,
+    /// The window alone ([`SimResult::delta`] of the end against the
+    /// warm-up boundary). When the program halts inside the warm-up
+    /// prefix the window is empty (`window.committed == 0`).
+    pub window: SimResult,
 }
 
 #[cfg(test)]
@@ -151,6 +271,58 @@ mod tests {
         assert_eq!(a.ipc(), 4.0);
         assert_eq!(a.speedup_over(&b), 2.0);
         assert_eq!(a.speedup_over(&blank()), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_state() {
+        let mut earlier = blank();
+        earlier.cycles = 100;
+        earlier.committed = 40;
+        earlier.lsq.loads = 10;
+        earlier.lsq.occupancy.record_n(3, 7);
+        earlier.l1.reads = 12;
+        earlier.l1.misses = 2;
+        earlier.l2.hits = 1;
+        earlier.lvc = Some(DataCacheStats {
+            reads: 5,
+            ..Default::default()
+        });
+        earlier.faults.flips_latent = 3;
+
+        let mut later = earlier.clone();
+        later.cycles = 250;
+        later.committed = 90;
+        later.halted = true;
+        later.lsq.loads = 25;
+        later.lsq.occupancy.record_n(3, 4);
+        later.lsq.occupancy.record_n(5, 2);
+        later.l1.reads = 30;
+        later.l1.misses = 2;
+        later.l2.hits = 6;
+        later.lvc = Some(DataCacheStats {
+            reads: 11,
+            ..Default::default()
+        });
+        later.faults.flips_latent = 1;
+
+        let w = later.delta(&earlier);
+        assert_eq!(w.cycles, 150);
+        assert_eq!(w.committed, 50);
+        assert!(w.halted);
+        assert_eq!(w.lsq.loads, 15);
+        assert_eq!(w.lsq.occupancy.count(3), 4);
+        assert_eq!(w.lsq.occupancy.count(5), 2);
+        assert_eq!(w.l1.reads, 18);
+        assert_eq!(w.l1.misses, 0);
+        assert_eq!(w.l2.hits, 5);
+        assert_eq!(w.lvc.as_ref().map(|c| c.reads), Some(6));
+        // The latent gauge is point-in-time, not a counter.
+        assert_eq!(w.faults.flips_latent, 1);
+        // Self-delta is an empty window.
+        let z = later.delta(&later);
+        assert_eq!(z.committed, 0);
+        assert_eq!(z.cycles, 0);
+        assert_eq!(z.lsq.occupancy.samples(), 0);
     }
 
     #[test]

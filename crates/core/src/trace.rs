@@ -60,7 +60,12 @@ impl InstrTrace {
     /// One compact timeline line, e.g.
     /// `   12 @5      lw $t0, 8($sp) !local  D5 I6 A7 C8 R9 [LVAQ fast-fwd]`.
     pub fn render(&self) -> String {
-        let mut s = format!("{:>6} @{:<5} {:<34}", self.seq, self.pc, self.instr.to_string());
+        let mut s = format!(
+            "{:>6} @{:<5} {:<34}",
+            self.seq,
+            self.pc,
+            self.instr.to_string()
+        );
         s.push_str(&format!(" D{}", self.dispatched_at));
         if let Some(i) = self.issued_at {
             s.push_str(&format!(" I{i}"));
@@ -100,7 +105,11 @@ pub(crate) struct Tracer {
 
 impl Tracer {
     pub fn new(limit: u64) -> Tracer {
-        Tracer { limit, live: HashMap::new(), done: Vec::new() }
+        Tracer {
+            limit,
+            live: HashMap::new(),
+            done: Vec::new(),
+        }
     }
 
     #[inline]

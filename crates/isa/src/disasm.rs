@@ -53,19 +53,56 @@ impl fmt::Display for Instr {
             }
             Instr::IntToFp { fd, rs } => write!(f, "mtc1d {fd}, {rs}"),
             Instr::FpToInt { rd, fs } => write!(f, "mfc1d {rd}, {fs}"),
-            Instr::Load { rd, base, offset, width, hint } => {
-                write!(f, "{:<5} {rd}, {offset}({base}){}", load_mnemonic(width), hint_suffix(hint))
+            Instr::Load {
+                rd,
+                base,
+                offset,
+                width,
+                hint,
+            } => {
+                write!(
+                    f,
+                    "{:<5} {rd}, {offset}({base}){}",
+                    load_mnemonic(width),
+                    hint_suffix(hint)
+                )
             }
-            Instr::Store { rs, base, offset, width, hint } => {
-                write!(f, "{:<5} {rs}, {offset}({base}){}", store_mnemonic(width), hint_suffix(hint))
+            Instr::Store {
+                rs,
+                base,
+                offset,
+                width,
+                hint,
+            } => {
+                write!(
+                    f,
+                    "{:<5} {rs}, {offset}({base}){}",
+                    store_mnemonic(width),
+                    hint_suffix(hint)
+                )
             }
-            Instr::FLoad { fd, base, offset, hint } => {
+            Instr::FLoad {
+                fd,
+                base,
+                offset,
+                hint,
+            } => {
                 write!(f, "l.d   {fd}, {offset}({base}){}", hint_suffix(hint))
             }
-            Instr::FStore { fs, base, offset, hint } => {
+            Instr::FStore {
+                fs,
+                base,
+                offset,
+                hint,
+            } => {
                 write!(f, "s.d   {fs}, {offset}({base}){}", hint_suffix(hint))
             }
-            Instr::Branch { cond, rs, rt, target } => {
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
                 write!(f, "{:<5} {rs}, {rt}, {target}", cond.mnemonic())
             }
             Instr::Jump { target } => write!(f, "j     {target}"),
@@ -83,9 +120,19 @@ mod tests {
 
     #[test]
     fn alu_forms() {
-        let i = Instr::Alu { op: AluOp::Add, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::T2 };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Gpr::T0,
+            rs: Gpr::T1,
+            rt: Gpr::T2,
+        };
         assert_eq!(i.to_string(), "add   $t0, $t1, $t2");
-        let i = Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm: -32 };
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Gpr::SP,
+            rs: Gpr::SP,
+            imm: -32,
+        };
         assert_eq!(i.to_string(), "addi  $sp, $sp, -32");
     }
 
@@ -107,7 +154,12 @@ mod tests {
             hint: StreamHint::NonLocal,
         };
         assert_eq!(i.to_string(), "sb    $v0, 0($gp) !nonlocal");
-        let i = Instr::FLoad { fd: Fpr::F0, base: Gpr::T0, offset: 24, hint: StreamHint::Unknown };
+        let i = Instr::FLoad {
+            fd: Fpr::F0,
+            base: Gpr::T0,
+            offset: 24,
+            hint: StreamHint::Unknown,
+        };
         assert_eq!(i.to_string(), "l.d   $f0, 24($t0)");
     }
 
@@ -116,15 +168,30 @@ mod tests {
         assert_eq!(Instr::Jump { target: 42 }.to_string(), "j     42");
         assert_eq!(Instr::Call { target: 7 }.to_string(), "jal   7");
         assert_eq!(Instr::Ret.to_string(), "jr    $ra");
-        let b = Instr::Branch { cond: BranchCond::Ne, rs: Gpr::T0, rt: Gpr::ZERO, target: 3 };
+        let b = Instr::Branch {
+            cond: BranchCond::Ne,
+            rs: Gpr::T0,
+            rt: Gpr::ZERO,
+            target: 3,
+        };
         assert_eq!(b.to_string(), "bne   $t0, $zero, 3");
     }
 
     #[test]
     fn fpu_forms() {
-        let b = Instr::Fpu { op: FpuOp::Mul, fd: Fpr::new(2), fs: Fpr::new(4), ft: Fpr::new(6) };
+        let b = Instr::Fpu {
+            op: FpuOp::Mul,
+            fd: Fpr::new(2),
+            fs: Fpr::new(4),
+            ft: Fpr::new(6),
+        };
         assert_eq!(b.to_string(), "mul.d $f2, $f4, $f6");
-        let u = Instr::Fpu { op: FpuOp::Neg, fd: Fpr::new(2), fs: Fpr::new(4), ft: Fpr::new(6) };
+        let u = Instr::Fpu {
+            op: FpuOp::Neg,
+            fd: Fpr::new(2),
+            fs: Fpr::new(4),
+            ft: Fpr::new(6),
+        };
         assert_eq!(u.to_string(), "neg.d $f2, $f4");
     }
 }

@@ -157,26 +157,40 @@ impl Fields {
         Fpr::new(self.r3)
     }
     fn alu_op(&self) -> Result<AluOp, DecodeError> {
-        AluOp::from_code(self.sub).ok_or(DecodeError::BadField { field: "alu-op", value: self.sub })
+        AluOp::from_code(self.sub).ok_or(DecodeError::BadField {
+            field: "alu-op",
+            value: self.sub,
+        })
     }
     fn fpu_op(&self) -> Result<FpuOp, DecodeError> {
-        FpuOp::from_code(self.sub).ok_or(DecodeError::BadField { field: "fpu-op", value: self.sub })
+        FpuOp::from_code(self.sub).ok_or(DecodeError::BadField {
+            field: "fpu-op",
+            value: self.sub,
+        })
     }
     fn branch_cond(&self) -> Result<BranchCond, DecodeError> {
-        BranchCond::from_code(self.sub)
-            .ok_or(DecodeError::BadField { field: "branch-cond", value: self.sub })
+        BranchCond::from_code(self.sub).ok_or(DecodeError::BadField {
+            field: "branch-cond",
+            value: self.sub,
+        })
     }
     fn fp_cond(&self) -> Result<FpCond, DecodeError> {
-        FpCond::from_code(self.sub)
-            .ok_or(DecodeError::BadField { field: "fp-cond", value: self.sub })
+        FpCond::from_code(self.sub).ok_or(DecodeError::BadField {
+            field: "fp-cond",
+            value: self.sub,
+        })
     }
     fn mem_width(&self) -> Result<MemWidth, DecodeError> {
-        MemWidth::from_code(self.width)
-            .ok_or(DecodeError::BadField { field: "width", value: self.width })
+        MemWidth::from_code(self.width).ok_or(DecodeError::BadField {
+            field: "width",
+            value: self.width,
+        })
     }
     fn stream_hint(&self) -> Result<StreamHint, DecodeError> {
-        StreamHint::from_code(self.hint)
-            .ok_or(DecodeError::BadField { field: "hint", value: self.hint })
+        StreamHint::from_code(self.hint).ok_or(DecodeError::BadField {
+            field: "hint",
+            value: self.hint,
+        })
     }
 }
 
@@ -213,39 +227,68 @@ impl Instr {
                 .r1(rd.index() as u8)
                 .r2(fs.index() as u8)
                 .r3(ft.index() as u8),
-            Instr::IntToFp { fd, rs } => {
-                w.tag(tag::INT_TO_FP).r1(fd.index() as u8).r2(rs.index() as u8)
-            }
-            Instr::FpToInt { rd, fs } => {
-                w.tag(tag::FP_TO_INT).r1(rd.index() as u8).r2(fs.index() as u8)
-            }
-            Instr::Load { rd, base, offset, width, hint } => w
+            Instr::IntToFp { fd, rs } => w
+                .tag(tag::INT_TO_FP)
+                .r1(fd.index() as u8)
+                .r2(rs.index() as u8),
+            Instr::FpToInt { rd, fs } => w
+                .tag(tag::FP_TO_INT)
+                .r1(rd.index() as u8)
+                .r2(fs.index() as u8),
+            Instr::Load {
+                rd,
+                base,
+                offset,
+                width,
+                hint,
+            } => w
                 .tag(tag::LOAD)
                 .width(width)
                 .hint(hint)
                 .r1(rd.index() as u8)
                 .r2(base.index() as u8)
                 .imm(offset),
-            Instr::Store { rs, base, offset, width, hint } => w
+            Instr::Store {
+                rs,
+                base,
+                offset,
+                width,
+                hint,
+            } => w
                 .tag(tag::STORE)
                 .width(width)
                 .hint(hint)
                 .r1(rs.index() as u8)
                 .r2(base.index() as u8)
                 .imm(offset),
-            Instr::FLoad { fd, base, offset, hint } => w
+            Instr::FLoad {
+                fd,
+                base,
+                offset,
+                hint,
+            } => w
                 .tag(tag::FLOAD)
                 .hint(hint)
                 .r1(fd.index() as u8)
                 .r2(base.index() as u8)
                 .imm(offset),
-            Instr::FStore { fs, base, offset, hint } => w
+            Instr::FStore {
+                fs,
+                base,
+                offset,
+                hint,
+            } => w
                 .tag(tag::FSTORE)
                 .hint(hint)
                 .r1(fs.index() as u8)
                 .r2(base.index() as u8)
                 .imm(offset),
-            Instr::Branch { cond, rs, rt, target } => w
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => w
                 .tag(tag::BRANCH)
                 .sub(cond as u8)
                 .r2(rs.index() as u8)
@@ -270,19 +313,42 @@ impl Instr {
         Ok(match f.tag {
             tag::NOP => Instr::Nop,
             tag::HALT => Instr::Halt,
-            tag::ALU => {
-                Instr::Alu { op: f.alu_op()?, rd: f.gpr1(), rs: f.gpr2(), rt: f.gpr3() }
-            }
-            tag::ALU_IMM => {
-                Instr::AluImm { op: f.alu_op()?, rd: f.gpr1(), rs: f.gpr2(), imm: f.imm }
-            }
-            tag::LOAD_IMM => Instr::LoadImm { rd: f.gpr1(), imm: f.imm },
-            tag::FPU => Instr::Fpu { op: f.fpu_op()?, fd: f.fpr1(), fs: f.fpr2(), ft: f.fpr3() },
-            tag::FP_CMP => {
-                Instr::FpCmp { cond: f.fp_cond()?, rd: f.gpr1(), fs: f.fpr2(), ft: f.fpr3() }
-            }
-            tag::INT_TO_FP => Instr::IntToFp { fd: f.fpr1(), rs: f.gpr2() },
-            tag::FP_TO_INT => Instr::FpToInt { rd: f.gpr1(), fs: f.fpr2() },
+            tag::ALU => Instr::Alu {
+                op: f.alu_op()?,
+                rd: f.gpr1(),
+                rs: f.gpr2(),
+                rt: f.gpr3(),
+            },
+            tag::ALU_IMM => Instr::AluImm {
+                op: f.alu_op()?,
+                rd: f.gpr1(),
+                rs: f.gpr2(),
+                imm: f.imm,
+            },
+            tag::LOAD_IMM => Instr::LoadImm {
+                rd: f.gpr1(),
+                imm: f.imm,
+            },
+            tag::FPU => Instr::Fpu {
+                op: f.fpu_op()?,
+                fd: f.fpr1(),
+                fs: f.fpr2(),
+                ft: f.fpr3(),
+            },
+            tag::FP_CMP => Instr::FpCmp {
+                cond: f.fp_cond()?,
+                rd: f.gpr1(),
+                fs: f.fpr2(),
+                ft: f.fpr3(),
+            },
+            tag::INT_TO_FP => Instr::IntToFp {
+                fd: f.fpr1(),
+                rs: f.gpr2(),
+            },
+            tag::FP_TO_INT => Instr::FpToInt {
+                rd: f.gpr1(),
+                fs: f.fpr2(),
+            },
             tag::LOAD => Instr::Load {
                 rd: f.gpr1(),
                 base: f.gpr2(),
@@ -336,30 +402,86 @@ mod tests {
             Instr::Jump { target: 0xdead },
             Instr::Call { target: u32::MAX },
             Instr::CallReg { rs: Gpr::T9 },
-            Instr::LoadImm { rd: Gpr::GP, imm: i32::MIN },
-            Instr::IntToFp { fd: Fpr::new(31), rs: Gpr::A0 },
-            Instr::FpToInt { rd: Gpr::V0, fs: Fpr::new(17) },
+            Instr::LoadImm {
+                rd: Gpr::GP,
+                imm: i32::MIN,
+            },
+            Instr::IntToFp {
+                fd: Fpr::new(31),
+                rs: Gpr::A0,
+            },
+            Instr::FpToInt {
+                rd: Gpr::V0,
+                fs: Fpr::new(17),
+            },
         ];
         for op in AluOp::ALL {
-            v.push(Instr::Alu { op, rd: Gpr::T0, rs: Gpr::S1, rt: Gpr::A2 });
-            v.push(Instr::AluImm { op, rd: Gpr::SP, rs: Gpr::SP, imm: -64 });
+            v.push(Instr::Alu {
+                op,
+                rd: Gpr::T0,
+                rs: Gpr::S1,
+                rt: Gpr::A2,
+            });
+            v.push(Instr::AluImm {
+                op,
+                rd: Gpr::SP,
+                rs: Gpr::SP,
+                imm: -64,
+            });
         }
         for op in FpuOp::ALL {
-            v.push(Instr::Fpu { op, fd: Fpr::new(2), fs: Fpr::new(4), ft: Fpr::new(6) });
+            v.push(Instr::Fpu {
+                op,
+                fd: Fpr::new(2),
+                fs: Fpr::new(4),
+                ft: Fpr::new(6),
+            });
         }
         for cond in BranchCond::ALL {
-            v.push(Instr::Branch { cond, rs: Gpr::T0, rt: Gpr::ZERO, target: 12345 });
+            v.push(Instr::Branch {
+                cond,
+                rs: Gpr::T0,
+                rt: Gpr::ZERO,
+                target: 12345,
+            });
         }
         for cond in FpCond::ALL {
-            v.push(Instr::FpCmp { cond, rd: Gpr::T1, fs: Fpr::new(8), ft: Fpr::new(9) });
+            v.push(Instr::FpCmp {
+                cond,
+                rd: Gpr::T1,
+                fs: Fpr::new(8),
+                ft: Fpr::new(9),
+            });
         }
         for hint in [StreamHint::Unknown, StreamHint::Local, StreamHint::NonLocal] {
             for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word] {
-                v.push(Instr::Load { rd: Gpr::T3, base: Gpr::SP, offset: -8, width, hint });
-                v.push(Instr::Store { rs: Gpr::T3, base: Gpr::GP, offset: 1 << 20, width, hint });
+                v.push(Instr::Load {
+                    rd: Gpr::T3,
+                    base: Gpr::SP,
+                    offset: -8,
+                    width,
+                    hint,
+                });
+                v.push(Instr::Store {
+                    rs: Gpr::T3,
+                    base: Gpr::GP,
+                    offset: 1 << 20,
+                    width,
+                    hint,
+                });
             }
-            v.push(Instr::FLoad { fd: Fpr::new(12), base: Gpr::FP, offset: 16, hint });
-            v.push(Instr::FStore { fs: Fpr::new(12), base: Gpr::SP, offset: -16, hint });
+            v.push(Instr::FLoad {
+                fd: Fpr::new(12),
+                base: Gpr::FP,
+                offset: 16,
+                hint,
+            });
+            v.push(Instr::FStore {
+                fs: Fpr::new(12),
+                base: Gpr::SP,
+                offset: -16,
+                hint,
+            });
         }
         v
     }
@@ -393,26 +515,51 @@ mod tests {
     fn bad_subop_is_reported() {
         // ALU with sub-op 31 (no such ALU op).
         let w = (31u64 << 6) | tag::ALU as u64;
-        assert_eq!(Instr::decode(w), Err(DecodeError::BadField { field: "alu-op", value: 31 }));
+        assert_eq!(
+            Instr::decode(w),
+            Err(DecodeError::BadField {
+                field: "alu-op",
+                value: 31
+            })
+        );
     }
 
     #[test]
     fn bad_width_is_reported() {
         let w = (3u64 << 11) | tag::LOAD as u64;
-        assert_eq!(Instr::decode(w), Err(DecodeError::BadField { field: "width", value: 3 }));
+        assert_eq!(
+            Instr::decode(w),
+            Err(DecodeError::BadField {
+                field: "width",
+                value: 3
+            })
+        );
     }
 
     #[test]
     fn bad_hint_is_reported() {
         let w = (3u64 << 13) | (2u64 << 11).wrapping_sub(1 << 11) | tag::FLOAD as u64;
-        assert_eq!(Instr::decode(w), Err(DecodeError::BadField { field: "hint", value: 3 }));
+        assert_eq!(
+            Instr::decode(w),
+            Err(DecodeError::BadField {
+                field: "hint",
+                value: 3
+            })
+        );
     }
 
     #[test]
     fn decode_error_messages() {
-        assert_eq!(DecodeError::BadOpcode(9).to_string(), "unknown opcode tag 9");
         assert_eq!(
-            DecodeError::BadField { field: "hint", value: 3 }.to_string(),
+            DecodeError::BadOpcode(9).to_string(),
+            "unknown opcode tag 9"
+        );
+        assert_eq!(
+            DecodeError::BadField {
+                field: "hint",
+                value: 3
+            }
+            .to_string(),
             "invalid hint field value 3"
         );
     }

@@ -77,30 +77,77 @@ impl StreamHint {
 #[allow(missing_docs)] // operand fields are named by MIPS convention (rd/rs/rt/fd/fs/ft)
 pub enum Instr {
     /// Integer register–register ALU operation: `rd = op(rs, rt)`.
-    Alu { op: AluOp, rd: Gpr, rs: Gpr, rt: Gpr },
+    Alu {
+        op: AluOp,
+        rd: Gpr,
+        rs: Gpr,
+        rt: Gpr,
+    },
     /// Integer register–immediate ALU operation: `rd = op(rs, imm)`.
-    AluImm { op: AluOp, rd: Gpr, rs: Gpr, imm: i32 },
+    AluImm {
+        op: AluOp,
+        rd: Gpr,
+        rs: Gpr,
+        imm: i32,
+    },
     /// Load a 32-bit constant: `rd = imm` (the `lui`/`ori` pair folded).
     LoadImm { rd: Gpr, imm: i32 },
     /// Floating-point operation: `fd = op(fs, ft)` (`ft` ignored if unary).
-    Fpu { op: FpuOp, fd: Fpr, fs: Fpr, ft: Fpr },
+    Fpu {
+        op: FpuOp,
+        fd: Fpr,
+        fs: Fpr,
+        ft: Fpr,
+    },
     /// Floating-point compare into an integer register:
     /// `rd = cond(fs, ft) as i32`.
-    FpCmp { cond: FpCond, rd: Gpr, fs: Fpr, ft: Fpr },
+    FpCmp {
+        cond: FpCond,
+        rd: Gpr,
+        fs: Fpr,
+        ft: Fpr,
+    },
     /// Move GPR to FPR, converting to `f64`: `fd = rs as f64`.
     IntToFp { fd: Fpr, rs: Gpr },
     /// Move FPR to GPR, truncating: `rd = fs as i32` (saturating).
     FpToInt { rd: Gpr, fs: Fpr },
     /// Integer load: `rd = mem[rs(base) + offset]`.
-    Load { rd: Gpr, base: Gpr, offset: i32, width: MemWidth, hint: StreamHint },
+    Load {
+        rd: Gpr,
+        base: Gpr,
+        offset: i32,
+        width: MemWidth,
+        hint: StreamHint,
+    },
     /// Integer store: `mem[base + offset] = rs`.
-    Store { rs: Gpr, base: Gpr, offset: i32, width: MemWidth, hint: StreamHint },
+    Store {
+        rs: Gpr,
+        base: Gpr,
+        offset: i32,
+        width: MemWidth,
+        hint: StreamHint,
+    },
     /// Floating-point load (8 bytes): `fd = mem[base + offset]`.
-    FLoad { fd: Fpr, base: Gpr, offset: i32, hint: StreamHint },
+    FLoad {
+        fd: Fpr,
+        base: Gpr,
+        offset: i32,
+        hint: StreamHint,
+    },
     /// Floating-point store (8 bytes): `mem[base + offset] = fs`.
-    FStore { fs: Fpr, base: Gpr, offset: i32, hint: StreamHint },
+    FStore {
+        fs: Fpr,
+        base: Gpr,
+        offset: i32,
+        hint: StreamHint,
+    },
     /// Conditional branch: `if cond(rs, rt) pc = target`.
-    Branch { cond: BranchCond, rs: Gpr, rt: Gpr, target: u32 },
+    Branch {
+        cond: BranchCond,
+        rs: Gpr,
+        rt: Gpr,
+        target: u32,
+    },
     /// Unconditional jump.
     Jump { target: u32 },
     /// Direct call: `ra = pc + 1; pc = target`.
@@ -215,13 +262,26 @@ impl Instr {
     /// The memory operand `(base, offset, bytes, hint)` for loads/stores.
     pub fn mem_operand(&self) -> Option<(Gpr, i32, u32, StreamHint)> {
         match *self {
-            Instr::Load { base, offset, width, hint, .. }
-            | Instr::Store { base, offset, width, hint, .. } => {
-                Some((base, offset, width.bytes(), hint))
+            Instr::Load {
+                base,
+                offset,
+                width,
+                hint,
+                ..
             }
-            Instr::FLoad { base, offset, hint, .. } | Instr::FStore { base, offset, hint, .. } => {
-                Some((base, offset, 8, hint))
+            | Instr::Store {
+                base,
+                offset,
+                width,
+                hint,
+                ..
+            } => Some((base, offset, width.bytes(), hint)),
+            Instr::FLoad {
+                base, offset, hint, ..
             }
+            | Instr::FStore {
+                base, offset, hint, ..
+            } => Some((base, offset, 8, hint)),
             _ => None,
         }
     }
@@ -271,19 +331,38 @@ mod tests {
     use super::*;
 
     fn lw(rd: Gpr, base: Gpr, offset: i32) -> Instr {
-        Instr::Load { rd, base, offset, width: MemWidth::Word, hint: StreamHint::Unknown }
+        Instr::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::Word,
+            hint: StreamHint::Unknown,
+        }
     }
 
     #[test]
     fn defs_and_uses_of_alu() {
-        let i = Instr::Alu { op: AluOp::Add, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::T2 };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Gpr::T0,
+            rs: Gpr::T1,
+            rt: Gpr::T2,
+        };
         assert_eq!(i.def(), Some(Reg::Gpr(Gpr::T0)));
-        assert_eq!(i.uses(), [Some(Reg::Gpr(Gpr::T1)), Some(Reg::Gpr(Gpr::T2)), None]);
+        assert_eq!(
+            i.uses(),
+            [Some(Reg::Gpr(Gpr::T1)), Some(Reg::Gpr(Gpr::T2)), None]
+        );
     }
 
     #[test]
     fn write_to_zero_has_no_def() {
-        let i = Instr::AluImm { op: AluOp::Add, rd: Gpr::ZERO, rs: Gpr::T0, imm: 1 };
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Gpr::ZERO,
+            rs: Gpr::T0,
+            imm: 1,
+        };
         assert_eq!(i.def(), None);
     }
 
@@ -298,9 +377,19 @@ mod tests {
 
     #[test]
     fn unary_fpu_has_single_use() {
-        let i = Instr::Fpu { op: FpuOp::Neg, fd: Fpr::new(1), fs: Fpr::new(2), ft: Fpr::new(3) };
+        let i = Instr::Fpu {
+            op: FpuOp::Neg,
+            fd: Fpr::new(1),
+            fs: Fpr::new(2),
+            ft: Fpr::new(3),
+        };
         assert_eq!(i.uses(), [Some(Reg::Fpr(Fpr::new(2))), None, None]);
-        let b = Instr::Fpu { op: FpuOp::Add, fd: Fpr::new(1), fs: Fpr::new(2), ft: Fpr::new(3) };
+        let b = Instr::Fpu {
+            op: FpuOp::Add,
+            fd: Fpr::new(1),
+            fs: Fpr::new(2),
+            ft: Fpr::new(3),
+        };
         assert_eq!(b.uses()[1], Some(Reg::Fpr(Fpr::new(3))));
     }
 
@@ -323,7 +412,12 @@ mod tests {
 
     #[test]
     fn fload_is_eight_bytes() {
-        let f = Instr::FLoad { fd: Fpr::F0, base: Gpr::SP, offset: 16, hint: StreamHint::Local };
+        let f = Instr::FLoad {
+            fd: Fpr::F0,
+            base: Gpr::SP,
+            offset: 16,
+            hint: StreamHint::Local,
+        };
         assert_eq!(f.mem_operand(), Some((Gpr::SP, 16, 8, StreamHint::Local)));
         assert_eq!(f.fu_class(), FuClass::MemRead);
     }
@@ -339,15 +433,33 @@ mod tests {
     #[test]
     fn fu_classes() {
         assert_eq!(
-            Instr::AluImm { op: AluOp::Mul, rd: Gpr::T0, rs: Gpr::T1, imm: 3 }.fu_class(),
+            Instr::AluImm {
+                op: AluOp::Mul,
+                rd: Gpr::T0,
+                rs: Gpr::T1,
+                imm: 3
+            }
+            .fu_class(),
             FuClass::IntMul
         );
         assert_eq!(
-            Instr::Alu { op: AluOp::Div, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::T2 }.fu_class(),
+            Instr::Alu {
+                op: AluOp::Div,
+                rd: Gpr::T0,
+                rs: Gpr::T1,
+                rt: Gpr::T2
+            }
+            .fu_class(),
             FuClass::IntDiv
         );
         assert_eq!(
-            Instr::Fpu { op: FpuOp::Sqrt, fd: Fpr::F0, fs: Fpr::F0, ft: Fpr::F0 }.fu_class(),
+            Instr::Fpu {
+                op: FpuOp::Sqrt,
+                fd: Fpr::F0,
+                fs: Fpr::F0,
+                ft: Fpr::F0
+            }
+            .fu_class(),
             FuClass::FpDiv
         );
         assert_eq!(Instr::Jump { target: 0 }.fu_class(), FuClass::Branch);

@@ -86,7 +86,10 @@ impl LatencyTable {
     /// Memory classes carry a nominal 1-cycle address-generation latency;
     /// the cache model adds the access time on top.
     pub fn r10000() -> LatencyTable {
-        let mut t = LatencyTable { latency: [1; 9], issue_interval: [1; 9] };
+        let mut t = LatencyTable {
+            latency: [1; 9],
+            issue_interval: [1; 9],
+        };
         t.set(FuClass::IntAlu, 1, 1);
         t.set(FuClass::IntMul, 5, 1);
         t.set(FuClass::IntDiv, 34, 34);
@@ -102,7 +105,10 @@ impl LatencyTable {
     /// A unit-latency table (every class 1 cycle, fully pipelined); useful
     /// for isolating memory effects in tests and ablations.
     pub fn unit() -> LatencyTable {
-        LatencyTable { latency: [1; 9], issue_interval: [1; 9] }
+        LatencyTable {
+            latency: [1; 9],
+            issue_interval: [1; 9],
+        }
     }
 
     /// Overrides one class.
@@ -112,7 +118,10 @@ impl LatencyTable {
     /// Panics if `latency == 0` or `issue_interval == 0`.
     pub fn set(&mut self, class: FuClass, latency: u32, issue_interval: u32) -> &mut Self {
         assert!(latency > 0, "latency must be at least 1 cycle");
-        assert!(issue_interval > 0, "issue interval must be at least 1 cycle");
+        assert!(
+            issue_interval > 0,
+            "issue interval must be at least 1 cycle"
+        );
         self.latency[class.index()] = latency;
         self.issue_interval[class.index()] = issue_interval;
         self

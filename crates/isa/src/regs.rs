@@ -121,9 +121,9 @@ impl Gpr {
     }
 
     const NAMES: [&'static str; 32] = [
-        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
-        "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp",
-        "sp", "fp", "ra",
+        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+        "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+        "fp", "ra",
     ];
 
     /// The conventional assembly name, without the `$` sigil.
@@ -226,7 +226,10 @@ impl Reg {
     /// Panics if `idx >= Reg::UNIFIED_COUNT`.
     #[inline]
     pub fn from_unified_index(idx: usize) -> Reg {
-        assert!(idx < Self::UNIFIED_COUNT, "unified register index out of range");
+        assert!(
+            idx < Self::UNIFIED_COUNT,
+            "unified register index out of range"
+        );
         if idx < NUM_GPRS {
             Reg::Gpr(Gpr::new(idx as u8))
         } else {

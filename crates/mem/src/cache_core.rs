@@ -1,6 +1,7 @@
 //! Tag array, LRU replacement and dirty bits — the state of one cache.
 
 use crate::config::CacheConfig;
+use crate::tags::{CacheTags, TagLine};
 
 /// A line evicted by a fill.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -130,7 +131,9 @@ impl CacheCore {
         let tag = addr >> self.line_shift;
         let set = self.set_of(addr);
         let start = set * self.assoc;
-        self.lines[start..start + self.assoc].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[start..start + self.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Fills the line containing `addr`, evicting the LRU way if the set
@@ -167,11 +170,19 @@ impl CacheCore {
         let victim = if lines[way].valid {
             let vt = lines[way].tag;
             debug_assert_eq!((vt << line_shift >> set_shift) & set_mask, set_base);
-            Some(Victim { line_addr: vt << line_shift, dirty: lines[way].dirty })
+            Some(Victim {
+                line_addr: vt << line_shift,
+                dirty: lines[way].dirty,
+            })
         } else {
             None
         };
-        lines[way] = Line { tag, valid: true, dirty: is_write, lru: clock };
+        lines[way] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: clock,
+        };
         self.stats.fills += 1;
         if victim.is_some_and(|v| v.dirty) {
             self.stats.writebacks += 1;
@@ -187,7 +198,10 @@ impl CacheCore {
         let set = self.set_of(addr);
         for l in self.set_lines(set) {
             if l.valid && l.tag == tag {
-                let v = Victim { line_addr: tag << line_shift, dirty: l.dirty };
+                let v = Victim {
+                    line_addr: tag << line_shift,
+                    dirty: l.dirty,
+                };
                 l.valid = false;
                 l.dirty = false;
                 return Some(v);
@@ -199,6 +213,52 @@ impl CacheCore {
     /// Hit/miss statistics so far.
     pub fn stats(&self) -> CacheCoreStats {
         self.stats
+    }
+
+    /// Exports the tag/LRU/dirty state (and the LRU clock) as a
+    /// [`CacheTags`] snapshot. Statistics are *not* part of the snapshot:
+    /// warm state is imported into fresh caches whose counters must start
+    /// at zero so a detailed window measures only its own traffic.
+    pub fn export_tags(&self) -> CacheTags {
+        CacheTags {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| TagLine {
+                    tag: l.tag,
+                    valid: l.valid,
+                    dirty: l.dirty,
+                    lru: l.lru,
+                })
+                .collect(),
+            clock: self.clock,
+        }
+    }
+
+    /// Imports a [`CacheCore::export_tags`] snapshot, replacing this
+    /// cache's content state. Returns `false` — leaving the cache
+    /// untouched — when the snapshot does not fit this geometry (wrong
+    /// line count, or a valid tag that does not map to the set it sits
+    /// in). Statistics are left as they are.
+    pub fn import_tags(&mut self, tags: &CacheTags) -> bool {
+        if tags.lines.len() != self.lines.len() {
+            return false;
+        }
+        for (idx, l) in tags.lines.iter().enumerate() {
+            if l.valid && self.set_of(l.tag << self.line_shift) != idx / self.assoc {
+                return false;
+            }
+        }
+        for (dst, src) in self.lines.iter_mut().zip(&tags.lines) {
+            *dst = Line {
+                tag: src.tag,
+                valid: src.valid,
+                dirty: src.dirty,
+                lru: src.lru,
+            };
+        }
+        self.clock = tags.clock;
+        true
     }
 
     /// Number of valid lines currently resident.

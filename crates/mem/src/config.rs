@@ -39,8 +39,14 @@ impl fmt::Display for CacheConfigError {
                 write!(f, "line size {line_bytes} must be a power of two")
             }
             CacheConfigError::ZeroAssociativity => write!(f, "associativity must be at least 1"),
-            CacheConfigError::SizeNotDivisible { size_bytes, line_x_assoc } => {
-                write!(f, "size {size_bytes} is not divisible by line*assoc {line_x_assoc}")
+            CacheConfigError::SizeNotDivisible {
+                size_bytes,
+                line_x_assoc,
+            } => {
+                write!(
+                    f,
+                    "size {size_bytes} is not divisible by line*assoc {line_x_assoc}"
+                )
             }
             CacheConfigError::SetsNotPowerOfTwo { sets } => {
                 write!(f, "set count {sets} must be a power of two")
@@ -169,7 +175,9 @@ impl CacheConfig {
     /// sets).
     pub fn validate(&self) -> Result<(), CacheConfigError> {
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(CacheConfigError::LineBytesNotPowerOfTwo { line_bytes: self.line_bytes });
+            return Err(CacheConfigError::LineBytesNotPowerOfTwo {
+                line_bytes: self.line_bytes,
+            });
         }
         if self.assoc == 0 {
             return Err(CacheConfigError::ZeroAssociativity);
@@ -181,7 +189,9 @@ impl CacheConfig {
             });
         }
         if !self.n_sets().is_power_of_two() {
-            return Err(CacheConfigError::SetsNotPowerOfTwo { sets: self.n_sets() });
+            return Err(CacheConfigError::SetsNotPowerOfTwo {
+                sets: self.n_sets(),
+            });
         }
         if self.hit_latency == 0 {
             return Err(CacheConfigError::ZeroHitLatency);
@@ -246,7 +256,11 @@ impl HierarchyConfig {
     /// The paper's base memory system with a 2-port L1 and no LVC — the
     /// "(2+0)" reference configuration.
     pub fn iscapaper_base() -> HierarchyConfig {
-        HierarchyConfig { l1: CacheConfig::l1_32k(), lvc: None, l2: L2Config::iscapaper_base() }
+        HierarchyConfig {
+            l1: CacheConfig::l1_32k(),
+            lvc: None,
+            l2: L2Config::iscapaper_base(),
+        }
     }
 
     /// The "(N+M)" notation of §4: an N-port L1, plus an M-port 2 KB LVC
@@ -266,12 +280,15 @@ impl HierarchyConfig {
     /// Propagates the first invalid cache geometry, tagged with which
     /// cache it belongs to.
     pub fn validate(&self) -> Result<(), HierarchyConfigError> {
-        self.l1
-            .validate()
-            .map_err(|error| HierarchyConfigError { cache: CacheId::L1, error })?;
+        self.l1.validate().map_err(|error| HierarchyConfigError {
+            cache: CacheId::L1,
+            error,
+        })?;
         if let Some(lvc) = &self.lvc {
-            lvc.validate()
-                .map_err(|error| HierarchyConfigError { cache: CacheId::Lvc, error })?;
+            lvc.validate().map_err(|error| HierarchyConfigError {
+                cache: CacheId::Lvc,
+                error,
+            })?;
         }
         Ok(())
     }
@@ -311,17 +328,35 @@ mod tests {
 
     #[test]
     fn invalid_geometries_rejected() {
-        let bad = CacheConfig { line_bytes: 24, ..CacheConfig::l1_32k() };
+        let bad = CacheConfig {
+            line_bytes: 24,
+            ..CacheConfig::l1_32k()
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { assoc: 0, ..CacheConfig::l1_32k() };
+        let bad = CacheConfig {
+            assoc: 0,
+            ..CacheConfig::l1_32k()
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { size_bytes: 1000, ..CacheConfig::l1_32k() };
+        let bad = CacheConfig {
+            size_bytes: 1000,
+            ..CacheConfig::l1_32k()
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { ports: 0, ..CacheConfig::l1_32k() };
+        let bad = CacheConfig {
+            ports: 0,
+            ..CacheConfig::l1_32k()
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { hit_latency: 0, ..CacheConfig::l1_32k() };
+        let bad = CacheConfig {
+            hit_latency: 0,
+            ..CacheConfig::l1_32k()
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { mshrs: 0, ..CacheConfig::l1_32k() };
+        let bad = CacheConfig {
+            mshrs: 0,
+            ..CacheConfig::l1_32k()
+        };
         assert!(bad.validate().is_err());
         // 3 sets (1.5K direct-mapped 512B lines) -> not a power of two
         let bad = CacheConfig {
@@ -335,7 +370,10 @@ mod tests {
 
     #[test]
     fn with_builders() {
-        let c = CacheConfig::lvc_2k().with_size(4 << 10).with_ports(3).with_hit_latency(2);
+        let c = CacheConfig::lvc_2k()
+            .with_size(4 << 10)
+            .with_ports(3)
+            .with_hit_latency(2);
         assert_eq!(c.size_bytes, 4 << 10);
         assert_eq!(c.ports, 3);
         assert_eq!(c.hit_latency, 2);

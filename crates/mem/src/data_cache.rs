@@ -237,6 +237,20 @@ impl DataCache {
         self.poison_evictions
     }
 
+    /// Exports the content (tag/LRU/dirty) state; see
+    /// [`CacheCore::export_tags`].
+    pub fn export_tags(&self) -> crate::tags::CacheTags {
+        self.core.export_tags()
+    }
+
+    /// Imports warm content state into this cache. Intended for *fresh*
+    /// caches (empty MSHRs, zero statistics) before a detailed window
+    /// starts; returns `false` and leaves the cache untouched when the
+    /// snapshot does not fit this geometry.
+    pub fn import_tags(&mut self, tags: &crate::tags::CacheTags) -> bool {
+        self.core.import_tags(tags)
+    }
+
     /// Access statistics.
     pub fn stats(&self) -> DataCacheStats {
         self.stats
@@ -259,7 +273,10 @@ mod tests {
     use crate::config::L2Config;
 
     fn setup() -> (DataCache, L2) {
-        (DataCache::new(CacheConfig::l1_32k(), L2Source::L1), L2::new(L2Config::iscapaper_base()))
+        (
+            DataCache::new(CacheConfig::l1_32k(), L2Source::L1),
+            L2::new(L2Config::iscapaper_base()),
+        )
     }
 
     #[test]
@@ -294,7 +311,7 @@ mod tests {
         let (mut c, mut l2) = setup();
         c.access(0, 0x2000_0000, false, &mut l2); // read miss
         c.access(1, 0x2000_0004, true, &mut l2); // merged write
-        // Land the fill, then evict it by filling conflicting lines.
+                                                 // Land the fill, then evict it by filling conflicting lines.
         c.access(100, 0x2000_0000, false, &mut l2);
         let before = c.writebacks();
         // 32KB 2-way, 512 sets * 32B => same-set stride is 16 KB.
@@ -304,17 +321,26 @@ mod tests {
         c.access(m3.complete_at + 100, 0x2001_0000, false, &mut l2);
         // Let all fills land.
         c.access(5000, 0x2000_4000, false, &mut l2);
-        assert!(c.writebacks() > before, "dirty line from merged write was evicted");
+        assert!(
+            c.writebacks() > before,
+            "dirty line from merged write was evicted"
+        );
     }
 
     #[test]
     fn mshr_exhaustion_stalls() {
-        let cfg = CacheConfig { mshrs: 1, ..CacheConfig::l1_32k() };
+        let cfg = CacheConfig {
+            mshrs: 1,
+            ..CacheConfig::l1_32k()
+        };
         let mut c = DataCache::new(cfg, L2Source::L1);
         let mut l2 = L2::new(L2Config::iscapaper_base());
         let a = c.access(0, 0x2000_0000, false, &mut l2);
         let b = c.access(0, 0x3000_0000, false, &mut l2);
-        assert!(b.complete_at > a.complete_at, "second miss waited for the only MSHR");
+        assert!(
+            b.complete_at > a.complete_at,
+            "second miss waited for the only MSHR"
+        );
         assert_eq!(c.stats().mshr_stalls, 1);
     }
 

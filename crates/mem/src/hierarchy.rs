@@ -131,6 +131,37 @@ impl Hierarchy {
         self.l1.poison_evictions() + self.lvc.as_ref().map_or(0, |c| c.poison_evictions())
     }
 
+    /// Exports the tag state of all three caches (for checkpoints and
+    /// warm-window hand-off).
+    pub fn export_tags(&self) -> crate::tags::HierarchyTags {
+        crate::tags::HierarchyTags {
+            l1: self.l1.export_tags(),
+            lvc: self.lvc.as_ref().map(|c| c.export_tags()),
+            l2: self.l2.export_tags(),
+        }
+    }
+
+    /// Imports warm tag state into this (fresh) hierarchy. Returns
+    /// `false` — leaving every cache untouched — when the snapshot's
+    /// shape does not match (LVC presence or any cache geometry).
+    pub fn import_tags(&mut self, tags: &crate::tags::HierarchyTags) -> bool {
+        // Validate the whole snapshot before mutating anything.
+        if self.lvc.is_some() != tags.lvc.is_some() {
+            return false;
+        }
+        let mut probe = self.clone();
+        if !probe.l1.import_tags(&tags.l1) || !probe.l2.import_tags(&tags.l2) {
+            return false;
+        }
+        if let (Some(lvc), Some(t)) = (&mut probe.lvc, &tags.lvc) {
+            if !lvc.import_tags(t) {
+                return false;
+            }
+        }
+        *self = probe;
+        true
+    }
+
     /// L1 statistics.
     pub fn l1_stats(&self) -> DataCacheStats {
         self.l1.stats()
@@ -194,7 +225,7 @@ mod tests {
         let b = a - 2048;
         let t1 = h.lvc_access(0, a, true).complete_at; // dirty fill of a
         let t2 = h.lvc_access(t1, b, true).complete_at; // evicts a (dirty)
-        // Let the second fill land so the eviction happens.
+                                                        // Let the second fill land so the eviction happens.
         h.lvc_access(t2 + 1, b, false);
         let l2 = h.l2_stats();
         assert_eq!(l2.requests_from_lvc, 2);

@@ -68,7 +68,12 @@ impl L2 {
             ports: 1,
             mshrs: 8,
         };
-        L2 { core: CacheCore::new(&cache_cfg), config, bus_next_free: 0, stats: L2Stats::default() }
+        L2 {
+            core: CacheCore::new(&cache_cfg),
+            config,
+            bus_next_free: 0,
+            stats: L2Stats::default(),
+        }
     }
 
     /// Requests the line containing `addr` at cycle `now` on behalf of
@@ -115,6 +120,19 @@ impl L2 {
             // (CacheCore counts it as a hit; compensate here so L2Stats
             // remains the single source of truth for traffic numbers.)
         }
+    }
+
+    /// Exports the content (tag/LRU/dirty) state; see
+    /// [`CacheCore::export_tags`].
+    pub fn export_tags(&self) -> crate::tags::CacheTags {
+        self.core.export_tags()
+    }
+
+    /// Imports warm content state into this L2 (fresh caches only — the
+    /// bus stays idle, statistics stay zero). Returns `false` on a
+    /// geometry mismatch.
+    pub fn import_tags(&mut self, tags: &crate::tags::CacheTags) -> bool {
+        self.core.import_tags(tags)
     }
 
     /// Traffic statistics.

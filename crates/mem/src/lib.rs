@@ -43,6 +43,7 @@ mod hierarchy;
 mod l2;
 mod mshr;
 mod port;
+mod tags;
 
 pub use cache_core::{CacheCore, CacheCoreStats, Victim};
 pub use config::{
@@ -53,3 +54,4 @@ pub use hierarchy::Hierarchy;
 pub use l2::{L2Source, L2Stats, L2};
 pub use mshr::MshrFile;
 pub use port::PortMeter;
+pub use tags::{CacheTags, FunctionalWarmup, HierarchyTags, TagLine, TagsError};

@@ -31,7 +31,10 @@ impl MshrFile {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: u32) -> MshrFile {
         assert!(capacity > 0, "MSHR capacity must be at least 1");
-        MshrFile { entries: Vec::with_capacity(capacity as usize), capacity: capacity as usize }
+        MshrFile {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+        }
     }
 
     /// Removes and returns every entry whose fill has completed by `now`.
@@ -50,7 +53,10 @@ impl MshrFile {
 
     /// The outstanding entry for `line_addr`, if any.
     pub fn lookup(&self, line_addr: u32) -> Option<MshrEntry> {
-        self.entries.iter().find(|e| e.line_addr == line_addr).copied()
+        self.entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .copied()
     }
 
     /// Merges a new access into the outstanding miss for `line_addr`.
@@ -89,8 +95,15 @@ impl MshrFile {
     /// Panics if the file is full or the line already has an entry.
     pub fn allocate(&mut self, line_addr: u32, complete_at: u64, is_write: bool) {
         assert!(self.has_free_slot(), "MSHR file is full");
-        assert!(self.lookup(line_addr).is_none(), "duplicate MSHR for line {line_addr:#x}");
-        self.entries.push(MshrEntry { line_addr, complete_at, any_write: is_write });
+        assert!(
+            self.lookup(line_addr).is_none(),
+            "duplicate MSHR for line {line_addr:#x}"
+        );
+        self.entries.push(MshrEntry {
+            line_addr,
+            complete_at,
+            any_write: is_write,
+        });
     }
 
     /// Number of outstanding misses.

@@ -31,7 +31,11 @@ impl PortMeter {
     /// Panics if `ports == 0`.
     pub fn new(ports: u32) -> PortMeter {
         assert!(ports > 0, "port count must be at least 1");
-        PortMeter { ports, cycle: 0, used: 0 }
+        PortMeter {
+            ports,
+            cycle: 0,
+            used: 0,
+        }
     }
 
     /// Total ports per cycle.

@@ -66,12 +66,18 @@ impl std::error::Error for AsmError {}
 
 impl From<BuildError> for AsmError {
     fn from(e: BuildError) -> AsmError {
-        AsmError { line: 0, message: e.to_string() }
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_gpr(line: usize, tok: &str) -> Result<Gpr, AsmError> {
@@ -83,7 +89,10 @@ fn parse_gpr(line: usize, tok: &str) -> Result<Gpr, AsmError> {
     }
     Gpr::all()
         .find(|g| g.name() == name)
-        .ok_or_else(|| AsmError { line, message: format!("unknown register `{tok}`") })
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("unknown register `{tok}`"),
+        })
 }
 
 fn parse_fpr(line: usize, tok: &str) -> Result<Fpr, AsmError> {
@@ -92,7 +101,10 @@ fn parse_fpr(line: usize, tok: &str) -> Result<Fpr, AsmError> {
         .and_then(|n| n.parse::<u8>().ok())
         .filter(|&n| n < 32)
         .map(Fpr::new)
-        .ok_or_else(|| AsmError { line, message: format!("unknown FP register `{tok}`") })
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("unknown FP register `{tok}`"),
+        })
 }
 
 fn parse_imm(line: usize, tok: &str) -> Result<i32, AsmError> {
@@ -104,7 +116,10 @@ fn parse_imm(line: usize, tok: &str) -> Result<i32, AsmError> {
     } else {
         t.parse::<i32>()
     };
-    parsed.map_err(|_| AsmError { line, message: format!("bad immediate `{tok}`") })
+    parsed.map_err(|_| AsmError {
+        line,
+        message: format!("bad immediate `{tok}`"),
+    })
 }
 
 /// `off($base)` → (offset, base).
@@ -113,7 +128,11 @@ fn parse_mem_operand(line: usize, tok: &str) -> Result<(i32, Gpr), AsmError> {
     let close = tok.ends_with(')');
     match (open, close) {
         (Some(i), true) => {
-            let off = if tok[..i].trim().is_empty() { 0 } else { parse_imm(line, &tok[..i])? };
+            let off = if tok[..i].trim().is_empty() {
+                0
+            } else {
+                parse_imm(line, &tok[..i])?
+            };
             let base = parse_gpr(line, tok[i + 1..tok.len() - 1].trim())?;
             Ok((off, base))
         }
@@ -140,19 +159,31 @@ fn alu_op(mnemonic: &str) -> Option<(AluOp, bool)> {
         Some(b) if !matches!(mnemonic, "li") => (b, true),
         _ => (mnemonic, false),
     };
-    AluOp::ALL.iter().find(|op| op.mnemonic() == base).map(|&op| (op, imm))
+    AluOp::ALL
+        .iter()
+        .find(|op| op.mnemonic() == base)
+        .map(|&op| (op, imm))
 }
 
 fn fpu_op(mnemonic: &str) -> Option<FpuOp> {
-    FpuOp::ALL.iter().find(|op| op.mnemonic() == mnemonic).copied()
+    FpuOp::ALL
+        .iter()
+        .find(|op| op.mnemonic() == mnemonic)
+        .copied()
 }
 
 fn branch_cond(mnemonic: &str) -> Option<BranchCond> {
-    BranchCond::ALL.iter().find(|c| c.mnemonic() == mnemonic).copied()
+    BranchCond::ALL
+        .iter()
+        .find(|c| c.mnemonic() == mnemonic)
+        .copied()
 }
 
 fn fp_cond(mnemonic: &str) -> Option<FpCond> {
-    FpCond::ALL.iter().find(|c| c.mnemonic() == mnemonic).copied()
+    FpCond::ALL
+        .iter()
+        .find(|c| c.mnemonic() == mnemonic)
+        .copied()
 }
 
 /// One parsed statement.
@@ -190,16 +221,14 @@ fn split_line(line_no: usize, text: &str) -> Result<(String, Vec<String>, Stream
     Ok((mnemonic, operands, hint))
 }
 
-fn expect_operands(
-    line: usize,
-    mnemonic: &str,
-    ops: &[String],
-    n: usize,
-) -> Result<(), AsmError> {
+fn expect_operands(line: usize, mnemonic: &str, ops: &[String], n: usize) -> Result<(), AsmError> {
     if ops.len() == n {
         Ok(())
     } else {
-        err(line, format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()))
+        err(
+            line,
+            format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+        )
     }
 }
 
@@ -216,11 +245,16 @@ fn parse_statement(line: usize, text: &str) -> Result<Stmt, AsmError> {
             if parse_gpr(line, &ops[0])? == Gpr::RA {
                 return Ok(Stmt::Plain(Instr::Ret));
             }
-            return err(line, "only `jr $ra` is supported (use jalr for indirect calls)");
+            return err(
+                line,
+                "only `jr $ra` is supported (use jalr for indirect calls)",
+            );
         }
         "jalr" => {
             expect_operands(line, m, &ops, 1)?;
-            return Ok(Stmt::Plain(Instr::CallReg { rs: parse_gpr(line, &ops[0])? }));
+            return Ok(Stmt::Plain(Instr::CallReg {
+                rs: parse_gpr(line, &ops[0])?,
+            }));
         }
         "j" => {
             expect_operands(line, m, &ops, 1)?;
@@ -272,9 +306,21 @@ fn parse_statement(line: usize, text: &str) -> Result<Stmt, AsmError> {
         let (offset, base) = parse_mem_operand(line, &ops[1])?;
         let reg = parse_gpr(line, &ops[0])?;
         return Ok(Stmt::Plain(if m.starts_with('l') {
-            Instr::Load { rd: reg, base, offset, width: w, hint }
+            Instr::Load {
+                rd: reg,
+                base,
+                offset,
+                width: w,
+                hint,
+            }
         } else {
-            Instr::Store { rs: reg, base, offset, width: w, hint }
+            Instr::Store {
+                rs: reg,
+                base,
+                offset,
+                width: w,
+                hint,
+            }
         }));
     }
     if m == "l.d" || m == "s.d" {
@@ -282,9 +328,19 @@ fn parse_statement(line: usize, text: &str) -> Result<Stmt, AsmError> {
         let (offset, base) = parse_mem_operand(line, &ops[1])?;
         let reg = parse_fpr(line, &ops[0])?;
         return Ok(Stmt::Plain(if m == "l.d" {
-            Instr::FLoad { fd: reg, base, offset, hint }
+            Instr::FLoad {
+                fd: reg,
+                base,
+                offset,
+                hint,
+            }
         } else {
-            Instr::FStore { fs: reg, base, offset, hint }
+            Instr::FStore {
+                fs: reg,
+                base,
+                offset,
+                hint,
+            }
         }));
     }
 
@@ -317,7 +373,11 @@ fn parse_statement(line: usize, text: &str) -> Result<Stmt, AsmError> {
         expect_operands(line, m, &ops, n)?;
         let fd = parse_fpr(line, &ops[0])?;
         let fs = parse_fpr(line, &ops[1])?;
-        let ft = if op.is_binary() { parse_fpr(line, &ops[2])? } else { fs };
+        let ft = if op.is_binary() {
+            parse_fpr(line, &ops[2])?
+        } else {
+            fs
+        };
         return Ok(Stmt::Plain(Instr::Fpu { op, fd, fs, ft }));
     }
 
@@ -327,9 +387,19 @@ fn parse_statement(line: usize, text: &str) -> Result<Stmt, AsmError> {
         let rd = parse_gpr(line, &ops[0])?;
         let rs = parse_gpr(line, &ops[1])?;
         return Ok(Stmt::Plain(if imm_form {
-            Instr::AluImm { op, rd, rs, imm: parse_imm(line, &ops[2])? }
+            Instr::AluImm {
+                op,
+                rd,
+                rs,
+                imm: parse_imm(line, &ops[2])?,
+            }
         } else {
-            Instr::Alu { op, rd, rs, rt: parse_gpr(line, &ops[2])? }
+            Instr::Alu {
+                op,
+                rd,
+                rs,
+                rt: parse_gpr(line, &ops[2])?,
+            }
         }));
     }
 
@@ -437,9 +507,12 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 Target::Abs(pc) => {
                     let fixed = match instr {
                         Instr::Jump { .. } => Instr::Jump { target: pc },
-                        Instr::Branch { cond, rs, rt, .. } => {
-                            Instr::Branch { cond, rs, rt, target: pc }
-                        }
+                        Instr::Branch { cond, rs, rt, .. } => Instr::Branch {
+                            cond,
+                            rs,
+                            rt,
+                            target: pc,
+                        },
                         other => other,
                     };
                     f.builder.push(fixed);
@@ -453,8 +526,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     }
                     // Branches to labels go through the builder so they
                     // resolve at link time.
-                    let label =
-                        *f.labels.entry(sym).or_insert_with(|| f.builder.new_label());
+                    let label = *f.labels.entry(sym).or_insert_with(|| f.builder.new_label());
                     match instr {
                         Instr::Jump { .. } => {
                             f.builder.jump(label);
@@ -475,8 +547,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     // Header lines by function name, so link-stage errors (unresolved
     // calls, unbound labels, duplicates) point at the offending function
     // instead of the useless "line 0".
-    let header_lines: HashMap<String, usize> =
-        funcs.iter().map(|f| (f.name.clone(), f.header_line)).collect();
+    let header_lines: HashMap<String, usize> = funcs
+        .iter()
+        .map(|f| (f.name.clone(), f.header_line))
+        .collect();
     let mut b = ProgramBuilder::new();
     for f in funcs {
         b.add_function(f.builder);
@@ -492,7 +566,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             BuildError::Empty => None,
         };
-        AsmError { line: line.copied().unwrap_or(0), message: e.to_string() }
+        AsmError {
+            line: line.copied().unwrap_or(0),
+            message: e.to_string(),
+        }
     })
 }
 
@@ -523,7 +600,13 @@ double: frame 16
         assert_eq!(p.functions().len(), 2);
         assert_eq!(p.functions()[1].frame_bytes, 16);
         assert_eq!(p.fetch(1), Instr::Call { target: 3 });
-        assert!(matches!(p.fetch(4), Instr::Store { hint: StreamHint::Local, .. }));
+        assert!(matches!(
+            p.fetch(4),
+            Instr::Store {
+                hint: StreamHint::Local,
+                ..
+            }
+        ));
         assert_eq!(p.fetch(8), Instr::Ret);
     }
 
@@ -543,12 +626,15 @@ main:
 ",
         )
         .unwrap();
-        assert_eq!(p.fetch(2), Instr::Branch {
-            cond: BranchCond::Ne,
-            rs: Gpr::T0,
-            rt: Gpr::ZERO,
-            target: 1,
-        });
+        assert_eq!(
+            p.fetch(2),
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs: Gpr::T0,
+                rt: Gpr::ZERO,
+                target: 1,
+            }
+        );
         assert_eq!(p.fetch(3), Instr::Jump { target: 5 });
     }
 
@@ -568,22 +654,56 @@ main:
             Instr::Jump { target: 7 },
             Instr::Call { target: 3 },
             Instr::CallReg { rs: Gpr::T9 },
-            Instr::LoadImm { rd: Gpr::GP, imm: -42 },
-            Instr::IntToFp { fd: Fpr::new(3), rs: Gpr::A0 },
-            Instr::FpToInt { rd: Gpr::V0, fs: Fpr::new(17) },
+            Instr::LoadImm {
+                rd: Gpr::GP,
+                imm: -42,
+            },
+            Instr::IntToFp {
+                fd: Fpr::new(3),
+                rs: Gpr::A0,
+            },
+            Instr::FpToInt {
+                rd: Gpr::V0,
+                fs: Fpr::new(17),
+            },
         ];
         for op in AluOp::ALL {
-            exemplars.push(Instr::Alu { op, rd: Gpr::T0, rs: Gpr::S1, rt: Gpr::A2 });
-            exemplars.push(Instr::AluImm { op, rd: Gpr::SP, rs: Gpr::SP, imm: -64 });
+            exemplars.push(Instr::Alu {
+                op,
+                rd: Gpr::T0,
+                rs: Gpr::S1,
+                rt: Gpr::A2,
+            });
+            exemplars.push(Instr::AluImm {
+                op,
+                rd: Gpr::SP,
+                rs: Gpr::SP,
+                imm: -64,
+            });
         }
         for op in FpuOp::ALL {
-            exemplars.push(Instr::Fpu { op, fd: Fpr::new(2), fs: Fpr::new(4), ft: Fpr::new(6) });
+            exemplars.push(Instr::Fpu {
+                op,
+                fd: Fpr::new(2),
+                fs: Fpr::new(4),
+                ft: Fpr::new(6),
+            });
         }
         for cond in BranchCond::ALL {
-            exemplars.push(Instr::Branch { cond, rs: Gpr::T0, rt: Gpr::ZERO, target: 1 });
+            exemplars.push(Instr::Branch {
+                cond,
+                rs: Gpr::T0,
+                rt: Gpr::ZERO,
+                target: 1,
+            });
         }
         for cond in FpCond::ALL {
-            exemplars.push(Instr::FpCmp { cond, rd: Gpr::T1, fs: Fpr::new(8), ft: Fpr::new(9) });
+            exemplars.push(Instr::FpCmp {
+                cond,
+                rd: Gpr::T1,
+                fs: Fpr::new(8),
+                ft: Fpr::new(9),
+            });
         }
         for hint in [StreamHint::Unknown, StreamHint::Local, StreamHint::NonLocal] {
             exemplars.push(Instr::Load {
@@ -600,8 +720,18 @@ main:
                 width: MemWidth::Byte,
                 hint,
             });
-            exemplars.push(Instr::FLoad { fd: Fpr::new(12), base: Gpr::FP, offset: 16, hint });
-            exemplars.push(Instr::FStore { fs: Fpr::new(12), base: Gpr::SP, offset: -16, hint });
+            exemplars.push(Instr::FLoad {
+                fd: Fpr::new(12),
+                base: Gpr::FP,
+                offset: 16,
+                hint,
+            });
+            exemplars.push(Instr::FStore {
+                fs: Fpr::new(12),
+                base: Gpr::SP,
+                offset: -16,
+                hint,
+            });
         }
         for i in exemplars {
             // The unary FPU Display omits ft; normalise the expectation.
@@ -622,7 +752,12 @@ main:
         let p = assemble("main:\n    add $r8, $r9, $r10\n").unwrap();
         assert_eq!(
             p.fetch(0),
-            Instr::Alu { op: AluOp::Add, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::T2 }
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Gpr::T0,
+                rs: Gpr::T1,
+                rt: Gpr::T2
+            }
         );
     }
 
@@ -684,10 +819,9 @@ main:
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let p = assemble(
-            "# header comment\nmain:  # trailing\n\n    nop ; also a comment\n    halt\n",
-        )
-        .unwrap();
+        let p =
+            assemble("# header comment\nmain:  # trailing\n\n    nop ; also a comment\n    halt\n")
+                .unwrap();
         assert_eq!(p.len(), 2);
     }
 

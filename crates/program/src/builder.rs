@@ -198,7 +198,13 @@ impl FunctionBuilder {
         width: MemWidth,
         hint: StreamHint,
     ) -> &mut Self {
-        self.push(Instr::Load { rd, base, offset, width, hint })
+        self.push(Instr::Load {
+            rd,
+            base,
+            offset,
+            width,
+            hint,
+        })
     }
 
     /// Integer store with an explicit stream hint.
@@ -210,7 +216,13 @@ impl FunctionBuilder {
         width: MemWidth,
         hint: StreamHint,
     ) -> &mut Self {
-        self.push(Instr::Store { rs, base, offset, width, hint })
+        self.push(Instr::Store {
+            rs,
+            base,
+            offset,
+            width,
+            hint,
+        })
     }
 
     /// Word load from the stack frame, hinted local.
@@ -225,12 +237,22 @@ impl FunctionBuilder {
 
     /// FP (8-byte) load with an explicit stream hint.
     pub fn fload(&mut self, fd: Fpr, base: Gpr, offset: i32, hint: StreamHint) -> &mut Self {
-        self.push(Instr::FLoad { fd, base, offset, hint })
+        self.push(Instr::FLoad {
+            fd,
+            base,
+            offset,
+            hint,
+        })
     }
 
     /// FP (8-byte) store with an explicit stream hint.
     pub fn fstore(&mut self, fs: Fpr, base: Gpr, offset: i32, hint: StreamHint) -> &mut Self {
-        self.push(Instr::FStore { fs, base, offset, hint })
+        self.push(Instr::FStore {
+            fs,
+            base,
+            offset,
+            hint,
+        })
     }
 
     /// Creates a fresh, unbound label.
@@ -261,7 +283,12 @@ impl FunctionBuilder {
     /// Conditional branch to a local label.
     pub fn branch(&mut self, cond: BranchCond, rs: Gpr, rt: Gpr, label: Label) -> &mut Self {
         self.label_fixups.push((self.instrs.len(), label));
-        self.push(Instr::Branch { cond, rs, rt, target: u32::MAX })
+        self.push(Instr::Branch {
+            cond,
+            rs,
+            rt,
+            target: u32::MAX,
+        })
     }
 
     /// Branch if `rs != 0` (compared against `$zero`).
@@ -376,10 +403,13 @@ impl ProgramBuilder {
             let func_base = info.start;
             let mut body: Vec<Instr> = f.instrs.clone();
             for &(idx, label) in &f.label_fixups {
-                let off = f.labels[label.0 as usize]
-                    .ok_or_else(|| BuildError::UnboundLabel { function: f.name.clone() })?;
+                let off = f.labels[label.0 as usize].ok_or_else(|| BuildError::UnboundLabel {
+                    function: f.name.clone(),
+                })?;
                 if off == u32::MAX {
-                    return Err(BuildError::LabelBoundTwice { function: f.name.clone() });
+                    return Err(BuildError::LabelBoundTwice {
+                        function: f.name.clone(),
+                    });
                 }
                 let target = func_base + off;
                 match &mut body[idx] {
@@ -389,13 +419,17 @@ impl ProgramBuilder {
             }
             // Detect double binds even if the label is never referenced.
             if f.labels.contains(&Some(u32::MAX)) {
-                return Err(BuildError::LabelBoundTwice { function: f.name.clone() });
+                return Err(BuildError::LabelBoundTwice {
+                    function: f.name.clone(),
+                });
             }
             for (idx, callee) in &f.call_fixups {
-                let target = *symbols.get(callee).ok_or_else(|| BuildError::UndefinedFunction {
-                    caller: f.name.clone(),
-                    callee: callee.clone(),
-                })?;
+                let target = *symbols
+                    .get(callee)
+                    .ok_or_else(|| BuildError::UndefinedFunction {
+                        caller: f.name.clone(),
+                        callee: callee.clone(),
+                    })?;
                 match &mut body[*idx] {
                     Instr::Call { target: t } => *t = target,
                     other => unreachable!("call fixup on non-call {other:?}"),
@@ -406,9 +440,9 @@ impl ProgramBuilder {
 
         // Resolve the entry point.
         let entry = match &self.entry {
-            Some(name) => {
-                *symbols.get(name).ok_or_else(|| BuildError::MissingEntry(name.clone()))?
-            }
+            Some(name) => *symbols
+                .get(name)
+                .ok_or_else(|| BuildError::MissingEntry(name.clone()))?,
             None => symbols.get("main").copied().unwrap_or(infos[0].start),
         };
 
@@ -441,12 +475,15 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.add_function(f);
         let p = b.build().unwrap();
-        assert_eq!(p.fetch(1), Instr::Branch {
-            cond: BranchCond::Eq,
-            rs: Gpr::T0,
-            rt: Gpr::ZERO,
-            target: 4,
-        });
+        assert_eq!(
+            p.fetch(1),
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs: Gpr::T0,
+                rt: Gpr::ZERO,
+                target: 4,
+            }
+        );
         assert_eq!(p.fetch(3), Instr::Jump { target: 1 });
     }
 
@@ -488,7 +525,10 @@ mod tests {
         b.add_function(main);
         assert_eq!(
             b.build(),
-            Err(BuildError::UndefinedFunction { caller: "main".into(), callee: "ghost".into() })
+            Err(BuildError::UndefinedFunction {
+                caller: "main".into(),
+                callee: "ghost".into()
+            })
         );
     }
 
@@ -499,7 +539,12 @@ mod tests {
         f.jump(l);
         let mut b = ProgramBuilder::new();
         b.add_function(f);
-        assert_eq!(b.build(), Err(BuildError::UnboundLabel { function: "main".into() }));
+        assert_eq!(
+            b.build(),
+            Err(BuildError::UnboundLabel {
+                function: "main".into()
+            })
+        );
     }
 
     #[test]
@@ -511,7 +556,12 @@ mod tests {
         f.bind(l);
         let mut b = ProgramBuilder::new();
         b.add_function(f);
-        assert_eq!(b.build(), Err(BuildError::LabelBoundTwice { function: "main".into() }));
+        assert_eq!(
+            b.build(),
+            Err(BuildError::LabelBoundTwice {
+                function: "main".into()
+            })
+        );
     }
 
     #[test]
@@ -566,15 +616,35 @@ mod tests {
         assert_eq!(f.len(), 3);
         assert_eq!(
             f.instrs[0],
-            Instr::Alu { op: AluOp::Or, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::ZERO }
+            Instr::Alu {
+                op: AluOp::Or,
+                rd: Gpr::T0,
+                rs: Gpr::T1,
+                rt: Gpr::ZERO
+            }
         );
-        assert!(matches!(f.instrs[1], Instr::Store { hint: StreamHint::Local, .. }));
-        assert!(matches!(f.instrs[2], Instr::Load { hint: StreamHint::Local, .. }));
+        assert!(matches!(
+            f.instrs[1],
+            Instr::Store {
+                hint: StreamHint::Local,
+                ..
+            }
+        ));
+        assert!(matches!(
+            f.instrs[2],
+            Instr::Load {
+                hint: StreamHint::Local,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = BuildError::UndefinedFunction { caller: "a".into(), callee: "b".into() };
+        let e = BuildError::UndefinedFunction {
+            caller: "a".into(),
+            callee: "b".into(),
+        };
         assert_eq!(e.to_string(), "function `a` calls undefined function `b`");
         assert_eq!(BuildError::Empty.to_string(), "program has no functions");
     }

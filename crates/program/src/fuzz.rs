@@ -27,9 +27,7 @@
 //! that traps is a valid differential-fuzzing input as long as both
 //! kernels report the identical trap.
 
-use dda_isa::{
-    AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, StreamHint,
-};
+use dda_isa::{AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, StreamHint};
 use dda_stats::Rng;
 
 use crate::builder::{FunctionBuilder, ProgramBuilder};
@@ -114,19 +112,33 @@ impl FuzzWeights {
     /// FP-dominated bodies (double loads/stores ride on `local_mem` /
     /// `global_mem` with FP variants).
     pub fn fp_heavy() -> FuzzWeights {
-        FuzzWeights { fp: 32, local_mem: 14, alu: 10, ..FuzzWeights::balanced() }
+        FuzzWeights {
+            fp: 32,
+            local_mem: 14,
+            alu: 10,
+            ..FuzzWeights::balanced()
+        }
     }
 
     /// Branch/loop/call dominated — deep call/return chains and dense
     /// control flow.
     pub fn control_heavy() -> FuzzWeights {
-        FuzzWeights { branch: 18, loops: 14, call: 16, alu: 10, ..FuzzWeights::balanced() }
+        FuzzWeights {
+            branch: 18,
+            loops: 14,
+            call: 16,
+            alu: 10,
+            ..FuzzWeights::balanced()
+        }
     }
 
     /// Includes deliberate trap sites; both kernels must report the
     /// identical structured trap.
     pub fn trapping() -> FuzzWeights {
-        FuzzWeights { trap_site: 8, ..FuzzWeights::balanced() }
+        FuzzWeights {
+            trap_site: 8,
+            ..FuzzWeights::balanced()
+        }
     }
 
     /// All named presets, for campaign rotation.
@@ -260,8 +272,7 @@ enum SegKind {
 }
 
 fn weight_table(w: &FuzzWeights, ctx: &BodyCtx<'_>) -> Vec<(u32, SegKind)> {
-    let can_call =
-        ctx.calls_left > 0 && (!ctx.callees.is_empty() || ctx.rec.is_some());
+    let can_call = ctx.calls_left > 0 && (!ctx.callees.is_empty() || ctx.rec.is_some());
     vec![
         (w.alu, SegKind::Alu),
         (w.alu_imm, SegKind::AluImm),
@@ -417,11 +428,18 @@ fn emit_segment(g: &mut Gen<'_>, f: &mut FunctionBuilder, ctx: &mut BodyCtx<'_>)
         }
         SegKind::NarrowMem => {
             let r = g.reg();
-            let width = if g.rng.gen_bool(0.5) { MemWidth::Byte } else { MemWidth::Half };
+            let width = if g.rng.gen_bool(0.5) {
+                MemWidth::Byte
+            } else {
+                MemWidth::Half
+            };
             let align = width.bytes() as i32;
             let off = g.rng.gen_range(0..128i32) * align;
-            let hint =
-                if g.rng.gen_bool(0.5) { StreamHint::NonLocal } else { StreamHint::Unknown };
+            let hint = if g.rng.gen_bool(0.5) {
+                StreamHint::NonLocal
+            } else {
+                StreamHint::Unknown
+            };
             if g.rng.gen_bool(0.5) {
                 f.store(r, Gpr::GP, off, width, hint);
             } else {
@@ -550,7 +568,10 @@ fn emit_rec(name: &str) -> FunctionBuilder {
 /// `trap_site == 0` the program runs to `halt` on the functional
 /// simulator; with trap sites it may end in a deterministic trap instead.
 pub fn fuzz_program(seed: u64, w: &FuzzWeights) -> Program {
-    let mut g = Gen { rng: Rng::seed_from_u64(seed), w };
+    let mut g = Gen {
+        rng: Rng::seed_from_u64(seed),
+        w,
+    };
 
     let helpers = g.rng.gen_range(0..=3usize);
     let with_rec = g.rng.gen_bool(0.35);
@@ -737,7 +758,12 @@ fn jitter_frame(p: &mut Program, rng: &mut Rng) {
     let (start, end) = (p.functions[fi].start as usize, p.functions[fi].end as usize);
     let is_sp_adjust = |i: &Instr| -> Option<i32> {
         match i {
-            Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm } => Some(*imm),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Gpr::SP,
+                rs: Gpr::SP,
+                imm,
+            } => Some(*imm),
             _ => None,
         }
     };
@@ -759,10 +785,18 @@ fn jitter_frame(p: &mut Program, rng: &mut Rng) {
     }
     let Some(release_idx) = release else { return };
     let new_k = (k + 8 * rng.gen_range(-2i32..=4)).clamp(16, 4096);
-    p.instrs[alloc_idx] =
-        Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm: -new_k };
-    p.instrs[release_idx] =
-        Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm: new_k };
+    p.instrs[alloc_idx] = Instr::AluImm {
+        op: AluOp::Add,
+        rd: Gpr::SP,
+        rs: Gpr::SP,
+        imm: -new_k,
+    };
+    p.instrs[release_idx] = Instr::AluImm {
+        op: AluOp::Add,
+        rd: Gpr::SP,
+        rs: Gpr::SP,
+        imm: new_k,
+    };
     p.functions[fi].frame_bytes = new_k as u32;
 }
 
@@ -776,7 +810,9 @@ fn splice_blocks(p: &mut Program, rng: &mut Rng) {
         return;
     }
     let ok_run = |s: usize| {
-        p.instrs[s..s + span].iter().all(|i| !i.is_control() && !defines_sp(i))
+        p.instrs[s..s + span]
+            .iter()
+            .all(|i| !i.is_control() && !defines_sp(i))
     };
     let src = pick_site(len - span, rng, ok_run);
     let Some(src) = src else { return };
@@ -845,9 +881,9 @@ pub fn compact(p: &Program) -> Option<Program> {
         }
         let mut instr = p.instrs[i];
         match &mut instr {
-            Instr::Branch { target, .. }
-            | Instr::Jump { target }
-            | Instr::Call { target } => *target = remap(*target),
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target } => {
+                *target = remap(*target)
+            }
             _ => {}
         }
         instrs.push(instr);
@@ -866,9 +902,18 @@ pub fn compact(p: &Program) -> Option<Program> {
     if functions.is_empty() {
         return None;
     }
-    let symbols = functions.iter().map(|f| (f.name.clone(), f.start)).collect();
+    let symbols = functions
+        .iter()
+        .map(|f| (f.name.clone(), f.start))
+        .collect();
     let entry = remap(p.entry).min(instrs.len() as u32 - 1);
-    Some(Program { instrs, entry, layout: p.layout, functions, symbols })
+    Some(Program {
+        instrs,
+        entry,
+        layout: p.layout,
+        functions,
+        symbols,
+    })
 }
 
 #[cfg(test)]
@@ -936,7 +981,10 @@ mod tests {
             // save/restore pair and no FP op may appear.
             for i in p.instrs() {
                 assert!(
-                    !matches!(i, Instr::Fpu { .. } | Instr::FLoad { .. } | Instr::FStore { .. }),
+                    !matches!(
+                        i,
+                        Instr::Fpu { .. } | Instr::FLoad { .. } | Instr::FStore { .. }
+                    ),
                     "unexpected FP op {i} with zero fp weight"
                 );
             }
@@ -972,7 +1020,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed >= 12, "only {changed}/16 mutants differed from their parent");
+        assert!(
+            changed >= 12,
+            "only {changed}/16 mutants differed from their parent"
+        );
     }
 
     #[test]
@@ -985,11 +1036,12 @@ mod tests {
                 let allocs: Vec<i32> = body
                     .iter()
                     .filter_map(|i| match i {
-                        Instr::AluImm { op: AluOp::Add, rd: Gpr::SP, rs: Gpr::SP, imm }
-                            if *imm < 0 =>
-                        {
-                            Some(-imm)
-                        }
+                        Instr::AluImm {
+                            op: AluOp::Add,
+                            rd: Gpr::SP,
+                            rs: Gpr::SP,
+                            imm,
+                        } if *imm < 0 => Some(-imm),
                         _ => None,
                     })
                     .collect();
@@ -1032,7 +1084,13 @@ mod tests {
         let p = b.build().expect("links");
         let c = compact(&p).expect("something remains");
         assert_eq!(c.len(), 3);
-        assert_eq!(c.fetch(0), Instr::LoadImm { rd: Gpr::T0, imm: 1 });
+        assert_eq!(
+            c.fetch(0),
+            Instr::LoadImm {
+                rd: Gpr::T0,
+                imm: 1
+            }
+        );
         assert!(matches!(c.fetch(1), Instr::Branch { target: 2, .. }));
         assert_eq!(c.fetch(2), Instr::Halt);
         assert_eq!(c.entry(), 0);

@@ -52,8 +52,14 @@ impl MemoryLayout {
     /// The default layout: 16 MB of globals at `0x1000_0000`, 64 MB of heap
     /// at `0x2000_0000`, and a 4 MB stack topping out at `0x7fff_fff0`.
     pub fn standard() -> MemoryLayout {
-        match MemoryLayout::new(0x1000_0000, 16 << 20, 0x2000_0000, 64 << 20, 0x7fff_fff0, 4 << 20)
-        {
+        match MemoryLayout::new(
+            0x1000_0000,
+            16 << 20,
+            0x2000_0000,
+            64 << 20,
+            0x7fff_fff0,
+            4 << 20,
+        ) {
             Ok(l) => l,
             Err(e) => unreachable!("standard layout is valid: {e}"),
         }
@@ -73,16 +79,20 @@ impl MemoryLayout {
         stack_base: u32,
         stack_size: u32,
     ) -> Result<MemoryLayout, String> {
-        for (name, base) in
-            [("global", global_base), ("heap", heap_base), ("stack", stack_base)]
-        {
+        for (name, base) in [
+            ("global", global_base),
+            ("heap", heap_base),
+            ("stack", stack_base),
+        ] {
             if base % 16 != 0 {
                 return Err(format!("{name} base {base:#x} is not 16-byte aligned"));
             }
         }
-        for (name, size) in
-            [("global", global_size), ("heap", heap_size), ("stack", stack_size)]
-        {
+        for (name, size) in [
+            ("global", global_size),
+            ("heap", heap_size),
+            ("stack", stack_size),
+        ] {
             if size == 0 {
                 return Err(format!("{name} region has zero size"));
             }
@@ -90,12 +100,15 @@ impl MemoryLayout {
         if stack_base < stack_size {
             return Err("stack would extend below address zero".to_string());
         }
-        let l = MemoryLayout { global_base, global_size, heap_base, heap_size, stack_base, stack_size };
-        let mut spans = [
-            l.global_span(),
-            l.heap_span(),
-            l.stack_span(),
-        ];
+        let l = MemoryLayout {
+            global_base,
+            global_size,
+            heap_base,
+            heap_size,
+            stack_base,
+            stack_size,
+        };
+        let mut spans = [l.global_span(), l.heap_span(), l.stack_span()];
         spans.sort_by_key(|s| s.0);
         for w in spans.windows(2) {
             if w[0].1 > w[1].0 {
@@ -109,15 +122,24 @@ impl MemoryLayout {
     }
 
     fn global_span(&self) -> (u64, u64) {
-        (self.global_base as u64, self.global_base as u64 + self.global_size as u64)
+        (
+            self.global_base as u64,
+            self.global_base as u64 + self.global_size as u64,
+        )
     }
 
     fn heap_span(&self) -> (u64, u64) {
-        (self.heap_base as u64, self.heap_base as u64 + self.heap_size as u64)
+        (
+            self.heap_base as u64,
+            self.heap_base as u64 + self.heap_size as u64,
+        )
     }
 
     fn stack_span(&self) -> (u64, u64) {
-        (self.stack_base as u64 - self.stack_size as u64, self.stack_base as u64)
+        (
+            self.stack_base as u64 - self.stack_size as u64,
+            self.stack_base as u64,
+        )
     }
 
     /// Base address of the global region (the initial `$gp`).

@@ -100,7 +100,9 @@ impl Program {
     pub fn function_at(&self, pc: u32) -> Option<&FunctionInfo> {
         // Functions are laid out contiguously in `start` order.
         let idx = self.functions.partition_point(|f| f.end <= pc);
-        self.functions.get(idx).filter(|f| f.start <= pc && pc < f.end)
+        self.functions
+            .get(idx)
+            .filter(|f| f.start <= pc && pc < f.end)
     }
 
     /// Average static frame size in words across all functions — the

@@ -1,0 +1,246 @@
+//! A tiny little-endian byte codec and a stable content hash.
+//!
+//! Checkpoints and cache-tag snapshots are serialized with this codec so
+//! the workspace stays free of external serialization crates. The format
+//! is deliberately dumb: fixed-width little-endian integers plus
+//! length-prefixed byte runs. Every consumer layers its own magic number
+//! and version word on top, so codec-level framing never needs to evolve.
+//!
+//! [`fnv1a64`] is the content hash used for content-addressed checkpoint
+//! keys. Unlike [`crate::FibHasher`] (a hot-path map hasher with no
+//! stability promise), FNV-1a here is a *format* commitment: the digest
+//! of a given byte string must never change across releases, or every
+//! stored checkpoint key would silently rot.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable FNV-1a 64-bit hash of a byte string.
+///
+/// ```
+/// // The empty string hashes to the offset basis — a format constant.
+/// assert_eq!(dda_stats::fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_ne!(dda_stats::fnv1a64(b"a"), dda_stats::fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Error returned when a [`ByteReader`] runs past the end of its input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CodecError {
+    /// Byte offset at which the read was attempted.
+    pub at: usize,
+    /// Number of bytes the read needed.
+    pub wanted: usize,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "truncated input: wanted {} bytes at offset {}",
+            self.wanted, self.at
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian byte encoder.
+#[derive(Default, Debug)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Creates a writer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> ByteWriter {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes with no framing.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends bytes prefixed with their `u32` length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than `u32::MAX` — checkpoint sections
+    /// are orders of magnitude smaller.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        let n = u32::try_from(bytes.len());
+        let n = match n {
+            Ok(n) => n,
+            Err(_) => panic!("byte run of {} exceeds u32 framing", bytes.len()),
+        };
+        self.put_u32(n);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential little-endian byte decoder over a borrowed slice.
+#[derive(Clone, Copy, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader at offset 0.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError {
+                at: self.pos,
+                wanted: n,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`-length-prefixed byte run (written by
+    /// [`ByteWriter::put_bytes`]).
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_u32()? as usize;
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_bytes(b"hello");
+        w.put_raw(&[1, 2, 3]);
+        let buf = w.into_vec();
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u8(), Ok(0xAB));
+        assert_eq!(r.get_u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(r.get_u64(), Ok(0x0123_4567_89AB_CDEF));
+        assert_eq!(r.get_bytes(), Ok(&b"hello"[..]));
+        assert_eq!(r.get_raw(3), Ok(&[1u8, 2, 3][..]));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let buf = [1u8, 2];
+        let mut r = ByteReader::new(&buf);
+        assert!(r.get_u32().is_err());
+        // A failed read consumes nothing.
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.get_u8(), Ok(1));
+    }
+
+    #[test]
+    fn length_prefix_larger_than_input_is_an_error() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1000); // claims 1000 bytes follow
+        w.put_u8(7);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        assert!(r.get_bytes().is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Known-answer vectors: these digests are a format commitment.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

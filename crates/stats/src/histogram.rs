@@ -122,6 +122,22 @@ impl Histogram {
         }
     }
 
+    /// Returns the histogram of samples recorded in `self` but not in
+    /// `earlier` — the per-value count difference, saturating at zero.
+    ///
+    /// Used for interval-sampling window deltas: `earlier` is a snapshot
+    /// of this histogram taken at the window start, so every count in it
+    /// is (by construction) ≤ the corresponding count in `self`. Counts
+    /// present only in `earlier` are ignored rather than underflowing.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (&v, &c) in &self.counts {
+            let d = c.saturating_sub(earlier.count(v));
+            out.record_n(v, d);
+        }
+        out
+    }
+
     /// Groups samples into fixed-width buckets `[0,w), [w,2w), ...` and
     /// returns `(bucket_start, count)` pairs for non-empty buckets.
     ///
@@ -220,6 +236,21 @@ mod tests {
         assert_eq!(a.count(5), 2);
         assert_eq!(a.count(9), 0);
         assert_eq!(a.samples(), 7);
+    }
+
+    #[test]
+    fn diff_subtracts_a_snapshot() {
+        let mut h: Histogram = [1, 1, 5].into_iter().collect();
+        let snap = h.clone();
+        h.extend([1u64, 2, 5, 5]);
+        let d = h.diff(&snap);
+        assert_eq!(d.count(1), 1);
+        assert_eq!(d.count(2), 1);
+        assert_eq!(d.count(5), 2);
+        assert_eq!(d.samples(), 4);
+        // Values only in the snapshot saturate to zero, not underflow.
+        let weird: Histogram = [9u64, 9].into_iter().collect();
+        assert_eq!(h.diff(&weird).samples(), h.samples());
     }
 
     #[test]

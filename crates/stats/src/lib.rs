@@ -10,11 +10,13 @@
 //! builds with no external crates), and a cheap [`FibHasher`] for the
 //! simulator's integer-keyed hot-path maps.
 
+mod codec;
 mod hash;
 mod histogram;
 mod rng;
 mod table;
 
+pub use codec::{fnv1a64, ByteReader, ByteWriter, CodecError};
 pub use hash::{FastMap, FibHasher};
 pub use histogram::Histogram;
 pub use rng::{Rng, SampleRange};

@@ -40,7 +40,12 @@ impl Table {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         let n = headers.len();
-        Table { headers, rows: Vec::new(), aligns: vec![Align::Left; n], title: None }
+        Table {
+            headers,
+            rows: Vec::new(),
+            aligns: vec![Align::Left; n],
+            title: None,
+        }
     }
 
     /// Sets a title printed above the table.
@@ -74,7 +79,11 @@ impl Table {
     /// Panics if the row length differs from the header length.
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(row);
         self
     }

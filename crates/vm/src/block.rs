@@ -85,8 +85,21 @@ pub(crate) struct MemOp {
 }
 
 impl MemOp {
-    pub(crate) fn new(base: Gpr, offset: i32, bytes: u32, hint: StreamHint, is_store: bool) -> MemOp {
-        MemOp { base, offset, bytes, hint, is_store, base_is_sp: base == Gpr::SP }
+    pub(crate) fn new(
+        base: Gpr,
+        offset: i32,
+        bytes: u32,
+        hint: StreamHint,
+        is_store: bool,
+    ) -> MemOp {
+        MemOp {
+            base,
+            offset,
+            bytes,
+            hint,
+            is_store,
+            base_is_sp: base == Gpr::SP,
+        }
     }
 }
 
@@ -98,13 +111,23 @@ pub(crate) enum OpKind {
     /// `rd = f(rs, rt)`.
     Alu { f: AluFn, rd: Gpr, rs: Gpr, rt: Gpr },
     /// `rd = f(rs, imm)`.
-    AluImm { f: AluFn, rd: Gpr, rs: Gpr, imm: i32 },
+    AluImm {
+        f: AluFn,
+        rd: Gpr,
+        rs: Gpr,
+        imm: i32,
+    },
     /// `rd = imm`.
     LoadImm { rd: Gpr, imm: i32 },
     /// `fd = f(fs, ft)`.
     Fpu { f: FpuFn, fd: Fpr, fs: Fpr, ft: Fpr },
     /// `rd = f(fs, ft) as i32`.
-    FpCmp { f: FpCmpFn, rd: Gpr, fs: Fpr, ft: Fpr },
+    FpCmp {
+        f: FpCmpFn,
+        rd: Gpr,
+        fs: Fpr,
+        ft: Fpr,
+    },
     /// `fd = rs as f64`.
     IntToFp { fd: Fpr, rs: Gpr },
     /// `rd = fs as i32` (saturating).
@@ -137,31 +160,73 @@ impl MicroOp {
     pub fn decode(pc: u32, instr: Instr) -> Option<MicroOp> {
         let kind = match instr {
             Instr::Nop => OpKind::Nop,
-            Instr::Alu { op, rd, rs, rt } => OpKind::Alu { f: alu_fn(op), rd, rs, rt },
-            Instr::AluImm { op, rd, rs, imm } => OpKind::AluImm { f: alu_fn(op), rd, rs, imm },
+            Instr::Alu { op, rd, rs, rt } => OpKind::Alu {
+                f: alu_fn(op),
+                rd,
+                rs,
+                rt,
+            },
+            Instr::AluImm { op, rd, rs, imm } => OpKind::AluImm {
+                f: alu_fn(op),
+                rd,
+                rs,
+                imm,
+            },
             Instr::LoadImm { rd, imm } => OpKind::LoadImm { rd, imm },
-            Instr::Fpu { op, fd, fs, ft } => OpKind::Fpu { f: fpu_fn(op), fd, fs, ft },
-            Instr::FpCmp { cond, rd, fs, ft } => {
-                OpKind::FpCmp { f: fp_cmp_fn(cond), rd, fs, ft }
-            }
+            Instr::Fpu { op, fd, fs, ft } => OpKind::Fpu {
+                f: fpu_fn(op),
+                fd,
+                fs,
+                ft,
+            },
+            Instr::FpCmp { cond, rd, fs, ft } => OpKind::FpCmp {
+                f: fp_cmp_fn(cond),
+                rd,
+                fs,
+                ft,
+            },
             Instr::IntToFp { fd, rs } => OpKind::IntToFp { fd, rs },
             Instr::FpToInt { rd, fs } => OpKind::FpToInt { rd, fs },
-            Instr::Load { rd, base, offset, width, hint } => OpKind::Load {
+            Instr::Load {
+                rd,
+                base,
+                offset,
+                width,
+                hint,
+            } => OpKind::Load {
                 rd,
                 m: MemOp::new(base, offset, width.bytes(), hint, false),
                 width,
             },
-            Instr::Store { rs, base, offset, width, hint } => OpKind::Store {
+            Instr::Store {
+                rs,
+                base,
+                offset,
+                width,
+                hint,
+            } => OpKind::Store {
                 rs,
                 m: MemOp::new(base, offset, width.bytes(), hint, true),
                 width,
             },
-            Instr::FLoad { fd, base, offset, hint } => {
-                OpKind::FLoad { fd, m: MemOp::new(base, offset, 8, hint, false) }
-            }
-            Instr::FStore { fs, base, offset, hint } => {
-                OpKind::FStore { fs, m: MemOp::new(base, offset, 8, hint, true) }
-            }
+            Instr::FLoad {
+                fd,
+                base,
+                offset,
+                hint,
+            } => OpKind::FLoad {
+                fd,
+                m: MemOp::new(base, offset, 8, hint, false),
+            },
+            Instr::FStore {
+                fs,
+                base,
+                offset,
+                hint,
+            } => OpKind::FStore {
+                fs,
+                m: MemOp::new(base, offset, 8, hint, true),
+            },
             Instr::Branch { .. }
             | Instr::Jump { .. }
             | Instr::Call { .. }
@@ -187,7 +252,13 @@ pub(crate) enum Terminator {
     /// no instruction executes, the block simply chains to `term_pc`.
     FallThrough,
     /// Conditional branch to `target`, falling through to `term_pc + 1`.
-    Branch { f: BranchFn, rs: Gpr, rt: Gpr, target: u32, taken_ok: bool },
+    Branch {
+        f: BranchFn,
+        rs: Gpr,
+        rt: Gpr,
+        target: u32,
+        taken_ok: bool,
+    },
     /// Unconditional jump.
     Jump { target: u32, ok: bool },
     /// Direct call (writes `$ra`, bumps the call depth).
@@ -206,15 +277,26 @@ impl Terminator {
     pub fn decode(pc: u32, instr: Instr, image_len: u32) -> Option<Terminator> {
         let in_image = |target: u32| target == pc + 1 || target < image_len;
         match instr {
-            Instr::Branch { cond, rs, rt, target } => Some(Terminator::Branch {
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => Some(Terminator::Branch {
                 f: branch_fn(cond),
                 rs,
                 rt,
                 target,
                 taken_ok: in_image(target),
             }),
-            Instr::Jump { target } => Some(Terminator::Jump { target, ok: in_image(target) }),
-            Instr::Call { target } => Some(Terminator::Call { target, ok: in_image(target) }),
+            Instr::Jump { target } => Some(Terminator::Jump {
+                target,
+                ok: in_image(target),
+            }),
+            Instr::Call { target } => Some(Terminator::Call {
+                target,
+                ok: in_image(target),
+            }),
             Instr::CallReg { rs } => Some(Terminator::CallReg { rs }),
             Instr::Ret => Some(Terminator::Ret),
             Instr::Halt => Some(Terminator::Halt),

@@ -94,8 +94,7 @@ impl CoverageMap {
     #[inline]
     pub fn observe(&mut self, d: &DynInst) {
         self.ops[op_class(&d.instr)] += 1;
-        let h = (d.pc as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let h = (d.pc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (d.next_pc as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
         let bucket = (h >> 48) as usize;
         self.edges[bucket / 64] |= 1u64 << (bucket % 64);
@@ -138,42 +137,98 @@ impl CoverageMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dda_isa::{AluOp, BranchCond, FpCond, FpuOp, Fpr, Gpr, MemWidth, StreamHint};
+    use dda_isa::{AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, MemWidth, StreamHint};
 
     fn every_instr() -> Vec<Instr> {
         let mut v = vec![
             Instr::Nop,
             Instr::Halt,
             Instr::Ret,
-            Instr::LoadImm { rd: Gpr::T0, imm: 1 },
-            Instr::IntToFp { fd: Fpr::new(0), rs: Gpr::T0 },
-            Instr::FpToInt { rd: Gpr::T0, fs: Fpr::new(0) },
+            Instr::LoadImm {
+                rd: Gpr::T0,
+                imm: 1,
+            },
+            Instr::IntToFp {
+                fd: Fpr::new(0),
+                rs: Gpr::T0,
+            },
+            Instr::FpToInt {
+                rd: Gpr::T0,
+                fs: Fpr::new(0),
+            },
             Instr::Jump { target: 0 },
             Instr::Call { target: 0 },
             Instr::CallReg { rs: Gpr::T0 },
         ];
         for op in AluOp::ALL {
-            v.push(Instr::Alu { op, rd: Gpr::T0, rs: Gpr::T1, rt: Gpr::T2 });
-            v.push(Instr::AluImm { op, rd: Gpr::T0, rs: Gpr::T1, imm: 1 });
+            v.push(Instr::Alu {
+                op,
+                rd: Gpr::T0,
+                rs: Gpr::T1,
+                rt: Gpr::T2,
+            });
+            v.push(Instr::AluImm {
+                op,
+                rd: Gpr::T0,
+                rs: Gpr::T1,
+                imm: 1,
+            });
         }
         for op in FpuOp::ALL {
-            v.push(Instr::Fpu { op, fd: Fpr::new(0), fs: Fpr::new(1), ft: Fpr::new(1) });
+            v.push(Instr::Fpu {
+                op,
+                fd: Fpr::new(0),
+                fs: Fpr::new(1),
+                ft: Fpr::new(1),
+            });
         }
         for cond in FpCond::ALL {
-            v.push(Instr::FpCmp { cond, rd: Gpr::T0, fs: Fpr::new(0), ft: Fpr::new(1) });
+            v.push(Instr::FpCmp {
+                cond,
+                rd: Gpr::T0,
+                fs: Fpr::new(0),
+                ft: Fpr::new(1),
+            });
         }
         for cond in BranchCond::ALL {
-            v.push(Instr::Branch { cond, rs: Gpr::T0, rt: Gpr::T1, target: 0 });
+            v.push(Instr::Branch {
+                cond,
+                rs: Gpr::T0,
+                rt: Gpr::T1,
+                target: 0,
+            });
         }
         for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word] {
             for hint in [StreamHint::Unknown, StreamHint::Local, StreamHint::NonLocal] {
-                v.push(Instr::Load { rd: Gpr::T0, base: Gpr::GP, offset: 0, width, hint });
-                v.push(Instr::Store { rs: Gpr::T0, base: Gpr::GP, offset: 0, width, hint });
+                v.push(Instr::Load {
+                    rd: Gpr::T0,
+                    base: Gpr::GP,
+                    offset: 0,
+                    width,
+                    hint,
+                });
+                v.push(Instr::Store {
+                    rs: Gpr::T0,
+                    base: Gpr::GP,
+                    offset: 0,
+                    width,
+                    hint,
+                });
             }
         }
         for hint in [StreamHint::Unknown, StreamHint::Local, StreamHint::NonLocal] {
-            v.push(Instr::FLoad { fd: Fpr::new(0), base: Gpr::GP, offset: 0, hint });
-            v.push(Instr::FStore { fs: Fpr::new(0), base: Gpr::GP, offset: 0, hint });
+            v.push(Instr::FLoad {
+                fd: Fpr::new(0),
+                base: Gpr::GP,
+                offset: 0,
+                hint,
+            });
+            v.push(Instr::FStore {
+                fs: Fpr::new(0),
+                base: Gpr::GP,
+                offset: 0,
+                hint,
+            });
         }
         v
     }
@@ -220,7 +275,13 @@ mod tests {
     fn distinct_edges_usually_hit_distinct_buckets() {
         let mut m = CoverageMap::new();
         for pc in 0..200u32 {
-            m.observe(&DynInst { seq: 0, pc, instr: Instr::Nop, next_pc: pc + 1, mem: None });
+            m.observe(&DynInst {
+                seq: 0,
+                pc,
+                instr: Instr::Nop,
+                next_pc: pc + 1,
+                mem: None,
+            });
         }
         // 200 edges into 65536 buckets: collisions are rare.
         assert!(m.edge_buckets_seen() > 190);

@@ -46,10 +46,12 @@ mod coverage;
 mod machine;
 mod memory;
 mod profile;
+mod snapshot;
 mod tcache;
 
 pub use coverage::{op_class, CoverageMap, EDGE_BUCKETS, OP_CLASS_COUNT};
 pub use machine::{DynInst, MemInfo, RunSummary, Stream, Vm, VmError};
 pub use memory::SparseMemory;
 pub use profile::{StreamProfiler, StreamStats};
+pub use snapshot::{Checkpoint, CheckpointKey, SnapshotError};
 pub use tcache::TCacheStats;

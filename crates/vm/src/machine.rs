@@ -6,8 +6,9 @@ use std::sync::Arc;
 use dda_isa::{Fpr, Gpr, Instr, MemWidth, StreamHint};
 use dda_program::{MemRegion, Program};
 
-use crate::block::{MemOp, MicroOp, OpKind, Terminator, NO_BLOCK};
+use crate::block::{MemOp, MicroOp, OpKind, Terminator, MAX_BLOCK_OPS, NO_BLOCK};
 use crate::memory::SparseMemory;
+use crate::snapshot::{Checkpoint, CheckpointKey, SnapshotError, TCacheSnapshot};
 use crate::tcache::{TCache, TCacheStats};
 
 /// An error raised during functional execution.
@@ -74,10 +75,16 @@ impl fmt::Display for VmError {
                 write!(f, "access to unmapped address {addr:#x} at pc {pc}")
             }
             VmError::StackOverflow { pc, addr, limit } => {
-                write!(f, "stack overflow: access to {addr:#x} past limit {limit:#x} at pc {pc}")
+                write!(
+                    f,
+                    "stack overflow: access to {addr:#x} past limit {limit:#x} at pc {pc}"
+                )
             }
             VmError::IllegalTarget { pc, target } => {
-                write!(f, "control transfer to illegal target pc {target} at pc {pc}")
+                write!(
+                    f,
+                    "control transfer to illegal target pc {target} at pc {pc}"
+                )
             }
             VmError::ReturnWithoutCall { pc } => {
                 write!(f, "return without a matching call at pc {pc}")
@@ -388,55 +395,74 @@ impl Vm {
                 let v = self.fpr(fs) as i32; // saturating in Rust
                 self.set_gpr(rd, v);
             }
-            Instr::Load { rd, base, offset, width, hint } => {
-                match self.mem_info(pc, &MemOp::new(base, offset, width.bytes(), hint, false)) {
-                    Ok((addr, info)) => {
-                        let v = match width {
-                            MemWidth::Byte => self.mem.read_u8(addr) as i8 as i32,
-                            MemWidth::Half => self.mem.read_u16(addr) as i16 as i32,
-                            MemWidth::Word => self.mem.read_u32(addr) as i32,
-                        };
-                        self.set_gpr(rd, v);
-                        mem = Some(info);
-                    }
-                    Err(e) => fail!(e),
+            Instr::Load {
+                rd,
+                base,
+                offset,
+                width,
+                hint,
+            } => match self.mem_info(pc, &MemOp::new(base, offset, width.bytes(), hint, false)) {
+                Ok((addr, info)) => {
+                    let v = match width {
+                        MemWidth::Byte => self.mem.read_u8(addr) as i8 as i32,
+                        MemWidth::Half => self.mem.read_u16(addr) as i16 as i32,
+                        MemWidth::Word => self.mem.read_u32(addr) as i32,
+                    };
+                    self.set_gpr(rd, v);
+                    mem = Some(info);
                 }
-            }
-            Instr::Store { rs, base, offset, width, hint } => {
-                match self.mem_info(pc, &MemOp::new(base, offset, width.bytes(), hint, true)) {
-                    Ok((addr, info)) => {
-                        let v = self.gpr(rs);
-                        match width {
-                            MemWidth::Byte => self.mem.write_u8(addr, v as u8),
-                            MemWidth::Half => self.mem.write_u16(addr, v as u16),
-                            MemWidth::Word => self.mem.write_u32(addr, v as u32),
-                        }
-                        mem = Some(info);
+                Err(e) => fail!(e),
+            },
+            Instr::Store {
+                rs,
+                base,
+                offset,
+                width,
+                hint,
+            } => match self.mem_info(pc, &MemOp::new(base, offset, width.bytes(), hint, true)) {
+                Ok((addr, info)) => {
+                    let v = self.gpr(rs);
+                    match width {
+                        MemWidth::Byte => self.mem.write_u8(addr, v as u8),
+                        MemWidth::Half => self.mem.write_u16(addr, v as u16),
+                        MemWidth::Word => self.mem.write_u32(addr, v as u32),
                     }
-                    Err(e) => fail!(e),
+                    mem = Some(info);
                 }
-            }
-            Instr::FLoad { fd, base, offset, hint } => {
-                match self.mem_info(pc, &MemOp::new(base, offset, 8, hint, false)) {
-                    Ok((addr, info)) => {
-                        let v = self.mem.read_f64(addr);
-                        self.set_fpr(fd, v);
-                        mem = Some(info);
-                    }
-                    Err(e) => fail!(e),
+                Err(e) => fail!(e),
+            },
+            Instr::FLoad {
+                fd,
+                base,
+                offset,
+                hint,
+            } => match self.mem_info(pc, &MemOp::new(base, offset, 8, hint, false)) {
+                Ok((addr, info)) => {
+                    let v = self.mem.read_f64(addr);
+                    self.set_fpr(fd, v);
+                    mem = Some(info);
                 }
-            }
-            Instr::FStore { fs, base, offset, hint } => {
-                match self.mem_info(pc, &MemOp::new(base, offset, 8, hint, true)) {
-                    Ok((addr, info)) => {
-                        let v = self.fpr(fs);
-                        self.mem.write_f64(addr, v);
-                        mem = Some(info);
-                    }
-                    Err(e) => fail!(e),
+                Err(e) => fail!(e),
+            },
+            Instr::FStore {
+                fs,
+                base,
+                offset,
+                hint,
+            } => match self.mem_info(pc, &MemOp::new(base, offset, 8, hint, true)) {
+                Ok((addr, info)) => {
+                    let v = self.fpr(fs);
+                    self.mem.write_f64(addr, v);
+                    mem = Some(info);
                 }
-            }
-            Instr::Branch { cond, rs, rt, target } => {
+                Err(e) => fail!(e),
+            },
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
                 if cond.eval(self.gpr(rs), self.gpr(rt)) {
                     next_pc = target;
                 }
@@ -470,13 +496,22 @@ impl Vm {
         // it faults as `PcOutOfRange` on the next step.
         if !self.halted && next_pc != pc + 1 && self.program.get(next_pc).is_none() {
             self.halted = true;
-            return Err(VmError::IllegalTarget { pc, target: next_pc });
+            return Err(VmError::IllegalTarget {
+                pc,
+                target: next_pc,
+            });
         }
 
         if !self.halted || matches!(instr, Instr::Halt) {
             self.pc = next_pc;
         }
-        let d = DynInst { seq: self.seq, pc, instr, next_pc, mem };
+        let d = DynInst {
+            seq: self.seq,
+            pc,
+            instr,
+            next_pc,
+            mem,
+        };
         self.seq += 1;
         Ok(Some(d))
     }
@@ -494,7 +529,165 @@ impl Vm {
                 None => break,
             }
         }
-        Ok(RunSummary { executed, halted: self.halted })
+        Ok(RunSummary {
+            executed,
+            halted: self.halted,
+        })
+    }
+
+    /// Fast-forwards exactly `n` instructions (or to `Halt`, whichever
+    /// comes first) at translation-cache speed, stopping *precisely* at
+    /// the instruction boundary.
+    ///
+    /// This is the warmup mode of sampled simulation: unlike a plain
+    /// [`Vm::step_block`] loop — which commits whole blocks and
+    /// overshoots the budget by up to a block — this runs blocks only
+    /// while a full block is guaranteed to fit and single-steps the
+    /// tail, so `instructions_executed()` afterwards equals the start
+    /// value plus `n` exactly (unless the program halts or faults
+    /// earlier). A detailed window can therefore start at a precise
+    /// instruction index, and a checkpoint taken here is at a precise
+    /// content address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`VmError`]; instructions before the fault
+    /// have committed, the machine is halted at the faulting pc. A fault
+    /// that lies *beyond* the budget never executes.
+    pub fn fast_forward(&mut self, n: u64) -> Result<RunSummary, VmError> {
+        self.fast_forward_observed(n, |_| {})
+    }
+
+    /// [`Vm::fast_forward`] with an observer called on every executed
+    /// instruction, in architectural order — the hook functional cache
+    /// warmup hangs off (the observer sees the identical [`DynInst`]
+    /// stream the interpreter would emit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`VmError`]; instructions before the fault
+    /// have been observed and committed.
+    pub fn fast_forward_observed(
+        &mut self,
+        n: u64,
+        mut observe: impl FnMut(&DynInst),
+    ) -> Result<RunSummary, VmError> {
+        let start = self.seq;
+        let target = start.saturating_add(n);
+        // A block emits at most MAX_BLOCK_OPS straight-line ops plus one
+        // terminator, so whole-block dispatch is safe while that worst
+        // case still fits under the budget.
+        let safe = MAX_BLOCK_OPS as u64 + 1;
+        let mut buf: Vec<DynInst> = Vec::with_capacity(safe as usize);
+        while !self.halted && self.seq + safe <= target {
+            buf.clear();
+            let err = self.step_block(&mut buf);
+            for d in &buf {
+                observe(d);
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        while !self.halted && self.seq < target {
+            match self.step()? {
+                Some(d) => observe(&d),
+                None => break,
+            }
+        }
+        Ok(RunSummary {
+            executed: self.seq - start,
+            halted: self.halted,
+        })
+    }
+
+    /// Captures a serializable [`Checkpoint`] of the architectural state,
+    /// content-addressed by `(program_hash, instructions executed,
+    /// config_hash)`. The two hashes are caller-provided (`dda-vm` does
+    /// not define the canonical program/config fingerprints); restoring
+    /// through [`Vm::restore`] yields a machine bit-identical to this
+    /// one — registers, memory pages, `sp_version`, call depths and
+    /// translation-cache state (counters included) all round-trip.
+    pub fn checkpoint(&self, program_hash: u64, config_hash: u64) -> Checkpoint {
+        Checkpoint {
+            key: CheckpointKey {
+                program_hash,
+                inst_index: self.seq,
+                config_hash,
+            },
+            pc: self.pc,
+            halted: self.halted,
+            call_depth: self.call_depth,
+            max_call_depth: self.max_call_depth,
+            block_hint: self.block_hint,
+            sp_version: self.sp_version,
+            seq: self.seq,
+            gpr: self.gpr,
+            fpr_bits: core::array::from_fn(|i| self.fpr[i].to_bits()),
+            pages: self
+                .mem
+                .resident_page_bytes()
+                .map(|(i, b)| (i, b.to_vec()))
+                .collect(),
+            tcache: self.tcache.as_ref().map(|tc| TCacheSnapshot {
+                recipe: tc.recipe(),
+                stats: tc.stats,
+            }),
+            cache_tags: None,
+        }
+    }
+
+    /// Rebuilds a machine from a [`Checkpoint`] over `program`.
+    ///
+    /// The caller is responsible for passing the *same* program the
+    /// checkpoint was taken from (the content-addressed store keys on
+    /// the program hash); this function validates that the snapshot
+    /// structurally fits the image and rebuilds the translation cache by
+    /// re-decoding the recorded block starts, which is deterministic, so
+    /// the restored machine's future execution — dynamic stream, cache
+    /// counters, inline-cache behaviour — is bit-identical to the
+    /// original's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] when a page index or a
+    /// translation-cache entry does not fit `program`.
+    pub fn restore(program: Arc<Program>, ck: &Checkpoint) -> Result<Vm, SnapshotError> {
+        let mut mem = SparseMemory::new();
+        for (index, bytes) in &ck.pages {
+            if !mem.install_page(*index, bytes) {
+                return Err(SnapshotError::Corrupt("page does not fit memory"));
+            }
+        }
+        let tcache = match &ck.tcache {
+            None => None,
+            Some(snap) => match TCache::rebuild(&program, &snap.recipe, snap.stats) {
+                Some(tc) => Some(Box::new(tc)),
+                None => return Err(SnapshotError::Corrupt("tcache recipe does not fit program")),
+            },
+        };
+        if let Some(tc) = &tcache {
+            let n = tc.blocks.len() as u32;
+            if ck.block_hint != NO_BLOCK && ck.block_hint >= n {
+                return Err(SnapshotError::Corrupt("block hint out of range"));
+            }
+        } else if ck.block_hint != NO_BLOCK {
+            return Err(SnapshotError::Corrupt("block hint without a tcache"));
+        }
+        Ok(Vm {
+            program,
+            pc: ck.pc,
+            gpr: ck.gpr,
+            fpr: core::array::from_fn(|i| f64::from_bits(ck.fpr_bits[i])),
+            mem,
+            sp_version: ck.sp_version,
+            seq: ck.seq,
+            call_depth: ck.call_depth,
+            max_call_depth: ck.max_call_depth,
+            halted: ck.halted,
+            tcache,
+            block_hint: ck.block_hint,
+        })
     }
 
     /// Executes one basic block through the translation cache, appending
@@ -607,7 +800,13 @@ impl Vm {
                 self.resolve_succ(tc, id, 0, tpc);
                 return None;
             }
-            Terminator::Branch { f, rs, rt, target, taken_ok } => {
+            Terminator::Branch {
+                f,
+                rs,
+                rt,
+                target,
+                taken_ok,
+            } => {
                 if f(self.gpr(rs), self.gpr(rt)) {
                     if target != tpc + 1 && !taken_ok {
                         fault!(VmError::IllegalTarget { pc: tpc, target });
@@ -669,7 +868,13 @@ impl Vm {
                 return None;
             }
         };
-        out.push(DynInst { seq: self.seq, pc: tpc, instr: blk.term_instr, next_pc, mem: None });
+        out.push(DynInst {
+            seq: self.seq,
+            pc: tpc,
+            instr: blk.term_instr,
+            next_pc,
+            mem: None,
+        });
         self.seq += 1;
         self.pc = next_pc;
         tc.stats.ops_replayed += 1;
@@ -999,7 +1204,10 @@ mod tests {
         f.load(Gpr::T1, Gpr::T0, 0, MemWidth::Word, StreamHint::Unknown);
         f.halt();
         let mut vm = Vm::new(build(vec![f]));
-        assert!(matches!(vm.run(10), Err(VmError::OutOfRegion { addr: 0x40, .. })));
+        assert!(matches!(
+            vm.run(10),
+            Err(VmError::OutOfRegion { addr: 0x40, .. })
+        ));
     }
 
     #[test]
@@ -1014,7 +1222,14 @@ mod tests {
         let mut vm = Vm::new(build(vec![f]));
         let limit = vm.program().layout().stack_limit();
         let err = vm.run(10).unwrap_err();
-        assert_eq!(err, VmError::StackOverflow { pc: 2, addr: limit - 16, limit });
+        assert_eq!(
+            err,
+            VmError::StackOverflow {
+                pc: 2,
+                addr: limit - 16,
+                limit
+            }
+        );
         assert!(vm.is_halted());
     }
 
@@ -1044,7 +1259,13 @@ mod tests {
         f.call_reg(Gpr::T0);
         f.halt();
         let mut vm = Vm::new(build(vec![f]));
-        assert_eq!(vm.run(10), Err(VmError::IllegalTarget { pc: 1, target: 9999 }));
+        assert_eq!(
+            vm.run(10),
+            Err(VmError::IllegalTarget {
+                pc: 1,
+                target: 9999
+            })
+        );
         assert!(vm.is_halted());
     }
 
@@ -1057,7 +1278,13 @@ mod tests {
         f.load_imm(Gpr::RA, 1_000_000);
         f.ret();
         let mut vm = Vm::new(build(vec![main, f]));
-        assert!(matches!(vm.run(10), Err(VmError::IllegalTarget { target: 1_000_000, .. })));
+        assert!(matches!(
+            vm.run(10),
+            Err(VmError::IllegalTarget {
+                target: 1_000_000,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -1065,7 +1292,10 @@ mod tests {
         let mut f = FunctionBuilder::new("main");
         f.ret();
         let mut vm = Vm::new(build(vec![f]));
-        assert!(matches!(vm.run(10), Err(VmError::ReturnWithoutCall { pc: 0 })));
+        assert!(matches!(
+            vm.run(10),
+            Err(VmError::ReturnWithoutCall { pc: 0 })
+        ));
     }
 
     #[test]
@@ -1134,6 +1364,169 @@ mod tests {
         assert_eq!(rest_a, rest_b);
     }
 
+    /// A program with loops, recursion, stack traffic and FP work — the
+    /// state-coverage workhorse for the snapshot tests below.
+    fn busy_program() -> Program {
+        let mut main = FunctionBuilder::new("main");
+        main.addi(Gpr::SP, Gpr::SP, -64);
+        let top = main.new_label();
+        main.load_imm(Gpr::T2, 20); // outer trip count
+        main.bind(top);
+        main.store_local(Gpr::T2, 8);
+        main.load_imm(Gpr::A0, 5);
+        main.call("fact");
+        main.load_local(Gpr::T2, 8);
+        main.int_to_fp(Fpr::F0, Gpr::V0);
+        main.fpu(dda_isa::FpuOp::Add, Fpr::new(1), Fpr::new(1), Fpr::F0);
+        main.fstore(Fpr::new(1), Gpr::SP, 16, StreamHint::Local);
+        main.store(Gpr::V0, Gpr::GP, 0, MemWidth::Word, StreamHint::NonLocal);
+        main.addi(Gpr::T2, Gpr::T2, -1);
+        main.branch(BranchCond::Gt, Gpr::T2, Gpr::ZERO, top);
+        main.addi(Gpr::SP, Gpr::SP, 64);
+        main.halt();
+
+        let mut fact = FunctionBuilder::with_frame("fact", 8);
+        let recurse = fact.new_label();
+        fact.load_imm(Gpr::T0, 1);
+        fact.branch(BranchCond::Gt, Gpr::A0, Gpr::T0, recurse);
+        fact.load_imm(Gpr::V0, 1);
+        fact.ret();
+        fact.bind(recurse);
+        fact.addi(Gpr::SP, Gpr::SP, -8);
+        fact.store_local(Gpr::RA, 0);
+        fact.store_local(Gpr::A0, 4);
+        fact.addi(Gpr::A0, Gpr::A0, -1);
+        fact.call("fact");
+        fact.load_local(Gpr::RA, 0);
+        fact.load_local(Gpr::A0, 4);
+        fact.alu(AluOp::Mul, Gpr::V0, Gpr::V0, Gpr::A0);
+        fact.addi(Gpr::SP, Gpr::SP, 8);
+        fact.ret();
+
+        build(vec![main, fact])
+    }
+
+    #[test]
+    fn fast_forward_stops_exactly_on_the_boundary() {
+        let p = Arc::new(busy_program());
+        for n in [0u64, 1, 7, 63, 64, 65, 100, 130] {
+            let mut vm = Vm::new(Arc::clone(&p));
+            vm.fast_forward(n).unwrap();
+            assert_eq!(vm.instructions_executed(), n, "budget {n} overshot");
+            // And the post-stop stream matches a pure interpreter that
+            // stepped the same distance.
+            let mut interp = Vm::new(Arc::clone(&p));
+            interp.run(n).unwrap();
+            let a: Vec<DynInst> = vm.stream().take(20).collect();
+            let b: Vec<DynInst> = interp.stream().take(20).collect();
+            assert_eq!(a, b, "streams diverge after ff({n})");
+        }
+    }
+
+    #[test]
+    fn fast_forward_observer_sees_the_interpreter_stream() {
+        let p = Arc::new(busy_program());
+        let mut vm = Vm::new(Arc::clone(&p));
+        let mut seen = Vec::new();
+        vm.fast_forward_observed(150, |d| seen.push(*d)).unwrap();
+        let mut interp = Vm::new(p);
+        let expect: Vec<DynInst> = std::iter::from_fn(|| interp.step().unwrap())
+            .take(150)
+            .collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn fast_forward_stops_at_halt_and_propagates_faults() {
+        let p = Arc::new(busy_program());
+        let mut vm = Vm::new(Arc::clone(&p));
+        let s = vm.fast_forward(u64::MAX / 2).unwrap();
+        assert!(s.halted);
+        let mut interp = Vm::new(p);
+        let full = interp.run(u64::MAX / 2).unwrap();
+        assert_eq!(s.executed, full.executed);
+
+        // A faulting program faults identically under fast-forward.
+        let mut f = FunctionBuilder::new("main");
+        f.nop();
+        f.ret(); // return without call
+        let prog = build(vec![f]);
+        let mut vm = Vm::new(prog);
+        assert_eq!(
+            vm.fast_forward(10),
+            Err(VmError::ReturnWithoutCall { pc: 1 })
+        );
+        assert!(vm.is_halted());
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        let p = Arc::new(busy_program());
+        let mut vm = Vm::new(Arc::clone(&p));
+        vm.fast_forward(137).unwrap();
+        let ck = vm.checkpoint(0x1111, 0x2222);
+        assert_eq!(ck.key.inst_index, 137);
+
+        // Serialize through bytes (the store path) and restore.
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        let mut restored = Vm::restore(Arc::clone(&p), &back).unwrap();
+
+        // All the observable state matches...
+        assert_eq!(restored.pc(), vm.pc());
+        assert_eq!(restored.sp_version(), vm.sp_version());
+        assert_eq!(restored.call_depth(), vm.call_depth());
+        assert_eq!(restored.max_call_depth(), vm.max_call_depth());
+        assert_eq!(restored.instructions_executed(), vm.instructions_executed());
+        assert_eq!(restored.tcache_stats(), vm.tcache_stats());
+        assert_eq!(
+            restored.memory().resident_page_bytes().collect::<Vec<_>>(),
+            vm.memory().resident_page_bytes().collect::<Vec<_>>()
+        );
+        // ...and so does the entire future: stream and cache counters.
+        let a: Vec<DynInst> = vm.stream().collect();
+        let b: Vec<DynInst> = restored.stream().collect();
+        assert_eq!(a, b);
+        let mut buf = Vec::new();
+        let mut vm2 = Vm::restore(Arc::clone(&p), &back).unwrap();
+        while vm2.step_block(&mut buf).is_none() && !vm2.is_halted() {}
+        let mut cont = Vm::new(p);
+        cont.fast_forward(137).unwrap();
+        let mut buf2 = Vec::new();
+        while cont.step_block(&mut buf2).is_none() && !cont.is_halted() {}
+        assert_eq!(buf, buf2);
+        assert_eq!(vm2.tcache_stats(), cont.tcache_stats());
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_program() {
+        let p = Arc::new(busy_program());
+        let mut vm = Vm::new(Arc::clone(&p));
+        vm.fast_forward(100).unwrap();
+        let ck = vm.checkpoint(1, 2);
+        // A much shorter program cannot host the recipe's block starts.
+        let mut f = FunctionBuilder::new("main");
+        f.halt();
+        let tiny = Arc::new(build(vec![f]));
+        assert!(matches!(
+            Vm::restore(tiny, &ck),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_without_tcache_restores_cleanly() {
+        let p = Arc::new(busy_program());
+        let mut vm = Vm::new(Arc::clone(&p));
+        vm.run(50).unwrap(); // interpreter only — no tcache materialised
+        let ck = vm.checkpoint(1, 2);
+        assert!(!ck.has_tcache());
+        let mut restored = Vm::restore(Arc::clone(&p), &ck).unwrap();
+        let a: Vec<DynInst> = vm.stream().take(50).collect();
+        let b: Vec<DynInst> = restored.stream().take(50).collect();
+        assert_eq!(a, b);
+    }
+
     #[test]
     fn stream_iterator_ends_at_halt() {
         let mut f = FunctionBuilder::new("main");
@@ -1165,7 +1558,10 @@ mod tests {
         let mut vm = Vm::new(build(vec![f]));
         let recs: Vec<DynInst> = vm.stream().collect();
         assert_eq!(recs.len(), 3); // li, branch, halt — nop never executes
-        assert_eq!(recs.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            recs.iter().map(|d| d.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(recs[1].next_pc, 3); // branch taken over the nop
         assert_eq!(recs[2].pc, 3);
     }

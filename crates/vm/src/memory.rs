@@ -25,7 +25,10 @@ pub struct SparseMemory {
 
 impl Default for SparseMemory {
     fn default() -> SparseMemory {
-        SparseMemory { pages: vec![None; N_PAGES], resident: 0 }
+        SparseMemory {
+            pages: vec![None; N_PAGES],
+            resident: 0,
+        }
     }
 }
 
@@ -56,6 +59,33 @@ impl SparseMemory {
             Some(p) => p,
             None => unreachable!("slot filled above"),
         }
+    }
+
+    /// Iterates the resident pages as `(page_index, bytes)` pairs in
+    /// ascending page order — the serialization view used by checkpoints.
+    pub fn resident_page_bytes(&self) -> impl Iterator<Item = (u32, &[u8])> + '_ {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_deref().map(|p| (i as u32, &p[..])))
+    }
+
+    /// Materialises the page `index` with the given contents, replacing
+    /// whatever was there. Returns `false` (without touching memory) if
+    /// `index` is out of range or `bytes` is not exactly one page —
+    /// checkpoint decoding treats that as corruption.
+    pub fn install_page(&mut self, index: u32, bytes: &[u8]) -> bool {
+        if index as usize >= N_PAGES || bytes.len() != PAGE_SIZE {
+            return false;
+        }
+        let slot = &mut self.pages[index as usize];
+        if slot.is_none() {
+            self.resident += 1;
+        }
+        let mut page = Box::new([0u8; PAGE_SIZE]);
+        page.copy_from_slice(bytes);
+        *slot = Some(page);
+        true
     }
 
     /// Reads one byte.
@@ -206,6 +236,31 @@ mod tests {
         m.write_u32(0, 0xffff_ffff);
         m.write_u8(1, 0);
         assert_eq!(m.read_u32(0), 0xffff_00ff);
+    }
+
+    #[test]
+    fn page_export_and_install_round_trip() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0x1000, 0xdead_beef);
+        m.write_u8(0x5000, 7);
+        let pages: Vec<(u32, Vec<u8>)> = m
+            .resident_page_bytes()
+            .map(|(i, b)| (i, b.to_vec()))
+            .collect();
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0].0, 1);
+        assert_eq!(pages[1].0, 5);
+        let mut n = SparseMemory::new();
+        for (i, b) in &pages {
+            assert!(n.install_page(*i, b));
+        }
+        assert_eq!(n.read_u32(0x1000), 0xdead_beef);
+        assert_eq!(n.read_u8(0x5000), 7);
+        assert_eq!(n.resident_pages(), 2);
+        // Corrupt installs are rejected without touching state.
+        assert!(!n.install_page(0, &[0u8; 3]));
+        assert!(!n.install_page(u32::MAX, &[0u8; PAGE_SIZE]));
+        assert_eq!(n.resident_pages(), 2);
     }
 
     #[test]

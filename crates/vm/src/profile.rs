@@ -61,7 +61,10 @@ impl StreamStats {
     /// Fraction of all memory references that are local (paper: 10%–71%,
     /// average 36%).
     pub fn local_mem_fraction(&self) -> f64 {
-        ratio(self.local_loads + self.local_stores, self.loads + self.stores)
+        ratio(
+            self.local_loads + self.local_stores,
+            self.loads + self.stores,
+        )
     }
 
     /// Fraction of all instructions that access memory.
@@ -92,7 +95,11 @@ pub struct StreamProfiler<'p> {
 impl<'p> StreamProfiler<'p> {
     /// Creates a profiler for streams produced from `program`.
     pub fn new(program: &'p Program) -> StreamProfiler<'p> {
-        StreamProfiler { program, stats: StreamStats::default(), depth: 0 }
+        StreamProfiler {
+            program,
+            stats: StreamStats::default(),
+            depth: 0,
+        }
     }
 
     /// Folds one dynamic instruction into the statistics.

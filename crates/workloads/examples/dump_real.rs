@@ -1,0 +1,24 @@
+//! Regenerates the `tests/corpus/real-*.s` entries from the
+//! hand-written real workloads.
+//!
+//! ```text
+//! cargo run -p dda-workloads --example dump_real [-- DIR]
+//! ```
+//!
+//! `DIR` defaults to `tests/corpus/` at the workspace root. The checked-in
+//! files must match the generators bit-for-bit — `tests/corpus_replay.rs`
+//! enforces it — so rerun this after editing `src/real.rs`.
+
+use dda_workloads::RealWorkload;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus").to_string());
+    for w in RealWorkload::ALL {
+        let path = std::path::Path::new(&dir).join(format!("{}.s", w.name()));
+        let asm = w.program().to_asm();
+        std::fs::write(&path, &asm).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {} ({} bytes)", path.display(), asm.len());
+    }
+}

@@ -7,9 +7,9 @@
 //! saves and occasional register spills), so "the performance of the (2+2)
 //! configuration is close to that of the (2+0) configuration".
 
-use dda_isa::{AluOp, FpuOp, Fpr, Gpr, StreamHint};
-use dda_stats::Rng;
+use dda_isa::{AluOp, Fpr, FpuOp, Gpr, StreamHint};
 use dda_program::{FunctionBuilder, MemoryLayout, Program, ProgramBuilder};
+use dda_stats::Rng;
 
 /// Parameters of one floating-point benchmark stand-in.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -52,7 +52,9 @@ pub(crate) fn generate(p: &FpParams, scale: u32) -> Program {
     let arrays = p.arrays.max(1);
     let elems = p.elems_per_call.max(8);
     let array_bytes = elems * 8;
-    let kernel_names: Vec<String> = (0..p.n_kernels.max(1)).map(|i| format!("kernel{i}")).collect();
+    let kernel_names: Vec<String> = (0..p.n_kernels.max(1))
+        .map(|i| format!("kernel{i}"))
+        .collect();
 
     let mut b = ProgramBuilder::new();
     b.layout(layout);
@@ -77,10 +79,20 @@ pub(crate) fn generate(p: &FpParams, scale: u32) -> Program {
 
     // Kernels.
     for (ki, name) in kernel_names.iter().enumerate() {
-        b.add_function(emit_kernel(name.clone(), ki as u32, p, arrays, elems, array_bytes, heap, &mut rng));
+        b.add_function(emit_kernel(
+            name.clone(),
+            ki as u32,
+            p,
+            arrays,
+            elems,
+            array_bytes,
+            heap,
+            &mut rng,
+        ));
     }
 
-    b.build().unwrap_or_else(|e| panic!("{}: generator produced invalid program: {e}", p.name))
+    b.build()
+        .unwrap_or_else(|e| panic!("{}: generator produced invalid program: {e}", p.name))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -94,7 +106,9 @@ fn emit_kernel(
     heap: u32,
     rng: &mut Rng,
 ) -> FunctionBuilder {
-    let saves: Vec<Gpr> = (0..p.saves.min(6)).map(|i| Gpr::new(16 + i as u8)).collect();
+    let saves: Vec<Gpr> = (0..p.saves.min(6))
+        .map(|i| Gpr::new(16 + i as u8))
+        .collect();
     // Frame: saves + spill slots (8 bytes each) + padding.
     let spill_slots = (p.spills_per_strip.max(1) * 2) as i32;
     let frame_bytes = ((saves.len() as i32 + 1) * 4 + spill_slots * 8 + 8 + 7) & !7;
@@ -144,21 +158,34 @@ fn emit_kernel(
     for l in 0..p.loads_per_elem {
         let arr = l % arrays;
         let fd = next_f(&mut freg);
-        f.fload(fd, Gpr::K0, (arr * array_bytes) as i32, StreamHint::NonLocal);
+        f.fload(
+            fd,
+            Gpr::K0,
+            (arr * array_bytes) as i32,
+            StreamHint::NonLocal,
+        );
         loaded.push(fd);
     }
     let ops = [FpuOp::Add, FpuOp::Mul, FpuOp::Sub];
     let mut acc = loaded.first().copied().unwrap_or(Fpr::F0);
     for o in 0..p.fp_ops_per_elem {
         let op = ops[rng.gen_range(0..ops.len())];
-        let other = loaded.get((o as usize + 1) % loaded.len().max(1)).copied().unwrap_or(acc);
+        let other = loaded
+            .get((o as usize + 1) % loaded.len().max(1))
+            .copied()
+            .unwrap_or(acc);
         let fd = next_f(&mut freg);
         f.fpu(op, fd, acc, other);
         acc = fd;
     }
     for s in 0..p.stores_per_elem {
         let arr = (p.loads_per_elem + s) % arrays;
-        f.fstore(acc, Gpr::K0, (arr * array_bytes) as i32, StreamHint::NonLocal);
+        f.fstore(
+            acc,
+            Gpr::K0,
+            (arr * array_bytes) as i32,
+            StreamHint::NonLocal,
+        );
     }
     for _ in 0..p.int_ops_per_elem {
         let d = Gpr::new((8 + rng.gen_range(0..6)) as u8); // t0..t5

@@ -147,8 +147,14 @@ const TEMPS: [Gpr; 12] = [
     Gpr::A2,
 ];
 
-const ALU_OPS: [AluOp; 6] =
-    [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Slt];
+const ALU_OPS: [AluOp; 6] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Xor,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Slt,
+];
 
 /// State threaded through the emission of one function body.
 ///
@@ -371,7 +377,11 @@ fn emit_function(
 
     let mut em = Emitter {
         rng,
-        chase: if cursor_slot.is_some() { params.chase } else { 0 },
+        chase: if cursor_slot.is_some() {
+            params.chase
+        } else {
+            0
+        },
         ilp: (params.ilp.max(1) as usize).min(TEMPS.len() - 4),
         block_ilp: (params.ilp.max(1) as usize).min(TEMPS.len() - 4),
         chain_cursor: 0,
@@ -529,7 +539,11 @@ pub(crate) fn generate(p: &IntParams, scale: u32) -> Program {
 
     // The linked ring lives just past the block regions; one link per
     // 32-byte line.
-    let ring_links = if p.chase > 0 { (p.ring_bytes / 32).max(8) } else { 0 };
+    let ring_links = if p.chase > 0 {
+        (p.ring_bytes / 32).max(8)
+    } else {
+        0
+    };
     let ring_base = heap_base + ((total_funcs + 1) * region_len).next_multiple_of(32);
     // Per-function ring cursors live above the random-global span.
     let cursor_base = (p.global_bytes.max(64) as i32 + 63) & !63;
@@ -555,7 +569,13 @@ pub(crate) fn generate(p: &IntParams, scale: u32) -> Program {
         for i in 0..total_funcs {
             let start = ring_base + (ring_links / (total_funcs + 1)) * 32 * i;
             main.load_imm(Gpr::T1, start as i32);
-            main.store(Gpr::T1, Gpr::GP, cursor_base + (i as i32) * 4, MemWidth::Word, StreamHint::NonLocal);
+            main.store(
+                Gpr::T1,
+                Gpr::GP,
+                cursor_base + (i as i32) * 4,
+                MemWidth::Word,
+                StreamHint::NonLocal,
+            );
         }
     }
     let iters = (p.base_iters.max(1) as i64 * scale as i64).min(i32::MAX as i64) as i32;
@@ -570,18 +590,36 @@ pub(crate) fn generate(p: &IntParams, scale: u32) -> Program {
     if rec_chases {
         // Give the recursive component its own ring cursor.
         main.load_imm(Gpr::T1, ring_base as i32);
-        main.store(Gpr::T1, Gpr::GP, rec_cursor, MemWidth::Word, StreamHint::NonLocal);
+        main.store(
+            Gpr::T1,
+            Gpr::GP,
+            rec_cursor,
+            MemWidth::Word,
+            StreamHint::NonLocal,
+        );
     }
     for slot8 in 0..8u32 {
         if slot8 < rec_weight {
             let depth = p.recursion.expect("weight implies recursion").depth;
             main.load_imm(Gpr::A0, depth as i32);
             if rec_chases {
-                main.load(Gpr::A3, Gpr::GP, rec_cursor, MemWidth::Word, StreamHint::NonLocal);
+                main.load(
+                    Gpr::A3,
+                    Gpr::GP,
+                    rec_cursor,
+                    MemWidth::Word,
+                    StreamHint::NonLocal,
+                );
             }
             main.call("rec");
             if rec_chases {
-                main.store(Gpr::A3, Gpr::GP, rec_cursor, MemWidth::Word, StreamHint::NonLocal);
+                main.store(
+                    Gpr::A3,
+                    Gpr::GP,
+                    rec_cursor,
+                    MemWidth::Word,
+                    StreamHint::NonLocal,
+                );
             }
         } else if !top_names.is_empty() {
             let t = &top_names[rng.gen_range(0..top_names.len())];
@@ -688,7 +726,8 @@ pub(crate) fn generate(p: &IntParams, scale: u32) -> Program {
         b.add_function(emit_recursive(rec, next_region(), p.heap_stride, &mut rng));
     }
 
-    b.build().unwrap_or_else(|e| panic!("{}: generator produced invalid program: {e}", p.name))
+    b.build()
+        .unwrap_or_else(|e| panic!("{}: generator produced invalid program: {e}", p.name))
 }
 
 #[cfg(test)]
@@ -753,7 +792,11 @@ mod tests {
         let mut vm = Vm::new(p.clone());
         let s = vm.run(10_000_000).unwrap();
         assert!(s.halted, "did not halt");
-        assert_eq!(vm.gpr(Gpr::SP) as u32, p.layout().stack_base(), "unbalanced stack");
+        assert_eq!(
+            vm.gpr(Gpr::SP) as u32,
+            p.layout().stack_base(),
+            "unbalanced stack"
+        );
         assert_eq!(vm.call_depth(), 0);
     }
 
@@ -788,14 +831,20 @@ mod tests {
         let mut vm = Vm::new(p);
         vm.run(10_000_000).unwrap();
         // main(+1) -> rec chain of 6.
-        assert!(vm.max_call_depth() >= 7, "max depth {}", vm.max_call_depth());
+        assert!(
+            vm.max_call_depth() >= 7,
+            "max depth {}",
+            vm.max_call_depth()
+        );
     }
 
     #[test]
     fn presets_have_distinct_seeds() {
         use crate::Benchmark;
-        let mut seeds: Vec<u64> =
-            Benchmark::INTEGER.iter().map(|b| presets::int_params(*b).seed).collect();
+        let mut seeds: Vec<u64> = Benchmark::INTEGER
+            .iter()
+            .map(|b| presets::int_params(*b).seed)
+            .collect();
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), Benchmark::INTEGER.len());

@@ -42,11 +42,16 @@
 mod fpgen;
 mod intgen;
 mod presets;
+mod real;
 
 use dda_program::Program;
 
 pub use fpgen::FpParams;
 pub use intgen::{BlockMix, IntParams, RecursionSpec};
+pub use real::{
+    matmul_checksum, matmul_operands, qsort_input, tak, RealWorkload, MATMUL_N, QSORT_N,
+    QSORT_SEED, TAK_ARGS,
+};
 
 /// Generates a program from custom integer-benchmark parameters — the
 /// same machinery behind the SPECint stand-ins, for building your own
@@ -136,8 +141,12 @@ impl Benchmark {
     ];
 
     /// The four floating-point benchmarks.
-    pub const FLOAT: [Benchmark; 4] =
-        [Benchmark::Tomcatv, Benchmark::Swim, Benchmark::Su2cor, Benchmark::Mgrid];
+    pub const FLOAT: [Benchmark; 4] = [
+        Benchmark::Tomcatv,
+        Benchmark::Swim,
+        Benchmark::Su2cor,
+        Benchmark::Mgrid,
+    ];
 
     /// The SPEC95 name (paper Table 2).
     pub fn name(self) -> &'static str {
@@ -270,7 +279,10 @@ mod tests {
                 }
             }
             let s = prof.stats();
-            assert!(s.instructions >= 100_000 || vm.is_halted(), "{b}: too short");
+            assert!(
+                s.instructions >= 100_000 || vm.is_halted(),
+                "{b}: too short"
+            );
             assert_eq!(s.hint_mismatches, 0, "{b}: misclassified hints");
             assert!(s.loads > 0 && s.stores > 0, "{b}: no memory traffic");
         }

@@ -1,0 +1,437 @@
+//! Hand-written real programs.
+//!
+//! The preset stand-ins are *statistical* — calibrated mixes whose only
+//! ground truth is the paper's workload tables. The programs here are the
+//! opposite: small, real algorithms with an independently checkable
+//! answer, so the functional simulator can be validated end-to-end
+//! (sortedness, a closed-form matrix checksum, `tak(18,12,6) = 7`) and
+//! the timing core gets genuine control-flow and data-dependence
+//! patterns the generators cannot produce:
+//!
+//! * [`RealWorkload::Quicksort`] — in-place Lomuto quicksort of 512
+//!   LCG-seeded words: data-dependent branches and recursion depth,
+//!   pointer-crossing heap traffic, saved-register frames;
+//! * [`RealWorkload::Matmul`] — 24×24 double-precision matrix multiply
+//!   with a per-element `dot` call: FP loop nests with few, poorly
+//!   interleaved local accesses (the paper's §4.3 FP profile);
+//! * [`RealWorkload::Tak`] — the Takeuchi function: tree recursion
+//!   ~64 K calls deep in aggregate, nothing but frames and locals (the
+//!   LVC's best case, `130.li`'s `ctak` in miniature).
+//!
+//! Every access carries the compiler-exact stream hint (`$sp`-based ⇒
+//! `Local`, heap/global ⇒ `NonLocal`), so the programs run clean under
+//! the audit oracle; `examples/dump_real.rs` exports them to
+//! `tests/corpus/real-*.s` where the corpus-replay harness runs them
+//! through both simulation kernels every CI pass.
+
+use dda_isa::{AluOp, BranchCond, FpuOp, Gpr, MemWidth, StreamHint};
+use dda_program::{FunctionBuilder, Program, ProgramBuilder};
+
+const HEAP: i32 = 0x2000_0000;
+const NL: StreamHint = StreamHint::NonLocal;
+const W: MemWidth = MemWidth::Word;
+
+/// Number of words sorted by [`RealWorkload::Quicksort`].
+pub const QSORT_N: u32 = 512;
+/// LCG seed for the quicksort input.
+pub const QSORT_SEED: i32 = 0x5eed;
+/// Matrix dimension of [`RealWorkload::Matmul`].
+pub const MATMUL_N: u32 = 24;
+/// Arguments of [`RealWorkload::Tak`]: `tak(18, 12, 6) = 7`.
+pub const TAK_ARGS: (i32, i32, i32) = (18, 12, 6);
+
+/// The hand-written real programs, exported to `tests/corpus/real-*.s`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RealWorkload {
+    /// In-place quicksort of [`QSORT_N`] LCG-generated words.
+    Quicksort,
+    /// [`MATMUL_N`]² double-precision matrix multiply.
+    Matmul,
+    /// The Takeuchi function on [`TAK_ARGS`].
+    Tak,
+}
+
+impl RealWorkload {
+    /// All real workloads, in corpus-file order.
+    pub const ALL: [RealWorkload; 3] = [
+        RealWorkload::Quicksort,
+        RealWorkload::Matmul,
+        RealWorkload::Tak,
+    ];
+
+    /// The corpus-entry stem: `tests/corpus/<name>.s`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RealWorkload::Quicksort => "real-quicksort",
+            RealWorkload::Matmul => "real-matmul",
+            RealWorkload::Tak => "real-tak",
+        }
+    }
+
+    /// Builds the program.
+    pub fn program(self) -> Program {
+        match self {
+            RealWorkload::Quicksort => quicksort_program(),
+            RealWorkload::Matmul => matmul_program(),
+            RealWorkload::Tak => tak_program(),
+        }
+    }
+}
+
+impl core::fmt::Display for RealWorkload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The quicksort input, reproduced host-side for verification.
+pub fn qsort_input() -> Vec<i32> {
+    let mut v = Vec::with_capacity(QSORT_N as usize);
+    let mut x = QSORT_SEED;
+    for _ in 0..QSORT_N {
+        x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        v.push(x);
+    }
+    v
+}
+
+/// In-place quicksort of [`QSORT_N`] words at the heap base.
+///
+/// `main` fills the array from the LCG, calls the recursive `qsort`,
+/// then re-walks the array counting order violations and summing the
+/// (wrapping) checksum. Results land in globals: violation count at
+/// `$gp+0` (must be 0) and checksum at `$gp+4`.
+fn quicksort_program() -> Program {
+    let mut main = FunctionBuilder::with_frame("main", 16);
+    main.addi(Gpr::SP, Gpr::SP, -16);
+    main.store_local(Gpr::RA, 0);
+    // Fill: a[i] = lcg(seed), 4-byte words from HEAP.
+    main.load_imm(Gpr::T0, HEAP); // cursor
+    main.load_imm(Gpr::T1, HEAP + 4 * QSORT_N as i32); // end
+    main.load_imm(Gpr::S0, QSORT_SEED);
+    main.load_imm(Gpr::T2, 1_103_515_245);
+    let fill = main.new_label();
+    main.bind(fill);
+    main.alu(AluOp::Mul, Gpr::S0, Gpr::S0, Gpr::T2);
+    main.alui(AluOp::Add, Gpr::S0, Gpr::S0, 12_345);
+    main.store(Gpr::S0, Gpr::T0, 0, W, NL);
+    main.addi(Gpr::T0, Gpr::T0, 4);
+    main.branch(BranchCond::Lt, Gpr::T0, Gpr::T1, fill);
+    // qsort(&a[0], &a[n-1]).
+    main.load_imm(Gpr::A0, HEAP);
+    main.load_imm(Gpr::A1, HEAP + 4 * (QSORT_N as i32 - 1));
+    main.call("qsort");
+    // Verify: violations in T5, wrapping sum in T6.
+    main.load_imm(Gpr::T0, HEAP);
+    main.load_imm(Gpr::T1, HEAP + 4 * (QSORT_N as i32 - 1));
+    main.load_imm(Gpr::T5, 0);
+    main.load_imm(Gpr::T6, 0);
+    let check = main.new_label();
+    let in_order = main.new_label();
+    main.bind(check);
+    main.load(Gpr::T2, Gpr::T0, 0, W, NL);
+    main.load(Gpr::T3, Gpr::T0, 4, W, NL);
+    main.alu(AluOp::Add, Gpr::T6, Gpr::T6, Gpr::T2);
+    main.branch(BranchCond::Le, Gpr::T2, Gpr::T3, in_order);
+    main.addi(Gpr::T5, Gpr::T5, 1);
+    main.bind(in_order);
+    main.addi(Gpr::T0, Gpr::T0, 4);
+    main.branch(BranchCond::Lt, Gpr::T0, Gpr::T1, check);
+    main.load(Gpr::T3, Gpr::T0, 0, W, NL); // last element joins the sum
+    main.alu(AluOp::Add, Gpr::T6, Gpr::T6, Gpr::T3);
+    main.store(Gpr::T5, Gpr::GP, 0, W, NL);
+    main.store(Gpr::T6, Gpr::GP, 4, W, NL);
+    main.load_local(Gpr::RA, 0);
+    main.addi(Gpr::SP, Gpr::SP, 16);
+    main.halt();
+
+    // qsort(lo = $a0, hi = $a1): Lomuto partition, pivot = *hi.
+    let mut q = FunctionBuilder::with_frame("qsort", 32);
+    let done = q.new_label();
+    q.branch(BranchCond::Ge, Gpr::A0, Gpr::A1, done);
+    q.addi(Gpr::SP, Gpr::SP, -32);
+    q.store_local(Gpr::RA, 0);
+    q.store_local(Gpr::S0, 4);
+    q.store_local(Gpr::S1, 8);
+    q.store_local(Gpr::S2, 12);
+    q.mov(Gpr::S0, Gpr::A0);
+    q.mov(Gpr::S1, Gpr::A1);
+    q.load(Gpr::T0, Gpr::S1, 0, W, NL); // pivot
+    q.addi(Gpr::T1, Gpr::S0, -4); // i, one slot below lo
+    q.mov(Gpr::T2, Gpr::S0); // j
+    let ploop = q.new_label();
+    let pnext = q.new_label();
+    let pdone = q.new_label();
+    q.bind(ploop);
+    q.branch(BranchCond::Ge, Gpr::T2, Gpr::S1, pdone);
+    q.load(Gpr::T3, Gpr::T2, 0, W, NL);
+    q.branch(BranchCond::Gt, Gpr::T3, Gpr::T0, pnext);
+    q.addi(Gpr::T1, Gpr::T1, 4);
+    q.load(Gpr::T4, Gpr::T1, 0, W, NL); // swap a[i] <-> a[j]
+    q.store(Gpr::T3, Gpr::T1, 0, W, NL);
+    q.store(Gpr::T4, Gpr::T2, 0, W, NL);
+    q.bind(pnext);
+    q.addi(Gpr::T2, Gpr::T2, 4);
+    q.jump(ploop);
+    q.bind(pdone);
+    q.addi(Gpr::T1, Gpr::T1, 4); // pivot's final slot
+    q.load(Gpr::T4, Gpr::T1, 0, W, NL); // swap a[i+1] <-> a[hi]
+    q.store(Gpr::T4, Gpr::S1, 0, W, NL);
+    q.store(Gpr::T0, Gpr::T1, 0, W, NL);
+    q.mov(Gpr::S2, Gpr::T1);
+    q.mov(Gpr::A0, Gpr::S0); // qsort(lo, p - 1)
+    q.addi(Gpr::A1, Gpr::S2, -4);
+    q.call("qsort");
+    q.addi(Gpr::A0, Gpr::S2, 4); // qsort(p + 1, hi)
+    q.mov(Gpr::A1, Gpr::S1);
+    q.call("qsort");
+    q.load_local(Gpr::RA, 0);
+    q.load_local(Gpr::S0, 4);
+    q.load_local(Gpr::S1, 8);
+    q.load_local(Gpr::S2, 12);
+    q.addi(Gpr::SP, Gpr::SP, 32);
+    q.bind(done);
+    q.ret();
+
+    let mut b = ProgramBuilder::new();
+    b.entry("main");
+    b.add_function(main);
+    b.add_function(q);
+    b.build().expect("quicksort links")
+}
+
+/// The matmul operands, reproduced host-side: `A[i] = (i % 7 + 1)`,
+/// `B[i] = (i % 5 + 2)`, row-major `n × n` doubles.
+pub fn matmul_operands() -> (Vec<f64>, Vec<f64>) {
+    let nn = (MATMUL_N * MATMUL_N) as usize;
+    let a = (0..nn).map(|i| (i % 7 + 1) as f64).collect();
+    let b = (0..nn).map(|i| (i % 5 + 2) as f64).collect();
+    (a, b)
+}
+
+/// The checksum [`RealWorkload::Matmul`] must produce: every `C[i][j]`
+/// accumulated in `k` order, then summed row-major — the exact FP
+/// operation order of the emitted loops, so equality is bit-exact.
+pub fn matmul_checksum() -> f64 {
+    let n = MATMUL_N as usize;
+    let (a, b) = matmul_operands();
+    let mut sum = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            sum += acc;
+        }
+    }
+    sum
+}
+
+/// 24×24 double matrix multiply, `C = A · B`, with a `dot` call per
+/// element. The row-major operand bases are `HEAP`, `HEAP + n²·8` and
+/// `HEAP + 2n²·8`; the final checksum (sum of all `C`) is written to
+/// `$gp + 8` as a double.
+fn matmul_program() -> Program {
+    use dda_isa::Fpr;
+    let n = MATMUL_N as i32;
+    let mat = n * n * 8;
+    let (a_base, b_base, c_base) = (HEAP, HEAP + mat, HEAP + 2 * mat);
+
+    let mut main = FunctionBuilder::with_frame("main", 32);
+    main.addi(Gpr::SP, Gpr::SP, -32);
+    main.store_local(Gpr::RA, 0);
+    // Init A and B: small integer patterns, exact in double precision.
+    for (base, modulus, bias) in [(a_base, 7, 1), (b_base, 5, 2)] {
+        main.load_imm(Gpr::T0, base);
+        main.load_imm(Gpr::T1, base + mat);
+        main.load_imm(Gpr::T2, 0); // i
+        main.load_imm(Gpr::T3, modulus);
+        let init = main.new_label();
+        main.bind(init);
+        main.alu(AluOp::Rem, Gpr::T4, Gpr::T2, Gpr::T3);
+        main.alui(AluOp::Add, Gpr::T4, Gpr::T4, bias);
+        main.int_to_fp(Fpr::new(1), Gpr::T4);
+        main.fstore(Fpr::new(1), Gpr::T0, 0, NL);
+        main.addi(Gpr::T0, Gpr::T0, 8);
+        main.addi(Gpr::T2, Gpr::T2, 1);
+        main.branch(BranchCond::Lt, Gpr::T0, Gpr::T1, init);
+    }
+    // C[i][j] = dot(&A[i][0], &B[0][j]); checksum accumulates in F20.
+    main.load_imm(Gpr::S0, a_base); // A row cursor
+    main.load_imm(Gpr::S3, c_base); // C cursor
+    main.load_imm(Gpr::S4, c_base + mat); // C end
+    main.int_to_fp(Fpr::new(20), Gpr::ZERO);
+    let rows = main.new_label();
+    let cols = main.new_label();
+    main.bind(rows);
+    main.load_imm(Gpr::S1, b_base); // B column cursor
+    main.load_imm(Gpr::S2, b_base + 8 * n);
+    main.bind(cols);
+    main.mov(Gpr::A0, Gpr::S0);
+    main.mov(Gpr::A1, Gpr::S1);
+    main.call("dot");
+    main.fstore(Fpr::new(0), Gpr::S3, 0, NL);
+    main.fpu(FpuOp::Add, Fpr::new(20), Fpr::new(20), Fpr::new(0));
+    main.addi(Gpr::S3, Gpr::S3, 8);
+    main.addi(Gpr::S1, Gpr::S1, 8);
+    main.branch(BranchCond::Lt, Gpr::S1, Gpr::S2, cols);
+    main.addi(Gpr::S0, Gpr::S0, 8 * n);
+    main.branch(BranchCond::Lt, Gpr::S3, Gpr::S4, rows);
+    main.fstore(Fpr::new(20), Gpr::GP, 8, NL);
+    main.load_local(Gpr::RA, 0);
+    main.addi(Gpr::SP, Gpr::SP, 32);
+    main.halt();
+
+    // dot(row = $a0, col = $a1) -> $f0: n terms, col strided by a row.
+    // The loop bound is spilled to the frame and reloaded each
+    // iteration — the paper's "poorly interleaved" FP local access.
+    let mut dot = FunctionBuilder::with_frame("dot", 16);
+    dot.addi(Gpr::SP, Gpr::SP, -16);
+    dot.alui(AluOp::Add, Gpr::T0, Gpr::A0, 8 * n);
+    dot.store_local(Gpr::T0, 0); // row end, reloaded per iteration
+    dot.int_to_fp(Fpr::new(0), Gpr::ZERO);
+    let terms = dot.new_label();
+    dot.bind(terms);
+    dot.fload(Fpr::new(1), Gpr::A0, 0, NL);
+    dot.fload(Fpr::new(2), Gpr::A1, 0, NL);
+    dot.fpu(FpuOp::Mul, Fpr::new(1), Fpr::new(1), Fpr::new(2));
+    dot.fpu(FpuOp::Add, Fpr::new(0), Fpr::new(0), Fpr::new(1));
+    dot.addi(Gpr::A0, Gpr::A0, 8);
+    dot.addi(Gpr::A1, Gpr::A1, 8 * n);
+    dot.load_local(Gpr::T0, 0);
+    dot.branch(BranchCond::Lt, Gpr::A0, Gpr::T0, terms);
+    dot.addi(Gpr::SP, Gpr::SP, 16);
+    dot.ret();
+
+    let mut b = ProgramBuilder::new();
+    b.entry("main");
+    b.add_function(main);
+    b.add_function(dot);
+    b.build().expect("matmul links")
+}
+
+/// The Takeuchi function, reproduced host-side.
+pub fn tak(x: i32, y: i32, z: i32) -> i32 {
+    if y < x {
+        tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y))
+    } else {
+        z
+    }
+}
+
+/// `tak(18, 12, 6)`: ~63 K activations of pure frame traffic. The
+/// result (7) is written to `$gp + 24`.
+fn tak_program() -> Program {
+    let mut main = FunctionBuilder::with_frame("main", 16);
+    main.addi(Gpr::SP, Gpr::SP, -16);
+    main.store_local(Gpr::RA, 0);
+    main.load_imm(Gpr::A0, TAK_ARGS.0);
+    main.load_imm(Gpr::A1, TAK_ARGS.1);
+    main.load_imm(Gpr::A2, TAK_ARGS.2);
+    main.call("tak");
+    main.store(Gpr::V0, Gpr::GP, 24, W, NL);
+    main.load_local(Gpr::RA, 0);
+    main.addi(Gpr::SP, Gpr::SP, 16);
+    main.halt();
+
+    // tak(x = $a0, y = $a1, z = $a2) -> $v0.
+    let mut t = FunctionBuilder::with_frame("tak", 32);
+    let base = t.new_label();
+    t.branch(BranchCond::Ge, Gpr::A1, Gpr::A0, base); // !(y < x) -> z
+    t.addi(Gpr::SP, Gpr::SP, -32);
+    t.store_local(Gpr::RA, 0);
+    t.store_local(Gpr::A0, 4);
+    t.store_local(Gpr::A1, 8);
+    t.store_local(Gpr::A2, 12);
+    t.addi(Gpr::A0, Gpr::A0, -1); // tak(x-1, y, z)
+    t.call("tak");
+    t.store_local(Gpr::V0, 16);
+    t.load_local(Gpr::A0, 8); // tak(y-1, z, x)
+    t.addi(Gpr::A0, Gpr::A0, -1);
+    t.load_local(Gpr::A1, 12);
+    t.load_local(Gpr::A2, 4);
+    t.call("tak");
+    t.store_local(Gpr::V0, 20);
+    t.load_local(Gpr::A0, 12); // tak(z-1, x, y)
+    t.addi(Gpr::A0, Gpr::A0, -1);
+    t.load_local(Gpr::A1, 4);
+    t.load_local(Gpr::A2, 8);
+    t.call("tak");
+    t.mov(Gpr::A2, Gpr::V0); // tak(t1, t2, t3)
+    t.load_local(Gpr::A0, 16);
+    t.load_local(Gpr::A1, 20);
+    t.call("tak");
+    t.load_local(Gpr::RA, 0);
+    t.addi(Gpr::SP, Gpr::SP, 32);
+    t.ret();
+    t.bind(base);
+    t.mov(Gpr::V0, Gpr::A2);
+    t.ret();
+
+    let mut b = ProgramBuilder::new();
+    b.entry("main");
+    b.add_function(main);
+    b.add_function(t);
+    b.build().expect("tak links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_vm::Vm;
+
+    fn run_to_halt(p: Program) -> Vm {
+        let mut vm = Vm::new(p);
+        let s = vm.run(50_000_000).expect("real workload executes cleanly");
+        assert!(s.halted, "did not halt within 50M instructions");
+        vm
+    }
+
+    #[test]
+    fn quicksort_sorts_and_checksums() {
+        let vm = run_to_halt(RealWorkload::Quicksort.program());
+        let gp = 0x1000_0000;
+        assert_eq!(vm.memory().read_u32(gp), 0, "order violations detected");
+        let mut expect = qsort_input();
+        expect.sort_unstable();
+        let sum = expect.iter().fold(0i32, |s, &x| s.wrapping_add(x));
+        assert_eq!(vm.memory().read_u32(gp + 4), sum as u32);
+        // Spot-check the array itself, not just the in-program summary.
+        for (i, &want) in expect.iter().enumerate() {
+            let got = vm.memory().read_u32(0x2000_0000 + 4 * i as u32) as i32;
+            assert_eq!(got, want, "a[{i}]");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_the_host_checksum() {
+        let vm = run_to_halt(RealWorkload::Matmul.program());
+        let got = vm.memory().read_f64(0x1000_0000 + 8);
+        let want = matmul_checksum();
+        assert_eq!(got.to_bits(), want.to_bits(), "{got} != {want}");
+    }
+
+    #[test]
+    fn tak_computes_seven() {
+        let (x, y, z) = TAK_ARGS;
+        assert_eq!(tak(x, y, z), 7, "host reference disagrees");
+        let vm = run_to_halt(RealWorkload::Tak.program());
+        assert_eq!(vm.memory().read_u32(0x1000_0000 + 24), 7);
+        assert!(vm.max_call_depth() >= 10, "recursion never went deep");
+    }
+
+    #[test]
+    fn real_programs_assemble_round_trip() {
+        for w in RealWorkload::ALL {
+            let p = w.program();
+            let back = dda_program::assemble(&p.to_asm())
+                .unwrap_or_else(|e| panic!("{w}: does not re-assemble: {e}"));
+            assert_eq!(
+                p.instrs(),
+                back.instrs(),
+                "{w}: asm round-trip changed code"
+            );
+        }
+    }
+}

@@ -25,8 +25,14 @@ fn main() {
         cfg.reference_kernel = reference;
         let sim = Simulator::new(cfg).expect("valid machine configuration");
         let t = Instant::now();
-        let res = sim.run_shared(Arc::clone(&program), N).expect("workload executes cleanly");
+        let res = sim
+            .run_shared(Arc::clone(&program), N)
+            .expect("workload executes cleanly");
         let secs = t.elapsed().as_secs_f64();
-        println!("{bench}: {:.2} MIPS ({} cycles)", res.committed as f64 / secs / 1e6, res.cycles);
+        println!(
+            "{bench}: {:.2} MIPS ({} cycles)",
+            res.committed as f64 / secs / 1e6,
+            res.cycles
+        );
     }
 }

@@ -32,7 +32,11 @@ main:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = assemble(SOURCE)?;
-    println!("Program ({} instructions):\n{}", program.len(), program.listing());
+    println!(
+        "Program ({} instructions):\n{}",
+        program.len(),
+        program.listing()
+    );
 
     let cfg = MachineConfig::n_plus_m(2, 2).with_optimizations();
     let sim = Simulator::new(cfg)?;

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .ok_or_else(|| format!("unknown benchmark `{name}`"))?,
         None => Benchmark::Vortex,
     };
-    let budget: u64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(300_000);
+    let budget: u64 = args
+        .get(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(300_000);
 
     let program = bench.program(u32::MAX / 2);
     println!(

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "functional: {} instructions, {} ($v0 = {})",
         summary.executed,
-        if summary.halted { "halted" } else { "budget exhausted" },
+        if summary.halted {
+            "halted"
+        } else {
+            "budget exhausted"
+        },
         vm.gpr(dda::isa::Gpr::V0)
     );
 

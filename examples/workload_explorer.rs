@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .ok_or_else(|| format!("unknown benchmark `{name}`"))?,
         None => Benchmark::Li,
     };
-    let budget: u64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(1_000_000);
+    let budget: u64 = args
+        .get(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1_000_000);
 
     let program = bench.program(u32::MAX / 2);
     let mut vm = Vm::new(program.clone());
@@ -45,8 +49,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * s.store_fraction(),
         100.0 * s.local_store_fraction()
     );
-    println!("local share of refs  : {:.1}%", 100.0 * s.local_mem_fraction());
-    println!("dynamic calls        : {} (max depth {})", s.calls, vm.max_call_depth());
+    println!(
+        "local share of refs  : {:.1}%",
+        100.0 * s.local_mem_fraction()
+    );
+    println!(
+        "dynamic calls        : {} (max depth {})",
+        s.calls,
+        vm.max_call_depth()
+    );
     println!(
         "mean frame           : {:.1} words dynamic / {:.1} words static",
         s.frame_words.mean().unwrap_or(0.0),

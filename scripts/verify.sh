@@ -25,9 +25,15 @@
 # ever loses bit-identity with the reference kernel (the binary asserts
 # identity internally; speedup numbers are reported, not gated).
 #
-# The clippy gate bans `.unwrap()`/`.expect()` from the hot simulation
-# crates' library code (tests and benches are exempt via cfg(test)):
-# every runtime failure there must surface as a typed error value.
+# The sampling smoke runs the interval-sampling driver end-to-end (the
+# full-run CPI must land inside the sampled confidence interval), and
+# the checkpoint round-trip test proves save/restore/resume is
+# bit-identical to continuous simulation, fault injection included.
+#
+# The fmt gate keeps the tree `cargo fmt`-clean; the clippy gate bans
+# `.unwrap()`/`.expect()` from the hot simulation crates' library code
+# (tests and benches are exempt via cfg(test)): every runtime failure
+# there must surface as a typed error value.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,6 +51,9 @@ cargo build --release
 
 echo "== tier-1: cargo test -q"
 cargo test -q
+
+echo "== fmt: cargo fmt --check"
+cargo fmt --check
 
 echo "== clippy: no unwrap/expect in simulation crates"
 cargo clippy -q -p dda-core -p dda-vm -p dda-mem -p dda-program -- \
@@ -66,9 +75,22 @@ cargo run --release -q -p dda-bench --bin fuzz -- \
 
 # Corpus replay: every checked-in minimized reproducer re-assembles and
 # reruns through both kernels (and planted-* entries must still
-# reproduce their defect when it is armed).
+# reproduce their defect when it is armed). real-* entries are the
+# hand-written quicksort/matmul/tak programs with verified answers.
 echo "== corpus replay (tests/corpus/)"
 cargo test --release -q --test corpus_replay
+
+# Sampling smoke: the interval-sampling driver in --quick mode — the
+# full-run CPI must land inside the sampled confidence interval or the
+# binary exits nonzero.
+echo "== sampling smoke (--quick)"
+cargo run --release -q -p dda-bench --bin sampling -- \
+    --quick --out target/BENCH_sampling_smoke.json
+
+# Checkpoint round-trip: save -> serialize -> restore -> run must be
+# bit-identical to continuous simulation, fault injection included.
+echo "== checkpoint round-trip (tests/checkpoint_roundtrip.rs)"
+cargo test --release -q --test checkpoint_roundtrip
 
 if [ "$QUICK" = 1 ]; then
     # Perf smoke: two workloads, one rep. The binary itself asserts the

@@ -69,16 +69,21 @@ fact: frame 16
     // The pipeline commits the same stream on unified and decoupled
     // machines, and the decoupled run steers the frame traffic to the
     // LVAQ.
-    let unified = Simulator::new(MachineConfig::n_plus_m(2, 0)).unwrap()
+    let unified = Simulator::new(MachineConfig::n_plus_m(2, 0))
+        .unwrap()
         .run(&program, 100_000)
         .unwrap();
-    let decoupled = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations()).unwrap()
+    let decoupled = Simulator::new(MachineConfig::n_plus_m(2, 2).with_optimizations())
+        .unwrap()
         .run(&program, 100_000)
         .unwrap();
     assert_eq!(unified.committed, decoupled.committed);
     assert_eq!(unified.committed, vm.instructions_executed());
     assert!(decoupled.lvaq.stores > 0);
-    assert_eq!(decoupled.lsq.stores, 0, "all stores in this program are local");
+    assert_eq!(
+        decoupled.lsq.stores, 0,
+        "all stores in this program are local"
+    );
 }
 
 #[test]

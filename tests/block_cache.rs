@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use dda::core::{FaultPlan, MachineConfig, Simulator};
-use dda::isa::{AluOp, FpuOp, Fpr, Gpr, MemWidth, StreamHint};
+use dda::isa::{AluOp, Fpr, FpuOp, Gpr, MemWidth, StreamHint};
 use dda::program::{FunctionBuilder, Program, ProgramBuilder};
 use dda::stats::Rng;
 use dda::vm::{DynInst, StreamProfiler, Vm, VmError};
@@ -69,7 +69,11 @@ fn assert_same_state(label: &str, a: &Vm, b: &Vm, stream: &[DynInst]) {
     );
     assert_eq!(a.sp_version(), b.sp_version(), "{label}: sp_version");
     assert_eq!(a.call_depth(), b.call_depth(), "{label}: call depth");
-    assert_eq!(a.max_call_depth(), b.max_call_depth(), "{label}: max call depth");
+    assert_eq!(
+        a.max_call_depth(),
+        b.max_call_depth(),
+        "{label}: max call depth"
+    );
     for i in 0..32u8 {
         let r = Gpr::new(i);
         assert_eq!(a.gpr(r), b.gpr(r), "{label}: gpr {i}");
@@ -102,7 +106,10 @@ fn assert_equivalent(label: &str, program: Program) -> Vec<DynInst> {
     let program = Arc::new(program);
     let (si, ei, vi) = interp_run(&program, STEP_CAP);
     let (sb, eb, vb) = replay_run(&program, STEP_CAP);
-    assert!((si.len() as u64) < STEP_CAP, "{label}: generator produced a runaway program");
+    assert!(
+        (si.len() as u64) < STEP_CAP,
+        "{label}: generator produced a runaway program"
+    );
     assert_eq!(si.len(), sb.len(), "{label}: stream lengths differ");
     for (i, (x, y)) in si.iter().zip(&sb).enumerate() {
         assert_eq!(x, y, "{label}: DynInst #{i} differs");
@@ -180,9 +187,21 @@ fn random_body(f: &mut FunctionBuilder, rng: &mut Rng, frame: u32, n: usize) {
             9 => {
                 // Sub-word accesses: bytes anywhere, halves 2-aligned.
                 if rng.gen_bool(0.5) {
-                    f.load(reg(rng), Gpr::GP, rng.gen_range(0i32..256), MemWidth::Byte, StreamHint::NonLocal);
+                    f.load(
+                        reg(rng),
+                        Gpr::GP,
+                        rng.gen_range(0i32..256),
+                        MemWidth::Byte,
+                        StreamHint::NonLocal,
+                    );
                 } else {
-                    f.store(reg(rng), Gpr::GP, 2 * rng.gen_range(0i32..128), MemWidth::Half, StreamHint::NonLocal);
+                    f.store(
+                        reg(rng),
+                        Gpr::GP,
+                        2 * rng.gen_range(0i32..128),
+                        MemWidth::Half,
+                        StreamHint::NonLocal,
+                    );
                 }
             }
             10 => {
@@ -367,10 +386,18 @@ fn mid_block_fault_leaves_pc_at_faulting_instruction() {
     let global_base = program.layout().global_base();
     assert_eq!(
         ei,
-        Some(VmError::Misaligned { pc: 3, addr: global_base + 1, bytes: 4 })
+        Some(VmError::Misaligned {
+            pc: 3,
+            addr: global_base + 1,
+            bytes: 4
+        })
     );
     assert_eq!(ei, eb);
-    assert_eq!(vi.pc(), 3, "interpreter parks pc at the faulting instruction");
+    assert_eq!(
+        vi.pc(),
+        3,
+        "interpreter parks pc at the faulting instruction"
+    );
     assert_same_state("mid-block fault", &vi, &vb, &si);
     assert!(vb.is_halted());
 }
@@ -410,7 +437,12 @@ fn stack_slot_tags_version_across_call_boundaries() {
 
     let slots: Vec<(u64, i32)> = stream
         .iter()
-        .filter_map(|d| d.mem.as_ref().filter(|m| m.is_store).and_then(|m| m.stack_slot))
+        .filter_map(|d| {
+            d.mem
+                .as_ref()
+                .filter(|m| m.is_store)
+                .and_then(|m| m.stack_slot)
+        })
         .collect();
     assert_eq!(slots.len(), 3, "three frame stores commit");
     let offsets: Vec<i32> = slots.iter().map(|s| s.1).collect();
@@ -420,7 +452,10 @@ fn stack_slot_tags_version_across_call_boundaries() {
     let versions: Vec<u64> = slots.iter().map(|s| s.0).collect();
     assert_eq!(versions, [1, 2, 3], "frames get distinct sp versions");
     assert_ne!(slots[0], slots[1], "caller/callee frames must not alias");
-    assert_ne!(slots[1], slots[2], "callee/post-return frames must not alias");
+    assert_ne!(
+        slots[1], slots[2],
+        "callee/post-return frames must not alias"
+    );
     assert_ne!(slots[0], slots[2], "pre/post-call frames must not alias");
 }
 
@@ -446,16 +481,25 @@ fn fault_plan_rng_draw_order_is_unchanged_by_block_replay() {
     };
     for bench in [Benchmark::Compress, Benchmark::Li] {
         let program = bench.program(u32::MAX / 2);
-        let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations().with_fault_plan(plan);
+        let cfg = MachineConfig::n_plus_m(4, 2)
+            .with_optimizations()
+            .with_fault_plan(plan);
         let mut ref_cfg = cfg.clone();
         ref_cfg.reference_kernel = true;
         let fast = Simulator::new(cfg).unwrap().run(&program, 30_000).unwrap();
-        let reference = Simulator::new(ref_cfg).unwrap().run(&program, 30_000).unwrap();
+        let reference = Simulator::new(ref_cfg)
+            .unwrap()
+            .run(&program, 30_000)
+            .unwrap();
         assert_eq!(
             fast, reference,
             "{bench}: fault-plan RNG draw order changed under block replay"
         );
-        assert_ne!(fast.faults, Default::default(), "{bench}: plan must actually inject");
+        assert_ne!(
+            fast.faults,
+            Default::default(),
+            "{bench}: plan must actually inject"
+        );
     }
 }
 
@@ -498,7 +542,11 @@ fn profiler_sees_identical_stream_through_block_replay() {
                 }
             }
         }
-        assert_eq!(pi.stats(), pb.stats(), "{bench}: profile diverged under block replay");
+        assert_eq!(
+            pi.stats(),
+            pb.stats(),
+            "{bench}: profile diverged under block replay"
+        );
     }
 }
 
@@ -535,7 +583,10 @@ fn quick_smoke_loop_heavy() {
     assert_eq!(eb, None);
     assert_same_state("loop-heavy", &vi, &vb, &si);
     let stats = vb.tcache_stats();
-    assert!(stats.blocks_decoded >= 2, "at least prologue + loop body blocks");
+    assert!(
+        stats.blocks_decoded >= 2,
+        "at least prologue + loop body blocks"
+    );
     assert!(
         stats.hit_rate() > 0.99,
         "loop-heavy replay must run from cache (hit rate {})",
@@ -578,7 +629,11 @@ fn quick_smoke_call_heavy() {
     assert_eq!(ei, None);
     assert_eq!(eb, None);
     assert_same_state("call-heavy", &vi, &vb, &si);
-    assert_eq!(vi.gpr(Gpr::A0), 3_000, "leaf increments its argument each call");
+    assert_eq!(
+        vi.gpr(Gpr::A0),
+        3_000,
+        "leaf increments its argument each call"
+    );
     let stats = vb.tcache_stats();
     assert!(
         stats.hit_rate() > 0.99,

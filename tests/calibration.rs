@@ -35,8 +35,14 @@ fn integer_average_local_fractions_track_the_paper() {
     }
     ll /= Benchmark::INTEGER.len() as f64;
     ls /= Benchmark::INTEGER.len() as f64;
-    assert!((0.22..=0.42).contains(&ll), "avg local-load fraction {ll:.3}");
-    assert!((0.38..=0.60).contains(&ls), "avg local-store fraction {ls:.3}");
+    assert!(
+        (0.22..=0.42).contains(&ll),
+        "avg local-load fraction {ll:.3}"
+    );
+    assert!(
+        (0.38..=0.60).contains(&ls),
+        "avg local-store fraction {ls:.3}"
+    );
 }
 
 #[test]
@@ -83,7 +89,10 @@ fn memory_instruction_frequency_is_spec_like() {
         let s = stats(b);
         let mem = s.mem_fraction();
         assert!((0.2..=0.55).contains(&mem), "{b}: memory fraction {mem:.3}");
-        assert!(s.load_fraction() > s.store_fraction(), "{b}: stores outnumber loads");
+        assert!(
+            s.load_fraction() > s.store_fraction(),
+            "{b}: stores outnumber loads"
+        );
     }
 }
 
@@ -122,8 +131,19 @@ fn gcc_is_the_lvc_exception() {
         }
         cache.stats().miss_rate()
     };
-    assert!(miss_rate(Benchmark::Gcc) > 0.01, "gcc must miss in a 2 KB LVC");
-    for b in [Benchmark::Vortex, Benchmark::Li, Benchmark::Compress, Benchmark::Go] {
-        assert!(miss_rate(b) < 0.01, "{b} must exceed 99 % hit in a 2 KB LVC");
+    assert!(
+        miss_rate(Benchmark::Gcc) > 0.01,
+        "gcc must miss in a 2 KB LVC"
+    );
+    for b in [
+        Benchmark::Vortex,
+        Benchmark::Li,
+        Benchmark::Compress,
+        Benchmark::Go,
+    ] {
+        assert!(
+            miss_rate(b) < 0.01,
+            "{b} must exceed 99 % hit in a 2 KB LVC"
+        );
     }
 }

@@ -1,0 +1,60 @@
+main: frame 32
+    addi  $sp, $sp, -32
+    sw    $ra, 0($sp) !local
+    li    $t0, 536870912
+    li    $t1, 536875520
+    li    $t2, 0
+    li    $t3, 7
+    rem   $t4, $t2, $t3
+    addi  $t4, $t4, 1
+    mtc1d $f1, $t4
+    s.d   $f1, 0($t0) !nonlocal
+    addi  $t0, $t0, 8
+    addi  $t2, $t2, 1
+    blt   $t0, $t1, 6
+    li    $t0, 536875520
+    li    $t1, 536880128
+    li    $t2, 0
+    li    $t3, 5
+    rem   $t4, $t2, $t3
+    addi  $t4, $t4, 2
+    mtc1d $f1, $t4
+    s.d   $f1, 0($t0) !nonlocal
+    addi  $t0, $t0, 8
+    addi  $t2, $t2, 1
+    blt   $t0, $t1, 17
+    li    $s0, 536870912
+    li    $s3, 536880128
+    li    $s4, 536884736
+    mtc1d $f20, $zero
+    li    $s1, 536875520
+    li    $s2, 536875712
+    or    $a0, $s0, $zero
+    or    $a1, $s1, $zero
+    jal   44
+    s.d   $f0, 0($s3) !nonlocal
+    add.d $f20, $f20, $f0
+    addi  $s3, $s3, 8
+    addi  $s1, $s1, 8
+    blt   $s1, $s2, 30
+    addi  $s0, $s0, 192
+    blt   $s3, $s4, 28
+    s.d   $f20, 8($gp) !nonlocal
+    lw    $ra, 0($sp) !local
+    addi  $sp, $sp, 32
+    halt
+dot: frame 16
+    addi  $sp, $sp, -16
+    addi  $t0, $a0, 192
+    sw    $t0, 0($sp) !local
+    mtc1d $f0, $zero
+    l.d   $f1, 0($a0) !nonlocal
+    l.d   $f2, 0($a1) !nonlocal
+    mul.d $f1, $f1, $f2
+    add.d $f0, $f0, $f1
+    addi  $a0, $a0, 8
+    addi  $a1, $a1, 192
+    lw    $t0, 0($sp) !local
+    blt   $a0, $t0, 48
+    addi  $sp, $sp, 16
+    jr    $ra

@@ -1,0 +1,71 @@
+main: frame 16
+    addi  $sp, $sp, -16
+    sw    $ra, 0($sp) !local
+    li    $t0, 536870912
+    li    $t1, 536872960
+    li    $s0, 24301
+    li    $t2, 1103515245
+    mul   $s0, $s0, $t2
+    addi  $s0, $s0, 12345
+    sw    $s0, 0($t0) !nonlocal
+    addi  $t0, $t0, 4
+    blt   $t0, $t1, 6
+    li    $a0, 536870912
+    li    $a1, 536872956
+    jal   32
+    li    $t0, 536870912
+    li    $t1, 536872956
+    li    $t5, 0
+    li    $t6, 0
+    lw    $t2, 0($t0) !nonlocal
+    lw    $t3, 4($t0) !nonlocal
+    add   $t6, $t6, $t2
+    ble   $t2, $t3, 23
+    addi  $t5, $t5, 1
+    addi  $t0, $t0, 4
+    blt   $t0, $t1, 18
+    lw    $t3, 0($t0) !nonlocal
+    add   $t6, $t6, $t3
+    sw    $t5, 0($gp) !nonlocal
+    sw    $t6, 4($gp) !nonlocal
+    lw    $ra, 0($sp) !local
+    addi  $sp, $sp, 16
+    halt
+qsort: frame 32
+    bge   $a0, $a1, 68
+    addi  $sp, $sp, -32
+    sw    $ra, 0($sp) !local
+    sw    $s0, 4($sp) !local
+    sw    $s1, 8($sp) !local
+    sw    $s2, 12($sp) !local
+    or    $s0, $a0, $zero
+    or    $s1, $a1, $zero
+    lw    $t0, 0($s1) !nonlocal
+    addi  $t1, $s0, -4
+    or    $t2, $s0, $zero
+    bge   $t2, $s1, 52
+    lw    $t3, 0($t2) !nonlocal
+    bgt   $t3, $t0, 50
+    addi  $t1, $t1, 4
+    lw    $t4, 0($t1) !nonlocal
+    sw    $t3, 0($t1) !nonlocal
+    sw    $t4, 0($t2) !nonlocal
+    addi  $t2, $t2, 4
+    j     43
+    addi  $t1, $t1, 4
+    lw    $t4, 0($t1) !nonlocal
+    sw    $t4, 0($s1) !nonlocal
+    sw    $t0, 0($t1) !nonlocal
+    or    $s2, $t1, $zero
+    or    $a0, $s0, $zero
+    addi  $a1, $s2, -4
+    jal   32
+    addi  $a0, $s2, 4
+    or    $a1, $s1, $zero
+    jal   32
+    lw    $ra, 0($sp) !local
+    lw    $s0, 4($sp) !local
+    lw    $s1, 8($sp) !local
+    lw    $s2, 12($sp) !local
+    addi  $sp, $sp, 32
+    jr    $ra

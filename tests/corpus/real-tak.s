@@ -1,0 +1,41 @@
+main: frame 16
+    addi  $sp, $sp, -16
+    sw    $ra, 0($sp) !local
+    li    $a0, 18
+    li    $a1, 12
+    li    $a2, 6
+    jal   10
+    sw    $v0, 24($gp) !nonlocal
+    lw    $ra, 0($sp) !local
+    addi  $sp, $sp, 16
+    halt
+tak: frame 32
+    bge   $a1, $a0, 37
+    addi  $sp, $sp, -32
+    sw    $ra, 0($sp) !local
+    sw    $a0, 4($sp) !local
+    sw    $a1, 8($sp) !local
+    sw    $a2, 12($sp) !local
+    addi  $a0, $a0, -1
+    jal   10
+    sw    $v0, 16($sp) !local
+    lw    $a0, 8($sp) !local
+    addi  $a0, $a0, -1
+    lw    $a1, 12($sp) !local
+    lw    $a2, 4($sp) !local
+    jal   10
+    sw    $v0, 20($sp) !local
+    lw    $a0, 12($sp) !local
+    addi  $a0, $a0, -1
+    lw    $a1, 4($sp) !local
+    lw    $a2, 8($sp) !local
+    jal   10
+    or    $a2, $v0, $zero
+    lw    $a0, 16($sp) !local
+    lw    $a1, 20($sp) !local
+    jal   10
+    lw    $ra, 0($sp) !local
+    addi  $sp, $sp, 32
+    jr    $ra
+    or    $v0, $a2, $zero
+    jr    $ra

@@ -17,7 +17,9 @@ use std::sync::Arc;
 
 use dda::core::MachineConfig;
 use dda::program::assemble;
+use dda::workloads::RealWorkload;
 use dda_bench::campaign::{differential, diverges};
+use dda_bench::{sample_program, Confidence, SamplingConfig};
 
 const BUDGET: u64 = 20_000;
 
@@ -36,7 +38,11 @@ fn corpus_entries() -> Vec<(String, String)> {
         if path.extension().and_then(|e| e.to_str()) != Some("s") {
             continue;
         }
-        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
         let src = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
         entries.push((name, src));
@@ -63,15 +69,54 @@ fn corpus_is_not_empty() {
 #[test]
 fn every_corpus_entry_replays_clean_without_the_defect() {
     for (name, src) in corpus_entries() {
-        let program =
-            assemble(&src).unwrap_or_else(|e| panic!("{name}: does not assemble: {e}"));
+        let program = assemble(&src).unwrap_or_else(|e| panic!("{name}: does not assemble: {e}"));
         let d = differential(&machine(), &Arc::new(program), BUDGET);
-        assert!(!d.panicked(), "{name}: replay escaped the typed error model");
+        assert!(
+            !d.panicked(),
+            "{name}: replay escaped the typed error model"
+        );
         assert!(
             d.agrees(),
             "{name}: fast and reference kernels disagree — a fixed divergence regressed\n\
              (this entry was minimized from a real divergence; investigate before touching it)"
         );
+    }
+}
+
+#[test]
+fn real_entries_match_their_generators() {
+    // The checked-in `real-*.s` files are generated artifacts
+    // (`cargo run -p dda-workloads --example dump_real`); drift between
+    // the source in `crates/workloads/src/real.rs` and the corpus would
+    // silently fork what the oracle replays from what the tests verify.
+    for w in RealWorkload::ALL {
+        let path = corpus_dir().join(format!("{}.s", w.name()));
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: missing from corpus (rerun dump_real): {e}", w));
+        let checked_in = assemble(&src).unwrap_or_else(|e| panic!("{w}: does not assemble: {e}"));
+        assert_eq!(
+            checked_in.instrs(),
+            w.program().instrs(),
+            "{w}: corpus entry is stale — rerun `cargo run -p dda-workloads --example dump_real`"
+        );
+    }
+}
+
+#[test]
+fn real_workloads_run_under_the_sampling_driver() {
+    let scfg = SamplingConfig {
+        windows: 3,
+        window_insts: 500,
+        warmup_insts: 250,
+        budget: 20_000,
+        confidence: Confidence::C95,
+        functional_warmup: true,
+    };
+    for w in RealWorkload::ALL {
+        let s = sample_program(&machine(), Arc::new(w.program()), &scfg)
+            .unwrap_or_else(|e| panic!("{w}: sampling failed: {e}"));
+        assert!(!s.windows.is_empty(), "{w}: no window measured");
+        assert!(s.cpi.mean > 0.0, "{w}: degenerate CPI");
     }
 }
 
@@ -85,8 +130,7 @@ fn planted_entries_still_reproduce_their_defect() {
             continue;
         }
         planted += 1;
-        let program =
-            assemble(&src).unwrap_or_else(|e| panic!("{name}: does not assemble: {e}"));
+        let program = assemble(&src).unwrap_or_else(|e| panic!("{name}: does not assemble: {e}"));
         assert!(
             diverges(&armed, &Arc::new(program), BUDGET),
             "{name}: no longer reproduces the planted defect it was minimized against"

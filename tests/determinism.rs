@@ -15,7 +15,10 @@ const BUDGET: u64 = 40_000;
 
 fn run(bench: Benchmark, cfg: &MachineConfig) -> SimResult {
     let program = bench.program(u32::MAX / 2);
-    Simulator::new(cfg.clone()).unwrap().run(&program, BUDGET).expect("benchmark executes cleanly")
+    Simulator::new(cfg.clone())
+        .unwrap()
+        .run(&program, BUDGET)
+        .expect("benchmark executes cleanly")
 }
 
 /// The machine configurations the paper's figures sweep most often.
@@ -43,17 +46,29 @@ fn shared_program_runs_match_owned_program_runs() {
     let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
     for bench in [Benchmark::Compress, Benchmark::Vortex] {
         let program = bench.program(u32::MAX / 2);
-        let owned = Simulator::new(cfg.clone()).unwrap().run(&program, BUDGET).expect("runs");
-        let shared = Simulator::new(cfg.clone()).unwrap()
+        let owned = Simulator::new(cfg.clone())
+            .unwrap()
+            .run(&program, BUDGET)
+            .expect("runs");
+        let shared = Simulator::new(cfg.clone())
+            .unwrap()
             .run_shared(Arc::new(program), BUDGET)
             .expect("runs");
-        assert_eq!(owned, shared, "{bench}: Arc-shared program changed the result");
+        assert_eq!(
+            owned, shared,
+            "{bench}: Arc-shared program changed the result"
+        );
     }
 }
 
 #[test]
 fn incremental_kernel_matches_reference_kernel() {
-    for bench in [Benchmark::Compress, Benchmark::Li, Benchmark::Vortex, Benchmark::Tomcatv] {
+    for bench in [
+        Benchmark::Compress,
+        Benchmark::Li,
+        Benchmark::Vortex,
+        Benchmark::Tomcatv,
+    ] {
         for mut cfg in configs() {
             cfg.reference_kernel = false;
             let fast = run(bench, &cfg);

@@ -17,7 +17,11 @@ fn program() -> dda::program::Program {
 fn wedged_config() -> MachineConfig {
     let mut cfg = MachineConfig::n_plus_m(4, 2)
         .with_optimizations()
-        .with_fault_plan(FaultPlan { drop_port_grant: 1.0, seed: 7, ..FaultPlan::none() });
+        .with_fault_plan(FaultPlan {
+            drop_port_grant: 1.0,
+            seed: 7,
+            ..FaultPlan::none()
+        });
     cfg.deadlock_cycles = 5_000;
     cfg
 }
@@ -31,8 +35,10 @@ fn invalid_configs_are_typed_errors_not_panics() {
         other => panic!("expected ZeroRobSize, got {other:?}"),
     }
 
-    let cfg = MachineConfig::n_plus_m(2, 0)
-        .with_fault_plan(FaultPlan { flip_l1_line: 2.0, ..FaultPlan::none() });
+    let cfg = MachineConfig::n_plus_m(2, 0).with_fault_plan(FaultPlan {
+        flip_l1_line: 2.0,
+        ..FaultPlan::none()
+    });
     match Simulator::new(cfg) {
         Err(SimError::Config(ConfigError::FaultRateOutOfRange { field, .. })) => {
             assert_eq!(field, "flip_l1_line");
@@ -54,7 +60,10 @@ fn invalid_configs_are_typed_errors_not_panics() {
 #[test]
 fn wedged_machine_deadlocks_with_a_populated_dump() {
     let p = program();
-    let err = Simulator::new(wedged_config()).unwrap().run(&p, BUDGET).unwrap_err();
+    let err = Simulator::new(wedged_config())
+        .unwrap()
+        .run(&p, BUDGET)
+        .unwrap_err();
     let SimError::Deadlock(dump) = err else {
         panic!("expected Deadlock, got {err:?}");
     };
@@ -64,43 +73,69 @@ fn wedged_machine_deadlocks_with_a_populated_dump() {
     // a stuck instruction, and the dump explains the stall.
     assert!(dump.rob_len > 0, "wedged ROB should not be empty");
     let head = dump.head.expect("wedged ROB has a head entry");
-    assert!(!head.completed, "the head of a wedged pipeline cannot be complete");
-    assert!(!dump.recent_pcs.is_empty(), "some instructions retired before the wedge");
+    assert!(
+        !head.completed,
+        "the head of a wedged pipeline cannot be complete"
+    );
+    assert!(
+        !dump.recent_pcs.is_empty(),
+        "some instructions retired before the wedge"
+    );
     // The human rendering carries the occupancy numbers.
     let text = dump.to_string();
-    assert!(text.contains("rob") && text.contains("recent retired pcs"), "{text}");
+    assert!(
+        text.contains("rob") && text.contains("recent retired pcs"),
+        "{text}"
+    );
 }
 
 #[test]
 fn deadlock_dumps_are_deterministic_across_runs() {
     let p = program();
     let runs: Vec<_> = (0..3)
-        .map(|_| {
-            match Simulator::new(wedged_config()).unwrap().run(&p, BUDGET) {
+        .map(
+            |_| match Simulator::new(wedged_config()).unwrap().run(&p, BUDGET) {
                 Err(SimError::Deadlock(d)) => *d,
                 other => panic!("expected Deadlock, got {other:?}"),
-            }
-        })
+            },
+        )
         .collect();
-    assert_eq!(runs[0], runs[1], "same config + seed must wedge identically");
-    assert_eq!(runs[1], runs[2], "same config + seed must wedge identically");
+    assert_eq!(
+        runs[0], runs[1],
+        "same config + seed must wedge identically"
+    );
+    assert_eq!(
+        runs[1], runs[2],
+        "same config + seed must wedge identically"
+    );
 }
 
 #[test]
 fn fault_free_plan_is_bit_identical_to_the_reference_kernel() {
     let p = program();
     let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
-    let fast = Simulator::new(cfg.clone()).unwrap().run(&p, BUDGET).unwrap();
+    let fast = Simulator::new(cfg.clone())
+        .unwrap()
+        .run(&p, BUDGET)
+        .unwrap();
     let mut ref_cfg = cfg.clone();
     ref_cfg.reference_kernel = true;
     let reference = Simulator::new(ref_cfg).unwrap().run(&p, BUDGET).unwrap();
-    assert_eq!(fast, reference, "FaultPlan::none must not perturb the kernel");
+    assert_eq!(
+        fast, reference,
+        "FaultPlan::none must not perturb the kernel"
+    );
     assert_eq!(fast.faults, Default::default(), "no injector, no counters");
 
     // The auditor is pure observation: enabling it changes nothing.
-    let audited =
-        Simulator::new(cfg.with_audit(true)).unwrap().run(&p, BUDGET).unwrap();
-    assert_eq!(fast, audited, "the invariant auditor must not perturb results");
+    let audited = Simulator::new(cfg.with_audit(true))
+        .unwrap()
+        .run(&p, BUDGET)
+        .unwrap();
+    assert_eq!(
+        fast, audited,
+        "the invariant auditor must not perturb results"
+    );
 }
 
 #[test]
@@ -108,11 +143,42 @@ fn every_fault_class_is_contained_and_accounted() {
     let p = program();
     let none = FaultPlan::none();
     let classes = [
-        ("lvc_flip", FaultPlan { flip_lvc_line: 0.05, ..none }),
-        ("l1_flip", FaultPlan { flip_l1_line: 0.05, ..none }),
-        ("drop_grant", FaultPlan { drop_port_grant: 0.05, ..none }),
-        ("delay_grant", FaultPlan { delay_port_grant: 0.05, delay_cycles: 8, ..none }),
-        ("corrupt_forward", FaultPlan { corrupt_forward: 0.2, ..none }),
+        (
+            "lvc_flip",
+            FaultPlan {
+                flip_lvc_line: 0.05,
+                ..none
+            },
+        ),
+        (
+            "l1_flip",
+            FaultPlan {
+                flip_l1_line: 0.05,
+                ..none
+            },
+        ),
+        (
+            "drop_grant",
+            FaultPlan {
+                drop_port_grant: 0.05,
+                ..none
+            },
+        ),
+        (
+            "delay_grant",
+            FaultPlan {
+                delay_port_grant: 0.05,
+                delay_cycles: 8,
+                ..none
+            },
+        ),
+        (
+            "corrupt_forward",
+            FaultPlan {
+                corrupt_forward: 0.2,
+                ..none
+            },
+        ),
     ];
     for (name, plan) in classes {
         let cfg = MachineConfig::n_plus_m(4, 2)
@@ -123,8 +189,14 @@ fn every_fault_class_is_contained_and_accounted() {
             .unwrap()
             .run(&p, BUDGET)
             .unwrap_or_else(|e| panic!("{name}: injection must be survivable, got {e}"));
-        assert_eq!(res.committed, BUDGET, "{name}: the workload still completes");
-        assert!(res.faults.injected() > 0, "{name}: the class must actually fire");
+        assert_eq!(
+            res.committed, BUDGET,
+            "{name}: the workload still completes"
+        );
+        assert!(
+            res.faults.injected() > 0,
+            "{name}: the class must actually fire"
+        );
         // Every injected flip is accounted for: detected by a later
         // parity check, evicted before one, or still latent at the end.
         let flips = res.faults.l1_flips_injected + res.faults.lvc_flips_injected;
@@ -152,8 +224,9 @@ fn injection_is_seed_deterministic() {
         ..FaultPlan::none()
     };
     let run = || {
-        let cfg =
-            MachineConfig::n_plus_m(4, 2).with_optimizations().with_fault_plan(plan);
+        let cfg = MachineConfig::n_plus_m(4, 2)
+            .with_optimizations()
+            .with_fault_plan(plan);
         Simulator::new(cfg).unwrap().run(&p, BUDGET).unwrap()
     };
     let a = run();
@@ -167,7 +240,10 @@ fn injection_is_seed_deterministic() {
             .with_fault_plan(FaultPlan { seed: 12, ..plan });
         Simulator::new(cfg).unwrap().run(&p, BUDGET).unwrap()
     };
-    assert_ne!(a.faults, other.faults, "a different seed draws a different stream");
+    assert_ne!(
+        a.faults, other.faults,
+        "a different seed draws a different stream"
+    );
 }
 
 #[test]
@@ -176,8 +252,7 @@ fn checked_harness_reports_structured_failures_per_run() {
     // entry points degrade that run to an Err value and the good runs
     // still return results.
     let good = MachineConfig::n_plus_m(4, 2).with_optimizations();
-    let results =
-        dda_bench::run_configs_checked(Benchmark::Compress, &[good, wedged_config()]);
+    let results = dda_bench::run_configs_checked(Benchmark::Compress, &[good, wedged_config()]);
     assert_eq!(results.len(), 2);
     assert!(results[0].is_ok(), "the healthy config still simulates");
     assert!(

@@ -51,7 +51,10 @@ fn campaign_is_deterministic() {
     assert_eq!(a.invariant_violations, b.invariant_violations);
     assert_eq!(a.committed_total, b.committed_total);
     assert_eq!(a.coverage.op_classes_seen(), b.coverage.op_classes_seen());
-    assert_eq!(a.coverage.edge_buckets_seen(), b.coverage.edge_buckets_seen());
+    assert_eq!(
+        a.coverage.edge_buckets_seen(),
+        b.coverage.edge_buckets_seen()
+    );
     assert_eq!(a.coverage.observed(), b.coverage.observed());
     assert_eq!(a.divergences.len(), b.divergences.len());
 }
@@ -69,7 +72,10 @@ fn kernels_agree_on_deliberate_trap_sites() {
     for k in 0..10u64 {
         let p = Arc::new(fuzz_program(derive_seed(0x7BA9, k), &w));
         let d = differential(&cfg, &p, 1_500);
-        assert!(!d.panicked(), "trap input {k} escaped the typed error model");
+        assert!(
+            !d.panicked(),
+            "trap input {k} escaped the typed error model"
+        );
         assert!(d.agrees(), "kernels disagreed on trap input {k}");
     }
 }
@@ -86,7 +92,10 @@ fn planted_defect_is_caught_minimized_and_replayable() {
     cc.plant_defect = true;
     let r = run_campaign(&cc);
     assert!(r.host_panics == 0, "{} host panics", r.host_panics);
-    assert!(!r.divergences.is_empty(), "planted defect escaped a 24-input campaign");
+    assert!(
+        !r.divergences.is_empty(),
+        "planted defect escaped a 24-input campaign"
+    );
     assert_eq!(r.unminimized(), 0, "a divergence failed to minimize");
 
     let mut machine = cc.machine.clone().with_audit(true);

@@ -9,7 +9,10 @@ const BUDGET: u64 = 40_000;
 
 fn run(bench: Benchmark, cfg: MachineConfig) -> dda::core::SimResult {
     let program = bench.program(u32::MAX / 2);
-    Simulator::new(cfg).unwrap().run(&program, BUDGET).expect("benchmark executes cleanly")
+    Simulator::new(cfg)
+        .unwrap()
+        .run(&program, BUDGET)
+        .expect("benchmark executes cleanly")
 }
 
 #[test]
@@ -22,9 +25,8 @@ fn every_benchmark_commits_the_same_stream_on_every_machine() {
         assert_eq!(decoupled.committed, BUDGET, "{bench}");
         assert_eq!(optimized.committed, BUDGET, "{bench}");
         // Total memory traffic is identical; only the queue split differs.
-        let total = |r: &dda::core::SimResult| {
-            r.lsq.loads + r.lsq.stores + r.lvaq.loads + r.lvaq.stores
-        };
+        let total =
+            |r: &dda::core::SimResult| r.lsq.loads + r.lsq.stores + r.lvaq.loads + r.lvaq.stores;
         assert_eq!(total(&unified), total(&decoupled), "{bench}");
         assert_eq!(total(&decoupled), total(&optimized), "{bench}");
     }
@@ -47,8 +49,16 @@ fn decoupled_split_matches_ground_truth_classification() {
         let r = run(bench, MachineConfig::n_plus_m(2, 2));
         assert_eq!(r.lvaq.loads, s.local_loads, "{bench} local loads");
         assert_eq!(r.lvaq.stores, s.local_stores, "{bench} local stores");
-        assert_eq!(r.lsq.loads, s.loads - s.local_loads, "{bench} non-local loads");
-        assert_eq!(r.lsq.stores, s.stores - s.local_stores, "{bench} non-local stores");
+        assert_eq!(
+            r.lsq.loads,
+            s.loads - s.local_loads,
+            "{bench} non-local loads"
+        );
+        assert_eq!(
+            r.lsq.stores,
+            s.stores - s.local_stores,
+            "{bench} non-local stores"
+        );
     }
 }
 
@@ -172,7 +182,8 @@ fn functional_and_timing_instruction_counts_agree() {
         let program = bench.program(u32::MAX / 2);
         let mut vm = Vm::new(program.clone());
         vm.run(BUDGET).unwrap();
-        let r = Simulator::new(MachineConfig::iscapaper_base()).unwrap()
+        let r = Simulator::new(MachineConfig::iscapaper_base())
+            .unwrap()
             .run(&program, BUDGET)
             .unwrap();
         assert_eq!(vm.instructions_executed(), r.committed, "{bench}");

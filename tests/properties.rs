@@ -7,9 +7,7 @@
 
 use std::collections::HashMap;
 
-use dda::isa::{
-    AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, Reg, StreamHint,
-};
+use dda::isa::{AluOp, BranchCond, FpCond, Fpr, FpuOp, Gpr, Instr, MemWidth, Reg, StreamHint};
 use dda::mem::{CacheConfig, CacheCore, DataCache, L2Config, L2Source, PortMeter, L2};
 use dda::program::MemoryLayout;
 use dda::vm::SparseMemory;
@@ -54,7 +52,10 @@ fn arb_instr(rng: &mut Rng) -> Instr {
             rs: arb_gpr(rng),
             imm: arb_i32(rng),
         },
-        5 => Instr::LoadImm { rd: arb_gpr(rng), imm: arb_i32(rng) },
+        5 => Instr::LoadImm {
+            rd: arb_gpr(rng),
+            imm: arb_i32(rng),
+        },
         6 => Instr::Fpu {
             op: FpuOp::ALL[rng.gen_range(0..FpuOp::ALL.len())],
             fd: arb_fpr(rng),
@@ -67,8 +68,14 @@ fn arb_instr(rng: &mut Rng) -> Instr {
             fs: arb_fpr(rng),
             ft: arb_fpr(rng),
         },
-        8 => Instr::IntToFp { fd: arb_fpr(rng), rs: arb_gpr(rng) },
-        9 => Instr::FpToInt { rd: arb_gpr(rng), fs: arb_fpr(rng) },
+        8 => Instr::IntToFp {
+            fd: arb_fpr(rng),
+            rs: arb_gpr(rng),
+        },
+        9 => Instr::FpToInt {
+            rd: arb_gpr(rng),
+            fs: arb_fpr(rng),
+        },
         10 => Instr::Load {
             rd: arb_gpr(rng),
             base: arb_gpr(rng),
@@ -101,8 +108,12 @@ fn arb_instr(rng: &mut Rng) -> Instr {
             rt: arb_gpr(rng),
             target: rng.next_u32(),
         },
-        15 => Instr::Jump { target: rng.next_u32() },
-        16 => Instr::Call { target: rng.next_u32() },
+        15 => Instr::Jump {
+            target: rng.next_u32(),
+        },
+        16 => Instr::Call {
+            target: rng.next_u32(),
+        },
         _ => Instr::CallReg { rs: arb_gpr(rng) },
     }
 }
@@ -164,8 +175,15 @@ fn fuzzed_programs_are_an_assembler_fixpoint() {
             let src = p.to_asm();
             let q = assemble(&src)
                 .unwrap_or_else(|e| panic!("{name} seed {seed:#x}: did not re-assemble: {e}"));
-            assert_eq!(p, q, "{name} seed {seed:#x}: assemble(to_asm) changed the program");
-            assert_eq!(src, q.to_asm(), "{name} seed {seed:#x}: to_asm is not a fixpoint");
+            assert_eq!(
+                p, q,
+                "{name} seed {seed:#x}: assemble(to_asm) changed the program"
+            );
+            assert_eq!(
+                src,
+                q.to_asm(),
+                "{name} seed {seed:#x}: to_asm is not a fixpoint"
+            );
             for &i in p.instrs() {
                 assert_eq!(Instr::decode(i.encode()), Ok(i));
             }
@@ -285,7 +303,10 @@ fn fully_associative_cache_core_matches_reference_lru() {
             mshrs: 1,
         };
         let mut cache = CacheCore::new(&cfg);
-        let mut reference = RefLru { capacity: 8, lines: Vec::new() };
+        let mut reference = RefLru {
+            capacity: 8,
+            lines: Vec::new(),
+        };
         for _ in 0..rng.gen_range(1..300usize) {
             let addr = rng.gen_range(0u32..4096);
             let hit = cache.access(addr, false);
@@ -339,8 +360,9 @@ fn port_meter_never_exceeds_budget() {
     let mut rng = Rng::seed_from_u64(0x154A);
     for _ in 0..50 {
         let ports = rng.gen_range(1u32..6);
-        let mut claims: Vec<u64> =
-            (0..rng.gen_range(1..200usize)).map(|_| rng.gen_range(0u64..50)).collect();
+        let mut claims: Vec<u64> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(0u64..50))
+            .collect();
         claims.sort_unstable();
         let mut meter = PortMeter::new(ports);
         let mut per_cycle: HashMap<u64, u32> = HashMap::new();
@@ -361,8 +383,9 @@ fn port_meter_never_exceeds_budget() {
 fn histogram_quantiles_are_monotone() {
     let mut rng = Rng::seed_from_u64(0x154B);
     for _ in 0..50 {
-        let values: Vec<u64> =
-            (0..rng.gen_range(1..200usize)).map(|_| rng.gen_range(0u64..1000)).collect();
+        let values: Vec<u64> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(0u64..1000))
+            .collect();
         let h: Histogram = values.iter().copied().collect();
         let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
         let mut last = 0;
@@ -384,8 +407,9 @@ fn histogram_quantiles_are_monotone() {
 fn histogram_cdf_is_monotone_and_normalised() {
     let mut rng = Rng::seed_from_u64(0x154C);
     for _ in 0..50 {
-        let values: Vec<u64> =
-            (0..rng.gen_range(1..100usize)).map(|_| rng.gen_range(0u64..100)).collect();
+        let values: Vec<u64> = (0..rng.gen_range(1..100usize))
+            .map(|_| rng.gen_range(0u64..100))
+            .collect();
         let h: Histogram = values.iter().copied().collect();
         let mut last = 0.0f64;
         for v in 0..100 {
@@ -493,14 +517,14 @@ fn timing_configuration_never_changes_architecture() {
             None => break,
         }
     }
-    let oracle = Simulator::new(MachineConfig::iscapaper_base()).unwrap()
+    let oracle = Simulator::new(MachineConfig::iscapaper_base())
+        .unwrap()
         .run(&program, budget)
         .unwrap();
 
     let mut rng = Rng::seed_from_u64(0x154D);
     for _ in 0..12 {
-        let mut cfg =
-            MachineConfig::n_plus_m(rng.gen_range(1u32..5), rng.gen_range(0u32..4));
+        let mut cfg = MachineConfig::n_plus_m(rng.gen_range(1u32..5), rng.gen_range(0u32..4));
         let dispatch = rng.gen_range(1u32..17);
         cfg.dispatch_width = dispatch;
         cfg.issue_width = dispatch;
@@ -539,14 +563,12 @@ fn disassembly_reassembles() {
     for _ in 0..500 {
         let instr = arb_instr(&mut rng);
         let expected = match instr {
-            Instr::Fpu { op, fd, fs, .. } if !op.is_binary() => {
-                Instr::Fpu { op, fd, fs, ft: fs }
-            }
+            Instr::Fpu { op, fd, fs, .. } if !op.is_binary() => Instr::Fpu { op, fd, fs, ft: fs },
             other => other,
         };
         let source = format!("main:\n    {instr}\n");
-        let program = assemble(&source)
-            .unwrap_or_else(|e| panic!("`{instr}` failed to assemble: {e}"));
+        let program =
+            assemble(&source).unwrap_or_else(|e| panic!("`{instr}` failed to assemble: {e}"));
         assert_eq!(program.fetch(0), expected);
     }
 }

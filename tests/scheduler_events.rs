@@ -118,8 +118,7 @@ fn audited_random_runs_stay_clean() {
         let budget: u64 = rng.gen_range(5_000..=20_000u64);
         let bench = random_bench(&mut rng);
         let program = bench.program(u32::MAX / 2);
-        let res: Result<SimResult, SimError> =
-            Simulator::new(cfg).unwrap().run(&program, budget);
+        let res: Result<SimResult, SimError> = Simulator::new(cfg).unwrap().run(&program, budget);
         assert!(res.is_ok(), "audit trial {trial} on {bench}: {res:?}");
     }
 }
@@ -132,18 +131,28 @@ fn port_stall_cycles_count_exactly_through_a_stalled_stretch() {
     // `port_stall_cycles` counts each stalled cycle exactly as the
     // rescanning reference does.
     let budget = 15_000;
-    let plan = FaultPlan { seed: 21, drop_port_grant: 0.8, ..FaultPlan::none() };
+    let plan = FaultPlan {
+        seed: 21,
+        drop_port_grant: 0.8,
+        ..FaultPlan::none()
+    };
     for bench in [Benchmark::Compress, Benchmark::Vortex] {
         let program = bench.program(u32::MAX / 2);
         let cfg = MachineConfig::n_plus_m(1, 0).with_fault_plan(plan);
         let run = |reference: bool| {
             let mut c = cfg.clone();
             c.reference_kernel = reference;
-            Simulator::new(c).unwrap().run(&program, budget).expect("stalled machine still retires")
+            Simulator::new(c)
+                .unwrap()
+                .run(&program, budget)
+                .expect("stalled machine still retires")
         };
         let fast = run(false);
         let reference = run(true);
-        assert_eq!(fast, reference, "{bench}: kernels diverged under port starvation");
+        assert_eq!(
+            fast, reference,
+            "{bench}: kernels diverged under port starvation"
+        );
         assert!(
             fast.lsq.port_stall_cycles > budget / 10,
             "{bench}: the stretch must actually stall (got {} stall cycles)",
