@@ -1,0 +1,493 @@
+//! `dse` — client for the design-space-exploration service.
+//!
+//! Three modes:
+//!
+//! * **client** (default): connect to a running `dse_server`, send one
+//!   config-matrix request, and render the figure table incrementally
+//!   as `CELL` lines stream back.
+//!
+//!       dse --addr HOST:PORT --benches compress,li --grid 2+0,4+2 \
+//!           [--comb 1,2] [--ff 0,1] [--lvc BYTES] [--seed N] \
+//!           [--budget N] [--windows K --window N --warmup N \
+//!            --conf 90|95|99 --fwarm 0|1 --adaptive F --maxwin N] \
+//!           [--expect-all-hits] [--expect-stream] [--json PATH]
+//!
+//!   `--expect-all-hits` exits nonzero unless every cell was served
+//!   from the cache (the warm-rerun acceptance gate); `--expect-stream`
+//!   exits nonzero unless at least one incremental `CELL` line arrived
+//!   before `DONE`.
+//!
+//! * **benchmark** (`--bench [--out PATH] [--budget N]`): spins up an
+//!   in-process server on an ephemeral port with fresh stores, runs the
+//!   full 12-benchmark port grid cold then warm over real TCP, writes
+//!   `BENCH_dse.json`, and gates: the warm pass must be all hits with 0
+//!   simulated instructions and at least 20× faster wall-clock than the
+//!   cold pass, with incremental streaming observed.
+//!
+//! * **staleness check** (`--check-stale PATH`): exits nonzero when the
+//!   `"kernel"` recorded in a committed `BENCH_dse.json` differs from
+//!   this build's `KERNEL_VERSION` — the committed numbers describe a
+//!   cache no current build would hit.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dda_bench::dse::{
+    serve, DseRequest, DseService, ResultStore, RunPlan, DEFAULT_BUDGET, DEFAULT_SEED,
+    KERNEL_VERSION,
+};
+use dda_bench::CheckpointStore;
+use dda_workloads::Benchmark;
+
+/// One `CELL` line, parsed into its key=value fields.
+struct CellRow {
+    fields: HashMap<String, String>,
+}
+
+impl CellRow {
+    fn get(&self, k: &str) -> &str {
+        self.fields.get(k).map_or("", |v| v.as_str())
+    }
+}
+
+/// The `DONE` summary line, parsed.
+#[derive(Default)]
+struct DoneLine {
+    cells: u64,
+    hits: u64,
+    misses: u64,
+    errors: u64,
+    sim_insts: u64,
+}
+
+/// One full request/response exchange with a server.
+struct Session {
+    rows: Vec<CellRow>,
+    done: DoneLine,
+    secs: f64,
+    /// Seconds between the first `CELL` line and `DONE` — positive when
+    /// results streamed incrementally instead of arriving in one burst.
+    first_cell_to_done_secs: f64,
+}
+
+fn parse_kv(line: &str) -> HashMap<String, String> {
+    // `msg=` is always last and may contain spaces; split it off first.
+    let (head, msg) = match line.split_once(" msg=") {
+        Some((h, m)) => (h, Some(m)),
+        None => (line, None),
+    };
+    let mut kv: HashMap<String, String> = head
+        .split_whitespace()
+        .filter_map(|t| t.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    if let Some(m) = msg {
+        kv.insert("msg".to_string(), m.to_string());
+    }
+    kv
+}
+
+/// Sends `req` to the server at `addr` and consumes the streamed reply,
+/// rendering each row as it arrives when `render` is set.
+fn run_session(addr: &str, req: &DseRequest, render: bool) -> Result<Session, String> {
+    let t0 = Instant::now();
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut out = stream;
+
+    let mut hello = String::new();
+    reader.read_line(&mut hello).map_err(|e| e.to_string())?;
+    if !hello.starts_with("HELLO dse v1") {
+        return Err(format!("unexpected greeting: {}", hello.trim()));
+    }
+    if render {
+        println!("[dse] {}", hello.trim());
+    }
+    writeln!(out, "{}", req.to_line()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+
+    let mut rows = Vec::new();
+    let mut first_cell_at: Option<Instant> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("server closed the connection before DONE".into());
+        }
+        let line = line.trim_end();
+        if let Some(rest) = line.strip_prefix("CELL ") {
+            first_cell_at.get_or_insert_with(Instant::now);
+            let row = CellRow {
+                fields: parse_kv(rest),
+            };
+            if render {
+                match row.get("status") {
+                    "error" => println!("  {:<34} error    {}", row.get("label"), row.get("msg")),
+                    s => println!(
+                        "  {:<34} {:<8} cpi {} ±{}  sim={}",
+                        row.get("label"),
+                        s,
+                        row.get("cpi"),
+                        row.get("ci"),
+                        row.get("sim")
+                    ),
+                }
+            }
+            rows.push(row);
+        } else if let Some(rest) = line.strip_prefix("DONE ") {
+            let kv = parse_kv(rest);
+            let n = |k: &str| kv.get(k).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+            let done = DoneLine {
+                cells: n("cells"),
+                hits: n("hits"),
+                misses: n("misses"),
+                errors: n("errors"),
+                sim_insts: n("sim_insts"),
+            };
+            if render {
+                println!("[dse] {line}");
+            }
+            let gap = first_cell_at.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            return Ok(Session {
+                rows,
+                done,
+                secs: t0.elapsed().as_secs_f64(),
+                first_cell_to_done_secs: gap,
+            });
+        } else if let Some(rest) = line.strip_prefix("ERR ") {
+            return Err(format!("server rejected the request: {rest}"));
+        }
+    }
+}
+
+fn rows_json(s: &Session) -> String {
+    let mut json = String::from("[\n");
+    for (i, row) in s.rows.iter().enumerate() {
+        let sep = if i + 1 == s.rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"i\": {}, \"label\": \"{}\", \"status\": \"{}\", \"key\": \"{}\", \
+             \"cpi\": {}, \"ci\": {}, \"insts\": {}, \"sim\": {}}}{sep}",
+            row.get("i"),
+            row.get("label"),
+            row.get("status"),
+            row.get("key"),
+            if row.get("cpi").is_empty() {
+                "null"
+            } else {
+                row.get("cpi")
+            },
+            if row.get("ci").is_empty() {
+                "null"
+            } else {
+                row.get("ci")
+            },
+            if row.get("insts").is_empty() {
+                "0"
+            } else {
+                row.get("insts")
+            },
+            if row.get("sim").is_empty() {
+                "0"
+            } else {
+                row.get("sim")
+            },
+        );
+    }
+    json.push_str("  ]");
+    json
+}
+
+fn check_stale(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[dse] cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let recorded: Option<u32> = text.split("\"kernel\":").nth(1).and_then(|rest| {
+        rest.trim_start()
+            .split(|c: char| !c.is_ascii_digit())
+            .next()?
+            .parse()
+            .ok()
+    });
+    match recorded {
+        Some(v) if v == KERNEL_VERSION => {
+            println!("[dse] {path} is current (kernel={v})");
+            ExitCode::SUCCESS
+        }
+        Some(v) => {
+            eprintln!(
+                "[dse] {path} is STALE: recorded kernel={v}, build has KERNEL_VERSION={KERNEL_VERSION} \
+                 — regenerate with `dse --bench --out {path}`"
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("[dse] {path} has no \"kernel\" field — regenerate with `dse --bench`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The benchmark grid: all twelve programs across the paper's port
+/// sweep, combining 2 + fast forwarding (the recommended design point).
+fn bench_request(budget: u64) -> DseRequest {
+    DseRequest {
+        benches: Benchmark::ALL.to_vec(),
+        grid: vec![(2, 0), (1, 1), (2, 2), (4, 2), (8, 4), (16, 0)],
+        combining: vec![2],
+        fast_forward: vec![true],
+        lvc_bytes: None,
+        seed: DEFAULT_SEED,
+        plan: RunPlan::Full { budget },
+    }
+}
+
+fn run_bench(out_path: &str, budget: u64) -> ExitCode {
+    let root = std::path::Path::new("target").join("dse_bench");
+    let _ = std::fs::remove_dir_all(&root);
+    let results = ResultStore::open(root.join("results")).expect("result store opens");
+    let ckpts = CheckpointStore::open(root.join("ckpt")).expect("checkpoint store opens");
+    let svc = DseService::new(results, Some(ckpts));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("listener binds");
+    let addr = listener
+        .local_addr()
+        .expect("listener has an address")
+        .to_string();
+    let server = std::thread::spawn(move || serve(&listener, &svc, Some(2)));
+
+    let req = bench_request(budget);
+    let cells = req.expand().len();
+    eprintln!("[dse] bench: {cells} cells over {addr}, budget {budget}");
+
+    eprintln!("[dse] cold pass (simulates every cell)...");
+    let cold = run_session(&addr, &req, false).expect("cold pass completes");
+    eprintln!(
+        "[dse] cold: {:.3}s, {} misses, {} sim insts",
+        cold.secs, cold.done.misses, cold.done.sim_insts
+    );
+    eprintln!("[dse] warm pass (full-grid rerun)...");
+    let warm = run_session(&addr, &req, false).expect("warm pass completes");
+    eprintln!(
+        "[dse] warm: {:.3}s, {} hits, {} sim insts",
+        warm.secs, warm.done.hits, warm.done.sim_insts
+    );
+    server
+        .join()
+        .expect("server thread joins")
+        .expect("server exits cleanly");
+
+    let speedup = if warm.secs > 0.0 {
+        cold.secs / warm.secs
+    } else {
+        f64::INFINITY
+    };
+    let gate_all_hits = warm.done.hits == warm.done.cells && warm.done.cells as usize == cells;
+    let gate_zero_insts = warm.done.sim_insts == 0;
+    let gate_speedup = speedup >= 20.0;
+    let gate_streamed = !cold.rows.is_empty() && cold.first_cell_to_done_secs > 0.0;
+    let gate_clean = cold.done.errors == 0 && warm.done.errors == 0;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"dse\",");
+    let _ = writeln!(json, "  \"kernel\": {KERNEL_VERSION},");
+    let _ = writeln!(
+        json,
+        "  \"grid\": \"2+0,1+1,2+2,4+2,8+4,16+0\", \"benches\": {}, \"cells\": {cells},",
+        Benchmark::ALL.len()
+    );
+    let _ = writeln!(json, "  \"budget\": {budget}, \"seed\": {DEFAULT_SEED},");
+    let _ = writeln!(
+        json,
+        "  \"cold\": {{\"secs\": {:.4}, \"hits\": {}, \"misses\": {}, \"errors\": {}, \
+         \"sim_insts\": {}, \"first_cell_to_done_secs\": {:.4}}},",
+        cold.secs,
+        cold.done.hits,
+        cold.done.misses,
+        cold.done.errors,
+        cold.done.sim_insts,
+        cold.first_cell_to_done_secs
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm\": {{\"secs\": {:.4}, \"hits\": {}, \"misses\": {}, \"errors\": {}, \
+         \"sim_insts\": {}}},",
+        warm.secs, warm.done.hits, warm.done.misses, warm.done.errors, warm.done.sim_insts
+    );
+    let _ = writeln!(json, "  \"warm_speedup\": {speedup:.1},");
+    let _ = writeln!(
+        json,
+        "  \"gates\": {{\"warm_all_hits\": {gate_all_hits}, \"warm_sim_insts_zero\": {gate_zero_insts}, \
+         \"speedup_ge_20x\": {gate_speedup}, \"streamed\": {gate_streamed}, \
+         \"no_errors\": {gate_clean}}}"
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(out_path, &json).expect("report writes");
+    eprintln!("[dse] wrote {out_path} (warm speedup {speedup:.1}x)");
+
+    if gate_all_hits && gate_zero_insts && gate_speedup && gate_streamed && gate_clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "[dse] GATE FAILURE: all_hits={gate_all_hits} zero_insts={gate_zero_insts} \
+             speedup_20x={gate_speedup} streamed={gate_streamed} no_errors={gate_clean}"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut benches = String::new();
+    let mut grid = String::new();
+    let mut comb: Option<String> = None;
+    let mut ff: Option<String> = None;
+    let mut lvc: Option<String> = None;
+    let mut seed = DEFAULT_SEED;
+    let mut budget = DEFAULT_BUDGET;
+    let mut windows = 0usize;
+    let mut window = 4_000u64;
+    let mut warmup = 2_000u64;
+    let mut conf = 95u32;
+    let mut fwarm = true;
+    let mut adaptive: Option<f64> = None;
+    let mut maxwin = 64usize;
+    let mut expect_all_hits = false;
+    let mut expect_stream = false;
+    let mut json_path: Option<String> = None;
+    let mut bench_mode = false;
+    let mut bench_budget: Option<u64> = None;
+    let mut out_path = "BENCH_dse.json".to_string();
+    let mut stale_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(take("--addr")),
+            "--benches" => benches = take("--benches"),
+            "--grid" => grid = take("--grid"),
+            "--comb" => comb = Some(take("--comb")),
+            "--ff" => ff = Some(take("--ff")),
+            "--lvc" => lvc = Some(take("--lvc")),
+            "--seed" => seed = take("--seed").parse().expect("--seed takes a number"),
+            "--budget" => {
+                budget = take("--budget").parse().expect("--budget takes a number");
+                bench_budget = Some(budget);
+            }
+            "--windows" => windows = take("--windows").parse().expect("--windows takes a count"),
+            "--window" => window = take("--window").parse().expect("--window takes a count"),
+            "--warmup" => warmup = take("--warmup").parse().expect("--warmup takes a count"),
+            "--conf" => conf = take("--conf").parse().expect("--conf takes 90/95/99"),
+            "--fwarm" => fwarm = take("--fwarm") != "0",
+            "--adaptive" => {
+                adaptive = Some(
+                    take("--adaptive")
+                        .parse()
+                        .expect("--adaptive takes a fraction"),
+                )
+            }
+            "--maxwin" => maxwin = take("--maxwin").parse().expect("--maxwin takes a count"),
+            "--expect-all-hits" => expect_all_hits = true,
+            "--expect-stream" => expect_stream = true,
+            "--json" => json_path = Some(take("--json")),
+            "--bench" => bench_mode = true,
+            "--out" => out_path = take("--out"),
+            "--check-stale" => stale_path = Some(take("--check-stale")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dse --addr HOST:PORT --benches A,B --grid N+M,... [options]\n\
+                     \x20      dse --bench [--out PATH] [--budget N]\n\
+                     \x20      dse --check-stale PATH"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = stale_path {
+        return check_stale(&path);
+    }
+    if bench_mode {
+        return run_bench(&out_path, bench_budget.unwrap_or(100_000));
+    }
+
+    let Some(addr) = addr else {
+        eprintln!("--addr is required outside --bench/--check-stale modes (try --help)");
+        return ExitCode::FAILURE;
+    };
+    // Build the request through the wire-format parser so the client
+    // accepts exactly what the server accepts.
+    let mut line = format!("DSE v1 benches={benches} grid={grid} seed={seed} budget={budget}");
+    if let Some(c) = comb {
+        let _ = write!(line, " comb={c}");
+    }
+    if let Some(f) = ff {
+        let _ = write!(line, " ff={f}");
+    }
+    if let Some(l) = lvc {
+        let _ = write!(line, " lvc={l}");
+    }
+    if windows > 0 {
+        let _ = write!(
+            line,
+            " plan=sampled windows={windows} window={window} warmup={warmup} conf={conf} fwarm={}",
+            if fwarm { 1 } else { 0 }
+        );
+        if let Some(a) = adaptive {
+            let _ = write!(line, " adaptive={a} maxwin={maxwin}");
+        }
+    }
+    let req = match DseRequest::parse(&line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[dse] bad request: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = match run_session(&addr, &req, true) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[dse] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"kernel\": {KERNEL_VERSION},\n  \"cells\": {}\n}}\n",
+            rows_json(&session)
+        );
+        std::fs::write(&path, json).expect("json writes");
+        eprintln!("[dse] wrote {path}");
+    }
+    if expect_all_hits && (session.done.hits != session.done.cells || session.done.sim_insts != 0) {
+        eprintln!(
+            "[dse] expected all hits: hits={}/{} sim_insts={}",
+            session.done.hits, session.done.cells, session.done.sim_insts
+        );
+        return ExitCode::FAILURE;
+    }
+    if expect_stream && session.rows.is_empty() {
+        eprintln!("[dse] expected at least one streamed CELL line before DONE");
+        return ExitCode::FAILURE;
+    }
+    if session.done.errors > 0 {
+        eprintln!("[dse] {} cells errored", session.done.errors);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

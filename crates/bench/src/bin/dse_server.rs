@@ -1,0 +1,78 @@
+//! `dse_server` — the persistent design-space-exploration service.
+//!
+//! Binds a TCP listener, prints `LISTENING <addr>` (so scripts binding
+//! port 0 learn the ephemeral port), and serves line-delimited DSE
+//! requests against a persistent content-addressed [`ResultStore`] —
+//! cache hits stream back without simulating an instruction, misses are
+//! simulated on the work-stealing pool and saved for every later
+//! request.
+//!
+//!     dse_server [--addr HOST:PORT] [--store DIR] [--ckpt DIR] [--once N]
+//!
+//! `--addr` defaults to `127.0.0.1:0` (ephemeral). `--store` is the
+//! result-cache directory (default `target/dse_store`). `--ckpt` adds a
+//! shared checkpoint store so sampled cells fast-forward once per
+//! position, ever. `--once N` exits after N connections (the smoke-test
+//! shape); the default serves until killed.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use dda_bench::dse::{serve, DseService, ResultStore};
+use dda_bench::CheckpointStore;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut store_dir = "target/dse_store".to_string();
+    let mut ckpt_dir: Option<String> = None;
+    let mut once: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--store" => store_dir = take("--store"),
+            "--ckpt" => ckpt_dir = Some(take("--ckpt")),
+            "--once" => once = Some(take("--once").parse().expect("--once takes a count")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dse_server [--addr HOST:PORT] [--store DIR] [--ckpt DIR] [--once N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let results = ResultStore::open(&store_dir).expect("result store opens");
+    let checkpoints = ckpt_dir.map(|d| CheckpointStore::open(d).expect("checkpoint store opens"));
+    let shared_ckpts = checkpoints.is_some();
+    let svc = DseService::new(results, checkpoints);
+
+    let listener = TcpListener::bind(&addr).expect("listener binds");
+    let local = listener.local_addr().expect("listener has an address");
+    println!("LISTENING {local}");
+    std::io::stdout().flush().expect("stdout flushes");
+    eprintln!(
+        "[dse_server] kernel={} store={store_dir} ckpt={} conns={}",
+        svc.kernel_version(),
+        if shared_ckpts { "shared" } else { "none" },
+        once.map_or("unbounded".to_string(), |n| n.to_string()),
+    );
+
+    match serve(&listener, &svc, once) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("[dse_server] accept failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,20 +21,23 @@
 //! cargo run --release -p dda-bench --bin sampling [-- --quick]
 //!     [--budget N] [--speed-budget N] [--windows K] [--window N]
 //!     [--warmup N] [--confidence 90|95|99] [--no-warm]
-//!     [--store DIR] [--out PATH]
+//!     [--store DIR] [--out PATH] [--adaptive FRAC] [--max-windows N]
 //! ```
 //!
 //! `--quick` restricts the run to one workload with tiny budgets and
 //! skips the 5× speed gate (the CI smoke mode); `--store DIR` routes
 //! window positioning through a content-addressed
 //! [`dda_bench::CheckpointStore`], so a second invocation restores
-//! instead of replaying.
+//! instead of replaying. `--adaptive FRAC` grows the window count
+//! geometrically (doubling, capped by `--max-windows`) until the CPI
+//! confidence half-width is at most `FRAC` of the mean — the adaptive
+//! mode of [`dda_bench::sample_program_adaptive`].
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dda_bench::{sample_program_stored, CheckpointStore, Confidence, SampledRun, SamplingConfig};
+use dda_bench::{sample_program_adaptive, CheckpointStore, Confidence, SampledRun, SamplingConfig};
 use dda_core::{MachineConfig, Simulator};
 use dda_workloads::Benchmark;
 
@@ -42,7 +45,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: sampling [--quick] [--budget N] [--speed-budget N] [--windows K] \
-         [--window N] [--warmup N] [--confidence 90|95|99] [--no-warm] [--store DIR] [--out PATH]"
+         [--window N] [--warmup N] [--confidence 90|95|99] [--no-warm] [--store DIR] [--out PATH] \
+         [--adaptive FRAC] [--max-windows N]"
     );
     std::process::exit(2);
 }
@@ -72,8 +76,9 @@ fn run_sampled(
     program: &Arc<dda_program::Program>,
     scfg: &SamplingConfig,
     store: Option<&CheckpointStore>,
-) -> SampledRun {
-    sample_program_stored(cfg, Arc::clone(program), scfg, store).expect("workload samples cleanly")
+) -> (SampledRun, u32) {
+    sample_program_adaptive(cfg, Arc::clone(program), scfg, store)
+        .expect("workload samples cleanly")
 }
 
 fn main() {
@@ -106,6 +111,15 @@ fn main() {
             "--store" => {
                 store_dir = Some(args.next().unwrap_or_else(|| usage("--store needs a dir")))
             }
+            "--adaptive" => {
+                let frac: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f| *f > 0.0)
+                    .unwrap_or_else(|| usage("--adaptive needs a positive fraction"));
+                shape.adaptive_target = Some(frac);
+            }
+            "--max-windows" => shape.max_windows = int("--max-windows") as usize,
             other => usage(&format!("unknown argument: {other}")),
         }
     }
@@ -148,6 +162,14 @@ fn main() {
         shape.confidence.percent(),
         shape.functional_warmup,
     );
+    let _ = write!(
+        json,
+        "  \"adaptive\": {{\"target_rel_half_width\": {}, \"max_windows\": {}}},\n",
+        shape
+            .adaptive_target
+            .map_or("null".to_string(), |t| format!("{t}")),
+        shape.max_windows,
+    );
 
     // Phase 1 — validation: sampled CPI interval must cover the full run.
     let mut all_within = true;
@@ -159,7 +181,7 @@ fn main() {
             budget,
             ..shape.clone()
         };
-        let s = run_sampled(&cfg, &program, &scfg, store.as_ref());
+        let (s, rounds) = run_sampled(&cfg, &program, &scfg, store.as_ref());
         let within = s.cpi.contains(full.cpi);
         all_within &= within;
         let err_pct = (s.cpi.mean - full.cpi).abs() / full.cpi * 100.0;
@@ -177,6 +199,7 @@ fn main() {
             "    {{\"name\": \"{}\", \"full_cpi\": {:.6}, \"full_committed\": {}, \
              \"full_secs\": {:.4}, \"sampled_cpi\": {:.6}, \"ci_half_width\": {:.6}, \
              \"within_ci\": {within}, \"abs_err_pct\": {err_pct:.3}, \"windows\": {}, \
+             \"adaptive_rounds\": {rounds}, \
              \"detailed_insts\": {}, \"fast_forwarded\": {}, \"halted_early\": {}, \
              \"sampled_secs\": {:.4}}}{}\n",
             bench.name(),
@@ -206,7 +229,7 @@ fn main() {
             budget: speed_budget,
             ..shape.clone()
         };
-        let s = run_sampled(&cfg, &program, &scfg, store.as_ref());
+        let (s, _) = run_sampled(&cfg, &program, &scfg, store.as_ref());
         let speedup = full.secs / s.host_secs.max(1e-9);
         full_secs += full.secs;
         sampled_secs += s.host_secs;

@@ -1,0 +1,1351 @@
+//! Memoized design-space exploration (DSE).
+//!
+//! A configuration sweep re-simulates points it has already simulated —
+//! across reruns, across overlapping figure grids, across users of the
+//! same store. This module removes that waste without touching a single
+//! measured number:
+//!
+//! 1. a **content-addressed [`ResultStore`]**: every simulation outcome
+//!    is persisted under a [`result_key`] — the FNV-1a of the
+//!    result-affecting configuration rendering, the program fingerprint,
+//!    the workload seed, the run plan, and [`KERNEL_VERSION`] — so a
+//!    probe either misses (and the cell is simulated, then saved) or
+//!    hits with bytes proven bit-identical to a fresh run (`tests/
+//!    dse_cache.rs` enforces this over randomized matrices, fault-RNG
+//!    draw order included);
+//! 2. a **job engine** on [`pool::run_tasks`]: a [`DseRequest`] expands
+//!    to a deduplicated cell list, cache hits stream back immediately,
+//!    and only the misses are simulated (panic-isolated, sharing one
+//!    [`CheckpointStore`] of fast-forward positions across workers);
+//! 3. a **line-delimited TCP service** ([`serve`]): the `dse_server`
+//!    binary keeps the stores warm across processes, and the `dse`
+//!    client renders the figure table as `CELL` lines arrive.
+//!
+//! The cache key deliberately includes a kernel version: any change to
+//! the simulator that may alter counters bumps [`KERNEL_VERSION`] and
+//! every stored record silently becomes a miss. Corrupt records degrade
+//! to misses too — the store is a cache, never a source of truth.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dda_core::{MachineConfig, ResultCodecError, SimError, SimResult, Simulator};
+use dda_program::Program;
+use dda_stats::{fnv1a64, ByteReader, ByteWriter};
+use dda_workloads::Benchmark;
+
+use crate::checkpoint::{program_fingerprint, CheckpointStore};
+use crate::pool;
+use crate::sampling::{
+    sample_program_adaptive, Confidence, Estimate, SamplingConfig, WindowSample,
+};
+
+/// Version of the simulation kernel as far as *cached results* are
+/// concerned. Part of every [`result_key`]: bump it whenever a simulator
+/// change may alter any counter, and every previously stored record
+/// becomes an automatic miss. (Wall-clock-only changes — schedulers
+/// proven bit-identical, pool sizing, logging — do not bump it.)
+pub const KERNEL_VERSION: u32 = 1;
+
+/// Default committed-instruction budget for service requests that name
+/// none.
+pub const DEFAULT_BUDGET: u64 = 30_000;
+
+/// Default workload scale ("seed") — the same `u32::MAX / 2` every other
+/// driver in the tree uses, so DSE results share checkpoints with them.
+pub const DEFAULT_SEED: u32 = u32::MAX / 2;
+
+// ------------------------------------------------------------ run plan --
+
+/// How each cell of a request is measured.
+#[derive(Clone, Debug)]
+pub enum RunPlan {
+    /// Full detailed simulation to a committed-instruction budget.
+    Full {
+        /// Committed-instruction budget of each run.
+        budget: u64,
+    },
+    /// Interval sampling ([`sample_program_adaptive`]) under this shape.
+    Sampled(SamplingConfig),
+}
+
+impl RunPlan {
+    /// Stable textual rendering of the plan — part of the cache key, so
+    /// any field that changes what is measured must appear here.
+    pub fn plan_text(&self) -> String {
+        match self {
+            RunPlan::Full { budget } => format!("full@{budget}"),
+            RunPlan::Sampled(s) => format!(
+                "sampled k={} w={} warm={} budget={} conf={} fwarm={} adaptive={:?} cap={}",
+                s.windows,
+                s.window_insts,
+                s.warmup_insts,
+                s.budget,
+                s.confidence.percent(),
+                s.functional_warmup,
+                s.adaptive_target,
+                s.max_windows
+            ),
+        }
+    }
+}
+
+/// The content address of one simulation outcome: FNV-1a 64 over a
+/// stable text combining everything the result depends on — kernel
+/// version, result-affecting configuration fields
+/// ([`MachineConfig::result_fingerprint_text`]), program content, the
+/// workload seed, and the run plan.
+pub fn result_key(
+    kernel_version: u32,
+    cfg: &MachineConfig,
+    program_hash: u64,
+    seed: u32,
+    plan: &RunPlan,
+) -> u64 {
+    let text = format!(
+        "dse kernel={kernel_version}\nprogram={program_hash:016x}\nseed={seed}\nplan={}\ncfg={}",
+        plan.plan_text(),
+        cfg.result_fingerprint_text()
+    );
+    fnv1a64(text.as_bytes())
+}
+
+// ------------------------------------------------------- cell outcomes --
+
+/// A sampled cell's persistable measurement — [`crate::SampledRun`]
+/// minus the fields that describe the *host* rather than the machine
+/// (`host_secs`, and `fast_forwarded`, which depends on checkpoint-store
+/// temperature): a cached record must be indistinguishable from a fresh
+/// measurement, so only measurement-identity fields are stored.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SampledCell {
+    /// The measured windows, in order.
+    pub windows: Vec<WindowSample>,
+    /// CPI estimate with confidence half-width.
+    pub cpi: Estimate,
+    /// LVC hit-rate estimate.
+    pub lvc_hit_rate: Estimate,
+    /// Port-stalls-per-kilo-instruction estimate.
+    pub port_stalls_per_kinst: Estimate,
+    /// Detailed instructions simulated (warm-ups included).
+    pub detailed_insts: u64,
+    /// Whether the program halted before the budget.
+    pub halted_early: bool,
+    /// Adaptive rounds taken (1 under a fixed window count).
+    pub rounds: u32,
+}
+
+impl SampledCell {
+    /// Extracts the persistable measurement from a sampled run.
+    pub fn from_run(run: &crate::SampledRun, rounds: u32) -> SampledCell {
+        SampledCell {
+            windows: run.windows.clone(),
+            cpi: run.cpi,
+            lvc_hit_rate: run.lvc_hit_rate,
+            port_stalls_per_kinst: run.port_stalls_per_kinst,
+            detailed_insts: run.detailed_insts,
+            halted_early: run.halted_early,
+            rounds,
+        }
+    }
+}
+
+/// One cell's measurement: a full run's [`SimResult`] or a sampled
+/// cell's estimates.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CellOutcome {
+    /// Full detailed run.
+    Full(SimResult),
+    /// Interval-sampled run.
+    Sampled(SampledCell),
+}
+
+/// Magic word opening a serialized [`CellOutcome`] (`b"DDADSE01"`).
+const DSE_MAGIC: u64 = u64::from_le_bytes(*b"DDADSE01");
+/// Format version of the serialized [`CellOutcome`] layout.
+const DSE_VERSION: u32 = 1;
+
+fn put_estimate(w: &mut ByteWriter, e: &Estimate) {
+    w.put_f64(e.mean);
+    w.put_f64(e.half_width);
+}
+
+fn get_estimate(r: &mut ByteReader) -> Result<Estimate, ResultCodecError> {
+    Ok(Estimate {
+        mean: r.get_f64()?,
+        half_width: r.get_f64()?,
+    })
+}
+
+impl CellOutcome {
+    /// Serializes this outcome with the format's magic and version words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(700);
+        w.put_u64(DSE_MAGIC);
+        w.put_u32(DSE_VERSION);
+        match self {
+            CellOutcome::Full(r) => {
+                w.put_u8(0);
+                w.put_raw(&r.to_bytes());
+            }
+            CellOutcome::Sampled(s) => {
+                w.put_u8(1);
+                w.put_u32(s.rounds);
+                w.put_u8(s.halted_early as u8);
+                w.put_u64(s.detailed_insts);
+                put_estimate(&mut w, &s.cpi);
+                put_estimate(&mut w, &s.lvc_hit_rate);
+                put_estimate(&mut w, &s.port_stalls_per_kinst);
+                w.put_u32(s.windows.len() as u32);
+                for ws in &s.windows {
+                    w.put_u64(ws.start_inst);
+                    w.put_u64(ws.committed);
+                    w.put_u64(ws.cycles);
+                    w.put_f64(ws.cpi);
+                    w.put_f64(ws.lvc_hit_rate);
+                    w.put_f64(ws.port_stalls_per_kinst);
+                }
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes an outcome serialized by [`CellOutcome::to_bytes`]; the
+    /// whole input must be consumed.
+    ///
+    /// # Errors
+    ///
+    /// A [`ResultCodecError`] describing the first malformation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CellOutcome, ResultCodecError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u64()?;
+        if magic != DSE_MAGIC {
+            return Err(ResultCodecError::BadMagic(magic));
+        }
+        let version = r.get_u32()?;
+        if version != DSE_VERSION {
+            return Err(ResultCodecError::BadVersion(version));
+        }
+        let out = match r.get_u8()? {
+            0 => CellOutcome::Full(SimResult::decode(&mut r)?),
+            1 => {
+                let rounds = r.get_u32()?;
+                let halted_early = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(ResultCodecError::BadTag(t)),
+                };
+                let detailed_insts = r.get_u64()?;
+                let cpi = get_estimate(&mut r)?;
+                let lvc_hit_rate = get_estimate(&mut r)?;
+                let port_stalls_per_kinst = get_estimate(&mut r)?;
+                let n = r.get_u32()? as usize;
+                let mut windows = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    windows.push(WindowSample {
+                        start_inst: r.get_u64()?,
+                        committed: r.get_u64()?,
+                        cycles: r.get_u64()?,
+                        cpi: r.get_f64()?,
+                        lvc_hit_rate: r.get_f64()?,
+                        port_stalls_per_kinst: r.get_f64()?,
+                    });
+                }
+                CellOutcome::Sampled(SampledCell {
+                    windows,
+                    cpi,
+                    lvc_hit_rate,
+                    port_stalls_per_kinst,
+                    detailed_insts,
+                    halted_early,
+                    rounds,
+                })
+            }
+            t => return Err(ResultCodecError::BadTag(t)),
+        };
+        if r.remaining() != 0 {
+            return Err(ResultCodecError::TrailingBytes(r.remaining()));
+        }
+        Ok(out)
+    }
+
+    /// Headline CPI of the cell (mean CPI for sampled cells).
+    pub fn cpi(&self) -> f64 {
+        match self {
+            CellOutcome::Full(r) => {
+                if r.committed == 0 {
+                    0.0
+                } else {
+                    r.cycles as f64 / r.committed as f64
+                }
+            }
+            CellOutcome::Sampled(s) => s.cpi.mean,
+        }
+    }
+
+    /// Confidence half-width on the CPI (0 for full runs — they are
+    /// exact).
+    pub fn cpi_half_width(&self) -> f64 {
+        match self {
+            CellOutcome::Full(_) => 0.0,
+            CellOutcome::Sampled(s) => s.cpi.half_width,
+        }
+    }
+
+    /// Instructions this measurement covers: committed for full runs,
+    /// detailed (warm-ups included) for sampled ones.
+    pub fn measured_insts(&self) -> u64 {
+        match self {
+            CellOutcome::Full(r) => r.committed,
+            CellOutcome::Sampled(s) => s.detailed_insts,
+        }
+    }
+
+    /// `"full"` or `"sampled"` — the wire-protocol kind token.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellOutcome::Full(_) => "full",
+            CellOutcome::Sampled(_) => "sampled",
+        }
+    }
+}
+
+// ------------------------------------------------------- result store --
+
+/// A directory of serialized [`CellOutcome`]s, one file per
+/// [`result_key`] — the same shape as [`CheckpointStore`], with the same
+/// commitments: stable file names, magic + version words in the bytes,
+/// corrupt files surfacing as [`io::ErrorKind::InvalidData`] (which the
+/// engine treats as a miss, never as an answer).
+#[derive(Clone, Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key maps to (exists or not).
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("res_{key:016x}.bin"))
+    }
+
+    /// Persists `outcome` under `key`. Overwrites silently — content
+    /// addressing makes a collision a re-save of identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] when the file cannot be written.
+    pub fn save(&self, key: u64, outcome: &CellOutcome) -> io::Result<PathBuf> {
+        let path = self.path_for(key);
+        std::fs::write(&path, outcome.to_bytes())?;
+        Ok(path)
+    }
+
+    /// Loads the outcome for `key`; `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] on a read failure, or one of kind
+    /// [`io::ErrorKind::InvalidData`] when the file exists but fails to
+    /// decode.
+    pub fn load(&self, key: u64) -> io::Result<Option<CellOutcome>> {
+        let path = self.path_for(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let out = CellOutcome::from_bytes(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(Some(out))
+    }
+
+    /// Number of result records currently in the store.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] when the directory cannot be read.
+    pub fn len(&self) -> io::Result<usize> {
+        let mut n = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("res_") && name.ends_with(".bin") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Whether the store holds no records.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ResultStore::len`].
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+// ------------------------------------------------- requests and cells --
+
+/// One point of the design space: a benchmark under a configuration.
+/// Requests expand to these; tests may also construct them directly
+/// (e.g. with a fault plan in `cfg`) and hand them to
+/// [`DseService::run_streaming`].
+#[derive(Clone, Debug)]
+pub struct DseCell {
+    /// The workload.
+    pub bench: Benchmark,
+    /// The machine. Any configuration is legal here, including fault
+    /// plans — the cache key covers every result-affecting field.
+    pub cfg: MachineConfig,
+    /// Display label (no whitespace; it travels in `CELL` lines).
+    pub label: String,
+}
+
+/// A config-matrix request: benchmarks × (N+M) port grid × combining ×
+/// fast-forwarding, under one [`RunPlan`].
+#[derive(Clone, Debug)]
+pub struct DseRequest {
+    /// Benchmarks to sweep.
+    pub benches: Vec<Benchmark>,
+    /// (N, M) port-grid points; `M == 0` means no LVC.
+    pub grid: Vec<(u32, u32)>,
+    /// Access-combining degrees to cross with each LVC point (ignored
+    /// for `M == 0` points, where combining does not exist).
+    pub combining: Vec<u32>,
+    /// Fast-data-forwarding settings to cross with each LVC point
+    /// (likewise ignored for `M == 0`).
+    pub fast_forward: Vec<bool>,
+    /// Optional LVC size override in bytes (LVC points only).
+    pub lvc_bytes: Option<u32>,
+    /// Workload scale fed to [`Benchmark::program`].
+    pub seed: u32,
+    /// How each cell is measured.
+    pub plan: RunPlan,
+}
+
+fn bench_from_name(s: &str) -> Option<Benchmark> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == s || b.name().split('.').nth(1) == Some(s))
+}
+
+fn parse_list<T, E>(v: &str, f: impl Fn(&str) -> Result<T, E>) -> Result<Vec<T>, E> {
+    v.split(',').filter(|s| !s.is_empty()).map(f).collect()
+}
+
+impl DseRequest {
+    /// Parses the one-line wire form produced by [`DseRequest::to_line`]:
+    ///
+    /// ```text
+    /// DSE v1 benches=compress,li grid=2+0,4+2 comb=2 ff=1 seed=N \
+    ///     plan=full budget=30000
+    /// DSE v1 benches=vortex grid=4+2 plan=sampled budget=60000 \
+    ///     windows=8 window=4000 warmup=2000 conf=95 fwarm=1 \
+    ///     adaptive=0.05 maxwin=64
+    /// ```
+    ///
+    /// `benches` and `grid` are required; everything else defaults
+    /// (combining 2 and fast forwarding on — the paper's recommended
+    /// design point — seed [`DEFAULT_SEED`], a full run at
+    /// [`DEFAULT_BUDGET`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first malformed token.
+    pub fn parse(line: &str) -> Result<DseRequest, String> {
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("DSE") || toks.next() != Some("v1") {
+            return Err("request must open with 'DSE v1'".into());
+        }
+        let mut kv: HashMap<&str, &str> = HashMap::new();
+        for t in toks {
+            let (k, v) = t
+                .split_once('=')
+                .ok_or_else(|| format!("malformed token '{t}' (expected key=value)"))?;
+            kv.insert(k, v);
+        }
+        let benches = parse_list(kv.get("benches").ok_or("missing benches=")?, |s| {
+            bench_from_name(s).ok_or_else(|| format!("unknown benchmark '{s}'"))
+        })?;
+        if benches.is_empty() {
+            return Err("benches= names no benchmarks".into());
+        }
+        let grid = parse_list(kv.get("grid").ok_or("missing grid=")?, |s| {
+            let (n, m) = s
+                .split_once('+')
+                .ok_or_else(|| format!("malformed grid point '{s}' (expected N+M)"))?;
+            let n: u32 = n.parse().map_err(|_| format!("bad port count '{n}'"))?;
+            let m: u32 = m.parse().map_err(|_| format!("bad port count '{m}'"))?;
+            if n == 0 {
+                return Err(format!("grid point '{s}' has zero L1 ports"));
+            }
+            Ok((n, m))
+        })?;
+        if grid.is_empty() {
+            return Err("grid= names no points".into());
+        }
+        let num = |k: &str, default: u64| -> Result<u64, String> {
+            match kv.get(k) {
+                Some(v) => v.parse().map_err(|_| format!("bad {k}= value '{v}'")),
+                None => Ok(default),
+            }
+        };
+        let combining = match kv.get("comb") {
+            Some(v) => parse_list(v, |s| {
+                s.parse::<u32>()
+                    .map_err(|_| format!("bad comb value '{s}'"))
+            })?,
+            None => vec![2],
+        };
+        let fast_forward = match kv.get("ff") {
+            Some(v) => parse_list(v, |s| match s {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                _ => Err(format!("bad ff value '{s}' (expected 0 or 1)")),
+            })?,
+            None => vec![true],
+        };
+        let lvc_bytes = match kv.get("lvc") {
+            Some(v) => Some(
+                v.parse::<u32>()
+                    .map_err(|_| format!("bad lvc= value '{v}'"))?,
+            ),
+            None => None,
+        };
+        let seed = num("seed", u64::from(DEFAULT_SEED))? as u32;
+        let budget = num("budget", DEFAULT_BUDGET)?;
+        let windows = num("windows", 0)? as usize;
+        let plan = if kv.get("plan").copied() == Some("sampled") || windows > 0 {
+            let conf = num("conf", 95)? as u32;
+            let confidence = Confidence::from_percent(conf)
+                .ok_or_else(|| format!("bad conf= value '{conf}' (expected 90/95/99)"))?;
+            let adaptive = match kv.get("adaptive") {
+                Some(v) => {
+                    let f: f64 = v
+                        .parse()
+                        .map_err(|_| format!("bad adaptive= value '{v}'"))?;
+                    (f > 0.0).then_some(f)
+                }
+                None => None,
+            };
+            RunPlan::Sampled(SamplingConfig {
+                windows: windows.max(2),
+                window_insts: num("window", 4_000)?,
+                warmup_insts: num("warmup", 2_000)?,
+                budget,
+                confidence,
+                functional_warmup: num("fwarm", 1)? != 0,
+                adaptive_target: adaptive,
+                max_windows: num("maxwin", 64)? as usize,
+            })
+        } else {
+            RunPlan::Full { budget }
+        };
+        Ok(DseRequest {
+            benches,
+            grid,
+            combining: if combining.is_empty() {
+                vec![2]
+            } else {
+                combining
+            },
+            fast_forward: if fast_forward.is_empty() {
+                vec![true]
+            } else {
+                fast_forward
+            },
+            lvc_bytes,
+            seed,
+            plan,
+        })
+    }
+
+    /// Renders the one-line wire form [`DseRequest::parse`] reads back.
+    pub fn to_line(&self) -> String {
+        let benches: Vec<&str> = self.benches.iter().map(|b| b.name()).collect();
+        let grid: Vec<String> = self.grid.iter().map(|(n, m)| format!("{n}+{m}")).collect();
+        let comb: Vec<String> = self.combining.iter().map(|c| c.to_string()).collect();
+        let ff: Vec<&str> = self
+            .fast_forward
+            .iter()
+            .map(|f| if *f { "1" } else { "0" })
+            .collect();
+        let mut line = format!(
+            "DSE v1 benches={} grid={} comb={} ff={} seed={}",
+            benches.join(","),
+            grid.join(","),
+            comb.join(","),
+            ff.join(","),
+            self.seed
+        );
+        if let Some(b) = self.lvc_bytes {
+            line.push_str(&format!(" lvc={b}"));
+        }
+        match &self.plan {
+            RunPlan::Full { budget } => line.push_str(&format!(" plan=full budget={budget}")),
+            RunPlan::Sampled(s) => {
+                line.push_str(&format!(
+                    " plan=sampled budget={} windows={} window={} warmup={} conf={} fwarm={}",
+                    s.budget,
+                    s.windows,
+                    s.window_insts,
+                    s.warmup_insts,
+                    s.confidence.percent(),
+                    if s.functional_warmup { 1 } else { 0 }
+                ));
+                if let Some(t) = s.adaptive_target {
+                    line.push_str(&format!(" adaptive={t} maxwin={}", s.max_windows));
+                }
+            }
+        }
+        line
+    }
+
+    /// Expands the matrix into concrete cells, deduplicated by
+    /// result-affecting content: an `M == 0` point appears once per
+    /// benchmark no matter how many combining/forwarding settings are
+    /// crossed (those knobs do not exist without an LVC), and identical
+    /// configurations reached by different coordinates collapse.
+    pub fn expand(&self) -> Vec<DseCell> {
+        let mut cells = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut push = |bench: Benchmark, cfg: MachineConfig, label: String| {
+            let id = format!("{} {}", bench.name(), cfg.result_fingerprint_text());
+            if seen.insert(id) {
+                cells.push(DseCell { bench, cfg, label });
+            }
+        };
+        for &bench in &self.benches {
+            for &(n, m) in &self.grid {
+                if m == 0 {
+                    push(
+                        bench,
+                        MachineConfig::n_plus_m(n, 0),
+                        format!("{}/{n}+0", bench.name()),
+                    );
+                    continue;
+                }
+                for &comb in &self.combining {
+                    for &ff in &self.fast_forward {
+                        let mut cfg = MachineConfig::n_plus_m(n, m)
+                            .with_combining(comb)
+                            .with_fast_forwarding(ff);
+                        if let Some(bytes) = self.lvc_bytes {
+                            cfg = cfg.with_lvc_size(bytes);
+                        }
+                        push(
+                            bench,
+                            cfg,
+                            format!(
+                                "{}/{n}+{m}/c{comb}/f{}",
+                                bench.name(),
+                                if ff { 1 } else { 0 }
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+// ----------------------------------------------------------- service --
+
+/// How a cell was satisfied.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CellStatus {
+    /// Served from the result store — zero instructions simulated.
+    Hit,
+    /// Simulated now (and saved to the store).
+    Miss,
+    /// The simulation failed; the message is the [`SimError`] or panic
+    /// payload.
+    Error(String),
+}
+
+impl CellStatus {
+    /// The wire-protocol status token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CellStatus::Hit => "hit",
+            CellStatus::Miss => "miss",
+            CellStatus::Error(_) => "error",
+        }
+    }
+}
+
+/// One streamed per-cell result.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Index into the expanded cell list.
+    pub index: usize,
+    /// The cell's display label.
+    pub label: String,
+    /// The cell's [`result_key`].
+    pub key: u64,
+    /// Hit, miss, or error.
+    pub status: CellStatus,
+    /// The measurement (absent on error).
+    pub outcome: Option<CellOutcome>,
+    /// Instructions simulated *by this request* for this cell: 0 on a
+    /// hit; committed (full) or detailed + fast-forwarded (sampled) on a
+    /// miss.
+    pub sim_insts: u64,
+}
+
+/// Aggregate of one request's execution.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct DseSummary {
+    /// Cells in the expanded request.
+    pub cells: usize,
+    /// Cells served from the store.
+    pub hits: usize,
+    /// Cells simulated now.
+    pub misses: usize,
+    /// Cells that failed.
+    pub errors: usize,
+    /// Total instructions simulated by this request (0 for an all-hit
+    /// rerun — the warm-cache acceptance gate).
+    pub sim_insts: u64,
+    /// Wall-clock seconds inside the engine.
+    pub host_secs: f64,
+}
+
+/// Simulates one cell from scratch — the exact computation a cache miss
+/// performs, exposed so differential tests can compare a fresh run
+/// against a cached record.
+///
+/// # Errors
+///
+/// [`SimError`] as for [`Simulator::run`] / [`sample_program_adaptive`].
+pub fn compute_cell(
+    cfg: &MachineConfig,
+    program: Arc<Program>,
+    plan: &RunPlan,
+    checkpoints: Option<&CheckpointStore>,
+) -> Result<(CellOutcome, u64), SimError> {
+    match plan {
+        RunPlan::Full { budget } => {
+            let r = Simulator::new(cfg.clone())?.run_shared(program, *budget)?;
+            let insts = r.committed;
+            Ok((CellOutcome::Full(r), insts))
+        }
+        RunPlan::Sampled(scfg) => {
+            let (run, rounds) = sample_program_adaptive(cfg, program, scfg, checkpoints)?;
+            let insts = run.detailed_insts + run.fast_forwarded;
+            Ok((
+                CellOutcome::Sampled(SampledCell::from_run(&run, rounds)),
+                insts,
+            ))
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// The memoized DSE engine: a [`ResultStore`] of finished measurements,
+/// an optional [`CheckpointStore`] of fast-forward positions shared by
+/// every sampled-cell worker, and the kernel version stamped into cache
+/// keys.
+#[derive(Debug)]
+pub struct DseService {
+    results: ResultStore,
+    checkpoints: Option<CheckpointStore>,
+    kernel_version: u32,
+}
+
+impl DseService {
+    /// A service over `results`, optionally sharing `checkpoints` across
+    /// sampled-cell workers, keyed at [`KERNEL_VERSION`].
+    pub fn new(results: ResultStore, checkpoints: Option<CheckpointStore>) -> DseService {
+        DseService {
+            results,
+            checkpoints,
+            kernel_version: KERNEL_VERSION,
+        }
+    }
+
+    /// Overrides the kernel version in cache keys — the seam
+    /// invalidation tests use to prove a version bump misses.
+    pub fn with_kernel_version(mut self, v: u32) -> DseService {
+        self.kernel_version = v;
+        self
+    }
+
+    /// The kernel version stamped into this service's cache keys.
+    pub fn kernel_version(&self) -> u32 {
+        self.kernel_version
+    }
+
+    /// The underlying result store.
+    pub fn results(&self) -> &ResultStore {
+        &self.results
+    }
+
+    /// Runs `cells` under `plan`, invoking `emit` once per cell as its
+    /// result becomes available: store hits first (in cell order, no
+    /// simulation), then misses as the pool finishes them (completion
+    /// order, each saved to the store). A failing or panicking cell
+    /// emits [`CellStatus::Error`] and never takes down its siblings.
+    ///
+    /// Corrupt store records are treated as misses: the cell is
+    /// recomputed fresh and the good bytes overwrite the bad ones.
+    pub fn run_streaming(
+        &self,
+        cells: &[DseCell],
+        seed: u32,
+        plan: &RunPlan,
+        emit: &mut dyn FnMut(CellReport),
+    ) -> DseSummary {
+        let t0 = Instant::now();
+        // One shared program image (and fingerprint) per distinct
+        // benchmark, regardless of how many cells use it.
+        let mut programs: HashMap<Benchmark, (Arc<Program>, u64)> = HashMap::new();
+        for c in cells {
+            programs.entry(c.bench).or_insert_with(|| {
+                let p = Arc::new(c.bench.program(seed.max(1)));
+                let h = program_fingerprint(&p);
+                (p, h)
+            });
+        }
+        let mut summary = DseSummary {
+            cells: cells.len(),
+            ..DseSummary::default()
+        };
+        let mut misses: Vec<(usize, u64, &DseCell, Arc<Program>)> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let (program, phash) = &programs[&cell.bench];
+            let key = result_key(self.kernel_version, &cell.cfg, *phash, seed, plan);
+            match self.results.load(key) {
+                Ok(Some(outcome)) => {
+                    summary.hits += 1;
+                    emit(CellReport {
+                        index: i,
+                        label: cell.label.clone(),
+                        key,
+                        status: CellStatus::Hit,
+                        outcome: Some(outcome),
+                        sim_insts: 0,
+                    });
+                }
+                // Absent, corrupt, or unreadable: recompute.
+                Ok(None) | Err(_) => misses.push((i, key, cell, Arc::clone(program))),
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let checkpoints = self.checkpoints.as_ref();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let tasks: Vec<_> = misses
+                    .into_iter()
+                    .map(|(i, key, cell, program)| {
+                        let tx = tx.clone();
+                        let plan = plan.clone();
+                        move || {
+                            // Catch the panic here (not just at the pool
+                            // boundary) so every cell sends *something*
+                            // and the receiver never waits on a lost
+                            // index.
+                            let out = catch_unwind(AssertUnwindSafe(|| {
+                                compute_cell(&cell.cfg, program, &plan, checkpoints)
+                            }));
+                            let res = match out {
+                                Ok(Ok(v)) => Ok(v),
+                                Ok(Err(e)) => Err(e.to_string()),
+                                Err(p) => Err(panic_text(p.as_ref())),
+                            };
+                            let _ = tx.send((i, key, cell.label.clone(), res));
+                        }
+                    })
+                    .collect();
+                drop(tx); // workers hold the remaining senders
+                let workers = pool::default_workers(tasks.len());
+                pool::run_tasks(tasks, workers);
+            });
+            for (i, key, label, res) in rx {
+                match res {
+                    Ok((outcome, insts)) => {
+                        let _ = self.results.save(key, &outcome); // best effort
+                        summary.misses += 1;
+                        summary.sim_insts += insts;
+                        emit(CellReport {
+                            index: i,
+                            label,
+                            key,
+                            status: CellStatus::Miss,
+                            outcome: Some(outcome),
+                            sim_insts: insts,
+                        });
+                    }
+                    Err(msg) => {
+                        summary.errors += 1;
+                        emit(CellReport {
+                            index: i,
+                            label,
+                            key,
+                            status: CellStatus::Error(msg.clone()),
+                            outcome: None,
+                            sim_insts: 0,
+                        });
+                    }
+                }
+            }
+        });
+        summary.host_secs = t0.elapsed().as_secs_f64();
+        summary
+    }
+
+    /// [`DseService::run_streaming`] over a parsed request's expansion,
+    /// discarding per-cell reports — the convenience tests and warm-up
+    /// passes use.
+    pub fn run_request(&self, req: &DseRequest) -> (Vec<CellReport>, DseSummary) {
+        let cells = req.expand();
+        let mut reports = Vec::with_capacity(cells.len());
+        let summary = self.run_streaming(&cells, req.seed, &req.plan, &mut |r| reports.push(r));
+        (reports, summary)
+    }
+}
+
+// ------------------------------------------------------ wire protocol --
+
+/// Renders one `CELL` protocol line.
+pub fn cell_line(rep: &CellReport) -> String {
+    let mut line = format!(
+        "CELL i={} status={} key={:016x} label={}",
+        rep.index,
+        rep.status.as_str(),
+        rep.key,
+        rep.label
+    );
+    match (&rep.status, &rep.outcome) {
+        (CellStatus::Error(msg), _) => {
+            line.push_str(&format!(" msg={msg}"));
+        }
+        (_, Some(out)) => {
+            line.push_str(&format!(
+                " kind={} cpi={:.6} ci={:.6} insts={} sim={}",
+                out.kind(),
+                out.cpi(),
+                out.cpi_half_width(),
+                out.measured_insts(),
+                rep.sim_insts
+            ));
+        }
+        (_, None) => {}
+    }
+    line
+}
+
+fn handle_conn(stream: TcpStream, svc: &DseService) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    writeln!(out, "HELLO dse v1 kernel={}", svc.kernel_version())?;
+    out.flush()?;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(()); // client hung up before sending a request
+    }
+    let req = match DseRequest::parse(line.trim()) {
+        Ok(r) => r,
+        Err(msg) => {
+            writeln!(out, "ERR {msg}")?;
+            return out.flush();
+        }
+    };
+    let cells = req.expand();
+    // Stream each CELL line as its result lands; an I/O failure
+    // (client gone) stops writing but lets the engine finish, so the
+    // store still absorbs every computed result.
+    let mut io_err: Option<io::Error> = None;
+    let summary = svc.run_streaming(&cells, req.seed, &req.plan, &mut |rep| {
+        if io_err.is_some() {
+            return;
+        }
+        let r = writeln!(out, "{}", cell_line(&rep)).and_then(|()| out.flush());
+        if let Err(e) = r {
+            io_err = Some(e);
+        }
+    });
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    writeln!(
+        out,
+        "DONE cells={} hits={} misses={} errors={} sim_insts={} secs={:.3}",
+        summary.cells,
+        summary.hits,
+        summary.misses,
+        summary.errors,
+        summary.sim_insts,
+        summary.host_secs
+    )?;
+    out.flush()
+}
+
+/// Serves line-delimited DSE requests on `listener`, one connection at a
+/// time: `HELLO` greeting, one request line in, streamed `CELL` lines
+/// and a final `DONE` (or `ERR`) out. Stops after `max_conns`
+/// connections when given (the smoke-test shape); serves forever
+/// otherwise. A connection-level I/O error is logged and the next
+/// connection served.
+///
+/// # Errors
+///
+/// An [`io::Error`] from accepting on the listener itself.
+pub fn serve(listener: &TcpListener, svc: &DseService, max_conns: Option<usize>) -> io::Result<()> {
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(s) => {
+                if let Err(e) = handle_conn(s, svc) {
+                    eprintln!("[dse_server] connection error: {e}");
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        served += 1;
+        if max_conns.is_some_and(|m| served >= m) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dda-dse-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn tiny_full_request() -> DseRequest {
+        DseRequest {
+            benches: vec![Benchmark::Compress],
+            grid: vec![(2, 0), (4, 2)],
+            combining: vec![2],
+            fast_forward: vec![true],
+            lvc_bytes: None,
+            seed: DEFAULT_SEED,
+            plan: RunPlan::Full { budget: 4_000 },
+        }
+    }
+
+    #[test]
+    fn request_line_round_trips() {
+        let req = DseRequest {
+            benches: vec![Benchmark::Compress, Benchmark::Li],
+            grid: vec![(2, 0), (4, 2)],
+            combining: vec![1, 2],
+            fast_forward: vec![false, true],
+            lvc_bytes: Some(4096),
+            seed: 7,
+            plan: RunPlan::Sampled(SamplingConfig {
+                windows: 4,
+                window_insts: 1_000,
+                warmup_insts: 500,
+                budget: 40_000,
+                confidence: Confidence::C99,
+                functional_warmup: true,
+                adaptive_target: Some(0.05),
+                max_windows: 16,
+            }),
+        };
+        let line = req.to_line();
+        let back = DseRequest::parse(&line).expect("round trip parses");
+        assert_eq!(back.to_line(), line);
+        assert_eq!(back.benches, req.benches);
+        assert_eq!(back.grid, req.grid);
+        assert_eq!(back.combining, req.combining);
+        assert_eq!(back.fast_forward, req.fast_forward);
+        assert_eq!(back.lvc_bytes, req.lvc_bytes);
+        assert_eq!(back.seed, req.seed);
+        match (&back.plan, &req.plan) {
+            (RunPlan::Sampled(a), RunPlan::Sampled(b)) => {
+                assert_eq!(a.windows, b.windows);
+                assert_eq!(a.adaptive_target, b.adaptive_target);
+                assert_eq!(a.max_windows, b.max_windows);
+            }
+            _ => panic!("plan kind changed in round trip"),
+        }
+
+        let full = tiny_full_request();
+        let back = DseRequest::parse(&full.to_line()).expect("full plan parses");
+        assert!(matches!(back.plan, RunPlan::Full { budget: 4_000 }));
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        for (line, needle) in [
+            ("HELLO", "DSE v1"),
+            ("DSE v1 grid=2+0", "benches"),
+            ("DSE v1 benches=compress", "grid"),
+            ("DSE v1 benches=nosuch grid=2+0", "nosuch"),
+            ("DSE v1 benches=compress grid=2x0", "2x0"),
+            ("DSE v1 benches=compress grid=0+1", "zero L1 ports"),
+            ("DSE v1 benches=compress grid=2+0 conf=42 windows=2", "conf"),
+            ("DSE v1 benches=compress grid=2+0 bad-token", "bad-token"),
+        ] {
+            let err = DseRequest::parse(line).expect_err(line);
+            assert!(err.contains(needle), "{line:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn expansion_dedupes_and_skips_non_lvc_knobs() {
+        let req = DseRequest {
+            benches: vec![Benchmark::Compress],
+            // The duplicate (2,0) and the combining/ff cross on M=0
+            // must all collapse.
+            grid: vec![(2, 0), (2, 0), (4, 2)],
+            combining: vec![1, 2],
+            fast_forward: vec![false, true],
+            lvc_bytes: None,
+            seed: DEFAULT_SEED,
+            plan: RunPlan::Full { budget: 1_000 },
+        };
+        let cells = req.expand();
+        // 1 baseline + 2×2 LVC variants.
+        assert_eq!(cells.len(), 5);
+        assert!(cells.iter().all(|c| !c.label.contains(' ')));
+        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.contains(&"129.compress/2+0"));
+        assert!(labels.contains(&"129.compress/4+2/c2/f1"));
+    }
+
+    #[test]
+    fn outcome_codec_round_trips_both_kinds() {
+        let program = Arc::new(Benchmark::Compress.program(DEFAULT_SEED));
+        let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
+        let (full, _) = compute_cell(
+            &cfg,
+            Arc::clone(&program),
+            &RunPlan::Full { budget: 3_000 },
+            None,
+        )
+        .expect("full run");
+        assert_eq!(CellOutcome::from_bytes(&full.to_bytes()).unwrap(), full);
+
+        let plan = RunPlan::Sampled(SamplingConfig {
+            windows: 3,
+            window_insts: 600,
+            warmup_insts: 300,
+            budget: 12_000,
+            ..SamplingConfig::for_budget(0)
+        });
+        let (sampled, _) = compute_cell(&cfg, program, &plan, None).expect("sampled run");
+        assert_eq!(
+            CellOutcome::from_bytes(&sampled.to_bytes()).unwrap(),
+            sampled
+        );
+
+        // Malformations are typed, never garbage.
+        let good = sampled.to_bytes();
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            CellOutcome::from_bytes(&bad),
+            Err(ResultCodecError::BadMagic(_))
+        ));
+        let mut bad = good.clone();
+        bad.push(9);
+        assert!(matches!(
+            CellOutcome::from_bytes(&bad),
+            Err(ResultCodecError::TrailingBytes(1))
+        ));
+        assert!(CellOutcome::from_bytes(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn result_key_separates_every_input() {
+        let cfg = MachineConfig::n_plus_m(4, 2);
+        let base = result_key(1, &cfg, 0xABCD, 7, &RunPlan::Full { budget: 100 });
+        // Kernel version, config, program, seed, and plan all key.
+        assert_ne!(
+            base,
+            result_key(2, &cfg, 0xABCD, 7, &RunPlan::Full { budget: 100 })
+        );
+        assert_ne!(
+            base,
+            result_key(
+                1,
+                &MachineConfig::n_plus_m(4, 4),
+                0xABCD,
+                7,
+                &RunPlan::Full { budget: 100 }
+            )
+        );
+        assert_ne!(
+            base,
+            result_key(1, &cfg, 0xABCE, 7, &RunPlan::Full { budget: 100 })
+        );
+        assert_ne!(
+            base,
+            result_key(1, &cfg, 0xABCD, 8, &RunPlan::Full { budget: 100 })
+        );
+        assert_ne!(
+            base,
+            result_key(1, &cfg, 0xABCD, 7, &RunPlan::Full { budget: 101 })
+        );
+        // Result-neutral flags don't key.
+        let audited = cfg.clone().with_audit(true);
+        assert_eq!(
+            base,
+            result_key(1, &audited, 0xABCD, 7, &RunPlan::Full { budget: 100 })
+        );
+    }
+
+    #[test]
+    fn service_streams_misses_then_hits_identically() {
+        let dir = temp_dir("service");
+        let svc = DseService::new(ResultStore::open(&dir).expect("store opens"), None);
+        let req = tiny_full_request();
+        let (cold, cold_sum) = svc.run_request(&req);
+        assert_eq!(cold_sum.misses, cold_sum.cells);
+        assert_eq!(cold_sum.hits, 0);
+        assert!(cold_sum.sim_insts > 0);
+        let (warm, warm_sum) = svc.run_request(&req);
+        assert_eq!(warm_sum.hits, warm_sum.cells);
+        assert_eq!(warm_sum.misses, 0);
+        assert_eq!(warm_sum.sim_insts, 0, "warm rerun must simulate nothing");
+        // Bit-identical outcomes, hit or miss.
+        let by_index = |mut v: Vec<CellReport>| {
+            v.sort_by_key(|r| r.index);
+            v
+        };
+        let (cold, warm) = (by_index(cold), by_index(warm));
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.key, w.key);
+            assert_eq!(c.outcome, w.outcome);
+            assert_eq!(w.sim_insts, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_failing_cell_is_isolated_as_an_error() {
+        let dir = temp_dir("error");
+        let svc = DseService::new(ResultStore::open(&dir).expect("store opens"), None);
+        let mut bad = MachineConfig::n_plus_m(2, 0);
+        bad.rob_size = 0; // structurally invalid: Simulator::new errors
+        let cells = vec![
+            DseCell {
+                bench: Benchmark::Compress,
+                cfg: bad,
+                label: "bad".into(),
+            },
+            DseCell {
+                bench: Benchmark::Compress,
+                cfg: MachineConfig::n_plus_m(2, 0),
+                label: "good".into(),
+            },
+        ];
+        let mut reports = Vec::new();
+        let sum = svc.run_streaming(
+            &cells,
+            DEFAULT_SEED,
+            &RunPlan::Full { budget: 2_000 },
+            &mut |r| reports.push(r),
+        );
+        assert_eq!(sum.errors, 1);
+        assert_eq!(sum.misses, 1);
+        reports.sort_by_key(|r| r.index);
+        assert!(matches!(reports[0].status, CellStatus::Error(_)));
+        assert!(reports[0].outcome.is_none());
+        assert!(matches!(reports[1].status, CellStatus::Miss));
+        // The error was not cached: rerunning retries it.
+        let mut statuses = Vec::new();
+        svc.run_streaming(
+            &cells,
+            DEFAULT_SEED,
+            &RunPlan::Full { budget: 2_000 },
+            &mut |r| statuses.push((r.index, r.status.clone())),
+        );
+        statuses.sort_by_key(|(i, _)| *i);
+        assert!(matches!(statuses[0].1, CellStatus::Error(_)));
+        assert!(matches!(statuses[1].1, CellStatus::Hit));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_lines_carry_the_protocol_fields() {
+        let rep = CellReport {
+            index: 3,
+            label: "129.compress/4+2/c2/f1".into(),
+            key: 0xDEAD_BEEF,
+            status: CellStatus::Hit,
+            outcome: Some(CellOutcome::Full(SimResult {
+                cycles: 200,
+                committed: 100,
+                halted: false,
+                stall_rob_full: 0,
+                stall_lsq_full: 0,
+                stall_lvaq_full: 0,
+                misclassifications: 0,
+                lsq: Default::default(),
+                lvaq: Default::default(),
+                l1: Default::default(),
+                lvc: None,
+                l2: Default::default(),
+                load_latency_sum: 0,
+                load_latency_count: 0,
+                faults: Default::default(),
+            })),
+            sim_insts: 0,
+        };
+        let line = cell_line(&rep);
+        for needle in [
+            "CELL i=3",
+            "status=hit",
+            "key=00000000deadbeef",
+            "kind=full",
+            "cpi=2.000000",
+            "ci=0.000000",
+            "insts=100",
+            "sim=0",
+        ] {
+            assert!(line.contains(needle), "{line:?} missing {needle}");
+        }
+        let err = CellReport {
+            status: CellStatus::Error("boom with spaces".into()),
+            outcome: None,
+            ..rep
+        };
+        assert!(cell_line(&err).contains("msg=boom with spaces"));
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod campaign;
 pub mod checkpoint;
+pub mod dse;
 mod experiments;
 mod harness;
 pub mod microbench;
@@ -21,10 +22,14 @@ pub mod pool;
 pub mod sampling;
 
 pub use checkpoint::{config_fingerprint, program_fingerprint, CheckpointStore};
+pub use dse::{
+    compute_cell, result_key, CellOutcome, CellReport, CellStatus, DseCell, DseRequest, DseService,
+    DseSummary, ResultStore, RunPlan, SampledCell, KERNEL_VERSION,
+};
 pub use microbench::{Bencher, BenchmarkGroup, Criterion, Throughput};
 pub use sampling::{
-    sample_program, sample_program_stored, tags_from_checkpoint, Confidence, Estimate, SampledRun,
-    SamplingConfig, WindowSample,
+    sample_program, sample_program_adaptive, sample_program_stored, tags_from_checkpoint,
+    Confidence, Estimate, SampledRun, SamplingConfig, WindowSample,
 };
 
 pub use experiments::{

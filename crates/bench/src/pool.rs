@@ -23,13 +23,36 @@ use std::sync::Mutex;
 /// What one task left behind: its value, or the payload of its panic.
 pub type TaskResult<T> = std::thread::Result<T>;
 
-/// The number of workers a sweep of `tasks` tasks should use: one per
-/// available CPU, never more than the task count, always at least one.
+/// The number of workers a sweep of `tasks` tasks should use: the
+/// `DDA_WORKERS` override when set (read once; useful both to throttle a
+/// shared host and to force serial execution for timing comparisons),
+/// otherwise one per available CPU — never more than the task count,
+/// always at least one.
 pub fn default_workers(tasks: usize) -> usize {
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    use std::sync::OnceLock;
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    let over = *OVERRIDE.get_or_init(|| parse_workers_override(std::env::var("DDA_WORKERS").ok()));
+    let cpus = over.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     cpus.min(tasks).max(1)
+}
+
+/// Parses the `DDA_WORKERS` value: a positive integer is an override,
+/// anything else (absent, garbage, zero) falls back to the CPU count.
+fn parse_workers_override(var: Option<String>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The host parallelism the pool would use for an unbounded task count —
+/// `default_workers` before the task-count clamp. Reported by sweep
+/// binaries so a `parallel_speedup` near 1.0 on a 1-core container reads
+/// as the host limitation it is, not a pool regression.
+pub fn host_parallelism() -> usize {
+    default_workers(usize::MAX)
 }
 
 /// Runs every task on `workers` work-stealing worker threads and returns
@@ -211,5 +234,23 @@ mod tests {
         assert_eq!(default_workers(0), 1);
         assert_eq!(default_workers(1), 1);
         assert!(default_workers(1_000_000) >= 1);
+        // The unclamped host view is what the clamp starts from.
+        assert!(host_parallelism() >= 1);
+        assert_eq!(
+            default_workers(1_000_000),
+            host_parallelism().min(1_000_000)
+        );
+    }
+
+    #[test]
+    fn workers_override_parses_positive_integers_only() {
+        // The env read is cached in a OnceLock (so one process observes
+        // one value); the parse itself is tested through its seam.
+        assert_eq!(parse_workers_override(None), None);
+        assert_eq!(parse_workers_override(Some("".into())), None);
+        assert_eq!(parse_workers_override(Some("0".into())), None);
+        assert_eq!(parse_workers_override(Some("banana".into())), None);
+        assert_eq!(parse_workers_override(Some("3".into())), Some(3));
+        assert_eq!(parse_workers_override(Some(" 16 ".into())), Some(16));
     }
 }

@@ -116,11 +116,21 @@ pub struct SamplingConfig {
     /// Feed every fast-forwarded access into a [`FunctionalWarmup`] and
     /// start each window with the warmed cache tags.
     pub functional_warmup: bool,
+    /// Adaptive window counts: when set, [`sample_program_adaptive`]
+    /// grows the window count geometrically (doubling from `windows`)
+    /// until the CPI confidence half-width falls to at most this fraction
+    /// of the CPI mean, or `max_windows` is reached. `None` keeps the
+    /// fixed `windows` count.
+    pub adaptive_target: Option<f64>,
+    /// Hard cap on the adaptively grown window count (ignored by the
+    /// fixed-count drivers).
+    pub max_windows: usize,
 }
 
 impl SamplingConfig {
     /// A sane default shape: 8 windows × 4000 instructions, 2000-deep
-    /// detailed warm-up, functional cache warming, 95 % intervals.
+    /// detailed warm-up, functional cache warming, 95 % intervals, no
+    /// adaptive growth (cap 64 when enabled).
     pub fn for_budget(budget: u64) -> SamplingConfig {
         SamplingConfig {
             windows: 8,
@@ -129,6 +139,8 @@ impl SamplingConfig {
             budget,
             confidence: Confidence::C95,
             functional_warmup: true,
+            adaptive_target: None,
+            max_windows: 64,
         }
     }
 
@@ -139,7 +151,7 @@ impl SamplingConfig {
 }
 
 /// One measured window of a sampled run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct WindowSample {
     /// Dynamic instruction index at which detailed simulation started
     /// (the warm-up prefix begins here).
@@ -158,7 +170,7 @@ pub struct WindowSample {
 }
 
 /// A mean with its two-sided confidence half-width.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Estimate {
     /// Sample mean over the windows.
     pub mean: f64,
@@ -378,6 +390,53 @@ pub fn sample_program_stored(
     })
 }
 
+/// [`sample_program_stored`] with adaptive window counts: when
+/// [`SamplingConfig::adaptive_target`] is set, the window count grows
+/// geometrically (doubling, starting from `windows`, capped at
+/// `max_windows`) until the CPI confidence half-width is at most
+/// `target × |mean|`. Returns the final run and the number of rounds
+/// taken (1 when the first count sufficed or no target was set).
+///
+/// Growth stops early when the program halts before filling the
+/// requested windows — more windows cannot tighten an interval the
+/// program is too short to populate. Each round re-samples from scratch
+/// at the new spacing, so a shared [`CheckpointStore`] pays off doubly
+/// here: positions probed by earlier rounds restore instead of replaying.
+///
+/// # Errors
+///
+/// As for [`sample_program`].
+pub fn sample_program_adaptive(
+    cfg: &MachineConfig,
+    program: Arc<Program>,
+    scfg: &SamplingConfig,
+    store: Option<&CheckpointStore>,
+) -> Result<(SampledRun, u32), SimError> {
+    let Some(target) = scfg.adaptive_target else {
+        return Ok((sample_program_stored(cfg, program, scfg, store)?, 1));
+    };
+    let cap = scfg.max_windows.max(scfg.windows.max(2));
+    let mut k = scfg.windows.max(2);
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        let round_cfg = SamplingConfig {
+            windows: k,
+            adaptive_target: None,
+            ..scfg.clone()
+        };
+        let run = sample_program_stored(cfg, Arc::clone(&program), &round_cfg, store)?;
+        let tight = run.cpi.half_width.is_finite()
+            && run.cpi.mean.abs() > 0.0
+            && run.cpi.half_width <= target * run.cpi.mean.abs();
+        let starved = run.windows.len() < k; // halted before the last start
+        if tight || starved || k >= cap {
+            return Ok((run, rounds));
+        }
+        k = (k * 2).min(cap);
+    }
+}
+
 /// Fast-forwards `vm` by `n` instructions, feeding every memory access to
 /// the warmup model when present.
 fn fast_forward_warming(
@@ -499,6 +558,7 @@ mod tests {
             budget: 40_000,
             confidence: Confidence::C95,
             functional_warmup: true,
+            ..SamplingConfig::for_budget(0)
         };
         let a = sample_program(&cfg, Arc::clone(&program), &scfg).unwrap();
         let b = sample_program(&cfg, program, &scfg).unwrap();
@@ -559,6 +619,7 @@ mod tests {
             budget: 30_000,
             confidence: Confidence::C95,
             functional_warmup: true,
+            ..SamplingConfig::for_budget(0)
         };
         let plain = sample_program(&cfg, Arc::clone(&program), &scfg).unwrap();
         let cold = sample_program_stored(&cfg, Arc::clone(&program), &scfg, Some(&store)).unwrap();
@@ -586,6 +647,76 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_growth_tightens_or_caps() {
+        let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
+        let program = Arc::new(Benchmark::Compress.program(u32::MAX / 2));
+        // No target: single round, identical to the fixed-count driver.
+        let scfg = SamplingConfig {
+            windows: 3,
+            window_insts: 800,
+            warmup_insts: 400,
+            budget: 30_000,
+            ..SamplingConfig::for_budget(30_000)
+        };
+        let (fixed, rounds) =
+            sample_program_adaptive(&cfg, Arc::clone(&program), &scfg, None).unwrap();
+        assert_eq!(rounds, 1);
+        let plain = sample_program(&cfg, Arc::clone(&program), &scfg).unwrap();
+        assert_eq!(fixed.windows, plain.windows);
+
+        // An absurdly tight target: growth happens and respects the cap.
+        let tight = SamplingConfig {
+            adaptive_target: Some(1e-12),
+            max_windows: 12,
+            ..scfg.clone()
+        };
+        let (run, rounds) =
+            sample_program_adaptive(&cfg, Arc::clone(&program), &tight, None).unwrap();
+        assert!(rounds > 1, "tight target should force growth");
+        assert_eq!(run.windows.len(), 12, "growth stops at the cap");
+
+        // A loose target: the starting count already satisfies it.
+        let loose = SamplingConfig {
+            adaptive_target: Some(100.0),
+            ..scfg.clone()
+        };
+        let (run, rounds) = sample_program_adaptive(&cfg, program, &loose, None).unwrap();
+        assert_eq!(rounds, 1);
+        assert_eq!(run.windows.len(), 3);
+        assert!(run.cpi.half_width <= 100.0 * run.cpi.mean);
+    }
+
+    #[test]
+    fn adaptive_rounds_are_deterministic_with_a_store() {
+        let dir = std::env::temp_dir().join(format!("dda-adaptive-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        let cfg = MachineConfig::n_plus_m(4, 2).with_optimizations();
+        let program = Arc::new(Benchmark::Li.program(u32::MAX / 2));
+        let scfg = SamplingConfig {
+            windows: 2,
+            window_insts: 600,
+            warmup_insts: 300,
+            budget: 24_000,
+            adaptive_target: Some(0.02),
+            max_windows: 8,
+            ..SamplingConfig::for_budget(24_000)
+        };
+        let (a, ra) =
+            sample_program_adaptive(&cfg, Arc::clone(&program), &scfg, Some(&store)).unwrap();
+        let (b, rb) =
+            sample_program_adaptive(&cfg, Arc::clone(&program), &scfg, Some(&store)).unwrap();
+        // The store (cold vs hot) must not change a single measurement or
+        // the growth trajectory.
+        assert_eq!(ra, rb);
+        assert_eq!(a.windows, b.windows);
+        let (c, rc) = sample_program_adaptive(&cfg, program, &scfg, None).unwrap();
+        assert_eq!(ra, rc);
+        assert_eq!(a.windows, c.windows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn short_programs_yield_fewer_windows() {
         use dda_program::{FunctionBuilder, ProgramBuilder};
         let mut f = FunctionBuilder::new("main");
@@ -606,6 +737,7 @@ mod tests {
             budget: 1_000_000,
             confidence: Confidence::C95,
             functional_warmup: false,
+            ..SamplingConfig::for_budget(0)
         };
         let s = sample_program(&cfg, program, &scfg).unwrap();
         assert!(s.halted_early);

@@ -248,6 +248,25 @@ impl MachineConfig {
         self.hierarchy.lvc.is_some()
     }
 
+    /// A stable textual rendering of every *result-affecting* field — the
+    /// content a design-space-exploration cache keys simulation results
+    /// by (hashed together with the program, seed, sampling plan and
+    /// kernel version).
+    ///
+    /// Two flags are deliberately normalized out: `reference_kernel` and
+    /// `audit` select between implementations proven bit-identical (the
+    /// determinism suite, the differential fuzzer and every throughput
+    /// run enforce it), so a result computed under either serves the
+    /// other. Everything else — widths, capacities, latencies, hierarchy
+    /// geometry, decoupling knobs, the fault plan, even the test-only
+    /// planted defect — changes counters and therefore the fingerprint.
+    pub fn result_fingerprint_text(&self) -> String {
+        let mut canon = self.clone();
+        canon.reference_kernel = false;
+        canon.audit = false;
+        format!("{canon:?}")
+    }
+
     /// Validates widths, capacities, the hierarchy and the fault plan.
     ///
     /// # Errors
@@ -374,6 +393,51 @@ mod tests {
                 .with_optimizations()
                 .planted_defect
         );
+    }
+
+    #[test]
+    fn result_fingerprint_tracks_result_affecting_fields_only() {
+        let base = MachineConfig::n_plus_m(4, 2);
+        assert_eq!(
+            base.result_fingerprint_text(),
+            base.clone().result_fingerprint_text()
+        );
+        // Kernel choice and auditing are proven result-neutral: same text.
+        let mut reference = base.clone();
+        reference.reference_kernel = true;
+        let audited = base.clone().with_audit(true);
+        assert_eq!(
+            base.result_fingerprint_text(),
+            reference.result_fingerprint_text()
+        );
+        assert_eq!(
+            base.result_fingerprint_text(),
+            audited.result_fingerprint_text()
+        );
+        // Anything that moves a counter changes the text.
+        for variant in [
+            base.clone().with_combining(2),
+            base.clone().with_fast_forwarding(true),
+            base.clone().with_lvc_size(4096),
+            base.clone().with_l1_hit_latency(3),
+            MachineConfig::n_plus_m(4, 0),
+            {
+                let mut c = base.clone();
+                c.rob_size = 64;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.planted_defect = true;
+                c
+            },
+        ] {
+            assert_ne!(
+                base.result_fingerprint_text(),
+                variant.result_fingerprint_text(),
+                "variant {variant:?} should change the fingerprint"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Simulation results and statistics.
 
 use dda_mem::{DataCacheStats, L2Stats};
-use dda_stats::Histogram;
+use dda_stats::{ByteReader, ByteWriter, CodecError, Histogram};
 
 use crate::fault::FaultStats;
 
@@ -216,6 +216,235 @@ impl SimResult {
     }
 }
 
+// ------------------------------------------------------- result codec --
+//
+// Serialized `SimResult`s are what the design-space-exploration result
+// cache persists, so the format carries the same commitments as the
+// checkpoint format: a magic word, a version word, and fixed-width
+// little-endian fields via `dda_stats::codec`. Every counter — occupancy
+// histograms and fault accounting included — round-trips bit-exactly;
+// a cached record that decodes must be indistinguishable from a fresh
+// simulation of the same inputs.
+
+/// Magic word opening a serialized [`SimResult`] (`b"DDARSLT1"`).
+const RESULT_MAGIC: u64 = u64::from_le_bytes(*b"DDARSLT1");
+/// Format version of the serialized [`SimResult`] layout.
+const RESULT_VERSION: u32 = 1;
+
+/// Why a serialized [`SimResult`] failed to decode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResultCodecError {
+    /// The input ended before the structure did.
+    Truncated(CodecError),
+    /// The magic word was wrong — not a serialized result at all.
+    BadMagic(u64),
+    /// The version word named a layout this build does not read.
+    BadVersion(u32),
+    /// A tag byte held a value outside its enumeration.
+    BadTag(u8),
+    /// Well-formed structure followed by trailing garbage.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for ResultCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResultCodecError::Truncated(e) => write!(f, "truncated result record: {e}"),
+            ResultCodecError::BadMagic(m) => write!(f, "bad result-record magic {m:#018x}"),
+            ResultCodecError::BadVersion(v) => write!(f, "unsupported result-record version {v}"),
+            ResultCodecError::BadTag(t) => write!(f, "invalid result-record tag byte {t}"),
+            ResultCodecError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after result record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResultCodecError {}
+
+impl From<CodecError> for ResultCodecError {
+    fn from(e: CodecError) -> ResultCodecError {
+        ResultCodecError::Truncated(e)
+    }
+}
+
+fn encode_queue(w: &mut ByteWriter, q: &QueueStats) {
+    w.put_u64(q.loads);
+    w.put_u64(q.stores);
+    w.put_u64(q.forwards);
+    w.put_u64(q.fast_forwards);
+    w.put_u64(q.combined);
+    w.put_u64(q.combine_groups);
+    w.put_u64(q.port_stall_cycles);
+    q.occupancy.encode(w);
+}
+
+fn decode_queue(r: &mut ByteReader) -> Result<QueueStats, ResultCodecError> {
+    Ok(QueueStats {
+        loads: r.get_u64()?,
+        stores: r.get_u64()?,
+        forwards: r.get_u64()?,
+        fast_forwards: r.get_u64()?,
+        combined: r.get_u64()?,
+        combine_groups: r.get_u64()?,
+        port_stall_cycles: r.get_u64()?,
+        occupancy: Histogram::decode(r)?,
+    })
+}
+
+fn encode_cache(w: &mut ByteWriter, c: &DataCacheStats) {
+    w.put_u64(c.reads);
+    w.put_u64(c.writes);
+    w.put_u64(c.hits);
+    w.put_u64(c.misses);
+    w.put_u64(c.miss_merges);
+    w.put_u64(c.mshr_stalls);
+}
+
+fn decode_cache(r: &mut ByteReader) -> Result<DataCacheStats, ResultCodecError> {
+    Ok(DataCacheStats {
+        reads: r.get_u64()?,
+        writes: r.get_u64()?,
+        hits: r.get_u64()?,
+        misses: r.get_u64()?,
+        miss_merges: r.get_u64()?,
+        mshr_stalls: r.get_u64()?,
+    })
+}
+
+impl SimResult {
+    /// Serializes this result with the format's magic and version words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(512);
+        w.put_u64(RESULT_MAGIC);
+        w.put_u32(RESULT_VERSION);
+        w.put_u64(self.cycles);
+        w.put_u64(self.committed);
+        w.put_u8(self.halted as u8);
+        w.put_u64(self.stall_rob_full);
+        w.put_u64(self.stall_lsq_full);
+        w.put_u64(self.stall_lvaq_full);
+        w.put_u64(self.misclassifications);
+        encode_queue(&mut w, &self.lsq);
+        encode_queue(&mut w, &self.lvaq);
+        encode_cache(&mut w, &self.l1);
+        match &self.lvc {
+            Some(lvc) => {
+                w.put_u8(1);
+                encode_cache(&mut w, lvc);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u64(self.l2.requests_from_l1);
+        w.put_u64(self.l2.requests_from_lvc);
+        w.put_u64(self.l2.hits);
+        w.put_u64(self.l2.misses);
+        w.put_u64(self.l2.writebacks_in);
+        w.put_u64(self.l2.writebacks_to_memory);
+        w.put_u64(self.load_latency_sum);
+        w.put_u64(self.load_latency_count);
+        w.put_u64(self.faults.l1_flips_injected);
+        w.put_u64(self.faults.lvc_flips_injected);
+        w.put_u64(self.faults.flips_detected);
+        w.put_u64(self.faults.flips_evicted);
+        w.put_u64(self.faults.flips_latent);
+        w.put_u64(self.faults.grants_dropped);
+        w.put_u64(self.faults.grants_delayed);
+        w.put_u64(self.faults.forwards_corrupted);
+        w.put_u64(self.faults.forwards_detected);
+        w.into_vec()
+    }
+
+    /// Decodes a result serialized by [`SimResult::to_bytes`]. The whole
+    /// input must be consumed — trailing bytes are an error, not slack.
+    ///
+    /// # Errors
+    ///
+    /// A [`ResultCodecError`] describing the first malformation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SimResult, ResultCodecError> {
+        let mut r = ByteReader::new(bytes);
+        let res = SimResult::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(ResultCodecError::TrailingBytes(r.remaining()));
+        }
+        Ok(res)
+    }
+
+    /// Decodes one serialized result from `r`, leaving the reader at the
+    /// first byte past it (for containers that embed several records).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SimResult::from_bytes`], without the trailing-bytes check.
+    pub fn decode(r: &mut ByteReader) -> Result<SimResult, ResultCodecError> {
+        let magic = r.get_u64()?;
+        if magic != RESULT_MAGIC {
+            return Err(ResultCodecError::BadMagic(magic));
+        }
+        let version = r.get_u32()?;
+        if version != RESULT_VERSION {
+            return Err(ResultCodecError::BadVersion(version));
+        }
+        let cycles = r.get_u64()?;
+        let committed = r.get_u64()?;
+        let halted = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(ResultCodecError::BadTag(t)),
+        };
+        let stall_rob_full = r.get_u64()?;
+        let stall_lsq_full = r.get_u64()?;
+        let stall_lvaq_full = r.get_u64()?;
+        let misclassifications = r.get_u64()?;
+        let lsq = decode_queue(r)?;
+        let lvaq = decode_queue(r)?;
+        let l1 = decode_cache(r)?;
+        let lvc = match r.get_u8()? {
+            0 => None,
+            1 => Some(decode_cache(r)?),
+            t => return Err(ResultCodecError::BadTag(t)),
+        };
+        let l2 = L2Stats {
+            requests_from_l1: r.get_u64()?,
+            requests_from_lvc: r.get_u64()?,
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            writebacks_in: r.get_u64()?,
+            writebacks_to_memory: r.get_u64()?,
+        };
+        let load_latency_sum = r.get_u64()?;
+        let load_latency_count = r.get_u64()?;
+        let faults = FaultStats {
+            l1_flips_injected: r.get_u64()?,
+            lvc_flips_injected: r.get_u64()?,
+            flips_detected: r.get_u64()?,
+            flips_evicted: r.get_u64()?,
+            flips_latent: r.get_u64()?,
+            grants_dropped: r.get_u64()?,
+            grants_delayed: r.get_u64()?,
+            forwards_corrupted: r.get_u64()?,
+            forwards_detected: r.get_u64()?,
+        };
+        Ok(SimResult {
+            cycles,
+            committed,
+            halted,
+            stall_rob_full,
+            stall_lsq_full,
+            stall_lvaq_full,
+            misclassifications,
+            lsq,
+            lvaq,
+            l1,
+            lvc,
+            l2,
+            load_latency_sum,
+            load_latency_count,
+            faults,
+        })
+    }
+}
+
 /// The outcome of [`crate::Simulator::run_window`]: the whole run from
 /// the handed-off state (`total`, warm-up prefix included) and the
 /// detailed measurement window carved out of it (`window`).
@@ -323,6 +552,96 @@ mod tests {
         assert_eq!(z.committed, 0);
         assert_eq!(z.cycles, 0);
         assert_eq!(z.lsq.occupancy.samples(), 0);
+    }
+
+    #[test]
+    fn codec_round_trips_every_field() {
+        let mut r = blank();
+        r.cycles = 12_345;
+        r.committed = 6_789;
+        r.halted = true;
+        r.stall_rob_full = 1;
+        r.stall_lsq_full = 2;
+        r.stall_lvaq_full = 3;
+        r.misclassifications = 4;
+        r.lsq.loads = 100;
+        r.lsq.forwards = 7;
+        r.lsq.occupancy.record_n(3, 40);
+        r.lsq.occupancy.record_n(9, 2);
+        r.lvaq.stores = 55;
+        r.lvaq.fast_forwards = 11;
+        r.lvaq.combined = 6;
+        r.lvaq.combine_groups = 3;
+        r.lvaq.port_stall_cycles = 17;
+        r.lvaq.occupancy.record_n(0, 9);
+        r.l1.reads = 80;
+        r.l1.misses = 5;
+        r.l1.mshr_stalls = 2;
+        r.lvc = Some(DataCacheStats {
+            reads: 31,
+            writes: 13,
+            hits: 30,
+            misses: 1,
+            miss_merges: 0,
+            mshr_stalls: 0,
+        });
+        r.l2.requests_from_lvc = 9;
+        r.l2.writebacks_to_memory = 4;
+        r.load_latency_sum = 999;
+        r.load_latency_count = 111;
+        r.faults.lvc_flips_injected = 8;
+        r.faults.flips_latent = 2;
+        r.faults.forwards_detected = 1;
+
+        let bytes = r.to_bytes();
+        let back = SimResult::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+
+        // The no-LVC arm round-trips too.
+        let mut r2 = r.clone();
+        r2.lvc = None;
+        assert_eq!(SimResult::from_bytes(&r2.to_bytes()).unwrap(), r2);
+    }
+
+    #[test]
+    fn codec_rejects_malformed_input() {
+        let good = blank().to_bytes();
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            SimResult::from_bytes(&bad),
+            Err(ResultCodecError::BadMagic(_))
+        ));
+        // Future version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            SimResult::from_bytes(&bad),
+            Err(ResultCodecError::BadVersion(99))
+        ));
+        // Truncation anywhere in the structure.
+        for cut in [0, 7, 11, good.len() / 2, good.len() - 1] {
+            assert!(
+                SimResult::from_bytes(&good[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(matches!(
+            SimResult::from_bytes(&bad),
+            Err(ResultCodecError::TrailingBytes(1))
+        ));
+        // A tag byte outside 0/1 (the halted flag sits right after the
+        // magic and version words).
+        let mut bad = good;
+        bad[8 + 4 + 16] = 7;
+        assert!(matches!(
+            SimResult::from_bytes(&bad),
+            Err(ResultCodecError::BadTag(7))
+        ));
     }
 
     #[test]

@@ -87,6 +87,15 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+    ///
+    /// Round-trips every value bit-exactly (NaN payloads included) —
+    /// result records must decode to *identical* floats, not nearly-equal
+    /// ones, for cached-vs-fresh differential checks to be meaningful.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
     /// Appends raw bytes with no framing.
     pub fn put_raw(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
@@ -180,6 +189,11 @@ impl<'a> ByteReader<'a> {
         Ok(u64::from_le_bytes(b))
     }
 
+    /// Reads an `f64` written by [`ByteWriter::put_f64`], bit-exactly.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
     /// Reads exactly `n` raw bytes.
     pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         self.take(n)
@@ -196,6 +210,19 @@ impl<'a> ByteReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        let mut w = ByteWriter::new();
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::NAN, f64::MIN_POSITIVE] {
+            w.put_f64(v);
+        }
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::NAN, f64::MIN_POSITIVE] {
+            assert_eq!(r.get_f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
 
     #[test]
     fn round_trip() {

@@ -138,6 +138,43 @@ impl Histogram {
         out
     }
 
+    /// Appends this histogram to `w` as a `u32` pair count followed by
+    /// `(value, count)` `u64` pairs in ascending value order — the stable
+    /// wire form used by serialized result records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram holds more than `u32::MAX` distinct values
+    /// (occupancy histograms top out at queue capacities).
+    pub fn encode(&self, w: &mut crate::ByteWriter) {
+        let n = u32::try_from(self.counts.len());
+        let n = match n {
+            Ok(n) => n,
+            Err(_) => panic!("histogram with {} distinct values", self.counts.len()),
+        };
+        w.put_u32(n);
+        for (&v, &c) in &self.counts {
+            w.put_u64(v);
+            w.put_u64(c);
+        }
+    }
+
+    /// Reads a histogram written by [`Histogram::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CodecError`] when the input is truncated.
+    pub fn decode(r: &mut crate::ByteReader) -> Result<Histogram, crate::CodecError> {
+        let n = r.get_u32()?;
+        let mut h = Histogram::new();
+        for _ in 0..n {
+            let v = r.get_u64()?;
+            let c = r.get_u64()?;
+            h.record_n(v, c);
+        }
+        Ok(h)
+    }
+
     /// Groups samples into fixed-width buckets `[0,w), [w,2w), ...` and
     /// returns `(bucket_start, count)` pairs for non-empty buckets.
     ///
@@ -257,6 +294,27 @@ mod tests {
     fn bucketing() {
         let h: Histogram = [0, 1, 7, 8, 9, 16].into_iter().collect();
         assert_eq!(h.bucketed(8), vec![(0, 3), (8, 2), (16, 1)]);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let mut h: Histogram = [1u64, 1, 5, 900, u64::MAX].into_iter().collect();
+        h.record_n(7, 3);
+        let mut w = crate::ByteWriter::new();
+        h.encode(&mut w);
+        let buf = w.into_vec();
+        let mut r = crate::ByteReader::new(&buf);
+        let back = Histogram::decode(&mut r).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(r.remaining(), 0);
+        // Empty histograms round-trip too.
+        let mut w = crate::ByteWriter::new();
+        Histogram::new().encode(&mut w);
+        let buf = w.into_vec();
+        let back = Histogram::decode(&mut crate::ByteReader::new(&buf)).unwrap();
+        assert!(back.is_empty());
+        // Truncation is an error, not a panic.
+        assert!(Histogram::decode(&mut crate::ByteReader::new(&[1, 0, 0, 0])).is_err());
     }
 
     #[test]

@@ -142,6 +142,7 @@ fn sampling_through_a_store_is_transparent_under_faults() {
         budget: 24_000,
         confidence: Confidence::C95,
         functional_warmup: true,
+        ..SamplingConfig::for_budget(0)
     };
     let plain = sample_program(&cfg, Arc::clone(&program), &scfg).unwrap();
     let cold = sample_program_stored(&cfg, Arc::clone(&program), &scfg, Some(&store)).unwrap();

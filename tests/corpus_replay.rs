@@ -111,6 +111,7 @@ fn real_workloads_run_under_the_sampling_driver() {
         budget: 20_000,
         confidence: Confidence::C95,
         functional_warmup: true,
+        ..SamplingConfig::for_budget(0)
     };
     for w in RealWorkload::ALL {
         let s = sample_program(&machine(), Arc::new(w.program()), &scfg)

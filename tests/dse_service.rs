@@ -1,0 +1,105 @@
+//! Wire-protocol gates for the DSE TCP service: greeting first, at
+//! least one incremental `CELL` line before `DONE`, an all-hit second
+//! connection against the same store, and a typed `ERR` for malformed
+//! requests — all over a real socket, exactly as the binaries speak it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+
+use dda_bench::dse::serve;
+use dda_bench::{DseService, ResultStore};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dda-dsesrv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// One exchange: returns (hello, cell lines, final line).
+fn exchange(addr: &str, request: &str) -> (String, Vec<String>, String) {
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+    let mut out = stream;
+    let mut hello = String::new();
+    reader.read_line(&mut hello).expect("greeting arrives");
+    writeln!(out, "{request}").expect("request sends");
+    out.flush().expect("request flushes");
+    let mut cells = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("line arrives") > 0,
+            "server closed before DONE/ERR"
+        );
+        let line = line.trim_end().to_string();
+        if line.starts_with("CELL ") {
+            cells.push(line);
+        } else if line.starts_with("DONE ") || line.starts_with("ERR ") {
+            return (hello.trim_end().to_string(), cells, line);
+        }
+    }
+}
+
+fn field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|t| t.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{line:?} has no numeric {key}="))
+}
+
+#[test]
+fn protocol_streams_cells_then_serves_hits() {
+    let dir = temp_dir("proto");
+    let svc = DseService::new(ResultStore::open(&dir).expect("store opens"), None);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+    let addr = listener.local_addr().expect("has addr").to_string();
+    let server = std::thread::spawn(move || serve(&listener, &svc, Some(3)));
+
+    let request = "DSE v1 benches=compress,li grid=2+0,4+2 budget=3000";
+
+    // Cold connection: greeting first, every cell streamed before DONE,
+    // all misses.
+    let (hello, cells, done) = exchange(&addr, request);
+    assert!(
+        hello.starts_with("HELLO dse v1 kernel="),
+        "greeting was {hello:?}"
+    );
+    assert_eq!(cells.len(), 4, "2 benches x 2 grid points");
+    assert!(
+        cells.iter().all(|c| c.contains("status=miss")),
+        "cold pass must miss: {cells:?}"
+    );
+    assert!(done.starts_with("DONE "), "final line was {done:?}");
+    assert_eq!(field(&done, "cells"), 4);
+    assert_eq!(field(&done, "misses"), 4);
+    assert_eq!(field(&done, "errors"), 0);
+    assert!(field(&done, "sim_insts") > 0);
+
+    // Warm connection: identical request, every cell a hit, nothing
+    // simulated.
+    let (_, cells, done) = exchange(&addr, request);
+    assert_eq!(cells.len(), 4);
+    assert!(
+        cells
+            .iter()
+            .all(|c| c.contains("status=hit") && c.contains(" sim=0")),
+        "warm pass must hit: {cells:?}"
+    );
+    assert_eq!(field(&done, "hits"), 4);
+    assert_eq!(field(&done, "sim_insts"), 0);
+
+    // Malformed request: a typed ERR naming the problem, no cells.
+    let (_, cells, err) = exchange(&addr, "DSE v1 grid=2+0");
+    assert!(cells.is_empty());
+    assert!(
+        err.starts_with("ERR ") && err.contains("benches"),
+        "error line was {err:?}"
+    );
+
+    server
+        .join()
+        .expect("server thread joins")
+        .expect("server exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
